@@ -1,0 +1,41 @@
+//! Criterion bench: arbiter policies — raw `choose` cost on dense request
+//! vectors and the end-to-end cost of a shared channel under each policy
+//! (the E-X5 ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elastic_core::{ArbiterKind, MebKind, PipelineConfig, PipelineHarness};
+
+fn bench_choose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbiter_choose");
+    let requests: Vec<bool> = (0..64).map(|i| i % 3 != 0).collect();
+    for kind in ArbiterKind::all() {
+        let mut arb = kind.build();
+        // Exercise some state so LeastRecent has history.
+        for t in 0..16 {
+            arb.commit(t);
+        }
+        group.bench_with_input(BenchmarkId::new("64-wide", kind.to_string()), &kind, |b, _| {
+            b.iter(|| arb.choose(std::hint::black_box(&requests)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbiter_pipeline");
+    for kind in ArbiterKind::all() {
+        group.bench_with_input(BenchmarkId::new("8t", kind.to_string()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut cfg = PipelineConfig::free_flowing(8, 2, MebKind::Reduced, 500);
+                cfg.arbiter = kind;
+                let mut h = PipelineHarness::build(cfg);
+                h.circuit.run(500).expect("pipeline runs clean");
+                h.sink().consumed_total()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_choose, bench_policy_pipeline);
+criterion_main!(benches);

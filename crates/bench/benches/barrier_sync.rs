@@ -1,0 +1,46 @@
+//! Criterion bench: barrier synchronization — cost of repeated barrier
+//! phases as the thread count grows (the primitive behind the MD5
+//! round-synchronization, Sec. IV-C).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elastic_core::{ArbiterKind, Barrier, MebKind};
+use elastic_sim::{CircuitBuilder, ReadyPolicy, Sink, Source, Tagged};
+
+/// Runs `phases` barrier phases over `threads` threads; returns cycles.
+fn run_barrier(threads: usize, phases: u64) -> u64 {
+    let mut b = CircuitBuilder::<Tagged>::new();
+    let x = b.channel("x", threads);
+    let m = b.channel("m", threads);
+    let y = b.channel("y", threads);
+    let mut src = Source::new("src", x, threads);
+    for t in 0..threads {
+        src.extend(t, (0..phases).map(|p| Tagged::new(t, p, p)));
+    }
+    b.add(src);
+    b.add_boxed(MebKind::Reduced.build_with::<Tagged>("meb", x, m, threads, ArbiterKind::RoundRobin));
+    b.add(Barrier::new("bar", m, y, threads));
+    b.add(Sink::with_capture("snk", y, threads, ReadyPolicy::Always));
+    let mut circuit = b.build().expect("barrier bench circuit is well-formed");
+    let expected = phases * threads as u64;
+    circuit
+        .run_until(200 + phases * (threads as u64 + 8) * 4, |c| {
+            c.stats().total_transfers(y) >= expected
+        })
+        .expect("barrier phases complete");
+    circuit.cycle()
+}
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier_phases");
+    const PHASES: u64 = 50;
+    group.throughput(Throughput::Elements(PHASES));
+    for threads in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| run_barrier(threads, PHASES))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_barrier);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: the elastic MD5 circuit (8 threads, full vs reduced
+//! MEBs) against the software reference — how much the cycle-accurate
+//! model costs, and that both MEB variants simulate at comparable speed
+//! (E-X3 harness).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elastic_core::MebKind;
+use elastic_md5::{algo, Md5Hasher};
+
+fn messages() -> Vec<Vec<u8>> {
+    (0..8).map(|i| format!("benchmark message number {i} padded to some length").into_bytes()).collect()
+}
+
+fn bench_circuit(c: &mut Criterion) {
+    let msgs = messages();
+    let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+    let mut group = c.benchmark_group("md5");
+    group.throughput(Throughput::Elements(refs.len() as u64));
+    for kind in [MebKind::Full, MebKind::Reduced] {
+        group.bench_with_input(
+            BenchmarkId::new("circuit_8t", kind.to_string()),
+            &kind,
+            |b, &kind| {
+                let hasher = Md5Hasher::new(8, kind);
+                b.iter(|| hasher.hash_messages(std::hint::black_box(&refs)).expect("hashes"))
+            },
+        );
+    }
+    group.bench_function("software_reference", |b| {
+        b.iter(|| {
+            refs.iter().map(|m| algo::md5(std::hint::black_box(m))).collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_circuit);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench: simulation throughput of MEB pipelines across
+//! microarchitectures and thread counts (full vs reduced vs FIFO
+//! ablation) — how expensive each buffer's control is to evaluate, and
+//! the harness behind the E-X1 throughput experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elastic_core::{MebKind, PipelineConfig, PipelineHarness};
+
+fn run_pipeline(kind: MebKind, threads: usize, cycles: u64) -> u64 {
+    let cfg = PipelineConfig::free_flowing(threads, 3, kind, cycles);
+    let mut h = PipelineHarness::build(cfg);
+    h.circuit.run(cycles).expect("pipeline runs clean");
+    h.sink().consumed_total()
+}
+
+fn bench_meb_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meb_pipeline");
+    const CYCLES: u64 = 2_000;
+    group.throughput(Throughput::Elements(CYCLES));
+    for kind in [MebKind::Full, MebKind::Reduced, MebKind::Fifo { depth: 2 }] {
+        for threads in [2usize, 4, 8, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), threads),
+                &threads,
+                |b, &threads| b.iter(|| run_pipeline(kind, threads, CYCLES)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_meb_throughput);
+criterion_main!(benches);

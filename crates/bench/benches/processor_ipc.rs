@@ -1,0 +1,50 @@
+//! Criterion bench: the multithreaded elastic processor running the
+//! benchmark workloads to halt, across thread counts and MEB kinds
+//! (E-X4 harness). The measured quantity is wall time per full program
+//! run; the run's IPC is the paper-relevant figure printed by the
+//! `processor_demo` example.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elastic_core::MebKind;
+use elastic_proc::{programs, Cpu, CpuConfig};
+
+fn bench_sum_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_sum_loop");
+    for threads in [1usize, 4, 8] {
+        for kind in [MebKind::Full, MebKind::Reduced] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let mut cpu = Cpu::from_asm(
+                            CpuConfig::new(threads).with_meb(kind),
+                            programs::SUM_LOOP,
+                        )
+                        .expect("assembles");
+                        cpu.run_to_halt(200_000).expect("halts").ipc
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_workloads_8t");
+    group.sample_size(10);
+    for (name, source, _) in programs::all() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cpu =
+                    Cpu::from_asm(CpuConfig::new(8), source).expect("assembles");
+                cpu.run_to_halt(2_000_000).expect("halts").ipc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sum_loop, bench_workloads);
+criterion_main!(benches);

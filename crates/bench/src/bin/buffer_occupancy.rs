@@ -1,0 +1,77 @@
+//! Buffer-occupancy evidence for the reduced MEB (paper, Sec. III-A):
+//! under uniform utilization "each thread will use only one buffer out of
+//! the two available per thread … Only when a thread stalls, it will use
+//! its second auxiliary buffer." This experiment measures exactly that —
+//! how often the main slots vs the auxiliary/shared slots actually hold
+//! data, with and without downstream stalls.
+//!
+//! ```text
+//! cargo run --release --bin buffer_occupancy
+//! ```
+
+use elastic_core::{MebKind, PipelineConfig, PipelineHarness};
+use elastic_sim::{occupancy_stats, OccupancyStats, ReadyPolicy};
+
+fn measure(kind: MebKind, stall: bool) -> OccupancyStats {
+    const THREADS: usize = 8;
+    let mut cfg = PipelineConfig::free_flowing(THREADS, 1, kind, 900);
+    if stall {
+        // Irregular stalls on half the threads so backpressure actually
+        // bites (deterministic per-cycle hash, no periodic resonance).
+        for t in 0..THREADS / 2 {
+            cfg = cfg.with_sink_policy(t, ReadyPolicy::Random { p: 0.25, seed: 11 + t as u64 });
+        }
+    }
+    let mut h = PipelineHarness::build(cfg);
+    h.circuit.enable_trace();
+    h.circuit.run(600).expect("runs clean");
+    let stats = occupancy_stats(h.circuit.trace().expect("traced"));
+    stats.get(&h.pipeline.meb_names[0]).expect("meb snapshots present").clone()
+}
+
+fn aux_busy(stats: &OccupancyStats) -> (f64, f64) {
+    let (mut main_sum, mut main_n, mut aux_sum, mut aux_n) = (0.0, 0, 0.0, 0);
+    for (name, frac) in &stats.per_slot {
+        if name.starts_with("main") {
+            main_sum += frac;
+            main_n += 1;
+        } else {
+            aux_sum += frac;
+            aux_n += 1;
+        }
+    }
+    (main_sum / main_n.max(1) as f64, aux_sum / aux_n.max(1) as f64)
+}
+
+fn main() {
+    println!(
+        "Slot usage of one 8-thread MEB, 600 cycles — how often the main slots\n\
+         vs the auxiliary/shared slots hold data (paper, Sec. III-A)\n"
+    );
+    println!(
+        "{:<26} {:>7} {:>6} {:>12} {:>12}",
+        "configuration", "mean", "peak", "main busy", "aux busy"
+    );
+    println!("{}", "-".repeat(68));
+    for (stall, label) in [(false, "uniform"), (true, "half blocked")] {
+        for kind in [MebKind::Full, MebKind::Reduced] {
+            let stats = measure(kind, stall);
+            let (main, aux) = aux_busy(&stats);
+            println!(
+                "{:<26} {:>7.2} {:>6} {:>11.1}% {:>11.1}%",
+                format!("{kind}, {label}"),
+                stats.mean,
+                stats.max,
+                100.0 * main,
+                100.0 * aux
+            );
+        }
+    }
+    println!(
+        "\nuniform load: the auxiliary slots are essentially idle — the full MEB\n\
+         carries 8 of them, the reduced MEB one; that difference is exactly the\n\
+         register area Table I shows the reduced MEB saving. Under stalls the\n\
+         aux storage earns its keep, and the reduced MEB\'s single shared slot\n\
+         covers the common case (one blocked thread at a time)."
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates the paper's **Table I** ("FPGA implementation results of
+//! the 8-thread design examples") from the structural cost model, with
+//! the paper's reported numbers side by side, plus the 16-thread
+//! extension behind the paper's ">22 % savings" remark.
+//!
+//! With `--inventory`, also prints the itemized LE breakdown of every
+//! design/buffer combination.
+//!
+//! ```text
+//! cargo run --release --bin table1_fpga [--inventory]
+//! ```
+
+use elastic_cost::{frequency_mhz, gcd_design, md5_design, processor_design, render, BufferKind};
+
+fn main() {
+    let inventory = std::env::args().any(|a| a == "--inventory");
+
+    print!("{}", render(&[8, 16]));
+
+    // Extension: the same model applied to the circuit synthesized by the
+    // elastic-synth flow (examples/gcd_synthesis.rs).
+    println!("extension — synthesized GCD loop (not in the paper):");
+    let gcd = gcd_design();
+    for kind in [BufferKind::Full, BufferKind::Reduced] {
+        let area = gcd.area_les(kind, 8);
+        println!(
+            "  {:<12} 8 threads: {:>6} LEs @ {:>5.1} MHz",
+            kind.to_string(),
+            area,
+            frequency_mhz(gcd.logic_levels, area)
+        );
+    }
+    println!();
+
+    if inventory {
+        for spec in [md5_design(), processor_design()] {
+            for kind in [BufferKind::Full, BufferKind::Reduced] {
+                println!("\n=== {} — {} (8 threads) ===", spec.name, kind);
+                print!("{}", spec.inventory(kind, 8).render());
+            }
+        }
+    } else {
+        println!("(run with --inventory for the itemized LE breakdown)");
+    }
+}

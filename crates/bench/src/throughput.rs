@@ -1,0 +1,144 @@
+//! Throughput experiments from the paper's Sec. III-A analysis:
+//!
+//! * **1/M sharing** — with `M` of `S` threads active, each receives
+//!   `1/M` of the channel;
+//! * **worst case** — when all threads but one are blocked long enough
+//!   for the backpressure to reach the source, the lone active thread
+//!   keeps 100 % of a full-MEB pipeline but only 50 % of a reduced one.
+
+use elastic_core::{MebKind, PipelineConfig, PipelineHarness};
+use elastic_sim::ReadyPolicy;
+
+/// One point of the throughput-vs-active-threads sweep.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ThroughputPoint {
+    /// MEB microarchitecture.
+    pub kind: MebKind,
+    /// Hardware thread count `S`.
+    pub threads: usize,
+    /// Active thread count `M` (the rest inject nothing).
+    pub active: usize,
+    /// Measured steady-state per-active-thread throughput.
+    pub per_thread: f64,
+    /// Measured aggregate channel throughput.
+    pub aggregate: f64,
+}
+
+/// Measures steady-state throughput for `active` of `threads` threads on
+/// a `stages`-deep MEB pipeline.
+///
+/// Uses a warm-up window before measuring so fill latency does not skew
+/// the rates.
+///
+/// # Panics
+///
+/// Panics if `active == 0 || active > threads`, or if the simulation
+/// reports a protocol error.
+pub fn measure_throughput(
+    kind: MebKind,
+    threads: usize,
+    active: usize,
+    stages: usize,
+) -> ThroughputPoint {
+    assert!(active > 0 && active <= threads, "invalid active count");
+    let measure_cycles = 600u64;
+    let warmup = 40u64;
+    let tokens = measure_cycles + warmup + 50;
+    let mut cfg = PipelineConfig::free_flowing(threads, stages, kind, tokens);
+    for t in active..threads {
+        cfg.tokens_per_thread[t] = 0;
+    }
+    let mut h = PipelineHarness::build(cfg);
+    h.circuit.run(warmup).expect("warmup runs clean");
+    h.circuit.reset_stats();
+    h.circuit.run(measure_cycles).expect("measurement runs clean");
+    let out = h.pipeline.output;
+    let per_thread = (0..active)
+        .map(|t| h.circuit.stats().throughput(out, t))
+        .sum::<f64>()
+        / active as f64;
+    ThroughputPoint {
+        kind,
+        threads,
+        active,
+        per_thread,
+        aggregate: h.circuit.stats().channel_throughput(out),
+    }
+}
+
+/// Result of the all-but-one-blocked worst case.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WorstcaseResult {
+    /// MEB microarchitecture.
+    pub kind: MebKind,
+    /// Pipeline depth.
+    pub stages: usize,
+    /// Steady-state throughput of the lone active thread.
+    pub active_throughput: f64,
+}
+
+/// Blocks every thread except thread 0 at the sink forever and measures
+/// thread 0's steady-state throughput once the stall has propagated to
+/// the source (paper, Sec. III-A: "the only active thread will obtain
+/// 50 % of throughput" with reduced MEBs; "Full MEB, on the other hand,
+/// will allow the active thread to fully utilize the channel").
+///
+/// # Panics
+///
+/// Panics if the simulation reports a protocol error.
+pub fn reduced_worstcase(kind: MebKind, threads: usize, stages: usize) -> WorstcaseResult {
+    let measure_cycles = 600u64;
+    // Enough warm-up for the blocked threads' backpressure to fill every
+    // stage back to the source.
+    let warmup = 60 + 4 * stages as u64;
+    let tokens = measure_cycles + warmup + 50;
+    let mut cfg = PipelineConfig::free_flowing(threads, stages, kind, tokens);
+    for t in 1..threads {
+        cfg = cfg.with_sink_policy(t, ReadyPolicy::Never);
+    }
+    let mut h = PipelineHarness::build(cfg);
+    h.circuit.run(warmup).expect("warmup runs clean");
+    h.circuit.reset_stats();
+    h.circuit.run(measure_cycles).expect("measurement runs clean");
+    WorstcaseResult {
+        kind,
+        stages,
+        active_throughput: h.circuit.stats().throughput(h.pipeline.output, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sec. III-A: per-thread throughput ≈ 1/M for every MEB kind.
+    #[test]
+    fn one_over_m_sharing_law() {
+        for kind in [MebKind::Full, MebKind::Reduced] {
+            for active in [1usize, 2, 4, 8] {
+                let p = measure_throughput(kind, 8, active, 3);
+                let expect = 1.0 / active as f64;
+                assert!(
+                    (p.per_thread - expect).abs() < 0.06,
+                    "{kind} M={active}: per-thread {:.3} vs 1/M {:.3}",
+                    p.per_thread,
+                    expect
+                );
+                assert!(p.aggregate > 0.9, "{kind} M={active}: aggregate {:.3}", p.aggregate);
+            }
+        }
+    }
+
+    /// The one behavioural difference between the MEB variants.
+    #[test]
+    fn worstcase_separates_full_from_reduced() {
+        let full = reduced_worstcase(MebKind::Full, 2, 4);
+        let reduced = reduced_worstcase(MebKind::Reduced, 2, 4);
+        assert!(full.active_throughput > 0.93, "full: {:.3}", full.active_throughput);
+        assert!(
+            (reduced.active_throughput - 0.5).abs() < 0.06,
+            "reduced: {:.3}",
+            reduced.active_throughput
+        );
+    }
+}

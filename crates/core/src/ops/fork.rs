@@ -1,0 +1,383 @@
+//! Fork: replication of one channel to several consumers (paper, Fig. 3
+//! and Fig. 7(b)).
+//!
+//! Two classic control disciplines are provided:
+//!
+//! * **lazy** — all outputs must be ready simultaneously; the token is
+//!   delivered to everybody in one cycle;
+//! * **eager** — each output takes the token as soon as it is ready; a
+//!   per-(output, thread) `done` bit remembers partial delivery and the
+//!   input is consumed once every output has been served. Eager forks
+//!   decouple slow consumers and avoid throughput loss.
+//!
+//! The multithreaded M-Fork is the per-thread replication of the baseline
+//! fork; the `done` state is therefore indexed by thread as well.
+
+use elastic_sim::{impl_as_any, ChannelId, Component, EvalCtx, Ports, TickCtx, Token};
+
+/// Per-token output-routing function (see [`Fork::with_route`]).
+type RouteFn<T> = Box<dyn Fn(&T) -> Vec<bool> + Send>;
+
+/// Fork control discipline.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ForkMode {
+    /// All-or-nothing delivery.
+    Lazy,
+    /// Per-output delivery with done bits (the default).
+    #[default]
+    Eager,
+}
+
+/// A 1-to-N fork.
+///
+/// # Examples
+///
+/// ```
+/// use elastic_core::{Fork, ForkMode};
+/// use elastic_sim::{CircuitBuilder, ReadyPolicy, Sink, Source};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CircuitBuilder::<u64>::new();
+/// let x = b.channel("x", 1);
+/// let y0 = b.channel("y0", 1);
+/// let y1 = b.channel("y1", 1);
+/// let mut src = Source::new("src", x, 1);
+/// src.extend(0, [5, 6]);
+/// b.add(src);
+/// b.add(Fork::new("f", x, vec![y0, y1], 1, ForkMode::Eager));
+/// b.add(Sink::with_capture("s0", y0, 1, ReadyPolicy::Always));
+/// b.add(Sink::with_capture("s1", y1, 1, ReadyPolicy::Always));
+/// let mut circuit = b.build()?;
+/// circuit.run(5)?;
+/// let s0: &Sink<u64> = circuit.get("s0").expect("sink");
+/// assert_eq!(s0.consumed_total(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Fork<T: Token> {
+    name: String,
+    inp: ChannelId,
+    outputs: Vec<ChannelId>,
+    threads: usize,
+    mode: ForkMode,
+    /// `done[o][t]`: output `o` has already received thread `t`'s current
+    /// token (eager mode only).
+    done: Vec<Vec<bool>>,
+    /// Optional per-token routing: outputs whose mask entry is `false` do
+    /// not receive the token (they are treated as already done).
+    route: Option<RouteFn<T>>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Token> Fork<T> {
+    /// A fork from `inp` to `outputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two outputs are given.
+    pub fn new(
+        name: impl Into<String>,
+        inp: ChannelId,
+        outputs: Vec<ChannelId>,
+        threads: usize,
+        mode: ForkMode,
+    ) -> Self {
+        assert!(outputs.len() >= 2, "a fork needs at least two outputs");
+        let n = outputs.len();
+        Self {
+            name: name.into(),
+            inp,
+            outputs,
+            threads,
+            mode,
+            done: vec![vec![false; threads]; n],
+            route: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Makes the fork *routing*: `f` returns, per token, which outputs
+    /// receive it (`true` entries). A token routed to a single output
+    /// behaves like a demultiplexed branch; a token routed to several
+    /// outputs is replicated to exactly those. Only meaningful in
+    /// [`ForkMode::Eager`].
+    ///
+    /// # Panics
+    ///
+    /// The component panics during simulation if `f` returns a mask whose
+    /// length differs from the output count, or an all-`false` mask (the
+    /// token could never be consumed and the pipeline would wedge).
+    #[must_use]
+    pub fn with_route(mut self, f: impl Fn(&T) -> Vec<bool> + Send + 'static) -> Self {
+        self.route = Some(Box::new(f));
+        self
+    }
+
+    /// The fork's control discipline.
+    pub fn mode(&self) -> ForkMode {
+        self.mode
+    }
+
+    /// Output mask for the current token (defaults to all outputs).
+    fn mask_for(&self, token: Option<&T>) -> Vec<bool> {
+        match (&self.route, token) {
+            (Some(f), Some(tok)) => {
+                let mask = f(tok);
+                assert_eq!(mask.len(), self.outputs.len(), "route mask length mismatch");
+                assert!(mask.iter().any(|&m| m), "route mask must select at least one output");
+                mask
+            }
+            _ => vec![true; self.outputs.len()],
+        }
+    }
+}
+
+impl<T: Token> Component<T> for Fork<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::new([self.inp], self.outputs.clone())
+    }
+
+    fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {
+        let data = ctx.data(self.inp).cloned();
+        match self.mode {
+            ForkMode::Lazy => {
+                for t in 0..self.threads {
+                    let vin = ctx.valid(self.inp, t);
+                    for (o, &out) in self.outputs.iter().enumerate() {
+                        let others_ready = self
+                            .outputs
+                            .iter()
+                            .enumerate()
+                            .filter(|&(p, _)| p != o)
+                            .all(|(_, &q)| ctx.ready(q, t));
+                        ctx.set_valid(out, t, vin && others_ready);
+                    }
+                    let all_ready = self.outputs.iter().all(|&q| ctx.ready(q, t));
+                    ctx.set_ready(self.inp, t, all_ready);
+                }
+            }
+            ForkMode::Eager => {
+                let mask = self.mask_for(data.as_ref());
+                let offered = (0..self.threads).find(|&t| ctx.valid(self.inp, t));
+                for t in 0..self.threads {
+                    let vin = ctx.valid(self.inp, t);
+                    for (o, &out) in self.outputs.iter().enumerate() {
+                        ctx.set_valid(out, t, vin && mask[o] && !self.done[o][t]);
+                    }
+                    // Input consumed once every (routed) output is done or
+                    // accepting. The mask belongs to the *offered* token;
+                    // for any other thread the data bus does not hold its
+                    // token, so answer conservatively as if it routed to
+                    // every output — a conservative ready can only be
+                    // upgraded once the thread is offered, which keeps the
+                    // upstream selection from chasing a false ready.
+                    let use_mask = offered == Some(t);
+                    let all_served = (0..self.outputs.len()).all(|o| {
+                        (use_mask && !mask[o]) || self.done[o][t] || ctx.ready(self.outputs[o], t)
+                    });
+                    ctx.set_ready(self.inp, t, all_served);
+                }
+            }
+        }
+        for &out in &self.outputs {
+            ctx.set_data(out, data.clone());
+        }
+    }
+
+    fn tick(&mut self, ctx: &TickCtx<'_, T>) {
+        if self.mode == ForkMode::Lazy {
+            return;
+        }
+        for t in 0..self.threads {
+            if ctx.fired(self.inp, t) {
+                // Token fully delivered: clear this thread's done bits.
+                for o in 0..self.outputs.len() {
+                    self.done[o][t] = false;
+                }
+            } else if ctx.valid(self.inp, t) {
+                // Partial delivery: latch which outputs took it.
+                for (o, &out) in self.outputs.iter().enumerate() {
+                    if ctx.fired(out, t) {
+                        self.done[o][t] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eb::ElasticBuffer;
+    use elastic_sim::{CircuitBuilder, Circuit, ReadyPolicy, Sink, Source, Tagged};
+
+    fn fork_fixture(mode: ForkMode, p0: ReadyPolicy, p1: ReadyPolicy) -> Circuit<u64> {
+        let mut b = CircuitBuilder::<u64>::new();
+        let x = b.channel("x", 1);
+        let y0 = b.channel("y0", 1);
+        let y1 = b.channel("y1", 1);
+        let mut src = Source::new("src", x, 1);
+        src.extend(0, 0..10u64);
+        b.add(src);
+        b.add(Fork::new("f", x, vec![y0, y1], 1, mode));
+        b.add(Sink::with_capture("s0", y0, 1, p0));
+        b.add(Sink::with_capture("s1", y1, 1, p1));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn lazy_fork_delivers_to_all_simultaneously() {
+        let mut c = fork_fixture(ForkMode::Lazy, ReadyPolicy::Always, ReadyPolicy::Always);
+        c.run(15).expect("clean");
+        let s0: &Sink<u64> = c.get("s0").expect("s0");
+        let s1: &Sink<u64> = c.get("s1").expect("s1");
+        assert_eq!(s0.consumed(0), 10);
+        assert_eq!(s1.consumed(0), 10);
+        // Same arrival cycles on both branches.
+        let c0: Vec<u64> = s0.captured(0).iter().map(|&(c, _)| c).collect();
+        let c1: Vec<u64> = s1.captured(0).iter().map(|&(c, _)| c).collect();
+        assert_eq!(c0, c1);
+    }
+
+    #[test]
+    fn lazy_fork_is_blocked_by_slowest_branch() {
+        let mut c = fork_fixture(
+            ForkMode::Lazy,
+            ReadyPolicy::Always,
+            ReadyPolicy::Period { on: 1, off: 3, phase: 0 },
+        );
+        c.run(60).expect("clean");
+        let s0: &Sink<u64> = c.get("s0").expect("s0");
+        let s1: &Sink<u64> = c.get("s1").expect("s1");
+        // Both branches advance in lock-step at the slow branch's rate.
+        assert_eq!(s0.consumed(0), s1.consumed(0));
+        assert_eq!(s0.consumed(0), 10);
+    }
+
+    #[test]
+    fn eager_fork_lets_fast_branch_run_ahead_by_one_token() {
+        let mut c = fork_fixture(ForkMode::Eager, ReadyPolicy::Always, ReadyPolicy::Never);
+        c.run(10).expect("clean");
+        let s0: &Sink<u64> = c.get("s0").expect("s0");
+        let s1: &Sink<u64> = c.get("s1").expect("s1");
+        // The fast branch received the head token; the input then waits
+        // for the blocked branch (done bit set, no duplication).
+        assert_eq!(s0.consumed(0), 1);
+        assert_eq!(s1.consumed(0), 0);
+    }
+
+    #[test]
+    fn eager_fork_never_duplicates_or_reorders() {
+        let mut c = fork_fixture(
+            ForkMode::Eager,
+            ReadyPolicy::Random { p: 0.5, seed: 1 },
+            ReadyPolicy::Random { p: 0.3, seed: 2 },
+        );
+        c.run(200).expect("clean");
+        for s in ["s0", "s1"] {
+            let snk: &Sink<u64> = c.get(s).expect("sink");
+            let vals: Vec<u64> = snk.captured(0).iter().map(|&(_, v)| v).collect();
+            assert_eq!(vals, (0..10u64).collect::<Vec<_>>(), "{s} stream corrupted");
+        }
+    }
+
+    /// M-Fork: per-thread done bits mean a stalled thread on one branch
+    /// does not corrupt another thread's delivery.
+    #[test]
+    fn mfork_tracks_done_bits_per_thread() {
+        let mut b = CircuitBuilder::<Tagged>::new();
+        let x0 = b.channel("x0", 2);
+        let x1 = b.channel("x1", 2);
+        let y0 = b.channel("y0", 2);
+        let y1 = b.channel("y1", 2);
+        let mut src = Source::new("src", x0, 2);
+        for t in 0..2 {
+            src.extend(t, (0..6).map(|i| Tagged::new(t, i, i)));
+        }
+        b.add(src);
+        b.add(crate::meb::ReducedMeb::new(
+            "meb",
+            x0,
+            x1,
+            2,
+            crate::arbiter::ArbiterKind::RoundRobin.build(),
+        ));
+        b.add(Fork::new("f", x1, vec![y0, y1], 2, ForkMode::Eager));
+        // Branch y1 blocks thread 0 for a while; thread 1 must keep moving
+        // on both branches.
+        let mut s1 = Sink::with_capture("s1", y1, 2, ReadyPolicy::Always);
+        s1.set_policy(0, ReadyPolicy::StallWindow { from: 0, to: 20 });
+        b.add(Sink::with_capture("s0", y0, 2, ReadyPolicy::Always));
+        b.add(s1);
+        let mut circuit = b.build().expect("valid");
+        circuit.set_deadlock_watchdog(Some(60));
+        circuit.run(100).expect("clean");
+        for s in ["s0", "s1"] {
+            let snk: &Sink<Tagged> = circuit.get(s).expect("sink");
+            for t in 0..2 {
+                let seqs: Vec<u64> = snk.captured(t).iter().map(|(_, tok)| tok.seq).collect();
+                assert_eq!(seqs, (0..6).collect::<Vec<_>>(), "{s} thread {t}");
+            }
+        }
+    }
+
+    /// A routing fork sends each token to exactly the outputs its mask
+    /// selects — and to several when the mask says so.
+    #[test]
+    fn routing_fork_demultiplexes_and_replicates() {
+        let mut b = CircuitBuilder::<u64>::new();
+        let x = b.channel("x", 1);
+        let y0 = b.channel("y0", 1);
+        let y1 = b.channel("y1", 1);
+        let mut src = Source::new("src", x, 1);
+        src.extend(0, 0..9u64);
+        b.add(src);
+        // Multiples of 3 go to both outputs, even → y0, odd → y1.
+        b.add(Fork::new("f", x, vec![y0, y1], 1, ForkMode::Eager).with_route(|v: &u64| {
+            if v.is_multiple_of(3) {
+                vec![true, true]
+            } else {
+                vec![v.is_multiple_of(2), !v.is_multiple_of(2)]
+            }
+        }));
+        b.add(Sink::with_capture("s0", y0, 1, ReadyPolicy::Always));
+        b.add(Sink::with_capture("s1", y1, 1, ReadyPolicy::Always));
+        let mut c = b.build().expect("valid");
+        c.run(20).expect("clean");
+        let s0: &Sink<u64> = c.get("s0").expect("s0");
+        let s1: &Sink<u64> = c.get("s1").expect("s1");
+        let v0: Vec<u64> = s0.captured(0).iter().map(|&(_, v)| v).collect();
+        let v1: Vec<u64> = s1.captured(0).iter().map(|&(_, v)| v).collect();
+        assert_eq!(v0, vec![0, 2, 3, 4, 6, 8]);
+        assert_eq!(v1, vec![0, 1, 3, 5, 6, 7]);
+    }
+
+    /// A fork inside an EB-bounded stage sustains full throughput when
+    /// both branches are free-flowing (eager mode).
+    #[test]
+    fn eager_fork_full_throughput_between_ebs() {
+        let mut b = CircuitBuilder::<u64>::new();
+        let a = b.channel("a", 1);
+        let x = b.channel("x", 1);
+        let y0 = b.channel("y0", 1);
+        let y1 = b.channel("y1", 1);
+        let mut src = Source::new("src", a, 1);
+        src.extend(0, 0..50u64);
+        b.add(src);
+        b.add(ElasticBuffer::new("eb", a, x));
+        b.add(Fork::new("f", x, vec![y0, y1], 1, ForkMode::Eager));
+        b.add(Sink::new("s0", y0, 1, ReadyPolicy::Always));
+        b.add(Sink::new("s1", y1, 1, ReadyPolicy::Always));
+        let mut circuit = b.build().expect("valid");
+        circuit.run(56).expect("clean");
+        assert_eq!(circuit.stats().total_transfers(y0), 50);
+        assert_eq!(circuit.stats().total_transfers(y1), 50);
+    }
+}

@@ -1,0 +1,238 @@
+//! Area inventories for the paper's two design examples and the MEB
+//! microarchitectures, mirroring the simulated circuits one-to-one.
+
+use crate::primitives::{
+    adder, arbiter, barrier, eb_control, lut_layer, mux, register, shared_gate, Inventory,
+};
+
+/// MEB microarchitecture, as in Table I's column pairs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BufferKind {
+    /// One 2-slot EB per thread (paper Fig. 4).
+    Full,
+    /// S main registers + one shared auxiliary register (paper Fig. 6).
+    Reduced,
+}
+
+impl std::fmt::Display for BufferKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BufferKind::Full => write!(f, "Full MEB"),
+            BufferKind::Reduced => write!(f, "Reduced MEB"),
+        }
+    }
+}
+
+/// Itemized area of one `width`-bit, `threads`-thread MEB.
+///
+/// Both variants share: a 2:1 refill mux in front of each thread's main
+/// register (`data_in` vs the auxiliary slot) and the S-way output
+/// multiplexer. They differ in storage (`2S` vs `S+1` registers) and in
+/// the reduced variant's shared-buffer FSM and HALF→FULL gate.
+pub fn meb_inventory(kind: BufferKind, threads: usize, width: usize) -> Inventory {
+    let s = threads;
+    let mut inv = Inventory::new();
+    match kind {
+        BufferKind::Full => {
+            inv.push("main+aux registers", 2 * s, register(width));
+        }
+        BufferKind::Reduced => {
+            inv.push("main registers", s, register(width));
+            inv.push("shared register", 1, register(width));
+        }
+    }
+    inv.push("refill muxes", s, mux(width, 2));
+    inv.push("output mux", 1, mux(width, s));
+    inv.push("EB control FSMs", s, eb_control());
+    if kind == BufferKind::Reduced {
+        inv.push("shared-buffer gate", 1, shared_gate(s));
+    }
+    inv.push("arbiter", 1, arbiter(s));
+    inv
+}
+
+/// A design example: shared combinational logic plus a set of MEBs.
+#[derive(Clone, Debug)]
+pub struct DesignSpec {
+    /// Design name (row label in Table I).
+    pub name: &'static str,
+    /// Names and token widths of the MEB pipeline registers.
+    pub meb_widths: Vec<(&'static str, usize)>,
+    /// Logic depth of the critical combinational path, in LUT levels.
+    pub logic_levels: f64,
+    /// Builds the non-MEB (combinational + control) inventory for a
+    /// thread count.
+    pub comb: fn(usize) -> Inventory,
+}
+
+impl DesignSpec {
+    /// Full itemized inventory for the chosen MEB kind and thread count.
+    pub fn inventory(&self, kind: BufferKind, threads: usize) -> Inventory {
+        let mut inv = (self.comb)(threads);
+        for &(name, width) in &self.meb_widths {
+            let sub = meb_inventory(kind, threads, width);
+            inv.push(format!("MEB `{name}` ({width}b, {kind})"), 1, sub.total_les());
+        }
+        inv
+    }
+
+    /// Total area in LEs.
+    pub fn area_les(&self, kind: BufferKind, threads: usize) -> usize {
+        self.inventory(kind, threads).total_les()
+    }
+}
+
+fn md5_comb(threads: usize) -> Inventory {
+    let mut inv = Inventory::new();
+    // One fully unrolled MD5 round: 16 steps, each with four 32-bit
+    // adders, the 2-LUT-level boolean function F/G/H/I and the
+    // message-word select (the 512-bit block itself lives in embedded
+    // memory, mirroring the paper's BRAM accounting for the processor).
+    inv.push("unrolled step (4 adders + F + word select)", 16, 4 * adder(32) + 2 * lut_layer(32) + 3 * lut_layer(32));
+    inv.push("round configuration mux", 1, mux(32, 3));
+    inv.push("barrier", 1, barrier(threads));
+    inv.push("round counter + misc control", 1, 20);
+    inv
+}
+
+fn processor_comb(threads: usize) -> Inventory {
+    let mut inv = Inventory::new();
+    // Functional units; the multiplier maps to DSP blocks (excluded, like
+    // the paper excludes DSPs and BRAMs), only its glue counts. The
+    // register file maps to embedded memory (excluded by the paper).
+    inv.push("ALU (adder + logic + shifter + result mux)", 1, adder(32) + 2 * lut_layer(32) + 3 * lut_layer(32) + 2 * mux(32, 2));
+    inv.push("multiplier glue (DSP excluded)", 1, 40);
+    inv.push("instruction decoder", 1, 120);
+    inv.push("program counters", threads, register(16));
+    inv.push("scoreboard (pending bits)", threads, 32);
+    inv.push("fetch thread-select", 1, 8 * threads);
+    inv.push("hazard/forward control", 1, 124);
+    inv
+}
+
+/// The MD5 design example (paper, Sec. V-A): two 128-bit MEBs (the
+/// working-state token) around the unrolled round unit, plus the barrier
+/// and global round configuration.
+pub fn md5_design() -> DesignSpec {
+    DesignSpec {
+        name: "MD5 hash",
+        meb_widths: vec![("input buffer", 128), ("output buffer", 128)],
+        // 16 unrolled steps at ~4.5 LUT levels each (carry-chain adder +
+        // boolean function + word select).
+        logic_levels: 72.0,
+        comb: md5_comb,
+    }
+}
+
+/// The multithreaded processor design example (paper, Sec. V-B): five MEB
+/// pipeline registers with stage-appropriate token widths.
+pub fn processor_design() -> DesignSpec {
+    DesignSpec {
+        name: "Processor",
+        meb_widths: vec![
+            ("IF/ID", 36),
+            ("ID/EX", 52),
+            ("EX/MEM", 44),
+            ("MEM/WB", 30),
+            ("redirect", 18),
+        ],
+        // One ALU stage: 32-bit carry chain + decode/select.
+        logic_levels: 6.5,
+        comb: processor_comb,
+    }
+}
+
+fn gcd_comb(_threads: usize) -> Inventory {
+    let mut inv = Inventory::new();
+    // 64-bit pair token: comparator (a == b), magnitude comparator and
+    // subtractor for the step, plus merge/branch/exit control.
+    inv.push("equality comparator (2x64b)", 1, 2 * lut_layer(64));
+    inv.push("magnitude comparator", 1, lut_layer(64));
+    inv.push("subtractor", 1, adder(64));
+    inv.push("operand swap muxes", 2, mux(64, 2));
+    inv.push("merge/branch control", 1, 24);
+    inv
+}
+
+/// The synthesized iterative GCD circuit (extension; built by the
+/// `elastic-synth` flow in `examples/gcd_synthesis.rs`): two MEBs carry
+/// the 128-bit pair token around the merge → branch → subtract loop.
+pub fn gcd_design() -> DesignSpec {
+    DesignSpec {
+        name: "GCD (synth)",
+        meb_widths: vec![("loop head buffer", 130), ("step buffer", 130)],
+        // 64-bit compare/subtract carry chain dominates.
+        logic_levels: 10.0,
+        comb: gcd_comb,
+    }
+}
+
+/// Estimated maximum frequency in MHz.
+///
+/// `t = levels · T_LUT + ρ · LEs/1000` with `T_LUT = 1 ns` and
+/// `ρ = 1.5 ns/kLE` — the second term models routing/congestion delay
+/// growing with area, which is how the paper's *smaller* reduced-MEB
+/// designs clock slightly *faster* ("a result of the smaller wiring
+/// delays due to lower area").
+pub fn frequency_mhz(logic_levels: f64, les: usize) -> f64 {
+    const T_LUT_NS: f64 = 1.0;
+    const RHO_NS_PER_KLE: f64 = 1.5;
+    1000.0 / (logic_levels * T_LUT_NS + RHO_NS_PER_KLE * les as f64 / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meb_slot_counts_match_the_paper() {
+        // Register LEs dominate; full stores 2S tokens, reduced S+1.
+        let full = meb_inventory(BufferKind::Full, 8, 100);
+        let reduced = meb_inventory(BufferKind::Reduced, 8, 100);
+        let full_regs: usize = full.items[0].total();
+        let reduced_regs: usize = reduced.items[0].total() + reduced.items[1].total();
+        assert_eq!(full_regs, 16 * 100);
+        assert_eq!(reduced_regs, 9 * 100);
+        assert!(full.total_les() > reduced.total_les());
+    }
+
+    #[test]
+    fn reduced_saves_more_as_threads_grow() {
+        let spec = md5_design();
+        let sav = |s: usize| {
+            let f = spec.area_les(BufferKind::Full, s);
+            let r = spec.area_les(BufferKind::Reduced, s);
+            (f - r) as f64 / f as f64
+        };
+        assert!(sav(16) > sav(8));
+        assert!(sav(8) > sav(2));
+    }
+
+    #[test]
+    fn smaller_designs_clock_faster() {
+        let spec = processor_design();
+        let f_full = frequency_mhz(spec.logic_levels, spec.area_les(BufferKind::Full, 8));
+        let f_red = frequency_mhz(spec.logic_levels, spec.area_les(BufferKind::Reduced, 8));
+        assert!(f_red > f_full);
+    }
+
+    #[test]
+    fn md5_is_much_slower_than_the_processor() {
+        // 16 unrolled steps vs one ALU stage: order-of-magnitude clock gap,
+        // as in Table I (11–12 MHz vs 60–68 MHz).
+        let md5 = md5_design();
+        let cpu = processor_design();
+        let f_md5 = frequency_mhz(md5.logic_levels, md5.area_les(BufferKind::Full, 8));
+        let f_cpu = frequency_mhz(cpu.logic_levels, cpu.area_les(BufferKind::Full, 8));
+        assert!(f_cpu > 4.0 * f_md5, "cpu {f_cpu:.1} MHz vs md5 {f_md5:.1} MHz");
+    }
+
+    #[test]
+    fn inventories_are_itemized() {
+        let inv = md5_design().inventory(BufferKind::Reduced, 8);
+        let rendered = inv.render();
+        assert!(rendered.contains("unrolled step"));
+        assert!(rendered.contains("MEB `input buffer`"));
+        assert!(rendered.contains("barrier"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # elastic-cost — structural FPGA area/frequency model
+//!
+//! Regenerates the paper's Table I ("FPGA implementation results of the
+//! 8-thread design examples") without a synthesis flow: a structural
+//! logic-element model over the *same component inventory* as the
+//! simulated circuits, plus a delay model whose routing term grows with
+//! area. See `DESIGN.md` for the substitution rationale: Table I compares
+//! *relative* cost of full vs reduced MEBs, which a structural model over
+//! identical inventories preserves (who wins, by roughly what factor, and
+//! how the gap grows with the thread count).
+//!
+//! # Example
+//!
+//! ```
+//! use elastic_cost::{average_savings, table1_rows, BufferKind};
+//!
+//! let rows = table1_rows(8);
+//! assert_eq!(rows.len(), 4); // 2 designs × 2 buffer kinds
+//! let md5_full = &rows[0];
+//! assert_eq!(md5_full.kind, BufferKind::Full);
+//! // The paper's headline: reduced MEBs save ~15 % on average at S = 8.
+//! assert!(average_savings(8) > 0.10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod design;
+pub mod primitives;
+pub mod table1;
+
+pub use design::{frequency_mhz, gcd_design, md5_design, meb_inventory, processor_design, BufferKind, DesignSpec};
+pub use primitives::{CostItem, Inventory};
+pub use table1::{average_savings, paper_reference, render, savings_fraction, table1_rows, Table1Row};

@@ -1,0 +1,141 @@
+//! Logic-element (LE) cost formulas for the structural area model.
+//!
+//! The paper reports post-synthesis area in Cyclone-style logic elements
+//! (one 4-input LUT + one flip-flop). Without a synthesis flow we count
+//! LEs structurally: every register bit is one LE, a 2:1 mux bit is one
+//! LE (wider muxes form trees), a ripple/carry adder bit is one LE, and
+//! small FSMs cost a few LEs each. The constants below are documented
+//! calibration points — see `DESIGN.md` for the substitution rationale.
+
+/// LEs of a `width`-bit register.
+pub fn register(width: usize) -> usize {
+    width
+}
+
+/// LEs of a `width`-bit, `inputs`-way multiplexer (2:1 tree).
+pub fn mux(width: usize, inputs: usize) -> usize {
+    width * inputs.saturating_sub(1)
+}
+
+/// LEs of a `width`-bit adder (one LE per bit, carry chains are free on
+/// the target family).
+pub fn adder(width: usize) -> usize {
+    width
+}
+
+/// LEs of one LUT level over `width` bits (boolean functions, comparators
+/// per level).
+pub fn lut_layer(width: usize) -> usize {
+    width
+}
+
+/// LEs of an `n`-requester round-robin arbiter (priority chain + pointer).
+pub fn arbiter(threads: usize) -> usize {
+    3 * threads
+}
+
+/// LEs of one baseline EB control FSM (3 states + handshake gating).
+pub fn eb_control() -> usize {
+    4
+}
+
+/// LEs of the reduced MEB's shared-buffer FSM and HALF→FULL gating.
+pub fn shared_gate(threads: usize) -> usize {
+    2 + threads
+}
+
+/// LEs of an S-thread barrier (per-thread FSM + arrival counter + go flag).
+pub fn barrier(threads: usize) -> usize {
+    4 * threads + usize::BITS as usize - threads.leading_zeros() as usize + 4
+}
+
+/// A named, counted cost item of an inventory.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CostItem {
+    /// What the LEs implement.
+    pub name: String,
+    /// Instances.
+    pub count: usize,
+    /// LEs per instance.
+    pub les_each: usize,
+}
+
+impl CostItem {
+    /// A new item.
+    pub fn new(name: impl Into<String>, count: usize, les_each: usize) -> Self {
+        Self { name: name.into(), count, les_each }
+    }
+
+    /// Total LEs of this item.
+    pub fn total(&self) -> usize {
+        self.count * self.les_each
+    }
+}
+
+/// An itemized area inventory.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Inventory {
+    /// Items, in insertion order.
+    pub items: Vec<CostItem>,
+}
+
+impl Inventory {
+    /// An empty inventory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an item (builder style).
+    pub fn push(&mut self, name: impl Into<String>, count: usize, les_each: usize) -> &mut Self {
+        self.items.push(CostItem::new(name, count, les_each));
+        self
+    }
+
+    /// Total LEs.
+    pub fn total_les(&self) -> usize {
+        self.items.iter().map(CostItem::total).sum()
+    }
+
+    /// Renders the inventory as an aligned table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let w = self.items.iter().map(|i| i.name.len()).max().unwrap_or(4).max(4);
+        for item in &self.items {
+            out.push_str(&format!(
+                "{:w$}  {:>4} × {:>6} = {:>7}\n",
+                item.name,
+                item.count,
+                item.les_each,
+                item.total()
+            ));
+        }
+        out.push_str(&format!("{:w$}  {:>4}   {:>6}   {:>7}\n", "total", "", "", self.total_les()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_scale_as_expected() {
+        assert_eq!(register(32), 32);
+        assert_eq!(mux(32, 2), 32);
+        assert_eq!(mux(32, 8), 7 * 32);
+        assert_eq!(mux(8, 1), 0);
+        assert_eq!(adder(16), 16);
+        assert_eq!(arbiter(8), 24);
+        assert!(barrier(8) > barrier(2));
+    }
+
+    #[test]
+    fn inventory_totals_and_renders() {
+        let mut inv = Inventory::new();
+        inv.push("regs", 2, 100).push("mux", 1, 50);
+        assert_eq!(inv.total_les(), 250);
+        let table = inv.render();
+        assert!(table.contains("regs"));
+        assert!(table.contains("250"));
+    }
+}

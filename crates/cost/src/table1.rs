@@ -1,0 +1,176 @@
+//! Regenerates the paper's Table I — FPGA implementation results of the
+//! 8-thread design examples — from the structural cost model, alongside
+//! the paper's reported numbers.
+
+use crate::design::{frequency_mhz, md5_design, processor_design, BufferKind, DesignSpec};
+
+/// The paper's reported Table I numbers: `(design, kind) → (LEs, MHz)`.
+pub fn paper_reference(design: &str, kind: BufferKind) -> Option<(usize, f64)> {
+    Some(match (design, kind) {
+        ("MD5 hash", BufferKind::Full) => (12780, 11.0),
+        ("MD5 hash", BufferKind::Reduced) => (11200, 12.0),
+        ("Processor", BufferKind::Full) => (6850, 60.0),
+        ("Processor", BufferKind::Reduced) => (5590, 68.0),
+        _ => return None,
+    })
+}
+
+/// One row of the regenerated table.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Table1Row {
+    /// Design name.
+    pub design: &'static str,
+    /// Thread count.
+    pub threads: usize,
+    /// MEB microarchitecture.
+    pub kind: BufferKind,
+    /// Modelled area in LEs.
+    pub area_les: usize,
+    /// Modelled Fmax in MHz.
+    pub freq_mhz: f64,
+    /// The paper's reported numbers, when this row appears in Table I.
+    pub paper: Option<(usize, f64)>,
+}
+
+/// Computes all rows for a thread count (8 reproduces Table I; 16
+/// addresses the paper's ">22 % savings" extension claim).
+pub fn table1_rows(threads: usize) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for spec in [md5_design(), processor_design()] {
+        for kind in [BufferKind::Full, BufferKind::Reduced] {
+            let area = spec.area_les(kind, threads);
+            rows.push(Table1Row {
+                design: spec.name,
+                threads,
+                kind,
+                area_les: area,
+                freq_mhz: frequency_mhz(spec.logic_levels, area),
+                paper: if threads == 8 { paper_reference(spec.name, kind) } else { None },
+            });
+        }
+    }
+    rows
+}
+
+/// Relative area saving of the reduced MEB for one design at `threads`.
+pub fn savings_fraction(spec: &DesignSpec, threads: usize) -> f64 {
+    let full = spec.area_les(BufferKind::Full, threads) as f64;
+    let reduced = spec.area_les(BufferKind::Reduced, threads) as f64;
+    (full - reduced) / full
+}
+
+/// Average reduced-MEB saving over both designs.
+pub fn average_savings(threads: usize) -> f64 {
+    (savings_fraction(&md5_design(), threads) + savings_fraction(&processor_design(), threads)) / 2.0
+}
+
+/// Renders the regenerated Table I (plus the requested thread counts) as
+/// an aligned ASCII table with the paper's numbers for comparison.
+pub fn render(thread_counts: &[usize]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "TABLE I — FPGA implementation results (structural cost model vs paper)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<10} {:>3}  {:<12} {:>10} {:>10}   {:>10} {:>10}\n",
+        "Design", "S", "Buffer", "LEs", "MHz", "paper LEs", "paper MHz"
+    ));
+    out.push_str(&"-".repeat(76));
+    out.push('\n');
+    for &s in thread_counts {
+        for row in table1_rows(s) {
+            let (p_les, p_mhz) = match row.paper {
+                Some((a, f)) => (a.to_string(), format!("{f:.0}")),
+                None => ("—".to_string(), "—".to_string()),
+            };
+            out.push_str(&format!(
+                "{:<10} {:>3}  {:<12} {:>10} {:>10.1}   {:>10} {:>10}\n",
+                row.design,
+                row.threads,
+                row.kind.to_string(),
+                row.area_les,
+                row.freq_mhz,
+                p_les,
+                p_mhz
+            ));
+        }
+        out.push_str(&format!(
+            "{:<10} {:>3}  average reduced-MEB area saving: {:.1}%  (paper: {})\n\n",
+            "", s,
+            100.0 * average_savings(s),
+            match s {
+                8 => "≈15%",
+                16 => ">22%",
+                _ => "n/a",
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline shape of Table I: reduced is smaller AND at least as
+    /// fast, for both designs.
+    #[test]
+    fn reduced_wins_on_area_without_losing_frequency() {
+        for row_pair in table1_rows(8).chunks(2) {
+            let (full, reduced) = (&row_pair[0], &row_pair[1]);
+            assert_eq!(full.kind, BufferKind::Full);
+            assert_eq!(reduced.kind, BufferKind::Reduced);
+            assert!(reduced.area_les < full.area_les, "{}", full.design);
+            assert!(reduced.freq_mhz >= full.freq_mhz, "{}", full.design);
+        }
+    }
+
+    /// Modelled absolute numbers land near the paper's (within 20 %) —
+    /// the model is structural, not a synthesis flow.
+    #[test]
+    fn model_tracks_paper_absolutes_within_20_percent() {
+        for row in table1_rows(8) {
+            let (p_les, p_mhz) = row.paper.expect("8-thread rows are in Table I");
+            let area_err = (row.area_les as f64 - p_les as f64).abs() / p_les as f64;
+            let freq_err = (row.freq_mhz - p_mhz).abs() / p_mhz;
+            assert!(area_err < 0.20, "{} {} area {} vs {}", row.design, row.kind, row.area_les, p_les);
+            assert!(freq_err < 0.20, "{} {} freq {:.1} vs {}", row.design, row.kind, row.freq_mhz, p_mhz);
+        }
+    }
+
+    /// The paper's ~15 % average saving at 8 threads.
+    #[test]
+    fn average_savings_at_8_threads_is_about_15_percent() {
+        let avg = average_savings(8);
+        assert!((0.11..=0.19).contains(&avg), "avg savings {avg}");
+    }
+
+    /// Savings grow with the thread count (the paper reports >22 % at 16;
+    /// the structural model reproduces the trend and most of the
+    /// magnitude — see EXPERIMENTS.md).
+    #[test]
+    fn savings_grow_with_threads() {
+        let s8 = average_savings(8);
+        let s16 = average_savings(16);
+        assert!(s16 > s8 + 0.03, "s8 = {s8}, s16 = {s16}");
+        assert!(s16 > 0.18, "s16 = {s16}");
+    }
+
+    /// The processor saves a larger fraction than MD5 ("larger ratio of
+    /// MEB area vs combinational logic area").
+    #[test]
+    fn processor_saves_more_than_md5() {
+        let md5 = savings_fraction(&md5_design(), 8);
+        let proc = savings_fraction(&processor_design(), 8);
+        assert!(proc > md5, "md5 {md5}, proc {proc}");
+    }
+
+    #[test]
+    fn render_contains_both_designs_and_paper_numbers() {
+        let table = render(&[8, 16]);
+        assert!(table.contains("MD5 hash"));
+        assert!(table.contains("Processor"));
+        assert!(table.contains("12780"));
+        assert!(table.contains("5590"));
+    }
+}

@@ -1,0 +1,557 @@
+//! The multithreaded elastic MD5 circuit (paper, Sec. V-A).
+//!
+//! Topology (all channels `S`-threaded):
+//!
+//! ```text
+//!               ┌────────────────── loopback ──────────────────┐
+//!               ▼                                              │
+//! feeder ─► M-Merge ─► MEB(in) ─► round unit ─► MEB(out) ─► barrier ─► M-Branch ─► sink
+//!                                    ▲                  (after the output buffer)   (round == 4 exits)
+//!                              global round counter
+//!                            (incremented on barrier release)
+//! ```
+//!
+//! Each pass through the round unit applies the 16 fully unrolled steps of
+//! one MD5 round in a single cycle; a block therefore needs four trips
+//! around the loop. Because "MD5 requires a different configuration for
+//! each round, all threads need to synchronize before moving to the next
+//! round" — the barrier blocks the flow after the output buffer and, when
+//! released, the global round counter advances. The round unit *asserts*
+//! that every token it processes agrees with the global configuration;
+//! this is the synchronization property the barrier exists to guarantee.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use elastic_core::{ArbiterKind, Barrier, Branch, MebKind, Merge};
+use elastic_sim::{
+    ChannelId, Circuit, CircuitBuilder, ReadyPolicy, SimError, Sink, Source, Token, Transform,
+};
+
+use crate::algo::{apply_steps, digest_bytes, pad_blocks, MD5_IV};
+use elastic_sim::thread_letter;
+
+/// A block-processing token circulating in the MD5 loop.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Md5Token {
+    /// Owning thread.
+    pub thread: usize,
+    /// Wave index (the how-many-th block of this thread).
+    pub wave: usize,
+    /// The 512-bit message block.
+    pub block: [u32; 16],
+    /// Chaining value before this block.
+    pub chain: [u32; 4],
+    /// Working state (a, b, c, d), updated once per round trip.
+    pub work: [u32; 4],
+    /// Steps of the 64-step schedule applied so far (0–64; a round is 16
+    /// steps).
+    pub steps_done: u8,
+    /// Length-equalization bubble: participates in barriers, discarded at
+    /// the exit.
+    pub phantom: bool,
+}
+
+impl Md5Token {
+    /// Completed rounds (each round is 16 steps).
+    pub fn rounds_done(&self) -> u8 {
+        self.steps_done / 16
+    }
+}
+
+impl Token for Md5Token {
+    fn label(&self) -> String {
+        let tag = thread_letter(self.thread);
+        if self.phantom {
+            format!("{}w{}s{}·", tag, self.wave, self.steps_done)
+        } else {
+            format!("{}w{}s{}", tag, self.wave, self.steps_done)
+        }
+    }
+}
+
+/// Errors from the MD5 circuit driver.
+#[derive(Debug)]
+pub enum Md5Error {
+    /// More messages than hardware threads.
+    TooManyMessages {
+        /// Messages supplied.
+        given: usize,
+        /// Threads available.
+        threads: usize,
+    },
+    /// The underlying simulation failed (protocol violation or deadlock —
+    /// either would indicate a bug in the circuit).
+    Sim(SimError),
+    /// The run did not finish within the cycle budget.
+    Timeout {
+        /// Budget that was exhausted.
+        max_cycles: u64,
+    },
+}
+
+impl std::fmt::Display for Md5Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Md5Error::TooManyMessages { given, threads } => {
+                write!(f, "{given} messages exceed the circuit's {threads} threads")
+            }
+            Md5Error::Sim(e) => write!(f, "simulation error: {e}"),
+            Md5Error::Timeout { max_cycles } => {
+                write!(f, "md5 circuit did not finish within {max_cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Md5Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Md5Error::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for Md5Error {
+    fn from(e: SimError) -> Self {
+        Md5Error::Sim(e)
+    }
+}
+
+/// Channel handles of the MD5 loop, for tracing and statistics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Md5Channels {
+    /// feeder → merge (fresh blocks).
+    pub fresh: ChannelId,
+    /// branch → merge (blocks with rounds remaining).
+    pub loopback: ChannelId,
+    /// merge → input MEB.
+    pub into_buf: ChannelId,
+    /// input MEB → stage 0, stage boundaries, …, last stage → output MEB
+    /// (length `stages + 1`).
+    pub stages: Vec<ChannelId>,
+    /// output MEB → barrier.
+    pub obuf: ChannelId,
+    /// barrier → branch.
+    pub released: ChannelId,
+    /// branch (finished) → sink.
+    pub done: ChannelId,
+}
+
+/// The assembled MD5 circuit plus its global round counter.
+pub struct Md5Circuit {
+    /// The simulated netlist.
+    pub circuit: Circuit<Md5Token>,
+    /// Channel handles.
+    pub channels: Md5Channels,
+    /// The global round-configuration counter (counts barrier releases;
+    /// the active round is `counter % 4`).
+    pub round_counter: Arc<AtomicUsize>,
+    threads: usize,
+    participants: usize,
+}
+
+impl Md5Circuit {
+    /// Builds the loop for `threads` hardware threads, of which the first
+    /// `participants` take part in the computation (and in the barrier),
+    /// with the paper's single-cycle fully unrolled round unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants == 0` or `participants > threads`.
+    pub fn new(threads: usize, participants: usize, kind: MebKind) -> Self {
+        Self::with_stages(threads, participants, kind, 1)
+    }
+
+    /// Builds the loop with the round unit *pipelined* into `stages`
+    /// MEB-separated stages of `16/stages` steps each — the variant the
+    /// paper sketches ("they could have been pipelined with minimum
+    /// changes due to elasticity"). `stages = 1` is the paper's
+    /// single-cycle round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants == 0`, `participants > threads`, or
+    /// `stages` does not divide 16.
+    pub fn with_stages(threads: usize, participants: usize, kind: MebKind, stages: usize) -> Self {
+        assert!(participants > 0 && participants <= threads, "invalid participant count");
+        assert!(
+            stages > 0 && 16 % stages == 0,
+            "round stages must divide the 16 steps of a round"
+        );
+        let steps_per_stage = 16 / stages;
+        let mut b = CircuitBuilder::<Md5Token>::new();
+        let fresh = b.channel("fresh", threads);
+        let loopback = b.channel("loop", threads);
+        let into_buf = b.channel("in", threads);
+        let stage_chs = b.channels("st", threads, stages + 1);
+        let obuf = b.channel("obuf", threads);
+        let released = b.channel("rel", threads);
+        let done = b.channel("done", threads);
+
+        b.add(Source::<Md5Token>::new("feeder", fresh, threads));
+        b.add(Merge::new("entry", vec![loopback, fresh], into_buf, threads));
+        b.add_boxed(kind.build_with::<Md5Token>(
+            "meb_in",
+            into_buf,
+            stage_chs[0],
+            threads,
+            ArbiterKind::RoundRobin,
+        ));
+
+        let round_counter = Arc::new(AtomicUsize::new(0));
+        // One combinational stage per `steps_per_stage` steps, each pair
+        // of stages separated by a MEB pipeline register.
+        for k in 0..stages {
+            let rc = Arc::clone(&round_counter);
+            let stage_out = if k == stages - 1 {
+                // Last stage drives the output buffer's input directly.
+                stage_chs[stages]
+            } else {
+                let mid = b.channel(format!("stx{k}"), threads);
+                mid
+            };
+            b.add(Transform::new(
+                format!("round_stage{k}"),
+                stage_chs[k],
+                stage_out,
+                threads,
+                move |tok: &Md5Token| {
+                    let round = rc.load(Ordering::SeqCst) % 4;
+                    let expect_steps = round * 16 + k * steps_per_stage;
+                    assert_eq!(
+                        usize::from(tok.steps_done) % 64,
+                        expect_steps,
+                        "token {} reached round stage {k} out of phase with the \
+                         global configuration — the barrier failed its job",
+                        tok.label()
+                    );
+                    let mut out = tok.clone();
+                    out.work =
+                        apply_steps(out.work, &out.block, expect_steps, steps_per_stage);
+                    out.steps_done += steps_per_stage as u8;
+                    out
+                },
+            ));
+            if k < stages - 1 {
+                b.add_boxed(kind.build_with::<Md5Token>(
+                    format!("meb_stage{k}"),
+                    stage_out,
+                    stage_chs[k + 1],
+                    threads,
+                    ArbiterKind::RoundRobin,
+                ));
+            }
+        }
+
+        b.add_boxed(kind.build_with::<Md5Token>(
+            "meb_out",
+            stage_chs[stages],
+            obuf,
+            threads,
+            ArbiterKind::RoundRobin,
+        ));
+
+        let rc = Arc::clone(&round_counter);
+        let mask: Vec<bool> = (0..threads).map(|t| t < participants).collect();
+        b.add(
+            Barrier::new("barrier", obuf, released, threads)
+                .with_participants(mask)
+                .with_release_action(move |_| {
+                    rc.fetch_add(1, Ordering::SeqCst);
+                }),
+        );
+
+        b.add(Branch::new("exit", released, done, loopback, threads, |tok: &Md5Token| {
+            tok.steps_done >= 64
+        }));
+        b.add(Sink::with_capture("out", done, threads, ReadyPolicy::Always));
+
+        let circuit = b.build().expect("md5 netlist is well-formed");
+        Self {
+            circuit,
+            channels: Md5Channels {
+                fresh,
+                loopback,
+                into_buf,
+                stages: stage_chs,
+                obuf,
+                released,
+                done,
+            },
+            round_counter,
+            threads,
+            participants,
+        }
+    }
+
+    /// Hardware thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Participating thread count.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+}
+
+/// Drives an [`Md5Circuit`] to hash one message per thread, cycle by
+/// cycle, handling multi-block chaining and length equalization with
+/// phantom blocks.
+#[derive(Debug)]
+pub struct Md5Hasher {
+    threads: usize,
+    kind: MebKind,
+    stages: usize,
+}
+
+impl Md5Hasher {
+    /// A hasher with `threads` hardware threads and the given MEB
+    /// microarchitecture (single-cycle unrolled round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize, kind: MebKind) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        Self { threads, kind, stages: 1 }
+    }
+
+    /// Pipelines the round unit into `stages` stages (see
+    /// [`Md5Circuit::with_stages`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` does not divide 16.
+    #[must_use]
+    pub fn with_stages(mut self, stages: usize) -> Self {
+        assert!(stages > 0 && 16 % stages == 0, "round stages must divide 16");
+        self.stages = stages;
+        self
+    }
+
+    /// Hashes up to one message per thread through the elastic circuit and
+    /// returns `(digests, cycles_used)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Md5Error::TooManyMessages`] if more messages than threads;
+    /// * [`Md5Error::Sim`] on any protocol violation or deadlock;
+    /// * [`Md5Error::Timeout`] if the run exceeds its internal cycle
+    ///   budget (would indicate a bug — the budget is generous).
+    pub fn hash_messages(&self, messages: &[&[u8]]) -> Result<(Vec<[u8; 16]>, u64), Md5Error> {
+        if messages.is_empty() {
+            return Ok((Vec::new(), 0));
+        }
+        if messages.len() > self.threads {
+            return Err(Md5Error::TooManyMessages { given: messages.len(), threads: self.threads });
+        }
+        let participants = messages.len();
+        let blocks: Vec<Vec<[u32; 16]>> = messages.iter().map(|m| pad_blocks(m)).collect();
+        let waves = blocks.iter().map(Vec::len).max().unwrap_or(0);
+
+        let mut md5 =
+            Md5Circuit::with_stages(self.threads, participants, self.kind, self.stages);
+        md5.circuit.set_deadlock_watchdog(Some(200 + 20 * self.threads as u64));
+
+        let mut chain: Vec<[u32; 4]> = vec![MD5_IV; participants];
+        let mut seen: Vec<usize> = vec![0; participants];
+        let mut remaining = participants * waves;
+
+        // Wave 0: one token per participating thread.
+        {
+            let feeder: &mut Source<Md5Token> =
+                md5.circuit.get_mut("feeder").expect("feeder exists");
+            for (t, thread_blocks) in blocks.iter().enumerate() {
+                feeder.push(t, make_token(t, 0, thread_blocks, chain[t]));
+            }
+        }
+
+        let max_cycles = 4_000 + (waves as u64) * (self.threads as u64 + 20) * 8;
+        while remaining > 0 {
+            if md5.circuit.cycle() >= max_cycles {
+                return Err(Md5Error::Timeout { max_cycles });
+            }
+            md5.circuit.step()?;
+
+            // Collect completions observed this cycle.
+            let mut completions: Vec<Md5Token> = Vec::new();
+            {
+                let sink: &Sink<Md5Token> = md5.circuit.get("out").expect("sink exists");
+                for t in 0..participants {
+                    let captured = sink.captured(t);
+                    for (_, tok) in &captured[seen[t]..] {
+                        completions.push(tok.clone());
+                    }
+                    seen[t] = captured.len();
+                }
+            }
+            for tok in completions {
+                remaining -= 1;
+                let t = tok.thread;
+                if !tok.phantom {
+                    debug_assert_eq!(tok.steps_done, 64);
+                    chain[t] = [
+                        tok.chain[0].wrapping_add(tok.work[0]),
+                        tok.chain[1].wrapping_add(tok.work[1]),
+                        tok.chain[2].wrapping_add(tok.work[2]),
+                        tok.chain[3].wrapping_add(tok.work[3]),
+                    ];
+                }
+                let next_wave = tok.wave + 1;
+                if next_wave < waves {
+                    let token = make_token(t, next_wave, &blocks[t], chain[t]);
+                    let feeder: &mut Source<Md5Token> =
+                        md5.circuit.get_mut("feeder").expect("feeder exists");
+                    feeder.push(t, token);
+                }
+            }
+        }
+
+        let digests = (0..participants).map(|t| digest_bytes(chain[t])).collect();
+        Ok((digests, md5.circuit.cycle()))
+    }
+}
+
+/// Builds the wave-`wave` token for thread `t`: the real block if the
+/// thread still has one, otherwise a phantom equalization bubble.
+fn make_token(t: usize, wave: usize, thread_blocks: &[[u32; 16]], chain: [u32; 4]) -> Md5Token {
+    match thread_blocks.get(wave) {
+        Some(block) => Md5Token {
+            thread: t,
+            wave,
+            block: *block,
+            chain,
+            work: chain,
+            steps_done: 0,
+            phantom: false,
+        },
+        None => Md5Token {
+            thread: t,
+            wave,
+            block: [0; 16],
+            chain: MD5_IV,
+            work: MD5_IV,
+            steps_done: 0,
+            phantom: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{md5, to_hex};
+
+    fn hash_with(kind: MebKind, threads: usize, messages: &[&[u8]]) -> Vec<String> {
+        let hasher = Md5Hasher::new(threads, kind);
+        let (digests, _) = hasher.hash_messages(messages).expect("hashing succeeds");
+        digests.iter().map(to_hex).collect()
+    }
+
+    #[test]
+    fn single_thread_single_block_matches_reference() {
+        let got = hash_with(MebKind::Reduced, 1, &[b"abc"]);
+        assert_eq!(got, vec![to_hex(&md5(b"abc"))]);
+    }
+
+    #[test]
+    fn eight_threads_reduced_meb_match_reference() {
+        let messages: Vec<Vec<u8>> =
+            (0..8).map(|i| format!("thread message #{i}").into_bytes()).collect();
+        let refs: Vec<&[u8]> = messages.iter().map(|m| m.as_slice()).collect();
+        let got = hash_with(MebKind::Reduced, 8, &refs);
+        for (g, m) in got.iter().zip(&messages) {
+            assert_eq!(g, &to_hex(&md5(m)));
+        }
+    }
+
+    #[test]
+    fn full_and_reduced_meb_produce_identical_digests() {
+        let messages: [&[u8]; 4] = [b"alpha", b"beta", b"gamma", b"delta"];
+        let full = hash_with(MebKind::Full, 4, &messages);
+        let reduced = hash_with(MebKind::Reduced, 4, &messages);
+        assert_eq!(full, reduced);
+        assert_eq!(full[0], to_hex(&md5(b"alpha")));
+    }
+
+    #[test]
+    fn multi_block_messages_with_unequal_lengths() {
+        // 3 threads: 1-block, 2-block and 3-block messages — phantoms
+        // equalize the shorter threads.
+        let long: Vec<u8> = (0..130u8).collect(); // 3 blocks after padding
+        let medium: Vec<u8> = (0..70u8).collect(); // 2 blocks
+        let messages: [&[u8]; 3] = [b"short", &medium, &long];
+        let got = hash_with(MebKind::Reduced, 3, &messages);
+        for (g, m) in got.iter().zip(messages.iter()) {
+            assert_eq!(g, &to_hex(&md5(m)));
+        }
+    }
+
+    #[test]
+    fn fewer_messages_than_threads() {
+        let got = hash_with(MebKind::Reduced, 8, &[b"lonely" as &[u8], b"pair"]);
+        assert_eq!(got[0], to_hex(&md5(b"lonely")));
+        assert_eq!(got[1], to_hex(&md5(b"pair")));
+    }
+
+    #[test]
+    fn too_many_messages_is_an_error() {
+        let hasher = Md5Hasher::new(2, MebKind::Reduced);
+        let err = hasher.hash_messages(&[b"a" as &[u8], b"b", b"c"]).unwrap_err();
+        assert!(matches!(err, Md5Error::TooManyMessages { given: 3, threads: 2 }));
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let hasher = Md5Hasher::new(4, MebKind::Full);
+        let (digests, cycles) = hasher.hash_messages(&[]).expect("trivially succeeds");
+        assert!(digests.is_empty());
+        assert_eq!(cycles, 0);
+    }
+
+    /// The paper's pipelining remark: splitting the round unit into 2, 4
+    /// or 16 MEB-separated stages changes nothing architecturally.
+    #[test]
+    fn pipelined_round_unit_matches_reference() {
+        let messages: [&[u8]; 3] = [b"abc", b"pipelined rounds", b"x"];
+        let reference: Vec<String> =
+            messages.iter().map(|m| to_hex(&md5(m))).collect();
+        for stages in [2usize, 4, 16] {
+            let hasher = Md5Hasher::new(4, MebKind::Reduced).with_stages(stages);
+            let (digests, _) = hasher.hash_messages(&messages).expect("hashing succeeds");
+            let got: Vec<String> = digests.iter().map(to_hex).collect();
+            assert_eq!(got, reference, "stages = {stages}");
+        }
+    }
+
+    /// Deeper round pipelines take more cycles per block (more stage
+    /// traversals) but remain deadlock-free; the paper's point is that
+    /// the *transformation* is free, not the latency.
+    #[test]
+    fn pipelined_rounds_cost_more_cycles_per_block() {
+        let messages: [&[u8]; 2] = [b"abc", b"def"];
+        let (_, c1) = Md5Hasher::new(2, MebKind::Reduced)
+            .hash_messages(&messages)
+            .expect("ok");
+        let (_, c4) = Md5Hasher::new(2, MebKind::Reduced)
+            .with_stages(4)
+            .hash_messages(&messages)
+            .expect("ok");
+        assert!(c4 > c1, "4-stage {c4} vs single-cycle {c1}");
+    }
+
+    #[test]
+    fn round_counter_advances_once_per_barrier_release() {
+        // One wave × 4 rounds = 4 releases for a single-block run.
+        let hasher = Md5Hasher::new(4, MebKind::Reduced);
+        let messages: [&[u8]; 4] = [b"a", b"b", b"c", b"d"];
+        let (digests, _) = hasher.hash_messages(&messages).expect("ok");
+        assert_eq!(digests.len(), 4);
+        // Correct digests imply the counter/barrier interplay was exact —
+        // the round unit asserts phase agreement on every token.
+        assert_eq!(to_hex(&digests[0]), to_hex(&md5(b"a")));
+    }
+}

@@ -1,0 +1,518 @@
+//! A two-pass assembler for DTU-RISC.
+//!
+//! Syntax, one instruction per line:
+//!
+//! ```text
+//! # comments with '#' or ';'
+//! start:                  # labels end with ':'
+//!     addi r1, r0, 10
+//!     li   r2, 0x12345    # pseudo: lui+ori (or addi when it fits)
+//!     mov  r3, r1         # pseudo: add r3, r1, r0
+//! loop:
+//!     sw   r1, 0(r2)
+//!     addi r1, r1, -1
+//!     bne  r1, r0, loop   # branch targets may be labels
+//!     halt
+//! ```
+//!
+//! Registers are written `r0`–`r31`. Branch targets resolve to relative
+//! offsets, jump targets to absolute word addresses.
+
+use std::collections::HashMap;
+
+use crate::isa::Instr;
+
+/// An assembly error with its 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+/// Parses `r0`–`r31`.
+fn reg(line: usize, tok: &str) -> Result<u8, AsmError> {
+    let tok = tok.trim();
+    let body = tok
+        .strip_prefix('r')
+        .or_else(|| tok.strip_prefix('$'))
+        .ok_or_else(|| err(line, format!("expected register, got `{tok}`")))?;
+    let n: u8 = body.parse().map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    if n >= 32 {
+        return Err(err(line, format!("register `{tok}` out of range")));
+    }
+    Ok(n)
+}
+
+/// Parses a decimal or `0x` immediate.
+fn imm_i64(line: usize, tok: &str) -> Result<i64, AsmError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+fn imm16s(line: usize, tok: &str) -> Result<i16, AsmError> {
+    let v = imm_i64(line, tok)?;
+    i16::try_from(v).map_err(|_| err(line, format!("immediate `{tok}` exceeds 16 bits (signed)")))
+}
+
+fn imm16u(line: usize, tok: &str) -> Result<u16, AsmError> {
+    let v = imm_i64(line, tok)?;
+    u16::try_from(v).map_err(|_| err(line, format!("immediate `{tok}` exceeds 16 bits (unsigned)")))
+}
+
+fn shamt5(line: usize, tok: &str) -> Result<u8, AsmError> {
+    let v = imm_i64(line, tok)?;
+    if !(0..32).contains(&v) {
+        return Err(err(line, format!("shift amount `{tok}` must be 0–31")));
+    }
+    Ok(v as u8)
+}
+
+/// An operand that is either a label or a numeric value, resolved in the
+/// second pass.
+#[derive(Clone, Debug)]
+enum Target {
+    Label(String),
+    Absolute(u32),
+}
+
+#[derive(Clone, Debug)]
+enum Item {
+    Ready(Instr),
+    Branch { kind: BranchKind, rs: u8, rt: u8, target: Target },
+    Jump { link: bool, target: Target },
+    /// A raw data word (`.word`).
+    Word(u32),
+}
+
+#[derive(Clone, Copy, Debug)]
+enum BranchKind {
+    Eq,
+    Ne,
+}
+
+/// Splits `"lw r1, 4(r2)"`-style memory operands.
+fn mem_operand(line: usize, tok: &str) -> Result<(i16, u8), AsmError> {
+    let tok = tok.trim();
+    let open = tok.find('(').ok_or_else(|| err(line, format!("expected `off(reg)`, got `{tok}`")))?;
+    let close = tok
+        .strip_suffix(')')
+        .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
+    let off = if open == 0 { 0 } else { imm16s(line, &tok[..open])? };
+    let base = reg(line, &close[open + 1..])?;
+    Ok((off, base))
+}
+
+/// Assembles `source` into instruction words starting at word address 0.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered: unknown mnemonic, bad
+/// operand, duplicate or undefined label, or an out-of-range offset.
+///
+/// # Examples
+///
+/// ```
+/// use elastic_proc::asm::assemble;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let words = assemble("addi r1, r0, 5\nhalt\n")?;
+/// assert_eq!(words.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut items: Vec<(usize, Item)> = Vec::new();
+
+    // Pass 1: collect labels and parse instructions.
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find(['#', ';']) {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        while let Some(colon) = text.find(':') {
+            let label = text[..colon].trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line, format!("bad label `{label}`")));
+            }
+            if labels.insert(label.to_string(), items.len() as u32).is_some() {
+                return Err(err(line, format!("duplicate label `{label}`")));
+            }
+            text = text[colon + 1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let argc = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(line, format!("`{mnemonic}` expects {n} operands, got {}", ops.len())))
+            }
+        };
+
+        let target = |tok: &str| -> Result<Target, AsmError> {
+            if tok.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                Ok(Target::Absolute(imm_i64(line, tok)? as u32))
+            } else {
+                Ok(Target::Label(tok.to_string()))
+            }
+        };
+
+        let item = match mnemonic {
+            "add" | "sub" | "and" | "or" | "xor" | "nor" | "slt" | "sltu" | "mul" => {
+                argc(3)?;
+                let (rd, rs, rt) = (reg(line, ops[0])?, reg(line, ops[1])?, reg(line, ops[2])?);
+                Item::Ready(match mnemonic {
+                    "add" => Instr::Add { rd, rs, rt },
+                    "sub" => Instr::Sub { rd, rs, rt },
+                    "and" => Instr::And { rd, rs, rt },
+                    "or" => Instr::Or { rd, rs, rt },
+                    "xor" => Instr::Xor { rd, rs, rt },
+                    "nor" => Instr::Nor { rd, rs, rt },
+                    "slt" => Instr::Slt { rd, rs, rt },
+                    "sltu" => Instr::Sltu { rd, rs, rt },
+                    _ => Instr::Mul { rd, rs, rt },
+                })
+            }
+            "sll" | "srl" | "sra" => {
+                argc(3)?;
+                let (rd, rt, shamt) = (reg(line, ops[0])?, reg(line, ops[1])?, shamt5(line, ops[2])?);
+                Item::Ready(match mnemonic {
+                    "sll" => Instr::Sll { rd, rt, shamt },
+                    "srl" => Instr::Srl { rd, rt, shamt },
+                    _ => Instr::Sra { rd, rt, shamt },
+                })
+            }
+            "addi" | "slti" => {
+                argc(3)?;
+                let (rt, rs, imm) = (reg(line, ops[0])?, reg(line, ops[1])?, imm16s(line, ops[2])?);
+                Item::Ready(if mnemonic == "addi" {
+                    Instr::Addi { rt, rs, imm }
+                } else {
+                    Instr::Slti { rt, rs, imm }
+                })
+            }
+            "andi" | "ori" | "xori" => {
+                argc(3)?;
+                let (rt, rs, imm) = (reg(line, ops[0])?, reg(line, ops[1])?, imm16u(line, ops[2])?);
+                Item::Ready(match mnemonic {
+                    "andi" => Instr::Andi { rt, rs, imm },
+                    "ori" => Instr::Ori { rt, rs, imm },
+                    _ => Instr::Xori { rt, rs, imm },
+                })
+            }
+            "lui" => {
+                argc(2)?;
+                Item::Ready(Instr::Lui { rt: reg(line, ops[0])?, imm: imm16u(line, ops[1])? })
+            }
+            "lw" | "sw" => {
+                argc(2)?;
+                let rt = reg(line, ops[0])?;
+                let (imm, rs) = mem_operand(line, ops[1])?;
+                Item::Ready(if mnemonic == "lw" {
+                    Instr::Lw { rt, rs, imm }
+                } else {
+                    Instr::Sw { rt, rs, imm }
+                })
+            }
+            "beq" | "bne" => {
+                argc(3)?;
+                Item::Branch {
+                    kind: if mnemonic == "beq" { BranchKind::Eq } else { BranchKind::Ne },
+                    rs: reg(line, ops[0])?,
+                    rt: reg(line, ops[1])?,
+                    target: target(ops[2])?,
+                }
+            }
+            // Comparison pseudo-branches, expanding to slt + beq/bne via
+            // the assembler temporary r1 (clobbered — the MIPS `$at`
+            // convention).
+            "blt" | "bgt" | "ble" | "bge" => {
+                argc(3)?;
+                const AT: u8 = 1;
+                let a = reg(line, ops[0])?;
+                let b_reg = reg(line, ops[1])?;
+                let t = target(ops[2])?;
+                let (slt_rs, slt_rt, kind) = match mnemonic {
+                    "blt" => (a, b_reg, BranchKind::Ne), // a <  b  ⇔ slt != 0
+                    "bgt" => (b_reg, a, BranchKind::Ne), // a >  b  ⇔ b < a
+                    "ble" => (b_reg, a, BranchKind::Eq), // a <= b  ⇔ !(b < a)
+                    _ => (a, b_reg, BranchKind::Eq),     // a >= b  ⇔ !(a < b)
+                };
+                items.push((line, Item::Ready(Instr::Slt { rd: AT, rs: slt_rs, rt: slt_rt })));
+                Item::Branch { kind, rs: AT, rt: 0, target: t }
+            }
+            ".word" => {
+                argc(1)?;
+                let v = imm_i64(line, ops[0])?;
+                if !(i64::from(i32::MIN)..=i64::from(u32::MAX)).contains(&v) {
+                    return Err(err(line, format!("`.word` value `{}` out of range", ops[0])));
+                }
+                Item::Word(v as u32)
+            }
+            "j" | "jal" => {
+                argc(1)?;
+                Item::Jump { link: mnemonic == "jal", target: target(ops[0])? }
+            }
+            "jr" => {
+                argc(1)?;
+                Item::Ready(Instr::Jr { rs: reg(line, ops[0])? })
+            }
+            "tid" => {
+                argc(1)?;
+                Item::Ready(Instr::Tid { rd: reg(line, ops[0])? })
+            }
+            "nop" => {
+                argc(0)?;
+                Item::Ready(Instr::Nop)
+            }
+            "halt" => {
+                argc(0)?;
+                Item::Ready(Instr::Halt)
+            }
+            // Pseudo-instructions.
+            "mov" => {
+                argc(2)?;
+                Item::Ready(Instr::Add { rd: reg(line, ops[0])?, rs: reg(line, ops[1])?, rt: 0 })
+            }
+            "li" => {
+                argc(2)?;
+                let rt = reg(line, ops[0])?;
+                let v = imm_i64(line, ops[1])?;
+                if let Ok(small) = i16::try_from(v) {
+                    Item::Ready(Instr::Addi { rt, rs: 0, imm: small })
+                } else {
+                    let v = u32::try_from(v & 0xffff_ffff)
+                        .map_err(|_| err(line, format!("`li` immediate `{}` out of range", ops[1])))?;
+                    // Two instructions: lui + ori.
+                    items.push((line, Item::Ready(Instr::Lui { rt, imm: (v >> 16) as u16 })));
+                    Item::Ready(Instr::Ori { rt, rs: rt, imm: (v & 0xffff) as u16 })
+                }
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        };
+        items.push((line, item));
+    }
+
+    // Pass 2: resolve labels.
+    let resolve = |line: usize, target: &Target| -> Result<u32, AsmError> {
+        match target {
+            Target::Absolute(a) => Ok(*a),
+            Target::Label(l) => labels
+                .get(l)
+                .copied()
+                .ok_or_else(|| err(line, format!("undefined label `{l}`"))),
+        }
+    };
+    let mut words = Vec::with_capacity(items.len());
+    for (pc, (line, item)) in items.iter().enumerate() {
+        let instr = match item {
+            Item::Ready(i) => *i,
+            Item::Branch { kind, rs, rt, target } => {
+                let dest = resolve(*line, target)? as i64;
+                let off = dest - (pc as i64 + 1);
+                let imm = i16::try_from(off)
+                    .map_err(|_| err(*line, format!("branch offset {off} out of range")))?;
+                match kind {
+                    BranchKind::Eq => Instr::Beq { rs: *rs, rt: *rt, imm },
+                    BranchKind::Ne => Instr::Bne { rs: *rs, rt: *rt, imm },
+                }
+            }
+            Item::Jump { link, target } => {
+                let dest = resolve(*line, target)?;
+                if *link {
+                    Instr::Jal { target: dest }
+                } else {
+                    Instr::J { target: dest }
+                }
+            }
+            Item::Word(w) => {
+                words.push(*w);
+                continue;
+            }
+        };
+        words.push(instr.encode());
+    }
+    Ok(words)
+}
+
+/// Disassembles words back to text (one instruction per line), for
+/// debugging and round-trip tests.
+pub fn disassemble(words: &[u32]) -> Vec<String> {
+    words
+        .iter()
+        .map(|&w| match Instr::decode(w) {
+            Ok(i) => i.to_string(),
+            Err(_) => format!(".word {w:#010x}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_a_basic_program() {
+        let words = assemble(
+            "start: addi r1, r0, 3\n\
+             loop:  addi r1, r1, -1\n\
+                    bne  r1, r0, loop\n\
+                    halt\n",
+        )
+        .expect("assembles");
+        assert_eq!(words.len(), 4);
+        assert_eq!(Instr::decode(words[2]), Ok(Instr::Bne { rs: 1, rt: 0, imm: -2 }));
+        assert_eq!(Instr::decode(words[3]), Ok(Instr::Halt));
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let words = assemble("beq r0, r0, end\nnop\nend: halt\n").expect("assembles");
+        assert_eq!(Instr::decode(words[0]), Ok(Instr::Beq { rs: 0, rt: 0, imm: 1 }));
+    }
+
+    #[test]
+    fn memory_operands_parse() {
+        let words = assemble("lw r1, 8(r2)\nsw r3, -4(r4)\nlw r5, (r6)\n").expect("assembles");
+        assert_eq!(Instr::decode(words[0]), Ok(Instr::Lw { rt: 1, rs: 2, imm: 8 }));
+        assert_eq!(Instr::decode(words[1]), Ok(Instr::Sw { rt: 3, rs: 4, imm: -4 }));
+        assert_eq!(Instr::decode(words[2]), Ok(Instr::Lw { rt: 5, rs: 6, imm: 0 }));
+    }
+
+    #[test]
+    fn li_pseudo_expands_when_large() {
+        let small = assemble("li r1, 100\n").expect("assembles");
+        assert_eq!(small.len(), 1);
+        let large = assemble("li r1, 0x12345678\n").expect("assembles");
+        assert_eq!(large.len(), 2);
+        assert_eq!(Instr::decode(large[0]), Ok(Instr::Lui { rt: 1, imm: 0x1234 }));
+        assert_eq!(Instr::decode(large[1]), Ok(Instr::Ori { rt: 1, rs: 1, imm: 0x5678 }));
+    }
+
+    #[test]
+    fn label_addresses_account_for_pseudo_expansion() {
+        // `li` with a large value occupies two words; the label after it
+        // must account for both.
+        let words = assemble("li r1, 0x10000\nj end\nnop\nend: halt\n").expect("assembles");
+        assert_eq!(Instr::decode(words[2]), Ok(Instr::J { target: 4 }));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble("beq r0, r0, nowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+
+        let e = assemble("addi r1, r0, 99999\n").unwrap_err();
+        assert!(e.message.contains("16 bits"));
+
+        let e = assemble("add r32, r0, r0\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+
+        let e = assemble("x: nop\nx: nop\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let words = assemble("# header\n\n  ; another\nnop # trailing\n").expect("assembles");
+        assert_eq!(words.len(), 1);
+    }
+
+    #[test]
+    fn comparison_pseudo_branches_expand_via_at() {
+        let words = assemble(
+            "start: blt r2, r3, start\n\
+                    bge r2, r3, start\n\
+                    halt\n",
+        )
+        .expect("assembles");
+        assert_eq!(words.len(), 5, "two pseudo-branches expand to two words each");
+        assert_eq!(Instr::decode(words[0]), Ok(Instr::Slt { rd: 1, rs: 2, rt: 3 }));
+        assert_eq!(Instr::decode(words[1]), Ok(Instr::Bne { rs: 1, rt: 0, imm: -2 }));
+        assert_eq!(Instr::decode(words[2]), Ok(Instr::Slt { rd: 1, rs: 2, rt: 3 }));
+        assert_eq!(Instr::decode(words[3]), Ok(Instr::Beq { rs: 1, rt: 0, imm: -4 }));
+    }
+
+    #[test]
+    fn pseudo_branch_semantics_on_the_cpu() {
+        use crate::cpu::{Cpu, CpuConfig};
+        // min(r2, r3) via ble, per thread: r2 = 5 + tid, r3 = 7.
+        let src = "      tid  r4\n\
+                         addi r2, r4, 5\n\
+                         addi r3, r0, 7\n\
+                         ble  r2, r3, keep\n\
+                         mov  r2, r3\n\
+                   keep: halt\n";
+        let mut cpu = Cpu::from_asm(CpuConfig::new(4), src).expect("assembles");
+        cpu.run_to_halt(100_000).expect("halts");
+        for t in 0..4u32 {
+            assert_eq!(cpu.reg(t as usize, 2), (5 + t).min(7), "thread {t}");
+        }
+    }
+
+    #[test]
+    fn word_directive_emits_raw_data() {
+        let words = assemble(
+            "j code\n\
+             tab: .word 0xdeadbeef\n\
+                  .word 42\n\
+             code: halt\n",
+        )
+        .expect("assembles");
+        assert_eq!(words[1], 0xdead_beef);
+        assert_eq!(words[2], 42);
+        assert_eq!(Instr::decode(words[0]), Ok(Instr::J { target: 3 }));
+    }
+
+    #[test]
+    fn disassemble_round_trips_mnemonics() {
+        let src = "addi r1, r0, 5\nmul r2, r1, r1\nhalt\n";
+        let words = assemble(src).expect("assembles");
+        let dis = disassemble(&words);
+        assert_eq!(dis[0], "addi r1, r0, 5");
+        assert_eq!(dis[1], "mul r2, r1, r1");
+        assert_eq!(dis[2], "halt");
+    }
+}

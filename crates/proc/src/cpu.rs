@@ -1,0 +1,673 @@
+//! The assembled multithreaded elastic processor.
+//!
+//! Pipeline (paper, Sec. V-B — every pipeline register is a MEB; fetch,
+//! memories and the multiplier are variable-latency):
+//!
+//! ```text
+//! Fetcher ─► icache(varlat) ─► MEB ─► RegUnit(decode) ─► MEB ─► Exec(varlat)
+//!    ▲                                    ▲                        │
+//!    │                                    │ writeback              ▼
+//!   MEB ◄── redirect ◄── Router ◄──────── MEB ◄── MemUnit ◄─────── MEB
+//! ```
+//!
+//! Control-flow instructions stall only their own thread at fetch; the
+//! MEBs let every other thread keep flowing through the shared datapath —
+//! the utilization argument of the paper's introduction.
+
+use std::sync::Arc;
+
+use elastic_core::{ArbiterKind, Fork, ForkMode, MebKind};
+use elastic_sim::{
+    ChannelId, Circuit, CircuitBuilder, LatencyModel, SimError, VarLatency,
+};
+
+use crate::isa::Instr;
+use crate::stages::{execute, Fetcher, MemUnit, RegUnit, SpecState};
+use crate::token::ProcToken;
+
+/// Processor configuration.
+#[derive(Clone, Debug)]
+pub struct CpuConfig {
+    /// Hardware thread count `S`.
+    pub threads: usize,
+    /// MEB microarchitecture used for every pipeline register.
+    pub meb: MebKind,
+    /// Arbitration policy in every MEB.
+    pub arbiter: ArbiterKind,
+    /// Instruction-fetch latency range (cycles).
+    pub imem_latency: (u32, u32),
+    /// Data-memory latency range (cycles).
+    pub dmem_latency: (u32, u32),
+    /// Multiplier latency (cycles).
+    pub mul_latency: u32,
+    /// Data-memory size in words.
+    pub dmem_words: usize,
+    /// Seed for all variable-latency draws.
+    pub seed: u64,
+    /// Predict-not-taken speculation for conditional branches (direct
+    /// jumps resolve at predecode; `jr` still stalls). Wrong-path
+    /// instructions are squashed via per-thread epochs.
+    pub speculate: bool,
+}
+
+impl CpuConfig {
+    /// A sensible default: variable 1–3 cycle fetch, 1–4 cycle data
+    /// memory, 3-cycle multiplier, 64 KiW of data memory, reduced MEBs.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            meb: MebKind::Reduced,
+            arbiter: ArbiterKind::RoundRobin,
+            imem_latency: (1, 3),
+            dmem_latency: (1, 4),
+            mul_latency: 3,
+            dmem_words: 1 << 16,
+            seed: 0xDA7E_2014,
+            speculate: false,
+        }
+    }
+
+    /// Overrides the MEB kind.
+    #[must_use]
+    pub fn with_meb(mut self, meb: MebKind) -> Self {
+        self.meb = meb;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables predict-not-taken branch speculation.
+    #[must_use]
+    pub fn with_speculation(mut self) -> Self {
+        self.speculate = true;
+        self
+    }
+
+    /// Makes every unit single-cycle (deterministic timing for tests).
+    #[must_use]
+    pub fn deterministic(mut self) -> Self {
+        self.imem_latency = (1, 1);
+        self.dmem_latency = (1, 1);
+        self.mul_latency = 1;
+        self
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+/// Channel handles of the processor pipeline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CpuChannels {
+    /// Fetcher → icache.
+    pub fetch: ChannelId,
+    /// icache → IF/ID MEB.
+    pub fetched: ChannelId,
+    /// IF/ID MEB → decode.
+    pub decode_in: ChannelId,
+    /// decode → ID/EX MEB.
+    pub issued: ChannelId,
+    /// ID/EX MEB → execute.
+    pub ex_in: ChannelId,
+    /// execute → EX/MEM MEB.
+    pub ex_out: ChannelId,
+    /// EX/MEM MEB → router.
+    pub route_in: ChannelId,
+    /// router → memory unit.
+    pub mem_in: ChannelId,
+    /// memory unit → MEM/WB MEB.
+    pub mem_out: ChannelId,
+    /// MEM/WB MEB → writeback.
+    pub wb: ChannelId,
+    /// router → redirect MEB.
+    pub redirect_raw: ChannelId,
+    /// redirect MEB → fetcher.
+    pub redirect: ChannelId,
+}
+
+/// Statistics from a completed run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CpuRunStats {
+    /// Cycles simulated until quiescence.
+    pub cycles: u64,
+    /// Instructions executed (passed the execute stage) per thread —
+    /// includes wrong-path instructions when speculating.
+    pub executed: Vec<u64>,
+    /// Wrong-path instructions squashed per thread (zero without
+    /// speculation).
+    pub squashed: Vec<u64>,
+    /// Aggregate instructions per cycle (wrong-path included).
+    pub ipc: f64,
+    /// Aggregate *useful* instructions per cycle (wrong-path squashes
+    /// subtracted; equals `ipc` without speculation).
+    pub useful_ipc: f64,
+}
+
+/// Errors from driving the processor.
+#[derive(Debug)]
+pub enum CpuError {
+    /// The underlying simulation failed.
+    Sim(SimError),
+    /// The program did not halt within the cycle budget.
+    Timeout {
+        /// Budget that was exhausted.
+        max_cycles: u64,
+    },
+}
+
+impl std::fmt::Display for CpuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CpuError::Sim(e) => write!(f, "simulation error: {e}"),
+            CpuError::Timeout { max_cycles } => {
+                write!(f, "program did not halt within {max_cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CpuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CpuError::Sim(e) => Some(e),
+            CpuError::Timeout { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for CpuError {
+    fn from(e: SimError) -> Self {
+        CpuError::Sim(e)
+    }
+}
+
+/// The multithreaded elastic processor.
+pub struct Cpu {
+    /// The simulated pipeline netlist.
+    pub circuit: Circuit<ProcToken>,
+    /// Channel handles (for statistics and tracing).
+    pub channels: CpuChannels,
+    config: CpuConfig,
+}
+
+impl Cpu {
+    /// Builds the processor with `program` loaded into instruction memory
+    /// and every thread starting at `entry_pcs[thread]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_pcs.len() != config.threads` or the program is
+    /// empty.
+    pub fn new(config: CpuConfig, program: Vec<u32>, entry_pcs: Vec<u32>) -> Self {
+        assert!(!program.is_empty(), "program must contain at least one instruction");
+        assert_eq!(entry_pcs.len(), config.threads, "one entry PC per thread");
+        let s = config.threads;
+        let mut b = CircuitBuilder::<ProcToken>::new();
+
+        let fetch = b.channel("fetch", s);
+        let fetched = b.channel("fetched", s);
+        let decode_in = b.channel("decode_in", s);
+        let issued = b.channel("issued", s);
+        let ex_in = b.channel("ex_in", s);
+        let ex_out = b.channel("ex_out", s);
+        let route_in = b.channel("route_in", s);
+        let mem_in = b.channel("mem_in", s);
+        let mem_out = b.channel("mem_out", s);
+        let wb = b.channel("wb", s);
+        let redirect_raw = b.channel("redirect_raw", s);
+        let redirect = b.channel("redirect", s);
+
+        let imem = Arc::new(program);
+        let spec = SpecState::new(s);
+        let mut fetcher = Fetcher::new("fetch", fetch, redirect, s, imem, entry_pcs);
+        if config.speculate {
+            fetcher = fetcher.with_speculation(Arc::clone(&spec));
+        }
+        b.add(fetcher);
+        b.add(VarLatency::new(
+            "icache",
+            fetch,
+            fetched,
+            s,
+            s.max(2),
+            LatencyModel::Uniform {
+                min: config.imem_latency.0,
+                max: config.imem_latency.1,
+                seed: config.seed ^ 0x1CAC4E,
+            },
+        ));
+        b.add_boxed(config.meb.build_with::<ProcToken>("meb_if", fetched, decode_in, s, config.arbiter));
+        let mut regs = RegUnit::new("regs", decode_in, wb, issued, s);
+        if config.speculate {
+            regs = regs.with_speculation(Arc::clone(&spec));
+        }
+        b.add(regs);
+        b.add_boxed(config.meb.build_with::<ProcToken>("meb_id", issued, ex_in, s, config.arbiter));
+        let mul_latency = config.mul_latency;
+        b.add(
+            VarLatency::new(
+                "exec",
+                ex_in,
+                ex_out,
+                s,
+                s.max(2),
+                LatencyModel::PerToken(Box::new(move |tok: &ProcToken| match tok {
+                    ProcToken::Decoded { instr, .. } if instr.is_mul() => mul_latency,
+                    _ => 1,
+                })),
+            )
+            .with_transform(execute),
+        );
+        b.add_boxed(config.meb.build_with::<ProcToken>("meb_ex", ex_out, route_in, s, config.arbiter));
+        b.add(
+            Fork::new("router", route_in, vec![mem_in, redirect_raw], s, ForkMode::Eager)
+                .with_route(|tok: &ProcToken| {
+                    let ProcToken::Executed { instr, .. } = tok else {
+                        panic!("router received a non-executed token");
+                    };
+                    let to_wb = !instr.is_control_flow() || matches!(instr, Instr::Jal { .. });
+                    let to_redirect = instr.is_control_flow();
+                    vec![to_wb, to_redirect]
+                }),
+        );
+        let mut dmem = MemUnit::new(
+            "dmem",
+            mem_in,
+            mem_out,
+            s,
+            s.max(2),
+            config.dmem_words,
+            config.dmem_latency,
+            config.seed ^ 0xD3EA,
+        );
+        if config.speculate {
+            dmem = dmem.with_speculation(Arc::clone(&spec));
+        }
+        b.add(dmem);
+        b.add_boxed(config.meb.build_with::<ProcToken>("meb_wb", mem_out, wb, s, config.arbiter));
+        b.add_boxed(config.meb.build_with::<ProcToken>("meb_rd", redirect_raw, redirect, s, config.arbiter));
+
+        let circuit = b.build().expect("cpu netlist is well-formed");
+        Self {
+            circuit,
+            channels: CpuChannels {
+                fetch,
+                fetched,
+                decode_in,
+                issued,
+                ex_in,
+                ex_out,
+                route_in,
+                mem_in,
+                mem_out,
+                wb,
+                redirect_raw,
+                redirect,
+            },
+            config,
+        }
+    }
+
+    /// Convenience: assembles `source` and starts every thread at PC 0
+    /// (thread-specific behaviour via the `tid` instruction).
+    ///
+    /// # Errors
+    ///
+    /// Returns the assembler error, if any.
+    pub fn from_asm(config: CpuConfig, source: &str) -> Result<Self, crate::asm::AsmError> {
+        let program = crate::asm::assemble(source)?;
+        let entries = vec![0; config.threads];
+        Ok(Self::new(config, program, entries))
+    }
+
+    /// The configuration this processor was built with.
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    /// Architectural register value.
+    pub fn reg(&self, thread: usize, r: usize) -> u32 {
+        self.regs().reg(thread, r)
+    }
+
+    /// Presets a register before running.
+    pub fn set_reg(&mut self, thread: usize, r: usize, value: u32) {
+        self.circuit
+            .get_mut::<RegUnit>("regs")
+            .expect("reg unit exists")
+            .set_reg(thread, r, value);
+    }
+
+    /// Reads a data-memory word.
+    pub fn mem(&self, addr: usize) -> u32 {
+        self.dmem().read(addr)
+    }
+
+    /// Writes a data-memory word before running.
+    pub fn set_mem(&mut self, addr: usize, value: u32) {
+        self.circuit
+            .get_mut::<MemUnit>("dmem")
+            .expect("dmem exists")
+            .write(addr, value);
+    }
+
+    /// The fetch stage (thread status inspection).
+    pub fn fetcher(&self) -> &Fetcher {
+        self.circuit.get("fetch").expect("fetcher exists")
+    }
+
+    /// The register unit.
+    pub fn regs(&self) -> &RegUnit {
+        self.circuit.get("regs").expect("reg unit exists")
+    }
+
+    /// The data memory unit.
+    pub fn dmem(&self) -> &MemUnit {
+        self.circuit.get("dmem").expect("dmem exists")
+    }
+
+    /// Runs until every thread has halted and the pipeline has drained,
+    /// or until `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::Timeout`] when the budget is exhausted, or
+    /// [`CpuError::Sim`] on a protocol violation/deadlock.
+    pub fn run_to_halt(&mut self, max_cycles: u64) -> Result<CpuRunStats, CpuError> {
+        let drain_window = 8 + 4 * (self.config.imem_latency.1.max(self.config.dmem_latency.1) as u64)
+            + u64::from(self.config.mul_latency);
+        let mut idle = 0u64;
+        loop {
+            if self.circuit.cycle() >= max_cycles {
+                return Err(CpuError::Timeout { max_cycles });
+            }
+            let report = self.circuit.step()?;
+            let halted = self.fetcher().all_halted();
+            if report.transfers.is_empty() {
+                idle += 1;
+            } else {
+                idle = 0;
+            }
+            if halted && idle >= drain_window {
+                break;
+            }
+        }
+        let cycles = self.circuit.cycle();
+        let executed: Vec<u64> = (0..self.config.threads)
+            .map(|t| self.circuit.stats().transfers(self.channels.ex_out, t))
+            .collect();
+        let squashed: Vec<u64> =
+            (0..self.config.threads).map(|t| self.fetcher().squashed(t)).collect();
+        let total: u64 = executed.iter().sum();
+        let useful = total.saturating_sub(squashed.iter().sum());
+        Ok(CpuRunStats {
+            cycles,
+            executed,
+            squashed,
+            ipc: total as f64 / cycles as f64,
+            useful_ipc: useful as f64 / cycles as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(source: &str, threads: usize) -> Cpu {
+        let mut cpu = Cpu::from_asm(CpuConfig::new(threads), source).expect("assembles");
+        cpu.run_to_halt(50_000).expect("halts");
+        cpu
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let cpu = run(
+            "addi r1, r0, 21\n\
+             add  r2, r1, r1\n\
+             sll  r3, r2, 2\n\
+             halt\n",
+            1,
+        );
+        assert_eq!(cpu.reg(0, 1), 21);
+        assert_eq!(cpu.reg(0, 2), 42);
+        assert_eq!(cpu.reg(0, 3), 168);
+    }
+
+    #[test]
+    fn raw_hazards_resolve_correctly() {
+        // Each instruction depends on the previous one.
+        let cpu = run(
+            "addi r1, r0, 1\n\
+             add  r2, r1, r1\n\
+             add  r3, r2, r2\n\
+             add  r4, r3, r3\n\
+             mul  r5, r4, r4\n\
+             add  r6, r5, r4\n\
+             halt\n",
+            1,
+        );
+        assert_eq!(cpu.reg(0, 4), 8);
+        assert_eq!(cpu.reg(0, 5), 64);
+        assert_eq!(cpu.reg(0, 6), 72);
+    }
+
+    #[test]
+    fn loop_with_branch_counts_down() {
+        let cpu = run(
+            "      addi r1, r0, 10\n\
+                   addi r2, r0, 0\n\
+             loop: add  r2, r2, r1\n\
+                   addi r1, r1, -1\n\
+                   bne  r1, r0, loop\n\
+                   halt\n",
+            1,
+        );
+        assert_eq!(cpu.reg(0, 2), 55);
+        assert_eq!(cpu.reg(0, 1), 0);
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip() {
+        let mut cpu = Cpu::from_asm(
+            CpuConfig::new(1),
+            "addi r1, r0, 100\n\
+             addi r2, r0, 1234\n\
+             sw   r2, 0(r1)\n\
+             lw   r3, 0(r1)\n\
+             add  r4, r3, r3\n\
+             sw   r4, 1(r1)\n\
+             halt\n",
+        )
+        .expect("assembles");
+        cpu.run_to_halt(50_000).expect("halts");
+        assert_eq!(cpu.mem(100), 1234);
+        assert_eq!(cpu.mem(101), 2468);
+        assert_eq!(cpu.reg(0, 3), 1234);
+    }
+
+    #[test]
+    fn jal_and_jr_implement_a_call() {
+        let cpu = run(
+            "       addi r1, r0, 5\n\
+                    jal  fn\n\
+                    add  r3, r2, r2\n\
+                    halt\n\
+             fn:    add  r2, r1, r1\n\
+                    jr   r31\n",
+            1,
+        );
+        assert_eq!(cpu.reg(0, 2), 10);
+        assert_eq!(cpu.reg(0, 3), 20);
+        assert_eq!(cpu.reg(0, 31), 2);
+    }
+
+    #[test]
+    fn tid_gives_each_thread_its_identity() {
+        let cpu = run(
+            "tid  r1\n\
+             addi r2, r1, 100\n\
+             sw   r2, 0(r1)\n\
+             halt\n",
+            4,
+        );
+        for t in 0..4 {
+            assert_eq!(cpu.reg(t, 1), t as u32);
+            assert_eq!(cpu.mem(t), 100 + t as u32);
+        }
+    }
+
+    #[test]
+    fn threads_share_the_datapath_without_interference() {
+        // Each thread computes its own sum 1..=N with N = 5 + tid; results
+        // must be independent despite full datapath sharing.
+        let cpu = run(
+            "      tid  r1\n\
+                   addi r1, r1, 5\n\
+                   addi r2, r0, 0\n\
+             loop: add  r2, r2, r1\n\
+                   addi r1, r1, -1\n\
+                   bne  r1, r0, loop\n\
+                   halt\n",
+            8,
+        );
+        for t in 0..8 {
+            let n = 5 + t as u32;
+            assert_eq!(cpu.reg(t, 2), n * (n + 1) / 2, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn multithreading_improves_utilization() {
+        // A branchy, dependent workload: a single thread leaves bubbles
+        // (stall-on-branch + variable latency); 8 threads fill them. IPC
+        // must improve substantially — the paper's motivation (Fig. 1).
+        let source = "      tid  r1\n\
+                            addi r1, r1, 8\n\
+                            addi r2, r0, 0\n\
+                      loop: add  r2, r2, r1\n\
+                            addi r1, r1, -1\n\
+                            bne  r1, r0, loop\n\
+                            halt\n";
+        let mut single = Cpu::from_asm(CpuConfig::new(1), source).expect("asm");
+        let s1 = single.run_to_halt(100_000).expect("halts");
+        let mut eight = Cpu::from_asm(CpuConfig::new(8), source).expect("asm");
+        let s8 = eight.run_to_halt(100_000).expect("halts");
+        assert!(
+            s8.ipc > 2.0 * s1.ipc,
+            "8-thread IPC {:.3} should be well above single-thread IPC {:.3}",
+            s8.ipc,
+            s1.ipc
+        );
+    }
+
+    #[test]
+    fn full_and_reduced_mebs_compute_identical_results() {
+        let source = "      tid  r1\n\
+                            addi r3, r1, 3\n\
+                            addi r2, r0, 1\n\
+                      loop: mul  r2, r2, r3\n\
+                            addi r3, r3, -1\n\
+                            bne  r3, r0, loop\n\
+                            sw   r2, 0(r1)\n\
+                            halt\n";
+        let mut results = Vec::new();
+        for kind in [MebKind::Full, MebKind::Reduced] {
+            let mut cpu =
+                Cpu::from_asm(CpuConfig::new(4).with_meb(kind), source).expect("asm");
+            cpu.run_to_halt(100_000).expect("halts");
+            results.push((0..4).map(|t| cpu.mem(t)).collect::<Vec<_>>());
+        }
+        assert_eq!(results[0], results[1]);
+        // factorial(3 + tid): 6, 24, 120, 720.
+        assert_eq!(results[0], vec![6, 24, 120, 720]);
+    }
+
+    #[test]
+    fn speculation_preserves_architectural_results() {
+        // A branchy loop whose wrong path contains a halt — speculation
+        // must squash it and still produce the right sums.
+        let source = "      tid  r1\n\
+                            addi r1, r1, 6\n\
+                            addi r2, r0, 0\n\
+                      loop: add  r2, r2, r1\n\
+                            addi r1, r1, -1\n\
+                            bne  r1, r0, loop\n\
+                            halt\n";
+        for threads in [1usize, 4] {
+            let mut base = Cpu::from_asm(CpuConfig::new(threads), source).expect("asm");
+            base.run_to_halt(200_000).expect("halts");
+            let mut spec =
+                Cpu::from_asm(CpuConfig::new(threads).with_speculation(), source).expect("asm");
+            let stats = spec.run_to_halt(200_000).expect("halts");
+            for t in 0..threads {
+                assert_eq!(spec.reg(t, 2), base.reg(t, 2), "thread {t}");
+            }
+            // The loop's taken back-edges mispredict: squashes observed.
+            assert!(stats.squashed.iter().sum::<u64>() > 0);
+        }
+    }
+
+    #[test]
+    fn speculation_never_leaks_wrong_path_memory_writes() {
+        // Wrong path after the (taken) branch stores a poison value; the
+        // squash must keep it out of memory.
+        let source = "      addi r1, r0, 1\n\
+                            addi r3, r0, 42\n\
+                            sw   r3, 0(r0)\n\
+                            bne  r1, r0, skip\n\
+                            addi r4, r0, 666\n\
+                            sw   r4, 0(r0)\n\
+                      skip: lw   r5, 0(r0)\n\
+                            halt\n";
+        let mut cpu =
+            Cpu::from_asm(CpuConfig::new(1).with_speculation(), source).expect("asm");
+        cpu.run_to_halt(100_000).expect("halts");
+        assert_eq!(cpu.mem(0), 42, "wrong-path store leaked to memory");
+        assert_eq!(cpu.reg(0, 5), 42);
+        assert_eq!(cpu.reg(0, 4), 0, "wrong-path register write leaked");
+    }
+
+    #[test]
+    fn speculation_helps_single_thread_branchy_code() {
+        // Mostly not-taken forward branches: prediction is usually right,
+        // so the stall-on-branch baseline loses cycles speculation saves.
+        let source = "      tid  r1\n\
+                            addi r2, r0, 200\n\
+                            addi r3, r0, 0\n\
+                      loop: addi r2, r2, -1\n\
+                            beq  r2, r0, done\n\
+                            addi r3, r3, 1\n\
+                            beq  r2, r0, done\n\
+                            addi r3, r3, 1\n\
+                            bne  r2, r0, loop\n\
+                      done: halt\n";
+        let mut base = Cpu::from_asm(CpuConfig::new(1), source).expect("asm");
+        let b = base.run_to_halt(500_000).expect("halts");
+        let mut spec =
+            Cpu::from_asm(CpuConfig::new(1).with_speculation(), source).expect("asm");
+        let sp = spec.run_to_halt(500_000).expect("halts");
+        assert_eq!(spec.reg(0, 3), base.reg(0, 3));
+        assert!(
+            sp.cycles < b.cycles * 9 / 10,
+            "speculation {} cycles vs baseline {}",
+            sp.cycles,
+            b.cycles
+        );
+    }
+
+    #[test]
+    fn timeout_is_reported_for_nonhalting_programs() {
+        let mut cpu = Cpu::from_asm(CpuConfig::new(1), "loop: j loop\n").expect("asm");
+        let err = cpu.run_to_halt(500).unwrap_err();
+        assert!(matches!(err, CpuError::Timeout { max_cycles: 500 }));
+    }
+}

@@ -1,0 +1,334 @@
+//! Ready-made multithreaded workloads for the processor — the benchmark
+//! programs used by the evaluation harness. All of them derive per-thread
+//! behaviour from the `tid` instruction so every thread runs the same
+//! binary on private data regions.
+
+/// Sum of `1..=(8 + tid)` into `r2` — short dependent loop, branch every
+/// 3 instructions (branch-heavy control workload).
+pub const SUM_LOOP: &str = "      tid  r1
+      addi r1, r1, 8
+      addi r2, r0, 0
+loop: add  r2, r2, r1
+      addi r1, r1, -1
+      bne  r1, r0, loop
+      halt
+";
+
+/// Iterative Fibonacci: `fib(10 + tid)` left in `r4` and stored at
+/// `dmem[tid]` — dependent arithmetic chain.
+pub const FIBONACCI: &str = "      tid  r1
+      addi r5, r1, 10      # n = 10 + tid
+      addi r2, r0, 0       # a
+      addi r3, r0, 1       # b
+loop: add  r4, r2, r3      # c = a + b
+      mov  r2, r3
+      mov  r3, r4
+      addi r5, r5, -1
+      bne  r5, r0, loop
+      sw   r2, 0(r1)       # fib(n) ends up in a
+      halt
+";
+
+/// Copies 16 words from the thread's source region to its destination
+/// region — memory-bound (one load + one store per iteration).
+pub const MEMCPY: &str = "      tid  r1
+      sll  r2, r1, 6       # src  = tid * 64
+      addi r3, r2, 32      # dst  = src + 32
+      addi r4, r0, 16      # count
+loop: lw   r5, 0(r2)
+      sw   r5, 0(r3)
+      addi r2, r2, 1
+      addi r3, r3, 1
+      addi r4, r4, -1
+      bne  r4, r0, loop
+      halt
+";
+
+/// Dot product of two 16-element vectors in the thread's region, result
+/// stored at `dmem[tid * 64 + 63]` — mixed loads and multiplies.
+pub const DOT_PRODUCT: &str = "      tid  r1
+      sll  r2, r1, 6       # x = tid * 64
+      addi r3, r2, 16      # y = x + 16
+      addi r4, r0, 16      # count
+      addi r6, r0, 0       # acc
+loop: lw   r7, 0(r2)
+      lw   r8, 0(r3)
+      mul  r9, r7, r8
+      add  r6, r6, r9
+      addi r2, r2, 1
+      addi r3, r3, 1
+      addi r4, r4, -1
+      bne  r4, r0, loop
+      sll  r10, r1, 6
+      sw   r6, 63(r10)
+      halt
+";
+
+/// Sieve of Eratosthenes over 64 flags in the thread's region; the number
+/// of primes below 64 lands in `r9` and `dmem[tid * 128 + 127]` —
+/// branch- and store-heavy.
+pub const SIEVE: &str = "      tid  r1
+      sll  r10, r1, 7      # base = tid * 128
+      addi r2, r0, 2       # i = 2
+outer:
+      addi r3, r0, 64
+      slt  r4, r2, r3
+      beq  r4, r0, count   # i >= 64 -> count primes
+      add  r5, r10, r2
+      lw   r6, 0(r5)
+      bne  r6, r0, next    # already marked composite
+      add  r7, r2, r2      # j = 2 * i
+inner:
+      addi r3, r0, 64
+      slt  r4, r7, r3
+      beq  r4, r0, next    # j >= 64
+      add  r5, r10, r7
+      addi r8, r0, 1
+      sw   r8, 0(r5)       # mark composite
+      add  r7, r7, r2
+      j    inner
+next:
+      addi r2, r2, 1
+      j    outer
+count:
+      addi r2, r0, 2
+      addi r9, r0, 0
+cloop:
+      addi r3, r0, 64
+      slt  r4, r2, r3
+      beq  r4, r0, done
+      add  r5, r10, r2
+      lw   r6, 0(r5)
+      bne  r6, r0, cskip
+      addi r9, r9, 1
+cskip:
+      addi r2, r2, 1
+      j    cloop
+done:
+      sw   r9, 127(r10)
+      halt
+";
+
+/// Bubble-sorts 8 words in place in the thread's region
+/// (`dmem[tid * 32 .. tid * 32 + 8]`) — nested loops, compare-and-swap,
+/// load/store heavy.
+pub const BUBBLE_SORT: &str = "      tid  r1
+      sll  r10, r1, 5      # base = tid * 32
+      addi r2, r0, 7       # passes = n - 1
+outer:
+      beq  r2, r0, done
+      addi r3, r0, 0       # i = 0
+      mov  r4, r10         # p = base
+inner:
+      lw   r5, 0(r4)
+      lw   r6, 1(r4)
+      slt  r7, r6, r5      # r6 < r5 ?
+      beq  r7, r0, noswap
+      sw   r6, 0(r4)
+      sw   r5, 1(r4)
+noswap:
+      addi r4, r4, 1
+      addi r3, r3, 1
+      bne  r3, r2, inner
+      addi r2, r2, -1
+      j    outer
+done:
+      halt
+";
+
+/// 4×4 matrix multiply `C = A × B` in the thread's region:
+/// A at `base`, B at `base + 16`, C at `base + 32` (`base = tid * 64`) —
+/// triple loop with multiplies and indexed addressing.
+pub const MATMUL: &str = "      tid  r1
+      sll  r10, r1, 6      # base = tid * 64
+      addi r2, r0, 0       # i
+iloop:
+      addi r3, r0, 0       # j
+jloop:
+      addi r4, r0, 0       # k
+      addi r5, r0, 0       # acc
+kloop:
+      sll  r6, r2, 2       # i * 4
+      add  r6, r6, r4      # i * 4 + k
+      add  r6, r6, r10
+      lw   r7, 0(r6)       # A[i][k]
+      sll  r8, r4, 2       # k * 4
+      add  r8, r8, r3      # k * 4 + j
+      add  r8, r8, r10
+      lw   r9, 16(r8)      # B[k][j]
+      mul  r11, r7, r9
+      add  r5, r5, r11
+      addi r4, r4, 1
+      addi r12, r0, 4
+      bne  r4, r12, kloop
+      sll  r6, r2, 2
+      add  r6, r6, r3
+      add  r6, r6, r10
+      sw   r5, 32(r6)      # C[i][j]
+      addi r3, r3, 1
+      addi r12, r0, 4
+      bne  r3, r12, jloop
+      addi r2, r2, 1
+      addi r12, r0, 4
+      bne  r2, r12, iloop
+      halt
+";
+
+/// All named workloads, for sweeps: `(name, source, description)`.
+pub fn all() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        ("sum_loop", SUM_LOOP, "dependent arithmetic loop, branch every 3 instructions"),
+        ("fibonacci", FIBONACCI, "dependent arithmetic chain"),
+        ("memcpy", MEMCPY, "memory-bound copy loop"),
+        ("dot_product", DOT_PRODUCT, "loads + long-latency multiplies"),
+        ("sieve", SIEVE, "branch- and store-heavy sieve of Eratosthenes"),
+        ("bubble_sort", BUBBLE_SORT, "nested compare-and-swap loops"),
+        ("matmul", MATMUL, "4x4 matrix multiply, indexed loads + multiplies"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::cpu::{Cpu, CpuConfig};
+
+    #[test]
+    fn all_programs_assemble() {
+        for (name, src, _) in all() {
+            assert!(assemble(src).is_ok(), "program `{name}` must assemble");
+        }
+    }
+
+    #[test]
+    fn fibonacci_computes_the_sequence() {
+        let mut cpu = Cpu::from_asm(CpuConfig::new(4), FIBONACCI).expect("asm");
+        cpu.run_to_halt(200_000).expect("halts");
+        // fib(10) = 55, fib(11) = 89, fib(12) = 144, fib(13) = 233.
+        for (t, expect) in [55, 89, 144, 233].into_iter().enumerate() {
+            assert_eq!(cpu.mem(t), expect, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn memcpy_copies_each_threads_region() {
+        let mut cpu = Cpu::from_asm(CpuConfig::new(4), MEMCPY).expect("asm");
+        for t in 0..4usize {
+            for i in 0..16usize {
+                cpu.set_mem(t * 64 + i, (1000 * t + i) as u32);
+            }
+        }
+        cpu.run_to_halt(200_000).expect("halts");
+        for t in 0..4usize {
+            for i in 0..16usize {
+                assert_eq!(cpu.mem(t * 64 + 32 + i), (1000 * t + i) as u32, "thread {t} word {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_product_matches_software() {
+        let mut cpu = Cpu::from_asm(CpuConfig::new(2), DOT_PRODUCT).expect("asm");
+        let mut expect = [0u32; 2];
+        for (t, acc) in expect.iter_mut().enumerate() {
+            for i in 0..16usize {
+                let x = (t * 7 + i + 1) as u32;
+                let y = (t * 3 + 2 * i + 1) as u32;
+                cpu.set_mem(t * 64 + i, x);
+                cpu.set_mem(t * 64 + 16 + i, y);
+                *acc = acc.wrapping_add(x.wrapping_mul(y));
+            }
+        }
+        cpu.run_to_halt(200_000).expect("halts");
+        for (t, expect) in expect.into_iter().enumerate() {
+            assert_eq!(cpu.mem(t * 64 + 63), expect, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn bubble_sort_sorts_each_threads_region() {
+        let mut cpu = Cpu::from_asm(CpuConfig::new(4), BUBBLE_SORT).expect("asm");
+        let mut expected: Vec<Vec<u32>> = Vec::new();
+        for t in 0..4usize {
+            let vals: Vec<u32> =
+                (0..8).map(|i| ((7 * i + 11 * t + 3) % 50) as u32).collect();
+            for (i, &v) in vals.iter().enumerate() {
+                cpu.set_mem(t * 32 + i, v);
+            }
+            let mut sorted = vals;
+            sorted.sort_unstable();
+            expected.push(sorted);
+        }
+        cpu.run_to_halt(800_000).expect("halts");
+        for (t, expected) in expected.iter().enumerate() {
+            let got: Vec<u32> = (0..8).map(|i| cpu.mem(t * 32 + i)).collect();
+            assert_eq!(&got, expected, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_software() {
+        let mut cpu = Cpu::from_asm(CpuConfig::new(2), MATMUL).expect("asm");
+        let mut expect: Vec<[[u32; 4]; 4]> = Vec::new();
+        for t in 0..2usize {
+            let a: Vec<u32> = (0..16).map(|i| (i + 1 + 10 * t) as u32).collect();
+            let bm: Vec<u32> = (0..16).map(|i| (2 * i + 3 + t) as u32).collect();
+            for (i, (&av, &bv)) in a.iter().zip(&bm).enumerate() {
+                cpu.set_mem(t * 64 + i, av);
+                cpu.set_mem(t * 64 + 16 + i, bv);
+            }
+            let mut c = [[0u32; 4]; 4];
+            for i in 0..4 {
+                for j in 0..4 {
+                    for k in 0..4 {
+                        c[i][j] =
+                            c[i][j].wrapping_add(a[4 * i + k].wrapping_mul(bm[4 * k + j]));
+                    }
+                }
+            }
+            expect.push(c);
+        }
+        cpu.run_to_halt(800_000).expect("halts");
+        for (t, expect) in expect.iter().enumerate() {
+            for (i, row) in expect.iter().enumerate() {
+                for (j, &cell) in row.iter().enumerate() {
+                    assert_eq!(cpu.mem(t * 64 + 32 + 4 * i + j), cell, "thread {t} C[{i}][{j}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_with_speculation_matches_baseline() {
+        // Heavy data-dependent branching: the strongest squash stress.
+        let init = |cpu: &mut Cpu| {
+            for t in 0..2usize {
+                for i in 0..8usize {
+                    cpu.set_mem(t * 32 + i, ((13 * i + 5 * t) % 40) as u32);
+                }
+            }
+        };
+        let mut base = Cpu::from_asm(CpuConfig::new(2), BUBBLE_SORT).expect("asm");
+        init(&mut base);
+        base.run_to_halt(800_000).expect("halts");
+        let mut spec =
+            Cpu::from_asm(CpuConfig::new(2).with_speculation(), BUBBLE_SORT).expect("asm");
+        init(&mut spec);
+        spec.run_to_halt(800_000).expect("halts");
+        for t in 0..2usize {
+            for i in 0..8usize {
+                assert_eq!(spec.mem(t * 32 + i), base.mem(t * 32 + i), "thread {t} [{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn sieve_counts_primes_below_64() {
+        let mut cpu = Cpu::from_asm(CpuConfig::new(2), SIEVE).expect("asm");
+        cpu.run_to_halt(400_000).expect("halts");
+        // Primes < 64: 2,3,5,7,11,13,17,19,23,29,31,37,41,43,47,53,59,61 → 18.
+        for t in 0..2usize {
+            assert_eq!(cpu.mem(t * 128 + 127), 18, "thread {t}");
+        }
+    }
+}

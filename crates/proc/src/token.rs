@@ -1,0 +1,138 @@
+//! The token that flows through the processor pipeline, evolving from a
+//! fetched word into a decoded, executed and finally retired instruction.
+
+use elastic_sim::{thread_letter, Token};
+
+use crate::isa::Instr;
+
+/// A pipeline token. The variant encodes which stages the instruction has
+/// passed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProcToken {
+    /// Leaving fetch: a raw instruction word.
+    Fetched {
+        /// Hardware thread.
+        thread: usize,
+        /// Word-addressed program counter.
+        pc: u32,
+        /// Raw instruction word.
+        word: u32,
+        /// Speculation epoch at fetch time (always 0 without speculation).
+        epoch: u32,
+        /// Per-thread fetch sequence number (program order).
+        seq: u64,
+    },
+    /// Leaving decode: operands read from the register file.
+    Decoded {
+        /// Hardware thread.
+        thread: usize,
+        /// Program counter of this instruction.
+        pc: u32,
+        /// Decoded instruction.
+        instr: Instr,
+        /// Value of `rs`.
+        a: u32,
+        /// Value of `rt`.
+        b: u32,
+        /// Speculation epoch at fetch time.
+        epoch: u32,
+        /// Per-thread fetch sequence number (program order).
+        seq: u64,
+    },
+    /// Leaving execute: result computed, branch resolved, address formed.
+    Executed {
+        /// Hardware thread.
+        thread: usize,
+        /// Program counter of this instruction.
+        pc: u32,
+        /// Decoded instruction.
+        instr: Instr,
+        /// ALU result / store value / link value / loaded value (after
+        /// the memory stage rewrites it).
+        result: u32,
+        /// Effective memory word address (loads/stores).
+        addr: u32,
+        /// Control flow: branch/jump taken.
+        taken: bool,
+        /// Control flow: target PC when taken.
+        target: u32,
+        /// Speculation epoch at fetch time.
+        epoch: u32,
+        /// Per-thread fetch sequence number (program order).
+        seq: u64,
+    },
+}
+
+impl ProcToken {
+    /// The token's speculation epoch.
+    pub fn epoch(&self) -> u32 {
+        match *self {
+            ProcToken::Fetched { epoch, .. }
+            | ProcToken::Decoded { epoch, .. }
+            | ProcToken::Executed { epoch, .. } => epoch,
+        }
+    }
+
+    /// The token's per-thread fetch sequence number.
+    pub fn seq(&self) -> u64 {
+        match *self {
+            ProcToken::Fetched { seq, .. }
+            | ProcToken::Decoded { seq, .. }
+            | ProcToken::Executed { seq, .. } => seq,
+        }
+    }
+
+    /// The owning hardware thread.
+    pub fn thread(&self) -> usize {
+        match *self {
+            ProcToken::Fetched { thread, .. }
+            | ProcToken::Decoded { thread, .. }
+            | ProcToken::Executed { thread, .. } => thread,
+        }
+    }
+
+    /// The instruction's PC.
+    pub fn pc(&self) -> u32 {
+        match *self {
+            ProcToken::Fetched { pc, .. }
+            | ProcToken::Decoded { pc, .. }
+            | ProcToken::Executed { pc, .. } => pc,
+        }
+    }
+}
+
+impl Token for ProcToken {
+    fn label(&self) -> String {
+        let stage = match self {
+            ProcToken::Fetched { .. } => "F",
+            ProcToken::Decoded { .. } => "D",
+            ProcToken::Executed { .. } => "X",
+        };
+        format!("{}{}{}", thread_letter(self.thread()), stage, self.pc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_show_thread_stage_and_pc() {
+        let t = ProcToken::Fetched { thread: 1, pc: 7, word: 0, epoch: 0, seq: 0 };
+        assert_eq!(t.label(), "BF7");
+        let t = ProcToken::Executed {
+            thread: 0,
+            pc: 3,
+            instr: Instr::Nop,
+            result: 0,
+            addr: 0,
+            taken: false,
+            target: 0,
+            epoch: 0,
+            seq: 0,
+        };
+        assert_eq!(t.label(), "AX3");
+        assert_eq!(t.thread(), 0);
+        assert_eq!(t.pc(), 3);
+    }
+}

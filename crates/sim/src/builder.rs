@@ -1,0 +1,248 @@
+//! Circuit construction and structural validation.
+
+use std::collections::BTreeMap;
+
+use crate::channel::{ChannelId, ChannelSpec, ChannelState};
+use crate::circuit::Circuit;
+use crate::component::Component;
+use crate::error::BuildError;
+use crate::token::Token;
+
+/// Incrementally wires channels and components into a [`Circuit`].
+///
+/// Channels are created first (so their ids can be passed to component
+/// constructors), then components are added; [`build`](CircuitBuilder::build)
+/// validates that every channel has exactly one driver and one reader.
+///
+/// # Examples
+///
+/// ```
+/// use elastic_sim::{CircuitBuilder, Source, Sink, ReadyPolicy};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CircuitBuilder::<u64>::new();
+/// let ch = b.channel("wire", 1);
+/// let mut src = Source::new("src", ch, 1);
+/// src.push(0, 7u64);
+/// b.add(src);
+/// b.add(Sink::with_capture("snk", ch, 1, ReadyPolicy::Always));
+/// let mut circuit = b.build()?;
+/// circuit.run(3)?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct CircuitBuilder<T: Token> {
+    specs: Vec<ChannelSpec>,
+    components: Vec<Box<dyn Component<T>>>,
+}
+
+impl<T: Token> Default for CircuitBuilder<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Token> CircuitBuilder<T> {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self { specs: Vec::new(), components: Vec::new() }
+    }
+
+    /// Declares a channel supporting `threads` concurrent threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn channel(&mut self, name: impl Into<String>, threads: usize) -> ChannelId {
+        assert!(threads > 0, "a channel must support at least one thread");
+        let id = ChannelId(self.specs.len());
+        self.specs.push(ChannelSpec { name: name.into(), threads });
+        id
+    }
+
+    /// Declares `n` channels named `prefix0`, `prefix1`, … (handy for
+    /// pipelines).
+    pub fn channels(&mut self, prefix: &str, threads: usize, n: usize) -> Vec<ChannelId> {
+        (0..n).map(|i| self.channel(format!("{prefix}{i}"), threads)).collect()
+    }
+
+    /// Adds a component; returns its evaluation-order index.
+    pub fn add(&mut self, component: impl Component<T> + 'static) -> usize {
+        self.components.push(Box::new(component));
+        self.components.len() - 1
+    }
+
+    /// Adds an already boxed component (e.g. one produced by a factory
+    /// that selects the concrete type at runtime).
+    pub fn add_boxed(&mut self, component: Box<dyn Component<T>>) -> usize {
+        self.components.push(component);
+        self.components.len() - 1
+    }
+
+    /// Validates the netlist and produces a runnable [`Circuit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when a channel is undriven/unread, driven
+    /// or read more than once, a component references an unknown channel,
+    /// or the circuit is empty.
+    pub fn build(self) -> Result<Circuit<T>, BuildError> {
+        if self.components.is_empty() {
+            return Err(BuildError::Empty);
+        }
+        let n_ch = self.specs.len();
+        let mut drivers: Vec<Vec<usize>> = vec![Vec::new(); n_ch];
+        let mut readers: Vec<Vec<usize>> = vec![Vec::new(); n_ch];
+
+        for (i, comp) in self.components.iter().enumerate() {
+            let ports = comp.ports();
+            for ch in ports.outputs {
+                if ch.0 >= n_ch {
+                    return Err(BuildError::UnknownChannel { component: comp.name().to_string() });
+                }
+                drivers[ch.0].push(i);
+            }
+            for ch in ports.inputs {
+                if ch.0 >= n_ch {
+                    return Err(BuildError::UnknownChannel { component: comp.name().to_string() });
+                }
+                readers[ch.0].push(i);
+            }
+        }
+
+        let names: BTreeMap<usize, String> =
+            self.components.iter().enumerate().map(|(i, c)| (i, c.name().to_string())).collect();
+
+        let mut driver = Vec::with_capacity(n_ch);
+        let mut reader = Vec::with_capacity(n_ch);
+        for (ci, spec) in self.specs.iter().enumerate() {
+            match drivers[ci].as_slice() {
+                [] => return Err(BuildError::NoDriver { channel: spec.name.clone() }),
+                [d] => driver.push(*d),
+                many => {
+                    return Err(BuildError::MultipleDrivers {
+                        channel: spec.name.clone(),
+                        drivers: many.iter().map(|i| names[i].clone()).collect(),
+                    })
+                }
+            }
+            match readers[ci].as_slice() {
+                [] => return Err(BuildError::NoReader { channel: spec.name.clone() }),
+                [r] => reader.push(*r),
+                many => {
+                    return Err(BuildError::MultipleReaders {
+                        channel: spec.name.clone(),
+                        readers: many.iter().map(|i| names[i].clone()).collect(),
+                    })
+                }
+            }
+        }
+
+        let channels = self.specs.into_iter().map(ChannelState::new).collect();
+        Ok(Circuit::from_parts(self.components, channels, driver, reader))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Ports;
+    use crate::circuit::{EvalCtx, TickCtx};
+
+    struct Stub {
+        name: String,
+        ports: Ports,
+    }
+
+    impl Component<u64> for Stub {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn ports(&self) -> Ports {
+            self.ports.clone()
+        }
+        fn eval(&mut self, _ctx: &mut EvalCtx<'_, u64>) {}
+        fn tick(&mut self, _ctx: &TickCtx<'_, u64>) {}
+        crate::impl_as_any!();
+    }
+
+    fn stub(name: &str, inputs: Vec<ChannelId>, outputs: Vec<ChannelId>) -> Stub {
+        Stub { name: name.into(), ports: Ports { inputs, outputs } }
+    }
+
+    #[test]
+    fn valid_netlist_builds() {
+        let mut b = CircuitBuilder::<u64>::new();
+        let ch = b.channel("c", 2);
+        b.add(stub("p", vec![], vec![ch]));
+        b.add(stub("q", vec![ch], vec![]));
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn empty_circuit_is_rejected() {
+        let b = CircuitBuilder::<u64>::new();
+        assert_eq!(b.build().err(), Some(BuildError::Empty));
+    }
+
+    #[test]
+    fn undriven_channel_is_rejected() {
+        let mut b = CircuitBuilder::<u64>::new();
+        let ch = b.channel("c", 1);
+        b.add(stub("q", vec![ch], vec![]));
+        assert_eq!(b.build().err(), Some(BuildError::NoDriver { channel: "c".into() }));
+    }
+
+    #[test]
+    fn unread_channel_is_rejected() {
+        let mut b = CircuitBuilder::<u64>::new();
+        let ch = b.channel("c", 1);
+        b.add(stub("p", vec![], vec![ch]));
+        assert_eq!(b.build().err(), Some(BuildError::NoReader { channel: "c".into() }));
+    }
+
+    #[test]
+    fn double_driver_is_rejected() {
+        let mut b = CircuitBuilder::<u64>::new();
+        let ch = b.channel("c", 1);
+        b.add(stub("p1", vec![], vec![ch]));
+        b.add(stub("p2", vec![], vec![ch]));
+        b.add(stub("q", vec![ch], vec![]));
+        match b.build().err() {
+            Some(BuildError::MultipleDrivers { channel, drivers }) => {
+                assert_eq!(channel, "c");
+                assert_eq!(drivers, vec!["p1".to_string(), "p2".to_string()]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_reader_is_rejected() {
+        let mut b = CircuitBuilder::<u64>::new();
+        let ch = b.channel("c", 1);
+        b.add(stub("p", vec![], vec![ch]));
+        b.add(stub("q1", vec![ch], vec![]));
+        b.add(stub("q2", vec![ch], vec![]));
+        assert!(matches!(b.build().err(), Some(BuildError::MultipleReaders { .. })));
+    }
+
+    #[test]
+    fn unknown_channel_is_rejected() {
+        let mut b = CircuitBuilder::<u64>::new();
+        b.add(stub("p", vec![], vec![ChannelId(5)]));
+        assert!(matches!(b.build().err(), Some(BuildError::UnknownChannel { .. })));
+    }
+
+    #[test]
+    fn channels_helper_names_sequentially() {
+        let mut b = CircuitBuilder::<u64>::new();
+        let chs = b.channels("st", 4, 3);
+        assert_eq!(chs.len(), 3);
+        // Wire them so build succeeds and names can be checked.
+        b.add(stub("p", vec![], chs.clone()));
+        b.add(stub("q", chs.clone(), vec![]));
+        let c = b.build().expect("valid");
+        assert_eq!(c.channel_name(chs[1]), "st1");
+    }
+}

@@ -1,0 +1,119 @@
+//! Multithreaded elastic channels.
+//!
+//! A channel carries the data of **one thread per cycle** plus one
+//! `valid(i)/ready(i)` handshake pair per thread (paper, Sec. III). A
+//! single-thread channel (`threads == 1`) degenerates to the baseline
+//! elastic channel of Sec. II.
+
+use crate::token::Token;
+
+/// Opaque handle to a channel inside a circuit.
+///
+/// Created by [`CircuitBuilder::channel`](crate::CircuitBuilder::channel)
+/// and passed to components at construction time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ChannelId(pub(crate) usize);
+
+impl ChannelId {
+    /// Raw index of this channel inside its circuit.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Static description of a channel: its name and thread count.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChannelSpec {
+    /// Human-readable name, used in traces and error messages.
+    pub name: String,
+    /// Number of concurrent threads the channel supports (`S` in the paper).
+    pub threads: usize,
+}
+
+/// The live signal state of one channel during a cycle.
+///
+/// All signals are combinationally re-driven on every settle iteration;
+/// they are reset at the start of each cycle.
+#[derive(Clone, Debug)]
+pub(crate) struct ChannelState<T: Token> {
+    pub spec: ChannelSpec,
+    /// Per-thread `valid` bits, driven by the producer.
+    pub valid: Vec<bool>,
+    /// Per-thread `ready` bits, driven by the consumer.
+    pub ready: Vec<bool>,
+    /// The (single) data word, driven by the producer.
+    pub data: Option<T>,
+}
+
+impl<T: Token> ChannelState<T> {
+    pub fn new(spec: ChannelSpec) -> Self {
+        let threads = spec.threads;
+        Self { spec, valid: vec![false; threads], ready: vec![false; threads], data: None }
+    }
+
+    /// Returns the indices of all threads whose valid bit is high.
+    pub fn asserted_threads(&self) -> Vec<usize> {
+        self.valid
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| v.then_some(i))
+            .collect()
+    }
+
+    /// Returns `Some(thread)` if exactly the one thread `thread` is valid.
+    pub fn single_valid(&self) -> Option<usize> {
+        let mut found = None;
+        for (i, &v) in self.valid.iter().enumerate() {
+            if v {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(i);
+            }
+        }
+        found
+    }
+
+    /// True when thread `t`'s transfer fires this cycle (`valid && ready`).
+    pub fn fires(&self, t: usize) -> bool {
+        self.valid[t] && self.ready[t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch() -> ChannelState<u64> {
+        ChannelState::new(ChannelSpec { name: "c".into(), threads: 3 })
+    }
+
+    #[test]
+    fn new_channel_starts_idle() {
+        let c = ch();
+        assert!(c.valid.iter().all(|&v| !v));
+        assert!(c.ready.iter().all(|&r| !r));
+        assert_eq!(c.data, None);
+    }
+
+    #[test]
+    fn single_valid_detects_exactly_one() {
+        let mut c = ch();
+        assert_eq!(c.single_valid(), None);
+        c.valid[2] = true;
+        assert_eq!(c.single_valid(), Some(2));
+        c.valid[0] = true;
+        assert_eq!(c.single_valid(), None);
+        assert_eq!(c.asserted_threads(), vec![0, 2]);
+    }
+
+    #[test]
+    fn fires_requires_both_valid_and_ready() {
+        let mut c = ch();
+        c.valid[0] = true;
+        assert!(!c.fires(0));
+        c.ready[0] = true;
+        assert!(c.fires(0));
+        assert!(!c.fires(1));
+    }
+}

@@ -1,0 +1,550 @@
+//! The synchronous simulation kernel.
+//!
+//! Each cycle proceeds in two phases, mirroring synchronous hardware:
+//!
+//! 1. **Combinational settle** — all channel signals are cleared, then all
+//!    components' [`eval`](crate::Component::eval) run repeatedly until no
+//!    signal changes (fixed point). A network whose handshakes form a
+//!    zero-latency cycle never settles and is reported as a
+//!    [`SimError::CombinationalLoop`] — exactly the class of circuit that
+//!    is illegal in elastic design unless cut by an elastic buffer.
+//! 2. **Clock edge** — the settled signals determine which transfers fire
+//!    (`valid(i) && ready(i)`); every component's
+//!    [`tick`](crate::Component::tick) then updates its registers.
+
+use std::collections::BTreeMap;
+
+use crate::channel::{ChannelId, ChannelState};
+use crate::component::Component;
+use crate::error::SimError;
+use crate::stats::Stats;
+use crate::token::Token;
+use crate::trace::{ChannelTrace, CycleTrace, TraceRecorder};
+
+/// Combinational-phase view of the circuit handed to
+/// [`Component::eval`](crate::Component::eval).
+///
+/// Setters enforce signal ownership: a component may drive `valid`/`data`
+/// only on its output channels and `ready` only on its input channels.
+pub struct EvalCtx<'a, T: Token> {
+    pub(crate) channels: &'a mut [ChannelState<T>],
+    pub(crate) dirty: &'a mut bool,
+    pub(crate) current: usize,
+    pub(crate) driver: &'a [usize],
+    pub(crate) reader: &'a [usize],
+    pub(crate) cycle: u64,
+}
+
+impl<'a, T: Token> EvalCtx<'a, T> {
+    /// Index of the cycle currently being evaluated (0-based).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Thread count of channel `ch`.
+    pub fn threads(&self, ch: ChannelId) -> usize {
+        self.channels[ch.0].spec.threads
+    }
+
+    /// Current `valid(thread)` on `ch`.
+    pub fn valid(&self, ch: ChannelId, thread: usize) -> bool {
+        self.channels[ch.0].valid[thread]
+    }
+
+    /// Current `ready(thread)` on `ch`.
+    pub fn ready(&self, ch: ChannelId, thread: usize) -> bool {
+        self.channels[ch.0].ready[thread]
+    }
+
+    /// Current data word on `ch` (driven by the producer).
+    pub fn data(&self, ch: ChannelId) -> Option<&T> {
+        self.channels[ch.0].data.as_ref()
+    }
+
+    /// The single asserted thread and its data, if exactly one `valid(i)`
+    /// is high and data is present.
+    pub fn incoming(&self, ch: ChannelId) -> Option<(usize, &T)> {
+        let st = &self.channels[ch.0];
+        let t = st.single_valid()?;
+        st.data.as_ref().map(|d| (t, d))
+    }
+
+    /// Drives `valid(thread)` on an output channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling component is not the registered driver of
+    /// `ch` — this is a component-implementation bug.
+    pub fn set_valid(&mut self, ch: ChannelId, thread: usize, value: bool) {
+        assert_eq!(
+            self.driver[ch.0], self.current,
+            "component tried to drive valid on channel `{}` it does not own",
+            self.channels[ch.0].spec.name
+        );
+        let slot = &mut self.channels[ch.0].valid[thread];
+        if *slot != value {
+            *slot = value;
+            *self.dirty = true;
+        }
+    }
+
+    /// Drives the data word on an output channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling component is not the registered driver of `ch`.
+    pub fn set_data(&mut self, ch: ChannelId, value: Option<T>) {
+        assert_eq!(
+            self.driver[ch.0], self.current,
+            "component tried to drive data on channel `{}` it does not own",
+            self.channels[ch.0].spec.name
+        );
+        let slot = &mut self.channels[ch.0].data;
+        if *slot != value {
+            *slot = value;
+            *self.dirty = true;
+        }
+    }
+
+    /// Drives `ready(thread)` on an input channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling component is not the registered reader of `ch`.
+    pub fn set_ready(&mut self, ch: ChannelId, thread: usize, value: bool) {
+        assert_eq!(
+            self.reader[ch.0], self.current,
+            "component tried to drive ready on channel `{}` it does not read",
+            self.channels[ch.0].spec.name
+        );
+        let slot = &mut self.channels[ch.0].ready[thread];
+        if *slot != value {
+            *slot = value;
+            *self.dirty = true;
+        }
+    }
+
+    /// Convenience: drives all `valid` bits low and clears data on an
+    /// output channel (an idle producer).
+    pub fn drive_idle(&mut self, ch: ChannelId) {
+        for t in 0..self.threads(ch) {
+            self.set_valid(ch, t, false);
+        }
+        self.set_data(ch, None);
+    }
+
+    /// Convenience: asserts `valid(thread)` with `data`, deasserting every
+    /// other thread's valid bit (the MT channel invariant).
+    pub fn drive_token(&mut self, ch: ChannelId, thread: usize, data: T) {
+        for t in 0..self.threads(ch) {
+            self.set_valid(ch, t, t == thread);
+        }
+        self.set_data(ch, Some(data));
+    }
+
+    /// Convenience: drives every `ready` bit of an input channel low.
+    pub fn drive_unready(&mut self, ch: ChannelId) {
+        for t in 0..self.threads(ch) {
+            self.set_ready(ch, t, false);
+        }
+    }
+}
+
+/// Clock-edge view of the circuit handed to
+/// [`Component::tick`](crate::Component::tick): read-only access to the
+/// settled signals of the finishing cycle.
+pub struct TickCtx<'a, T: Token> {
+    pub(crate) channels: &'a [ChannelState<T>],
+    pub(crate) cycle: u64,
+}
+
+impl<'a, T: Token> TickCtx<'a, T> {
+    /// Index of the cycle whose clock edge is being processed.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Thread count of channel `ch`.
+    pub fn threads(&self, ch: ChannelId) -> usize {
+        self.channels[ch.0].spec.threads
+    }
+
+    /// Settled `valid(thread)`.
+    pub fn valid(&self, ch: ChannelId, thread: usize) -> bool {
+        self.channels[ch.0].valid[thread]
+    }
+
+    /// Settled `ready(thread)`.
+    pub fn ready(&self, ch: ChannelId, thread: usize) -> bool {
+        self.channels[ch.0].ready[thread]
+    }
+
+    /// Settled data word.
+    pub fn data(&self, ch: ChannelId) -> Option<&T> {
+        self.channels[ch.0].data.as_ref()
+    }
+
+    /// Whether thread `t`'s transfer fired on `ch` this cycle.
+    pub fn fired(&self, ch: ChannelId, thread: usize) -> bool {
+        self.channels[ch.0].fires(thread)
+    }
+
+    /// The thread and token of the transfer that fired on `ch`, if any.
+    pub fn fired_any(&self, ch: ChannelId) -> Option<(usize, &T)> {
+        let st = &self.channels[ch.0];
+        let t = st.single_valid()?;
+        if st.ready[t] {
+            st.data.as_ref().map(|d| (t, d))
+        } else {
+            None
+        }
+    }
+}
+
+/// One fired transfer, as reported by [`Circuit::step`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transfer {
+    /// Channel on which the transfer fired.
+    pub channel: ChannelId,
+    /// Name of that channel.
+    pub channel_name: String,
+    /// Thread that moved.
+    pub thread: usize,
+    /// Label of the token that moved.
+    pub label: String,
+}
+
+/// Summary of one simulated cycle.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CycleReport {
+    /// Index of the cycle that just completed.
+    pub cycle: u64,
+    /// All transfers that fired.
+    pub transfers: Vec<Transfer>,
+    /// Number of settle iterations the combinational phase needed.
+    pub settle_iterations: usize,
+}
+
+/// A fully wired synchronous elastic circuit.
+///
+/// Build one with [`CircuitBuilder`](crate::CircuitBuilder), then drive it
+/// with [`step`](Circuit::step) / [`run`](Circuit::run).
+pub struct Circuit<T: Token> {
+    pub(crate) components: Vec<Box<dyn Component<T>>>,
+    pub(crate) channels: Vec<ChannelState<T>>,
+    pub(crate) driver: Vec<usize>,
+    pub(crate) reader: Vec<usize>,
+    cycle: u64,
+    stats: Stats,
+    recorder: Option<TraceRecorder>,
+    watchdog: Option<u64>,
+    idle_cycles: u64,
+}
+
+impl<T: Token> Circuit<T> {
+    pub(crate) fn from_parts(
+        components: Vec<Box<dyn Component<T>>>,
+        channels: Vec<ChannelState<T>>,
+        driver: Vec<usize>,
+        reader: Vec<usize>,
+    ) -> Self {
+        let stats = Stats::new(channels.iter().map(|c| (c.spec.name.clone(), c.spec.threads)));
+        Self {
+            components,
+            channels,
+            driver,
+            reader,
+            cycle: 0,
+            stats,
+            recorder: None,
+            watchdog: None,
+            idle_cycles: 0,
+        }
+    }
+
+    /// Index of the next cycle to simulate (0 before the first
+    /// [`step`](Circuit::step)).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters (e.g. after a warm-up phase).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Starts recording cycle traces (unbounded).
+    pub fn enable_trace(&mut self) {
+        self.recorder = Some(TraceRecorder::new());
+    }
+
+    /// Starts recording cycle traces, keeping at most `limit` cycles.
+    pub fn enable_trace_limited(&mut self, limit: usize) {
+        self.recorder = Some(TraceRecorder::with_limit(limit));
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Arms a deadlock watchdog: [`step`](Circuit::step) returns
+    /// [`SimError::Deadlock`] after `cycles` consecutive transfer-free
+    /// cycles. Disarm with `None`.
+    pub fn set_deadlock_watchdog(&mut self, cycles: Option<u64>) {
+        self.watchdog = cycles;
+        self.idle_cycles = 0;
+    }
+
+    /// Immutable access to a component by instance name.
+    pub fn component(&self, name: &str) -> Option<&dyn Component<T>> {
+        self.components.iter().find(|c| c.name() == name).map(|b| b.as_ref())
+    }
+
+    /// Typed immutable access to a component by instance name.
+    ///
+    /// Returns `None` if no component has that name *or* it is not a `C`.
+    pub fn get<C: Component<T> + 'static>(&self, name: &str) -> Option<&C> {
+        self.components
+            .iter()
+            .find(|c| c.name() == name)
+            .and_then(|c| c.as_any().downcast_ref::<C>())
+    }
+
+    /// Typed mutable access to a component by instance name.
+    pub fn get_mut<C: Component<T> + 'static>(&mut self, name: &str) -> Option<&mut C> {
+        self.components
+            .iter_mut()
+            .find(|c| c.name() == name)
+            .and_then(|c| c.as_any_mut().downcast_mut::<C>())
+    }
+
+    /// Names of all components, in evaluation order.
+    pub fn component_names(&self) -> Vec<String> {
+        self.components.iter().map(|c| c.name().to_string()).collect()
+    }
+
+    /// Name of channel `ch`.
+    pub fn channel_name(&self, ch: ChannelId) -> &str {
+        &self.channels[ch.0].spec.name
+    }
+
+    /// Thread count of channel `ch`.
+    pub fn channel_threads(&self, ch: ChannelId) -> usize {
+        self.channels[ch.0].spec.threads
+    }
+
+    /// All channel ids, in creation order.
+    pub fn channel_ids(&self) -> Vec<ChannelId> {
+        (0..self.channels.len()).map(ChannelId).collect()
+    }
+
+    /// Evaluation-order index of the component driving channel `ch`.
+    pub fn channel_driver(&self, ch: ChannelId) -> usize {
+        self.driver[ch.0]
+    }
+
+    /// Evaluation-order index of the component reading channel `ch`.
+    pub fn channel_reader(&self, ch: ChannelId) -> usize {
+        self.reader[ch.0]
+    }
+
+    /// Simulates one clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::CombinationalLoop`] — the handshake network did not
+    ///   settle (a zero-latency cycle not cut by a buffer);
+    /// * [`SimError::ChannelInvariant`] — two threads asserted valid on the
+    ///   same channel in the same cycle;
+    /// * [`SimError::MissingData`] — a producer asserted valid without data;
+    /// * [`SimError::Deadlock`] — the watchdog fired (if armed).
+    pub fn step(&mut self) -> Result<CycleReport, SimError> {
+        // Phase 1: combinational fixed point. Signals are *warm-started*
+        // from the previous cycle's settled values: every component
+        // re-drives all signals it owns on every pass (the total-drive
+        // rule), so stale values cannot survive to the fixed point, and
+        // the previous cycle is usually an excellent initial guess — both
+        // faster and closer to how real combinational logic leaves the
+        // previous cycle's voltages on the wires.
+        let n = self.components.len();
+        let max_iters = 2 * n + 8;
+        let mut iterations = 0;
+        let mut stable = false;
+        while iterations < max_iters {
+            let mut dirty = false;
+            for i in 0..n {
+                let mut ctx = EvalCtx {
+                    channels: &mut self.channels,
+                    dirty: &mut dirty,
+                    current: i,
+                    driver: &self.driver,
+                    reader: &self.reader,
+                    cycle: self.cycle,
+                };
+                self.components[i].eval(&mut ctx);
+            }
+            iterations += 1;
+            if std::env::var_os("ELASTIC_SIM_DEBUG_SETTLE").is_some() && iterations + 6 >= max_iters {
+                let dump: Vec<String> = self
+                    .channels
+                    .iter()
+                    .map(|ch| {
+                        format!(
+                            "{}:v{:?}r{:?}",
+                            ch.spec.name,
+                            ch.asserted_threads(),
+                            (0..ch.spec.threads).filter(|&t| ch.ready[t]).collect::<Vec<_>>()
+                        )
+                    })
+                    .collect();
+                eprintln!("settle iter {iterations}: {}", dump.join(" "));
+            }
+            if !dirty {
+                stable = true;
+                break;
+            }
+        }
+        if !stable {
+            return Err(SimError::CombinationalLoop { cycle: self.cycle, iterations });
+        }
+
+        // Phase 2: protocol invariant checks.
+        for ch in &self.channels {
+            let asserted = ch.asserted_threads();
+            if asserted.len() > 1 {
+                return Err(SimError::ChannelInvariant {
+                    cycle: self.cycle,
+                    channel: ch.spec.name.clone(),
+                    threads: asserted,
+                });
+            }
+            if let Some(&t) = asserted.first() {
+                if ch.data.is_none() {
+                    return Err(SimError::MissingData {
+                        cycle: self.cycle,
+                        channel: ch.spec.name.clone(),
+                        thread: t,
+                    });
+                }
+            }
+        }
+
+        // Phase 3: collect transfers, statistics, trace.
+        let mut transfers = Vec::new();
+        for (ci, ch) in self.channels.iter().enumerate() {
+            let cs = self.stats.channel_mut(ChannelId(ci));
+            if let Some(t) = ch.single_valid() {
+                cs.busy_cycles += 1;
+                if ch.ready[t] {
+                    cs.transfers[t] += 1;
+                    transfers.push(Transfer {
+                        channel: ChannelId(ci),
+                        channel_name: ch.spec.name.clone(),
+                        thread: t,
+                        label: ch.data.as_ref().map(|d| d.label()).unwrap_or_default(),
+                    });
+                } else {
+                    cs.stall_cycles += 1;
+                }
+            }
+        }
+        self.stats.record_cycle();
+
+        if let Some(recorder) = &mut self.recorder {
+            let channels = self
+                .channels
+                .iter()
+                .map(|ch| {
+                    let t = ch.single_valid();
+                    ChannelTrace {
+                        valid_thread: t,
+                        label: ch.data.as_ref().map(|d| d.label()),
+                        fired: t.is_some_and(|t| ch.ready[t]),
+                    }
+                })
+                .collect();
+            let mut slots = BTreeMap::new();
+            for c in &self.components {
+                let s = c.slots();
+                if !s.is_empty() {
+                    slots.insert(c.name().to_string(), s);
+                }
+            }
+            let record = CycleTrace { cycle: self.cycle, channels, slots };
+            recorder.push(record);
+        }
+
+        // Watchdog: a cycle counts as "stuck" only when some token is
+        // offered (a valid is asserted) yet nothing moves. A circuit with
+        // no valid tokens at all is quiescent, not deadlocked.
+        let any_valid = self.channels.iter().any(|ch| ch.valid.iter().any(|&v| v));
+        if transfers.is_empty() && any_valid {
+            self.idle_cycles += 1;
+        } else {
+            self.idle_cycles = 0;
+        }
+        if let Some(limit) = self.watchdog {
+            if self.idle_cycles >= limit {
+                return Err(SimError::Deadlock { cycle: self.cycle, idle_cycles: self.idle_cycles });
+            }
+        }
+
+        // Phase 4: clock edge.
+        let tick_ctx = TickCtx { channels: &self.channels, cycle: self.cycle };
+        for c in &mut self.components {
+            c.tick(&tick_ctx);
+        }
+
+        let report = CycleReport { cycle: self.cycle, transfers, settle_iterations: iterations };
+        self.cycle += 1;
+        Ok(report)
+    }
+
+    /// Simulates `cycles` clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`step`](Circuit::step).
+    pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
+        for _ in 0..cycles {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Steps until `pred` holds (checked *before* each step) or `max_cycles`
+    /// elapse. Returns `true` if the predicate was satisfied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`step`](Circuit::step).
+    pub fn run_until(
+        &mut self,
+        max_cycles: u64,
+        mut pred: impl FnMut(&Self) -> bool,
+    ) -> Result<bool, SimError> {
+        for _ in 0..max_cycles {
+            if pred(self) {
+                return Ok(true);
+            }
+            self.step()?;
+        }
+        Ok(pred(self))
+    }
+}
+
+impl<T: Token> std::fmt::Debug for Circuit<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Circuit")
+            .field("cycle", &self.cycle)
+            .field("components", &self.component_names())
+            .field("channels", &self.channels.iter().map(|c| &c.spec.name).collect::<Vec<_>>())
+            .finish()
+    }
+}

@@ -1,0 +1,152 @@
+//! The component model: combinational evaluation plus a clock edge.
+//!
+//! Every hardware block — buffers, operators, sources, sinks, datapath
+//! units — implements [`Component`]. The kernel evaluates all components'
+//! [`eval`](Component::eval) repeatedly until the handshake network settles
+//! (combinational fixed point), then calls [`tick`](Component::tick) once
+//! (the rising clock edge).
+//!
+//! # Rules for implementors
+//!
+//! 1. **Total drive** — `eval` must drive *every* signal the component owns
+//!    (`valid`/`data` on its outputs, `ready` on its inputs) on every call:
+//!    signals are warm-started from the previous cycle's settled values and
+//!    `eval` runs several times per cycle, so anything left undriven leaks
+//!    stale values into the fixed point.
+//! 2. **Idempotence** — `eval` must be a pure function of the component's
+//!    registered state and the current channel signals. All state updates
+//!    (and any randomness) belong in `tick`.
+//! 3. **No peeking forward** — `tick` observes the *settled* signals of the
+//!    cycle via [`TickCtx`] and updates registers; it must not assume
+//!    anything about the next cycle.
+
+use crate::channel::ChannelId;
+use crate::circuit::{EvalCtx, TickCtx};
+use crate::token::Token;
+
+/// The input/output channel sets of a component.
+///
+/// Used by the builder to check that every channel has exactly one driver
+/// (a component listing it in `outputs`) and one reader (in `inputs`).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Ports {
+    /// Channels this component consumes (it drives their `ready` bits).
+    pub inputs: Vec<ChannelId>,
+    /// Channels this component produces (it drives `valid` and `data`).
+    pub outputs: Vec<ChannelId>,
+}
+
+impl Ports {
+    /// Builds a port set from input and output channel lists.
+    pub fn new(inputs: impl IntoIterator<Item = ChannelId>, outputs: impl IntoIterator<Item = ChannelId>) -> Self {
+        Self { inputs: inputs.into_iter().collect(), outputs: outputs.into_iter().collect() }
+    }
+}
+
+/// A snapshot of one storage slot inside a component, for trace rendering.
+///
+/// The Figure 5 reproduction prints, per cycle, the occupant of every MEB
+/// register (per-thread mains plus the shared auxiliary slot).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SlotView {
+    /// Slot name, e.g. `"main[0]"`, `"shared"`, `"eb[1].aux"`.
+    pub name: String,
+    /// `Some((thread, label))` when the slot holds a token.
+    pub occupant: Option<(usize, String)>,
+}
+
+impl SlotView {
+    /// An occupied slot.
+    pub fn full(name: impl Into<String>, thread: usize, label: impl Into<String>) -> Self {
+        Self { name: name.into(), occupant: Some((thread, label.into())) }
+    }
+
+    /// An empty slot.
+    pub fn empty(name: impl Into<String>) -> Self {
+        Self { name: name.into(), occupant: None }
+    }
+}
+
+/// A synchronous hardware component.
+///
+/// See the module documentation for the evaluation contract.
+pub trait Component<T: Token>: Send {
+    /// Instance name (unique names make traces and errors readable).
+    fn name(&self) -> &str;
+
+    /// The channels this component reads and drives.
+    fn ports(&self) -> Ports;
+
+    /// Combinational evaluation: drive `valid`/`data` on outputs and
+    /// `ready` on inputs from registered state and current signals.
+    fn eval(&mut self, ctx: &mut EvalCtx<'_, T>);
+
+    /// Rising clock edge: observe the settled handshakes and update
+    /// internal registers.
+    fn tick(&mut self, ctx: &TickCtx<'_, T>);
+
+    /// Optional view of internal storage for trace rendering.
+    fn slots(&self) -> Vec<SlotView> {
+        Vec::new()
+    }
+
+    /// Upcast for typed access via [`Circuit::get`](crate::Circuit::get).
+    ///
+    /// Implement as `fn as_any(&self) -> &dyn Any { self }` (the
+    /// [`impl_as_any!`](crate::impl_as_any) macro writes both upcasts).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable upcast for typed access via
+    /// [`Circuit::get_mut`](crate::Circuit::get_mut).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Writes the two [`Component`] upcast methods (`as_any`, `as_any_mut`)
+/// inside an `impl Component<T> for …` block.
+///
+/// # Examples
+///
+/// ```
+/// use elastic_sim::{impl_as_any, Component, EvalCtx, TickCtx, Ports};
+///
+/// struct Null;
+/// impl Component<u64> for Null {
+///     fn name(&self) -> &str { "null" }
+///     fn ports(&self) -> Ports { Ports::default() }
+///     fn eval(&mut self, _ctx: &mut EvalCtx<'_, u64>) {}
+///     fn tick(&mut self, _ctx: &TickCtx<'_, u64>) {}
+///     impl_as_any!();
+/// }
+/// ```
+#[macro_export]
+macro_rules! impl_as_any {
+    () => {
+        fn as_any(&self) -> &dyn ::std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+            self
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_view_constructors() {
+        let s = SlotView::full("main[1]", 1, "B3");
+        assert_eq!(s.occupant, Some((1, "B3".to_string())));
+        let e = SlotView::empty("shared");
+        assert_eq!(e.occupant, None);
+        assert_eq!(e.name, "shared");
+    }
+
+    #[test]
+    fn ports_collects_channels() {
+        let p = Ports::new([ChannelId(0)], [ChannelId(1), ChannelId(2)]);
+        assert_eq!(p.inputs.len(), 1);
+        assert_eq!(p.outputs.len(), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Error types for circuit construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors detected while wiring a circuit with
+/// [`CircuitBuilder`](crate::CircuitBuilder).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BuildError {
+    /// A channel is read by a component but never driven.
+    NoDriver {
+        /// Name of the undriven channel.
+        channel: String,
+    },
+    /// Two components both list the channel among their outputs.
+    MultipleDrivers {
+        /// Name of the multiply-driven channel.
+        channel: String,
+        /// Names of the conflicting driver components.
+        drivers: Vec<String>,
+    },
+    /// A channel is driven but no component reads it.
+    NoReader {
+        /// Name of the unread channel.
+        channel: String,
+    },
+    /// Two components both list the channel among their inputs.
+    MultipleReaders {
+        /// Name of the multiply-read channel.
+        channel: String,
+        /// Names of the conflicting reader components.
+        readers: Vec<String>,
+    },
+    /// A component references a channel id that the builder never created.
+    UnknownChannel {
+        /// Name of the offending component.
+        component: String,
+    },
+    /// The circuit contains no components.
+    Empty,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NoDriver { channel } => {
+                write!(f, "channel `{channel}` has no driver")
+            }
+            BuildError::MultipleDrivers { channel, drivers } => {
+                write!(f, "channel `{channel}` has multiple drivers: {drivers:?}")
+            }
+            BuildError::NoReader { channel } => {
+                write!(f, "channel `{channel}` has no reader")
+            }
+            BuildError::MultipleReaders { channel, readers } => {
+                write!(f, "channel `{channel}` has multiple readers: {readers:?}")
+            }
+            BuildError::UnknownChannel { component } => {
+                write!(f, "component `{component}` references an unknown channel id")
+            }
+            BuildError::Empty => write!(f, "circuit contains no components"),
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Errors raised while stepping a [`Circuit`](crate::Circuit).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The combinational fixed-point did not converge: the handshake network
+    /// contains a zero-latency cycle that is not cut by a state-holding
+    /// element (elastic buffer).
+    CombinationalLoop {
+        /// Cycle at which the divergence was detected.
+        cycle: u64,
+        /// Number of settle iterations attempted.
+        iterations: usize,
+    },
+    /// More than one `valid(i)` was asserted on a multithreaded channel in
+    /// the same cycle, violating the MT-elastic channel invariant (Sec. III
+    /// of the paper: "only one valid(i) signal is asserted per cycle").
+    ChannelInvariant {
+        /// Cycle of the violation.
+        cycle: u64,
+        /// Name of the offending channel.
+        channel: String,
+        /// The thread indices whose valid bits were simultaneously high.
+        threads: Vec<usize>,
+    },
+    /// A channel asserted `valid` without driving any data.
+    MissingData {
+        /// Cycle of the violation.
+        cycle: u64,
+        /// Name of the offending channel.
+        channel: String,
+        /// Thread whose valid bit was high.
+        thread: usize,
+    },
+    /// The circuit made no transfer for a configured number of consecutive
+    /// cycles while at least one token was being offered (watchdog; see
+    /// [`Circuit::set_deadlock_watchdog`](crate::Circuit::set_deadlock_watchdog)).
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Number of consecutive transfer-free cycles observed.
+        idle_cycles: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CombinationalLoop { cycle, iterations } => write!(
+                f,
+                "combinational loop: handshake network failed to settle at cycle {cycle} \
+                 after {iterations} iterations (insert an elastic buffer to cut the cycle)"
+            ),
+            SimError::ChannelInvariant { cycle, channel, threads } => write!(
+                f,
+                "MT channel invariant violated on `{channel}` at cycle {cycle}: \
+                 valid asserted for threads {threads:?} simultaneously"
+            ),
+            SimError::MissingData { cycle, channel, thread } => write!(
+                f,
+                "channel `{channel}` asserted valid({thread}) without data at cycle {cycle}"
+            ),
+            SimError::Deadlock { cycle, idle_cycles } => write!(
+                f,
+                "deadlock watchdog fired at cycle {cycle}: no transfer for {idle_cycles} cycles"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = BuildError::NoDriver { channel: "ch0".into() };
+        assert_eq!(e.to_string(), "channel `ch0` has no driver");
+
+        let e = SimError::ChannelInvariant {
+            cycle: 3,
+            channel: "bus".into(),
+            threads: vec![0, 2],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("bus"));
+        assert!(msg.contains("[0, 2]"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<BuildError>();
+        assert_err::<SimError>();
+    }
+}

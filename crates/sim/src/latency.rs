@@ -1,0 +1,191 @@
+//! Per-token latency measurement from recorded traces.
+//!
+//! Elasticity trades fixed schedules for variable per-token latency;
+//! this module quantifies that variability: given a recorded trace, it
+//! pairs each token's transfer on an *entry* channel with its transfer on
+//! an *exit* channel (matched per thread, in FIFO order) and summarizes
+//! the distribution.
+
+use crate::channel::ChannelId;
+use crate::trace::TraceRecorder;
+
+/// Latency distribution summary (cycles from entry fire to exit fire).
+#[derive(Clone, PartialEq, Debug)]
+pub struct LatencySummary {
+    /// Number of matched tokens.
+    pub count: usize,
+    /// Minimum latency.
+    pub min: u64,
+    /// Maximum latency.
+    pub max: u64,
+    /// Mean latency.
+    pub mean: f64,
+    /// 50th percentile.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+}
+
+impl LatencySummary {
+    fn from_samples(mut samples: Vec<u64>) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let pct = |p: f64| samples[((count - 1) as f64 * p).round() as usize];
+        Some(Self {
+            count,
+            min: samples[0],
+            max: samples[count - 1],
+            mean: samples.iter().sum::<u64>() as f64 / count as f64,
+            p50: pct(0.50),
+            p95: pct(0.95),
+        })
+    }
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={} p50={} mean={:.1} p95={} max={}",
+            self.count, self.min, self.p50, self.mean, self.p95, self.max
+        )
+    }
+}
+
+/// Matched per-thread latencies between two channels of a trace.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct TokenLatencies {
+    /// `(thread, entry cycle, exit cycle)` per matched token, in exit
+    /// order.
+    pub samples: Vec<(usize, u64, u64)>,
+}
+
+impl TokenLatencies {
+    /// Raw latency values in cycles.
+    pub fn cycles(&self) -> Vec<u64> {
+        self.samples.iter().map(|&(_, a, b)| b - a).collect()
+    }
+
+    /// Distribution summary over all threads, or `None` with no samples.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        LatencySummary::from_samples(self.cycles())
+    }
+
+    /// Distribution summary for one thread.
+    pub fn summary_for(&self, thread: usize) -> Option<LatencySummary> {
+        LatencySummary::from_samples(
+            self.samples
+                .iter()
+                .filter(|&&(t, _, _)| t == thread)
+                .map(|&(_, a, b)| b - a)
+                .collect(),
+        )
+    }
+}
+
+/// Pairs each token fired on `entry` with the same thread's next token
+/// fired on `exit` (FIFO matching — valid whenever the structure between
+/// the two channels preserves per-thread order, which every buffer and
+/// datapath unit in this workspace does).
+///
+/// Tokens still in flight at the end of the trace are ignored.
+pub fn token_latencies(
+    recorder: &TraceRecorder,
+    entry: ChannelId,
+    exit: ChannelId,
+) -> TokenLatencies {
+    let entries = recorder.transfers_on(entry);
+    let exits = recorder.transfers_on(exit);
+    let threads = entries
+        .iter()
+        .chain(exits.iter())
+        .map(|&(_, t, _)| t + 1)
+        .max()
+        .unwrap_or(0);
+    let mut pending: Vec<std::collections::VecDeque<u64>> =
+        (0..threads).map(|_| std::collections::VecDeque::new()).collect();
+    for &(cycle, t, _) in &entries {
+        pending[t].push_back(cycle);
+    }
+    let mut samples = Vec::new();
+    for &(cycle, t, _) in &exits {
+        if let Some(entered) = pending[t].pop_front() {
+            samples.push((t, entered, cycle));
+        }
+    }
+    TokenLatencies { samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::schedule::{ReadyPolicy, Sink, Source};
+    use crate::token::Tagged;
+    use crate::varlat::{LatencyModel, VarLatency};
+
+    #[test]
+    fn summary_percentiles() {
+        let s = LatencySummary::from_samples(vec![1, 2, 3, 4, 100]).expect("non-empty");
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 3);
+        assert_eq!(s.mean, 22.0);
+        assert!(LatencySummary::from_samples(vec![]).is_none());
+        assert!(s.to_string().contains("p95"));
+    }
+
+    #[test]
+    fn measures_variable_latency_unit() {
+        let mut b = CircuitBuilder::<Tagged>::new();
+        let a = b.channel("a", 2);
+        let c = b.channel("c", 2);
+        let mut src = Source::new("src", a, 2);
+        for t in 0..2 {
+            src.extend(t, (0..15).map(|i| Tagged::new(t, i, i)));
+        }
+        b.add(src);
+        b.add(VarLatency::new(
+            "unit",
+            a,
+            c,
+            2,
+            2,
+            LatencyModel::Uniform { min: 2, max: 6, seed: 3 },
+        ));
+        b.add(Sink::new("snk", c, 2, ReadyPolicy::Always));
+        let mut circuit = b.build().expect("valid");
+        circuit.enable_trace();
+        circuit.run(300).expect("clean");
+        let lat = token_latencies(circuit.trace().expect("traced"), a, c);
+        let summary = lat.summary().expect("tokens flowed");
+        assert_eq!(summary.count, 30);
+        // Service latency 2–6 plus queueing: never below the service floor.
+        assert!(summary.min >= 2, "{summary}");
+        assert!(summary.max >= summary.min);
+        assert!(lat.summary_for(0).is_some());
+        assert!(lat.summary_for(1).is_some());
+    }
+
+    #[test]
+    fn in_flight_tokens_are_ignored() {
+        let mut b = CircuitBuilder::<Tagged>::new();
+        let a = b.channel("a", 1);
+        let c = b.channel("c", 1);
+        let mut src = Source::new("src", a, 1);
+        src.extend(0, (0..5).map(|i| Tagged::new(0, i, i)));
+        b.add(src);
+        b.add(VarLatency::new("unit", a, c, 1, 4, LatencyModel::Fixed(50)));
+        b.add(Sink::new("snk", c, 1, ReadyPolicy::Always));
+        let mut circuit = b.build().expect("valid");
+        circuit.enable_trace();
+        circuit.run(60).expect("clean");
+        let lat = token_latencies(circuit.trace().expect("traced"), a, c);
+        // Only the first token(s) can have exited within 60 cycles.
+        assert!(lat.samples.len() < 5);
+    }
+}

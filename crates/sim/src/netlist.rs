@@ -1,0 +1,234 @@
+//! Structural netlist extraction and Graphviz export.
+//!
+//! A built [`Circuit`] knows every channel's driver and reader; this
+//! module turns that into an inspectable graph — render it with
+//! `dot -Tsvg` to *see* the elaborated elastic circuit, or use the degree
+//! statistics in tests and reports.
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::token::Token;
+
+/// One channel edge of the netlist.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NetlistEdge {
+    /// Channel name.
+    pub channel: String,
+    /// Thread count of the channel.
+    pub threads: usize,
+    /// Driving component (index into [`NetlistGraph::components`]).
+    pub from: usize,
+    /// Reading component (index into [`NetlistGraph::components`]).
+    pub to: usize,
+}
+
+/// The extracted component/channel graph of a circuit.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NetlistGraph {
+    /// Component instance names, in evaluation order.
+    pub components: Vec<String>,
+    /// Channel edges.
+    pub edges: Vec<NetlistEdge>,
+}
+
+impl NetlistGraph {
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Out-degree (channels driven) of component `i`.
+    pub fn fan_out(&self, i: usize) -> usize {
+        self.edges.iter().filter(|e| e.from == i).count()
+    }
+
+    /// In-degree (channels read) of component `i`.
+    pub fn fan_in(&self, i: usize) -> usize {
+        self.edges.iter().filter(|e| e.to == i).count()
+    }
+
+    /// Components with no inputs (sources) and no outputs (sinks).
+    pub fn endpoints(&self) -> (Vec<usize>, Vec<usize>) {
+        let sources = (0..self.components.len()).filter(|&i| self.fan_in(i) == 0).collect();
+        let sinks = (0..self.components.len()).filter(|&i| self.fan_out(i) == 0).collect();
+        (sources, sinks)
+    }
+
+    /// Whether the graph contains a directed cycle (a feedback loop
+    /// through the datapath — legal in elastic circuits when cut by
+    /// buffers, but worth knowing about).
+    pub fn has_cycle(&self) -> bool {
+        // Iterative DFS with colors.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let n = self.components.len();
+        let mut adj = vec![Vec::new(); n];
+        for e in &self.edges {
+            adj[e.from].push(e.to);
+        }
+        let mut color = vec![Color::White; n];
+        for start in 0..n {
+            if color[start] != Color::White {
+                continue;
+            }
+            // (node, next child index)
+            let mut stack = vec![(start, 0usize)];
+            color[start] = Color::Gray;
+            while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+                if *child < adj[node].len() {
+                    let next = adj[node][*child];
+                    *child += 1;
+                    match color[next] {
+                        Color::Gray => return true,
+                        Color::White => {
+                            color[next] = Color::Gray;
+                            stack.push((next, 0));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[node] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+
+    /// Renders the graph in Graphviz DOT syntax. Multithreaded channels
+    /// are labelled with their thread count.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph elastic {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");
+        for (i, name) in self.components.iter().enumerate() {
+            let _ = writeln!(out, "  n{i} [label=\"{}\"];", name.replace('"', "'"));
+        }
+        for e in &self.edges {
+            let label = if e.threads > 1 {
+                format!("{} ({}t)", e.channel, e.threads)
+            } else {
+                e.channel.clone()
+            };
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"];",
+                e.from,
+                e.to,
+                label.replace('"', "'")
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl std::fmt::Display for NetlistGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "netlist: {} components, {} channels{}",
+            self.component_count(),
+            self.channel_count(),
+            if self.has_cycle() { " (contains feedback)" } else { "" }
+        )?;
+        for e in &self.edges {
+            writeln!(
+                f,
+                "  {} --[{} x{}]--> {}",
+                self.components[e.from], e.channel, e.threads, self.components[e.to]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Token> Circuit<T> {
+    /// Extracts the structural netlist of this circuit.
+    pub fn netlist(&self) -> NetlistGraph {
+        let components = self.component_names();
+        let edges = self
+            .channel_ids()
+            .into_iter()
+            .map(|ch| NetlistEdge {
+                channel: self.channel_name(ch).to_string(),
+                threads: self.channel_threads(ch),
+                from: self.channel_driver(ch),
+                to: self.channel_reader(ch),
+            })
+            .collect();
+        NetlistGraph { components, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::schedule::{ReadyPolicy, Sink, Source};
+    use crate::varlat::Transform;
+
+    fn pipeline() -> Circuit<u64> {
+        let mut b = CircuitBuilder::<u64>::new();
+        let a = b.channel("a", 2);
+        let c = b.channel("c", 2);
+        let mut src = Source::new("src", a, 2);
+        src.push(0, 1);
+        b.add(src);
+        b.add(Transform::new("double", a, c, 2, |x| x * 2));
+        b.add(Sink::new("snk", c, 2, ReadyPolicy::Always));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn netlist_extracts_components_and_edges() {
+        let g = pipeline().netlist();
+        assert_eq!(g.component_count(), 3);
+        assert_eq!(g.channel_count(), 2);
+        assert_eq!(g.components, vec!["src", "double", "snk"]);
+        assert_eq!(g.fan_out(0), 1);
+        assert_eq!(g.fan_in(2), 1);
+        let (sources, sinks) = g.endpoints();
+        assert_eq!(sources, vec![0]);
+        assert_eq!(sinks, vec![2]);
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let dot = pipeline().netlist().to_dot();
+        assert!(dot.starts_with("digraph elastic {"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("(2t)"), "{dot}");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn cycle_detection_finds_feedback() {
+        // Manually constructed graph with a loop.
+        let g = NetlistGraph {
+            components: vec!["a".into(), "b".into(), "c".into()],
+            edges: vec![
+                NetlistEdge { channel: "x".into(), threads: 1, from: 0, to: 1 },
+                NetlistEdge { channel: "y".into(), threads: 1, from: 1, to: 2 },
+                NetlistEdge { channel: "z".into(), threads: 1, from: 2, to: 1 },
+            ],
+        };
+        assert!(g.has_cycle());
+        assert!(g.to_string().contains("feedback"));
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let text = pipeline().netlist().to_string();
+        assert!(text.contains("src --[a x2]--> double"));
+    }
+}

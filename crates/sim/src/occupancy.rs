@@ -1,0 +1,149 @@
+//! Buffer-occupancy analysis from recorded traces.
+//!
+//! Components report their storage through
+//! [`Component::slots`](crate::Component::slots); the trace recorder
+//! snapshots them every cycle. This module aggregates those snapshots
+//! into occupancy statistics — the evidence behind buffer-sizing
+//! decisions such as the paper's reduced MEB ("each thread will use only
+//! one buffer out of the two available per thread" under uniform
+//! utilization, Sec. III-A).
+
+use std::collections::BTreeMap;
+
+use crate::trace::TraceRecorder;
+
+/// Occupancy statistics of one component's storage over a trace.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OccupancyStats {
+    /// Number of storage slots the component reports.
+    pub slots: usize,
+    /// Cycles observed.
+    pub cycles: usize,
+    /// Mean number of occupied slots per cycle.
+    pub mean: f64,
+    /// Maximum occupied slots in any cycle.
+    pub max: usize,
+    /// Fraction of cycles in which each slot was occupied, indexed like
+    /// the component's slot list.
+    pub per_slot: Vec<(String, f64)>,
+}
+
+impl OccupancyStats {
+    /// Mean occupancy as a fraction of capacity (0.0–1.0).
+    pub fn utilization(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.mean / self.slots as f64
+        }
+    }
+}
+
+impl std::fmt::Display for OccupancyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:.2}/{} slots ({:.0}% capacity), peak {}",
+            self.mean,
+            self.slots,
+            100.0 * self.utilization(),
+            self.max
+        )
+    }
+}
+
+/// Computes occupancy statistics for every component that reported slots
+/// during the trace, keyed by component name.
+pub fn occupancy_stats(recorder: &TraceRecorder) -> BTreeMap<String, OccupancyStats> {
+    // (cycles, per-slot (name, occupied-count), total-occupied, max)
+    type Acc = (usize, Vec<(String, usize)>, usize, usize);
+    let mut acc: BTreeMap<String, Acc> = BTreeMap::new();
+    for record in recorder.records() {
+        for (comp, slots) in &record.slots {
+            let entry = acc.entry(comp.clone()).or_insert_with(|| {
+                (0, slots.iter().map(|s| (s.name.clone(), 0)).collect(), 0, 0)
+            });
+            entry.0 += 1;
+            let mut occupied = 0;
+            for (i, slot) in slots.iter().enumerate() {
+                if slot.occupant.is_some() {
+                    occupied += 1;
+                    if let Some(per) = entry.1.get_mut(i) {
+                        per.1 += 1;
+                    }
+                }
+            }
+            entry.2 += occupied;
+            entry.3 = entry.3.max(occupied);
+        }
+    }
+    acc.into_iter()
+        .map(|(name, (cycles, per, total, max))| {
+            let slots = per.len();
+            let stats = OccupancyStats {
+                slots,
+                cycles,
+                mean: if cycles == 0 { 0.0 } else { total as f64 / cycles as f64 },
+                max,
+                per_slot: per
+                    .into_iter()
+                    .map(|(n, c)| (n, if cycles == 0 { 0.0 } else { c as f64 / cycles as f64 }))
+                    .collect(),
+            };
+            (name, stats)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::SlotView;
+    use crate::trace::{ChannelTrace, CycleTrace};
+
+    fn record(cycle: u64, occupied: &[bool]) -> CycleTrace {
+        CycleTrace {
+            cycle,
+            channels: vec![ChannelTrace { valid_thread: None, label: None, fired: false }],
+            slots: BTreeMap::from([(
+                "buf".to_string(),
+                occupied
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &o)| {
+                        if o {
+                            SlotView::full(format!("s{i}"), 0, "x")
+                        } else {
+                            SlotView::empty(format!("s{i}"))
+                        }
+                    })
+                    .collect(),
+            )]),
+        }
+    }
+
+    #[test]
+    fn aggregates_mean_max_and_per_slot() {
+        let mut rec = TraceRecorder::new();
+        rec.push(record(0, &[true, false]));
+        rec.push(record(1, &[true, true]));
+        rec.push(record(2, &[false, false]));
+        rec.push(record(3, &[true, false]));
+        let stats = occupancy_stats(&rec);
+        let buf = stats.get("buf").expect("component present");
+        assert_eq!(buf.slots, 2);
+        assert_eq!(buf.cycles, 4);
+        assert_eq!(buf.max, 2);
+        assert!((buf.mean - 1.0).abs() < 1e-9);
+        assert!((buf.utilization() - 0.5).abs() < 1e-9);
+        assert_eq!(buf.per_slot[0], ("s0".to_string(), 0.75));
+        assert_eq!(buf.per_slot[1], ("s1".to_string(), 0.25));
+        assert!(buf.to_string().contains("peak 2"));
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_map() {
+        let rec = TraceRecorder::new();
+        assert!(occupancy_stats(&rec).is_empty());
+    }
+}

@@ -1,0 +1,353 @@
+//! Testbench endpoints: token sources and sinks with stall policies.
+
+use std::collections::VecDeque;
+
+use crate::channel::ChannelId;
+use crate::circuit::{EvalCtx, TickCtx};
+use crate::component::{Component, Ports};
+use crate::token::Token;
+
+/// Deterministic 64-bit mix (splitmix64 finalizer). Used to derive
+/// per-cycle pseudo-random decisions that are *stable across settle
+/// iterations* — `eval` must be idempotent within a cycle.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// When a [`Sink`] asserts `ready` for a thread.
+#[derive(Clone, Debug)]
+pub enum ReadyPolicy {
+    /// Always ready.
+    Always,
+    /// Never ready (a permanently blocked consumer).
+    Never,
+    /// Ready except during the half-open cycle range `from..to`.
+    ///
+    /// This reproduces scripted stalls such as "thread B stalls during
+    /// cycles 2–4" in the paper's Figure 5.
+    StallWindow {
+        /// First stalled cycle.
+        from: u64,
+        /// First cycle after the stall.
+        to: u64,
+    },
+    /// Periodically ready: `on` ready cycles followed by `off` stalled
+    /// cycles, starting at `phase`.
+    Period {
+        /// Ready cycles per period.
+        on: u64,
+        /// Stalled cycles per period.
+        off: u64,
+        /// Offset of the pattern start.
+        phase: u64,
+    },
+    /// Ready with probability `p` each cycle, deterministically derived
+    /// from `seed` (same decision on every settle iteration of a cycle).
+    Random {
+        /// Probability of being ready in a given cycle (0.0–1.0).
+        p: f64,
+        /// Seed for the per-cycle hash.
+        seed: u64,
+    },
+}
+
+impl ReadyPolicy {
+    /// Whether the policy is ready for `thread` at `cycle`.
+    pub fn is_ready(&self, cycle: u64, thread: usize) -> bool {
+        match *self {
+            ReadyPolicy::Always => true,
+            ReadyPolicy::Never => false,
+            ReadyPolicy::StallWindow { from, to } => !(cycle >= from && cycle < to),
+            ReadyPolicy::Period { on, off, phase } => {
+                let period = on + off;
+                if period == 0 {
+                    return true;
+                }
+                (cycle.wrapping_add(phase)) % period < on
+            }
+            ReadyPolicy::Random { p, seed } => {
+                let h = mix64(seed ^ cycle.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ (thread as u64) << 48);
+                (h as f64 / u64::MAX as f64) < p
+            }
+        }
+    }
+}
+
+/// Injects tokens into a multithreaded elastic channel.
+///
+/// Each thread owns a FIFO of `(release_cycle, token)` pairs. Every cycle
+/// the source considers the threads whose head token is released *and*
+/// whose downstream `ready(i)` is high, and offers exactly one of them
+/// (round-robin) — respecting the MT channel invariant that only one
+/// `valid(i)` may be asserted per cycle.
+pub struct Source<T: Token> {
+    name: String,
+    out: ChannelId,
+    threads: usize,
+    queues: Vec<VecDeque<(u64, T)>>,
+    rr: usize,
+    injected: Vec<u64>,
+}
+
+impl<T: Token> Source<T> {
+    /// A source with empty per-thread queues driving `out`.
+    pub fn new(name: impl Into<String>, out: ChannelId, threads: usize) -> Self {
+        Self {
+            name: name.into(),
+            out,
+            threads,
+            queues: (0..threads).map(|_| VecDeque::new()).collect(),
+            rr: 0,
+            injected: vec![0; threads],
+        }
+    }
+
+    /// Queues `token` on `thread`, available immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn push(&mut self, thread: usize, token: T) {
+        self.queues[thread].push_back((0, token));
+    }
+
+    /// Queues `token` on `thread`, released no earlier than `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range or if `cycle` is earlier than the
+    /// release cycle of the previously queued token (FIFO order).
+    pub fn push_at(&mut self, thread: usize, cycle: u64, token: T) {
+        if let Some((last, _)) = self.queues[thread].back() {
+            assert!(*last <= cycle, "source release cycles must be non-decreasing per thread");
+        }
+        self.queues[thread].push_back((cycle, token));
+    }
+
+    /// Queues every token from `iter` on `thread`, available immediately.
+    pub fn extend(&mut self, thread: usize, iter: impl IntoIterator<Item = T>) {
+        for t in iter {
+            self.push(thread, t);
+        }
+    }
+
+    /// Tokens not yet injected, per thread.
+    pub fn pending(&self, thread: usize) -> usize {
+        self.queues[thread].len()
+    }
+
+    /// Total tokens not yet injected.
+    pub fn pending_total(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Tokens injected so far, per thread.
+    pub fn injected(&self, thread: usize) -> u64 {
+        self.injected[thread]
+    }
+
+    /// True when every queue is drained.
+    pub fn is_drained(&self) -> bool {
+        self.pending_total() == 0
+    }
+
+    fn eligible(&self, cycle: u64) -> impl Iterator<Item = usize> + '_ {
+        (0..self.threads).filter(move |&t| {
+            self.queues[t].front().is_some_and(|(rel, _)| *rel <= cycle)
+        })
+    }
+}
+
+impl<T: Token> Component<T> for Source<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::new([], [self.out])
+    }
+
+    fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {
+        let cycle = ctx.cycle();
+        // Requests: token available and downstream ready (the paper's MEB
+        // arbiter likewise "takes into account which threads are ready
+        // downstream").
+        let mut chosen = None;
+        for off in 0..self.threads {
+            let t = (self.rr + off) % self.threads;
+            let has = self.queues[t].front().is_some_and(|(rel, _)| *rel <= cycle);
+            if has && ctx.ready(self.out, t) {
+                chosen = Some(t);
+                break;
+            }
+        }
+        // If nobody is ready downstream, still offer the round-robin first
+        // eligible thread so `valid` precedes `ready` (elastic protocol
+        // permits valid-without-ready; the token simply stalls).
+        if chosen.is_none() {
+            chosen = self.eligible(cycle).min_by_key(|&t| (t + self.threads - self.rr) % self.threads);
+        }
+        match chosen {
+            Some(t) => {
+                let data = self.queues[t].front().map(|(_, d)| d.clone()).expect("eligible head");
+                ctx.drive_token(self.out, t, data);
+            }
+            None => ctx.drive_idle(self.out),
+        }
+    }
+
+    fn tick(&mut self, ctx: &TickCtx<'_, T>) {
+        for t in 0..self.threads {
+            if ctx.fired(self.out, t) {
+                self.queues[t].pop_front();
+                self.injected[t] += 1;
+                self.rr = (t + 1) % self.threads;
+            } else if ctx.valid(self.out, t) {
+                // Stalled offer: rotate so every waiting thread is
+                // eventually presented downstream (a closed barrier must
+                // be able to observe all arrivals).
+                self.rr = (t + 1) % self.threads;
+            }
+        }
+    }
+
+    crate::impl_as_any!();
+}
+
+/// Consumes tokens from a channel according to a per-thread
+/// [`ReadyPolicy`], optionally capturing everything it accepts.
+pub struct Sink<T: Token> {
+    name: String,
+    inp: ChannelId,
+    policies: Vec<ReadyPolicy>,
+    captured: Vec<Vec<(u64, T)>>,
+    counts: Vec<u64>,
+    capture: bool,
+}
+
+impl<T: Token> Sink<T> {
+    /// A sink applying the same `policy` to every thread, not capturing.
+    pub fn new(name: impl Into<String>, inp: ChannelId, threads: usize, policy: ReadyPolicy) -> Self {
+        Self {
+            name: name.into(),
+            inp,
+            policies: vec![policy; threads],
+            captured: (0..threads).map(|_| Vec::new()).collect(),
+            counts: vec![0; threads],
+            capture: false,
+        }
+    }
+
+    /// A sink that records every `(cycle, token)` it consumes.
+    pub fn with_capture(name: impl Into<String>, inp: ChannelId, threads: usize, policy: ReadyPolicy) -> Self {
+        let mut s = Self::new(name, inp, threads, policy);
+        s.capture = true;
+        s
+    }
+
+    /// Overrides the policy of a single thread (e.g. "thread B stalls").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn set_policy(&mut self, thread: usize, policy: ReadyPolicy) {
+        self.policies[thread] = policy;
+    }
+
+    /// Tokens consumed by `thread`, with the cycle at which each arrived.
+    pub fn captured(&self, thread: usize) -> &[(u64, T)] {
+        &self.captured[thread]
+    }
+
+    /// Number of tokens consumed by `thread` (counted even when payload
+    /// capture is disabled).
+    pub fn consumed(&self, thread: usize) -> u64 {
+        self.counts[thread]
+    }
+
+    /// Total tokens consumed across threads.
+    pub fn consumed_total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl<T: Token> Component<T> for Sink<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::new([self.inp], [])
+    }
+
+    fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {
+        let cycle = ctx.cycle();
+        for (t, policy) in self.policies.iter().enumerate() {
+            ctx.set_ready(self.inp, t, policy.is_ready(cycle, t));
+        }
+    }
+
+    fn tick(&mut self, ctx: &TickCtx<'_, T>) {
+        if let Some((t, data)) = ctx.fired_any(self.inp) {
+            self.counts[t] += 1;
+            if self.capture {
+                self.captured[t].push((ctx.cycle(), data.clone()));
+            }
+        }
+    }
+
+    crate::impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_policy_windows_and_periods() {
+        let w = ReadyPolicy::StallWindow { from: 2, to: 5 };
+        assert!(w.is_ready(1, 0));
+        assert!(!w.is_ready(2, 0));
+        assert!(!w.is_ready(4, 0));
+        assert!(w.is_ready(5, 0));
+
+        let p = ReadyPolicy::Period { on: 1, off: 2, phase: 0 };
+        assert!(p.is_ready(0, 0));
+        assert!(!p.is_ready(1, 0));
+        assert!(!p.is_ready(2, 0));
+        assert!(p.is_ready(3, 0));
+    }
+
+    #[test]
+    fn random_policy_is_cycle_deterministic() {
+        let r = ReadyPolicy::Random { p: 0.5, seed: 42 };
+        for cycle in 0..64 {
+            assert_eq!(r.is_ready(cycle, 0), r.is_ready(cycle, 0));
+        }
+        // Roughly half ready over a long horizon.
+        let ready = (0..10_000).filter(|&c| r.is_ready(c, 0)).count();
+        assert!((3_000..7_000).contains(&ready), "ready={ready}");
+    }
+
+    #[test]
+    fn source_release_cycles_must_be_monotonic() {
+        let mut s = Source::<u64>::new("s", ChannelId(0), 1);
+        s.push_at(0, 5, 1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.push_at(0, 3, 2)));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn source_tracks_pending_counts() {
+        let mut s = Source::<u64>::new("s", ChannelId(0), 2);
+        s.extend(0, [1, 2, 3]);
+        s.push(1, 9);
+        assert_eq!(s.pending(0), 3);
+        assert_eq!(s.pending(1), 1);
+        assert_eq!(s.pending_total(), 4);
+        assert!(!s.is_drained());
+    }
+}

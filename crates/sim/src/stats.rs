@@ -1,0 +1,192 @@
+//! Per-channel, per-thread transfer statistics.
+//!
+//! Statistics are collected on every simulated cycle and answer the
+//! questions the paper's analysis poses in Sec. III-A: what throughput
+//! does each thread obtain on a channel, how often is a channel stalled
+//! by backpressure, and how busy is the datapath overall.
+
+use crate::channel::ChannelId;
+
+/// Counters for a single channel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChannelStats {
+    /// Channel name (copied from the spec for self-contained reporting).
+    pub name: String,
+    /// Number of fired transfers per thread.
+    pub transfers: Vec<u64>,
+    /// Cycles in which some `valid(i)` was asserted.
+    pub busy_cycles: u64,
+    /// Cycles in which some `valid(i)` was asserted but its `ready(i)` was
+    /// low (the channel was stalled by backpressure).
+    pub stall_cycles: u64,
+}
+
+impl ChannelStats {
+    pub(crate) fn new(name: String, threads: usize) -> Self {
+        Self { name, transfers: vec![0; threads], busy_cycles: 0, stall_cycles: 0 }
+    }
+
+    /// Total transfers across all threads.
+    pub fn total_transfers(&self) -> u64 {
+        self.transfers.iter().sum()
+    }
+}
+
+/// Aggregated statistics for a whole circuit run.
+///
+/// Obtained from [`Circuit::stats`](crate::Circuit::stats).
+///
+/// # Examples
+///
+/// Throughput of thread 0 on a channel over the run:
+///
+/// ```no_run
+/// # use elastic_sim::{Stats, ChannelId};
+/// # fn demo(stats: &Stats, ch: ChannelId) {
+/// let thr = stats.throughput(ch, 0);
+/// assert!(thr <= 1.0);
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Stats {
+    channels: Vec<ChannelStats>,
+    cycles: u64,
+}
+
+impl Stats {
+    pub(crate) fn new(specs: impl IntoIterator<Item = (String, usize)>) -> Self {
+        Self {
+            channels: specs.into_iter().map(|(n, t)| ChannelStats::new(n, t)).collect(),
+            cycles: 0,
+        }
+    }
+
+    pub(crate) fn record_cycle(&mut self) {
+        self.cycles += 1;
+    }
+
+    pub(crate) fn channel_mut(&mut self, ch: ChannelId) -> &mut ChannelStats {
+        &mut self.channels[ch.index()]
+    }
+
+    /// Number of simulated cycles covered by these statistics.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Counters for one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ch` does not belong to the circuit that produced these
+    /// statistics.
+    pub fn channel(&self, ch: ChannelId) -> &ChannelStats {
+        &self.channels[ch.index()]
+    }
+
+    /// Transfers completed by `thread` on `ch`.
+    pub fn transfers(&self, ch: ChannelId, thread: usize) -> u64 {
+        self.channels[ch.index()].transfers[thread]
+    }
+
+    /// Transfers completed by all threads on `ch`.
+    pub fn total_transfers(&self, ch: ChannelId) -> u64 {
+        self.channels[ch.index()].total_transfers()
+    }
+
+    /// Per-thread throughput on `ch`: transfers / simulated cycles.
+    ///
+    /// Returns 0.0 before the first cycle.
+    pub fn throughput(&self, ch: ChannelId, thread: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.transfers(ch, thread) as f64 / self.cycles as f64
+        }
+    }
+
+    /// Aggregate channel throughput: total transfers / simulated cycles.
+    pub fn channel_throughput(&self, ch: ChannelId) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_transfers(ch) as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles in which the channel carried a valid token.
+    pub fn utilization(&self, ch: ChannelId) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.channels[ch.index()].busy_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles in which the channel was stalled (valid without
+    /// ready for the asserted thread).
+    pub fn stall_rate(&self, ch: ChannelId) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.channels[ch.index()].stall_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Iterates over all channel counters in channel-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ChannelStats> {
+        self.channels.iter()
+    }
+
+    /// Resets all counters to zero (e.g. to measure a steady-state window
+    /// after a warm-up period).
+    pub fn reset(&mut self) {
+        self.cycles = 0;
+        for c in &mut self.channels {
+            c.transfers.iter_mut().for_each(|t| *t = 0);
+            c.busy_cycles = 0;
+            c.stall_cycles = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> Stats {
+        Stats::new([("a".to_string(), 2), ("b".to_string(), 1)])
+    }
+
+    #[test]
+    fn throughput_is_transfers_over_cycles() {
+        let mut s = stats();
+        for _ in 0..10 {
+            s.record_cycle();
+        }
+        s.channel_mut(ChannelId(0)).transfers[1] = 5;
+        assert_eq!(s.throughput(ChannelId(0), 1), 0.5);
+        assert_eq!(s.throughput(ChannelId(0), 0), 0.0);
+        assert_eq!(s.channel_throughput(ChannelId(0)), 0.5);
+    }
+
+    #[test]
+    fn zero_cycles_yields_zero_rates() {
+        let s = stats();
+        assert_eq!(s.throughput(ChannelId(0), 0), 0.0);
+        assert_eq!(s.utilization(ChannelId(1)), 0.0);
+        assert_eq!(s.stall_rate(ChannelId(1)), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut s = stats();
+        s.record_cycle();
+        s.channel_mut(ChannelId(1)).transfers[0] = 3;
+        s.channel_mut(ChannelId(1)).busy_cycles = 4;
+        s.reset();
+        assert_eq!(s.cycles(), 0);
+        assert_eq!(s.total_transfers(ChannelId(1)), 0);
+        assert_eq!(s.channel(ChannelId(1)).busy_cycles, 0);
+    }
+}

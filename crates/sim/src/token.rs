@@ -1,0 +1,152 @@
+//! The payload carried by elastic channels.
+//!
+//! Every channel in a [`Circuit`](crate::Circuit) carries values of a single
+//! token type `T: Token`. Circuits that move several kinds of data (e.g. a
+//! processor pipeline whose tokens evolve from fetched words to decoded
+//! instructions) typically use an `enum` implementing [`Token`].
+
+use std::fmt;
+
+/// A value that can travel on an elastic channel.
+///
+/// Tokens must be cheaply cloneable (the kernel clones a token when a
+/// transfer fires) and comparable (the combinational fixed-point detects
+/// convergence by comparing driven values).
+///
+/// The [`label`](Token::label) method produces the short name used by the
+/// trace renderers — e.g. `"A0"`, `"B3"` in the Figure 5 reproduction.
+///
+/// # Examples
+///
+/// ```
+/// use elastic_sim::Token;
+///
+/// #[derive(Clone, PartialEq, Debug)]
+/// struct Packet { seq: u32 }
+///
+/// impl Token for Packet {
+///     fn label(&self) -> String { format!("P{}", self.seq) }
+/// }
+///
+/// assert_eq!(Packet { seq: 7 }.label(), "P7");
+/// ```
+pub trait Token: Clone + PartialEq + fmt::Debug + Send + 'static {
+    /// Short human-readable name used in traces and waveforms.
+    ///
+    /// Defaults to the [`Debug`](fmt::Debug) representation.
+    fn label(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+macro_rules! impl_token_prim {
+    ($($t:ty),* $(,)?) => {
+        $(impl Token for $t {
+            fn label(&self) -> String { format!("{self}") }
+        })*
+    };
+}
+
+impl_token_prim!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, char);
+
+impl Token for String {
+    fn label(&self) -> String {
+        self.clone()
+    }
+}
+
+impl Token for () {
+    fn label(&self) -> String {
+        "·".to_string()
+    }
+}
+
+impl<A: Token, B: Token> Token for (A, B) {
+    fn label(&self) -> String {
+        format!("({},{})", self.0.label(), self.1.label())
+    }
+}
+
+impl<A: Token, B: Token, C: Token> Token for (A, B, C) {
+    fn label(&self) -> String {
+        format!("({},{},{})", self.0.label(), self.1.label(), self.2.label())
+    }
+}
+
+/// A token tagged with the identity of the thread that produced it.
+///
+/// Convenient for testbenches: the label renders as `A0`, `B3`, … matching
+/// the notation of the paper's Figure 5 (thread letter + sequence number).
+///
+/// # Examples
+///
+/// ```
+/// use elastic_sim::{Tagged, Token};
+///
+/// let t = Tagged::new(1, 3, 42u64);
+/// assert_eq!(t.label(), "B3");
+/// assert_eq!(t.payload, 42);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Tagged<P = u64> {
+    /// Index of the producing thread.
+    pub thread: usize,
+    /// Per-thread sequence number (0-based).
+    pub seq: u64,
+    /// The actual datum.
+    pub payload: P,
+}
+
+impl<P> Tagged<P> {
+    /// Creates a tagged token for `thread` with sequence number `seq`.
+    pub fn new(thread: usize, seq: u64, payload: P) -> Self {
+        Self { thread, seq, payload }
+    }
+}
+
+/// Renders a thread index as a letter: 0 → `A`, 1 → `B`, …, 25 → `Z`,
+/// then `T26`, `T27`, … for larger indices.
+pub fn thread_letter(thread: usize) -> String {
+    if thread < 26 {
+        char::from(b'A' + thread as u8).to_string()
+    } else {
+        format!("T{thread}")
+    }
+}
+
+impl<P: Clone + PartialEq + fmt::Debug + Send + 'static> Token for Tagged<P> {
+    fn label(&self) -> String {
+        format!("{}{}", thread_letter(self.thread), self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_labels_are_display() {
+        assert_eq!(42u64.label(), "42");
+        assert_eq!(true.label(), "true");
+        assert_eq!(().label(), "·");
+    }
+
+    #[test]
+    fn tagged_labels_match_paper_notation() {
+        assert_eq!(Tagged::new(0, 0, ()).label(), "A0");
+        assert_eq!(Tagged::new(1, 4, ()).label(), "B4");
+        assert_eq!(Tagged::new(2, 11, ()).label(), "C11");
+    }
+
+    #[test]
+    fn thread_letter_fallback_past_z() {
+        assert_eq!(thread_letter(25), "Z");
+        assert_eq!(thread_letter(26), "T26");
+    }
+
+    #[test]
+    fn tagged_equality_distinguishes_threads() {
+        assert_ne!(Tagged::new(0, 0, 1u32), Tagged::new(1, 0, 1u32));
+        assert_eq!(Tagged::new(0, 0, 1u32), Tagged::new(0, 0, 1u32));
+    }
+}

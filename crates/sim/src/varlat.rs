@@ -1,0 +1,368 @@
+//! Datapath units: zero-latency combinational transforms and
+//! variable-latency servers.
+//!
+//! The paper treats "instruction and data memory as well as the execution
+//! units" as *variable latency units* (Sec. V-B); elasticity exists
+//! precisely to tolerate them. [`VarLatency`] models such a unit: it
+//! accepts one token per cycle, holds it for a (possibly data-dependent or
+//! random) number of cycles, and emits completed tokens in per-thread FIFO
+//! order through an internal round-robin selector.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::channel::ChannelId;
+use crate::circuit::{EvalCtx, TickCtx};
+use crate::component::{Component, Ports, SlotView};
+use crate::token::Token;
+
+/// Per-token latency function (see [`LatencyModel::PerToken`]).
+pub type TokenLatencyFn<T> = Box<dyn Fn(&T) -> u32 + Send>;
+
+/// Emission transform function (see [`VarLatency::with_transform`]).
+type TransformFn<T> = Box<dyn Fn(&T) -> T + Send>;
+
+/// How a [`VarLatency`] unit chooses each token's service latency.
+pub enum LatencyModel<T> {
+    /// Every token takes exactly `n` cycles (`n >= 1`).
+    Fixed(u32),
+    /// Uniform in `min..=max` cycles, drawn from a seeded RNG at insert
+    /// time (deterministic for a given seed and arrival order).
+    Uniform {
+        /// Minimum latency (>= 1).
+        min: u32,
+        /// Maximum latency.
+        max: u32,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Latency computed from the token itself.
+    PerToken(TokenLatencyFn<T>),
+}
+
+impl<T> LatencyModel<T> {
+    fn sample(&self, token: &T, rng: &mut StdRng) -> u32 {
+        let l = match self {
+            LatencyModel::Fixed(n) => *n,
+            LatencyModel::Uniform { min, max, .. } => rng.gen_range(*min..=*max),
+            LatencyModel::PerToken(f) => f(token),
+        };
+        l.max(1)
+    }
+
+    fn seed(&self) -> u64 {
+        match self {
+            LatencyModel::Uniform { seed, .. } => *seed,
+            _ => 0,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for LatencyModel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatencyModel::Fixed(n) => write!(f, "Fixed({n})"),
+            LatencyModel::Uniform { min, max, seed } => {
+                write!(f, "Uniform({min}..={max}, seed={seed})")
+            }
+            LatencyModel::PerToken(_) => write!(f, "PerToken(..)"),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    thread: usize,
+    token: T,
+    done_at: u64,
+}
+
+/// A variable-latency elastic server with `capacity` internal slots.
+///
+/// * `ready(i)` upstream is asserted while a slot is free (shared across
+///   threads, like a small reservation station);
+/// * a completed token becomes eligible when it is the *oldest in-flight
+///   token of its thread* (per-thread order is preserved);
+/// * among eligible tokens whose downstream `ready(i)` is high, a
+///   round-robin pointer picks one per cycle.
+///
+/// With `LatencyModel::Fixed(1)` and capacity 1 this degenerates to a
+/// registered function unit.
+pub struct VarLatency<T: Token> {
+    name: String,
+    inp: ChannelId,
+    out: ChannelId,
+    threads: usize,
+    capacity: usize,
+    latency: LatencyModel<T>,
+    transform: Option<TransformFn<T>>,
+    entries: VecDeque<Entry<T>>,
+    rng: StdRng,
+    rr: usize,
+    /// First-eval-of-cycle detection for the anti-swap guard (see
+    /// `choose`).
+    last_eval_cycle: Option<u64>,
+}
+
+impl<T: Token> VarLatency<T> {
+    /// A unit reading `inp` and driving `out` for `threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(
+        name: impl Into<String>,
+        inp: ChannelId,
+        out: ChannelId,
+        threads: usize,
+        capacity: usize,
+        latency: LatencyModel<T>,
+    ) -> Self {
+        assert!(capacity > 0, "a variable-latency unit needs at least one slot");
+        let seed = latency.seed();
+        Self {
+            name: name.into(),
+            inp,
+            out,
+            threads,
+            capacity,
+            latency,
+            transform: None,
+            entries: VecDeque::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0xE1A5),
+            rr: 0,
+            last_eval_cycle: None,
+        }
+    }
+
+    /// Applies `f` to every token when it is emitted (a latent function
+    /// unit rather than a pure delay).
+    #[must_use]
+    pub fn with_transform(mut self, f: impl Fn(&T) -> T + Send + 'static) -> Self {
+        self.transform = Some(Box::new(f));
+        self
+    }
+
+    /// Number of tokens currently in flight.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The oldest entry of each thread that is complete at `cycle`.
+    fn completed_heads(&self, cycle: u64) -> Vec<(usize, usize)> {
+        // (thread, entry index); entries is globally FIFO so the first
+        // entry found per thread is that thread's oldest.
+        let mut seen = vec![false; self.threads];
+        let mut out = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            if !seen[e.thread] {
+                seen[e.thread] = true;
+                if e.done_at <= cycle {
+                    out.push((e.thread, i));
+                }
+            }
+        }
+        out
+    }
+
+    /// Chooses the `(thread, entry index)` to offer. Mirrors the MEB
+    /// selection discipline (ready-first, anti-swap guard between settle
+    /// passes, rotating stalled offer) so that two variable-latency units
+    /// feeding a join cannot chase each other's offers — the same
+    /// convergence argument as `elastic-core`'s `select_output_thread`
+    /// (see `docs/kernel.md` §3).
+    fn choose(&self, ctx: &EvalCtx<'_, T>, fresh: bool) -> Option<(usize, usize)> {
+        let heads = self.completed_heads(ctx.cycle());
+        if heads.is_empty() {
+            return None;
+        }
+        let pick = |pred: &dyn Fn(usize) -> bool| {
+            (0..self.threads)
+                .map(|off| (self.rr + off) % self.threads)
+                .find_map(|t| heads.iter().find(|(ht, _)| *ht == t && pred(t)).copied())
+        };
+        if let Some(ready_pick) = pick(&|t| ctx.ready(self.out, t)) {
+            if !fresh {
+                let current = (0..self.threads).find(|&t| ctx.valid(self.out, t));
+                if let Some(c) = current {
+                    let c_head = heads.iter().find(|(ht, _)| *ht == c).copied();
+                    if let Some(ch) = c_head {
+                        if !ctx.ready(self.out, c) {
+                            let rank = |t: usize| {
+                                (t + self.threads - (ctx.cycle() as usize % self.threads))
+                                    % self.threads
+                            };
+                            let best = heads
+                                .iter()
+                                .filter(|&&(t, _)| ctx.ready(self.out, t))
+                                .min_by_key(|&&(t, _)| rank(t))
+                                .copied()
+                                .expect("ready pick exists");
+                            return Some(if rank(best.0) < rank(c) { best } else { ch });
+                        }
+                    }
+                }
+            }
+            return Some(ready_pick);
+        }
+        pick(&|_| true)
+    }
+}
+
+impl<T: Token> Component<T> for VarLatency<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::new([self.inp], [self.out])
+    }
+
+    fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {
+        // Upstream ready: any free slot, shared by all threads.
+        let free = self.entries.len() < self.capacity;
+        for t in 0..self.threads {
+            ctx.set_ready(self.inp, t, free);
+        }
+        // Downstream valid: the chosen completed head.
+        let fresh = self.last_eval_cycle != Some(ctx.cycle());
+        self.last_eval_cycle = Some(ctx.cycle());
+        match self.choose(ctx, fresh) {
+            Some((t, idx)) => {
+                let token = &self.entries[idx].token;
+                let data = match &self.transform {
+                    Some(f) => f(token),
+                    None => token.clone(),
+                };
+                ctx.drive_token(self.out, t, data);
+            }
+            None => ctx.drive_idle(self.out),
+        }
+    }
+
+    fn tick(&mut self, ctx: &TickCtx<'_, T>) {
+        // Emit first (frees the slot next cycle, not this one — the input
+        // ready this cycle already accounted for the pre-emission count).
+        if let Some((t, _)) = ctx.fired_any(self.out) {
+            if let Some(pos) = self.entries.iter().position(|e| e.thread == t && e.done_at <= ctx.cycle()) {
+                self.entries.remove(pos);
+            }
+            self.rr = (t + 1) % self.threads;
+        } else if let Some(t) = (0..self.threads).find(|&t| ctx.valid(self.out, t)) {
+            // Stalled offer: rotate to avoid starving other done threads.
+            self.rr = (t + 1) % self.threads;
+        }
+        if let Some((t, data)) = ctx.fired_any(self.inp) {
+            let lat = self.latency.sample(data, &mut self.rng);
+            self.entries.push_back(Entry {
+                thread: t,
+                token: data.clone(),
+                done_at: ctx.cycle() + u64::from(lat),
+            });
+        }
+    }
+
+    fn slots(&self) -> Vec<SlotView> {
+        (0..self.capacity)
+            .map(|i| match self.entries.get(i) {
+                Some(e) => SlotView::full(format!("slot[{i}]"), e.thread, e.token.label()),
+                None => SlotView::empty(format!("slot[{i}]")),
+            })
+            .collect()
+    }
+
+    crate::impl_as_any!();
+}
+
+/// A zero-latency combinational function unit: passes the handshake
+/// through unchanged and maps the data word with `f`.
+///
+/// Placing a [`Transform`] between two elastic buffers models a pipeline
+/// stage's combinational logic (e.g. one unrolled MD5 round).
+pub struct Transform<T: Token> {
+    name: String,
+    inp: ChannelId,
+    out: ChannelId,
+    threads: usize,
+    f: Box<dyn Fn(&T) -> T + Send>,
+}
+
+impl<T: Token> Transform<T> {
+    /// A combinational unit computing `f` between `inp` and `out`.
+    pub fn new(
+        name: impl Into<String>,
+        inp: ChannelId,
+        out: ChannelId,
+        threads: usize,
+        f: impl Fn(&T) -> T + Send + 'static,
+    ) -> Self {
+        Self { name: name.into(), inp, out, threads, f: Box::new(f) }
+    }
+}
+
+impl<T: Token> Component<T> for Transform<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ports(&self) -> Ports {
+        Ports::new([self.inp], [self.out])
+    }
+
+    fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {
+        for t in 0..self.threads {
+            let v = ctx.valid(self.inp, t);
+            ctx.set_valid(self.out, t, v);
+            let r = ctx.ready(self.out, t);
+            ctx.set_ready(self.inp, t, r);
+        }
+        let data = ctx.data(self.inp).map(|d| (self.f)(d));
+        ctx.set_data(self.out, data);
+    }
+
+    fn tick(&mut self, _ctx: &TickCtx<'_, T>) {}
+
+    crate::impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_model_samples_at_least_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = LatencyModel::<u64>::Fixed(0);
+        assert_eq!(m.sample(&0, &mut rng), 1);
+        let m = LatencyModel::<u64>::Uniform { min: 2, max: 5, seed: 7 };
+        for _ in 0..32 {
+            let l = m.sample(&0, &mut rng);
+            assert!((2..=5).contains(&l));
+        }
+        let m = LatencyModel::PerToken(Box::new(|t: &u64| *t as u32));
+        assert_eq!(m.sample(&9, &mut rng), 9);
+    }
+
+    #[test]
+    fn completed_heads_respects_per_thread_order() {
+        let mut v = VarLatency::<u64>::new("v", ChannelId(0), ChannelId(1), 2, 4, LatencyModel::Fixed(1));
+        v.entries.push_back(Entry { thread: 0, token: 1, done_at: 10 });
+        v.entries.push_back(Entry { thread: 0, token: 2, done_at: 0 });
+        v.entries.push_back(Entry { thread: 1, token: 3, done_at: 0 });
+        // Thread 0's head is not done; its second (done) entry must wait.
+        let heads = v.completed_heads(5);
+        assert_eq!(heads, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn slots_report_occupancy() {
+        let mut v = VarLatency::<u64>::new("v", ChannelId(0), ChannelId(1), 1, 2, LatencyModel::Fixed(1));
+        v.entries.push_back(Entry { thread: 0, token: 42, done_at: 3 });
+        let slots = v.slots();
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots[0].occupant, Some((0, "42".to_string())));
+        assert_eq!(slots[1].occupant, None);
+    }
+}

@@ -1,0 +1,263 @@
+//! The dataflow-graph intermediate representation.
+//!
+//! A graph is a set of [`Node`]s connected by [`Wire`]s. Every wire is
+//! produced by exactly one node output and consumed by exactly one node
+//! input (elastic channels are point-to-point; use an explicit
+//! [fork](crate::DataflowBuilder::fork) for fan-out). The builder API in
+//! [`crate::DataflowBuilder`] enforces this statically before
+//! elaboration.
+
+use elastic_core::MebKind;
+use elastic_sim::Token;
+
+/// Handle to a value in the dataflow graph (one producer, one consumer).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Wire(pub(crate) usize);
+
+impl Wire {
+    /// Raw index (diagnostics).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Latency class of an operation node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum OpLatency {
+    /// Pure combinational logic between buffers (zero cycles).
+    #[default]
+    Combinational,
+    /// A registered unit taking exactly `n` cycles.
+    Fixed(u32),
+    /// A variable-latency unit, uniform in `min..=max` cycles.
+    Variable {
+        /// Minimum latency (≥ 1).
+        min: u32,
+        /// Maximum latency.
+        max: u32,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// N-ary operation function of a [`Node::Op`].
+pub type OpFn<T> = Box<dyn Fn(&[&T]) -> T + Send>;
+
+/// A node of the dataflow graph.
+///
+/// Functions are boxed closures so graphs can be assembled at runtime —
+/// this is the "synthesis front-end" role the paper's conclusion assigns
+/// to the primitives.
+pub enum Node<T: Token> {
+    /// External token entry (becomes a
+    /// [`Source`](elastic_sim::Source)).
+    Input {
+        /// Port name.
+        name: String,
+    },
+    /// External token exit (becomes a capturing
+    /// [`Sink`](elastic_sim::Sink)).
+    Output {
+        /// Port name.
+        name: String,
+    },
+    /// An operation combining `arity` inputs into one output.
+    Op {
+        /// Instance name.
+        name: String,
+        /// Number of inputs (≥ 1).
+        arity: usize,
+        /// The computed function (applied to the joined inputs).
+        f: OpFn<T>,
+        /// Latency class.
+        latency: OpLatency,
+    },
+    /// Conditional two-way routing (output 0 = taken, 1 = not taken).
+    Branch {
+        /// Instance name.
+        name: String,
+        /// Routing predicate.
+        cond: Box<dyn Fn(&T) -> bool + Send>,
+    },
+    /// N-way reconvergence onto one output.
+    Merge {
+        /// Instance name.
+        name: String,
+        /// Number of inputs (≥ 2).
+        arity: usize,
+    },
+    /// Replication of one input to N outputs (eager).
+    Fork {
+        /// Instance name.
+        name: String,
+        /// Number of outputs (≥ 2).
+        arity: usize,
+    },
+    /// An explicit multithreaded elastic buffer, optionally pre-loaded
+    /// with initial tokens (the dataflow "token on the back edge" that
+    /// seeds accumulator loops).
+    Buffer {
+        /// Instance name.
+        name: String,
+        /// Microarchitecture.
+        kind: MebKind,
+        /// `(thread, token)` pairs present before the first cycle.
+        initial: Vec<(usize, T)>,
+    },
+    /// A thread barrier across all threads of the graph.
+    Barrier {
+        /// Instance name.
+        name: String,
+    },
+}
+
+impl<T: Token> Node<T> {
+    /// The node's instance name.
+    pub fn name(&self) -> &str {
+        match self {
+            Node::Input { name }
+            | Node::Output { name }
+            | Node::Op { name, .. }
+            | Node::Branch { name, .. }
+            | Node::Merge { name, .. }
+            | Node::Fork { name, .. }
+            | Node::Buffer { name, .. }
+            | Node::Barrier { name } => name,
+        }
+    }
+
+    /// Number of input wires this node consumes.
+    pub fn inputs(&self) -> usize {
+        match self {
+            Node::Input { .. } => 0,
+            Node::Output { .. } | Node::Branch { .. } | Node::Fork { .. } | Node::Buffer { .. } | Node::Barrier { .. } => 1,
+            Node::Op { arity, .. } => *arity,
+            Node::Merge { arity, .. } => *arity,
+        }
+    }
+
+    /// Number of output wires this node produces.
+    pub fn outputs(&self) -> usize {
+        match self {
+            Node::Output { .. } => 0,
+            Node::Input { .. } | Node::Op { .. } | Node::Merge { .. } | Node::Buffer { .. } | Node::Barrier { .. } => 1,
+            Node::Branch { .. } => 2,
+            Node::Fork { arity, .. } => *arity,
+        }
+    }
+
+    /// Whether elaboration inserts a buffer after this node under
+    /// [`BufferPolicy::AfterOps`](crate::BufferPolicy::AfterOps)
+    /// (state-bearing separation for ops and loop-cutting for merges).
+    pub fn wants_auto_buffer(&self) -> bool {
+        matches!(self, Node::Op { .. } | Node::Merge { .. })
+    }
+}
+
+impl<T: Token> std::fmt::Debug for Node<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Node::Input { name } => write!(f, "Input({name})"),
+            Node::Output { name } => write!(f, "Output({name})"),
+            Node::Op { name, arity, latency, .. } => {
+                write!(f, "Op({name}, arity={arity}, {latency:?})")
+            }
+            Node::Branch { name, .. } => write!(f, "Branch({name})"),
+            Node::Merge { name, arity } => write!(f, "Merge({name}, arity={arity})"),
+            Node::Fork { name, arity } => write!(f, "Fork({name}, arity={arity})"),
+            Node::Buffer { name, kind, initial } => {
+                write!(f, "Buffer({name}, {kind}, {} initial)", initial.len())
+            }
+            Node::Barrier { name } => write!(f, "Barrier({name})"),
+        }
+    }
+}
+
+/// Where elaboration inserts MEBs automatically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum BufferPolicy {
+    /// After every operation and merge output (safe default: cuts every
+    /// loop built from merge/branch reconvergence and registers every
+    /// computation — the paper's "replace any simple data connection with
+    /// an elastic channel").
+    #[default]
+    AfterOps,
+    /// Only where the graph contains explicit [`Node::Buffer`]s. The
+    /// simulator still detects any remaining combinational cycle at run
+    /// time.
+    Manual,
+}
+
+/// Errors detected while assembling or elaborating a graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SynthError {
+    /// A wire was never consumed (dangling value).
+    UnconsumedWire {
+        /// Wire index.
+        wire: usize,
+        /// Producing node.
+        producer: String,
+    },
+    /// The graph has no nodes.
+    EmptyGraph,
+    /// An op/merge/fork was declared with an invalid arity.
+    BadArity {
+        /// Offending node.
+        node: String,
+        /// Declared arity.
+        arity: usize,
+    },
+    /// Elaboration produced an invalid netlist (a builder bug — please
+    /// report it).
+    Build(String),
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::UnconsumedWire { wire, producer } => {
+                write!(f, "wire #{wire} produced by `{producer}` is never consumed")
+            }
+            SynthError::EmptyGraph => write!(f, "dataflow graph has no nodes"),
+            SynthError::BadArity { node, arity } => {
+                write!(f, "node `{node}` has invalid arity {arity}")
+            }
+            SynthError::Build(msg) => write!(f, "elaboration produced an invalid netlist: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_port_counts() {
+        let op: Node<u64> = Node::Op {
+            name: "f".into(),
+            arity: 3,
+            f: Box::new(|ins| *ins[0]),
+            latency: OpLatency::Combinational,
+        };
+        assert_eq!(op.inputs(), 3);
+        assert_eq!(op.outputs(), 1);
+        assert!(op.wants_auto_buffer());
+
+        let br: Node<u64> = Node::Branch { name: "b".into(), cond: Box::new(|_| true) };
+        assert_eq!(br.inputs(), 1);
+        assert_eq!(br.outputs(), 2);
+        assert!(!br.wants_auto_buffer());
+
+        let fork: Node<u64> = Node::Fork { name: "f".into(), arity: 3 };
+        assert_eq!(fork.outputs(), 3);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = SynthError::UnconsumedWire { wire: 3, producer: "add".into() };
+        assert!(e.to_string().contains("add"));
+        assert!(SynthError::EmptyGraph.to_string().contains("no nodes"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # elastic-synth — dataflow graphs to multithreaded elastic circuits
+//!
+//! The paper's conclusion promises that its primitives "enable the
+//! automated synthesis of complex algorithms to their multithreaded
+//! elastic equivalent circuits." This crate implements that flow: a small
+//! dataflow-graph IR ([`Node`], assembled with [`DataflowBuilder`]) is
+//! elaborated into an [`elastic_sim`] circuit built from [`elastic_core`]
+//! primitives — ops become joins + (variable-)latency units, conditionals
+//! become M-Branch/M-Merge loops, fan-out becomes eager M-Forks, and every
+//! operation output gets a MEB under the default [`BufferPolicy`], so the
+//! synthesized circuit is automatically multithreaded: `S` independent
+//! threads time-multiplex the one datapath.
+//!
+//! **Loop ordering caveat**: an iterative loop (built with
+//! [`DataflowBuilder::loopback`]) may hold several problems of the same
+//! thread in flight simultaneously; problems that converge in fewer
+//! iterations exit first, so completion order *within* a thread is not
+//! FIFO. Tag tokens with a sequence number, or feed one problem per
+//! thread at a time, when order matters.
+//!
+//! # Example — an iterative circuit (Euclid's GCD) shared by 2 threads
+//!
+//! ```
+//! use elastic_synth::{DataflowBuilder, OpLatency, SynthConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = DataflowBuilder::<(u64, u64)>::new(2);
+//! let fresh = g.input("pairs");
+//! let looped = g.input("loop_seed"); // placeholder producer for the loopback
+//! // merge(fresh, loop) -> branch(a == b) -> done | step -> back
+//! let head = g.merge("entry", &[fresh, looped]);
+//! let (done, cont) = g.branch("done?", head, |&(a, b): &(u64, u64)| a == b);
+//! g.output("gcd", done);
+//! let step = g.op1("step", OpLatency::Fixed(1), cont, |&(a, b)| {
+//!     if a > b { (a - b, b) } else { (a, b - a) }
+//! });
+//! // Close the loop: the `step` output is what `loop_seed` stood for
+//! // (`loopback` rebinds the placeholder input to the internal wire).
+//! g.loopback("loop_seed", step)?;
+//! let mut s = g.elaborate(SynthConfig::default())?;
+//! s.push("pairs", 0, (48, 36))?;
+//! s.push("pairs", 1, (81, 54))?;
+//! s.run_until_outputs("gcd", 2, 2_000)?;
+//! assert_eq!(s.collected("gcd", 0), vec![(12, 12)]);
+//! assert_eq!(s.collected("gcd", 1), vec![(27, 27)]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod circuit;
+mod graph;
+
+pub use builder::{DataflowBuilder, SynthConfig};
+pub use circuit::{RunError, SynthCircuit, UnknownPortError};
+pub use graph::{BufferPolicy, Node, OpLatency, SynthError, Wire};

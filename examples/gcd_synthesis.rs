@@ -1,0 +1,72 @@
+//! Automated synthesis demo (the paper's conclusion: the primitives
+//! "enable the automated synthesis of complex algorithms to their
+//! multithreaded elastic equivalent circuits"): describe Euclid's GCD as
+//! a dataflow graph, elaborate it into an elastic circuit, and let four
+//! hardware threads time-multiplex the single iterative datapath.
+//!
+//! ```text
+//! cargo run --example gcd_synthesis
+//! ```
+
+use mt_elastic::synth::{DataflowBuilder, OpLatency, SynthConfig};
+
+fn software_gcd(mut a: u64, mut b: u64) -> u64 {
+    while a != b {
+        if a > b {
+            a -= b;
+        } else {
+            b -= a;
+        }
+    }
+    a
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const THREADS: usize = 4;
+
+    // Describe the algorithm as a dataflow graph:
+    //
+    //   pairs ──► merge ──► branch(a == b) ──► gcd (output)
+    //               ▲            │ not equal
+    //               └── step ◄───┘   (subtract smaller from larger)
+    let mut g = DataflowBuilder::<(u64, u64)>::new(THREADS);
+    let fresh = g.input("pairs");
+    let looped = g.input("loop"); // placeholder, closed below
+    let head = g.merge("entry", &[fresh, looped]);
+    let (done, cont) = g.branch("done?", head, |&(a, b): &(u64, u64)| a == b);
+    g.output("gcd", done);
+    let step = g.op1("step", OpLatency::Fixed(1), cont, |&(a, b)| {
+        if a > b {
+            (a - b, b)
+        } else {
+            (a, b - a)
+        }
+    });
+    g.loopback("loop", step)?;
+
+    // Elaborate: merges/ops get reduced MEBs automatically, so the loop is
+    // legal elastic hardware and inherently multithreaded.
+    let mut s = g.elaborate(SynthConfig::default())?;
+    println!("synthesized components: {:?}\n", s.circuit.component_names());
+
+    let problems = [(1071u64, 462u64), (270, 192), (35, 64), (123456, 7890)];
+    for (t, &(a, b)) in problems.iter().enumerate() {
+        s.push("pairs", t, (a, b))?;
+    }
+    s.run_until_outputs("gcd", THREADS as u64, 100_000)?;
+
+    println!("{:<18} {:>10} {:>10}", "problem", "circuit", "software");
+    println!("{}", "-".repeat(40));
+    for (t, &(a, b)) in problems.iter().enumerate() {
+        let got = s.collected("gcd", t)[0].0;
+        let expect = software_gcd(a, b);
+        println!("gcd({a:>6}, {b:>5}) {got:>10} {expect:>10}");
+        assert_eq!(got, expect);
+    }
+    println!(
+        "\ncompleted in {} cycles — all four threads iterated concurrently through\n\
+         ONE subtractor, ONE branch and ONE merge, scheduled by the MEB arbiters.",
+        s.circuit.cycle()
+    );
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! E-X3 support — the barrier primitive under stress: many phases,
+//! randomized arrival skew, partial participation, and composition with
+//! MEBs of both kinds.
+
+use mt_elastic::core::{ArbiterKind, Barrier, BarrierState, MebKind};
+use mt_elastic::sim::{CircuitBuilder, Circuit, ReadyPolicy, Sink, Source, Tagged};
+use proptest::prelude::*;
+
+fn barrier_circuit(
+    threads: usize,
+    kind: MebKind,
+    arrivals: &[(usize, u64, u64)], // (thread, phase, release cycle)
+) -> (Circuit<Tagged>, mt_elastic::sim::ChannelId) {
+    let mut b = CircuitBuilder::<Tagged>::new();
+    let x = b.channel("x", threads);
+    let m = b.channel("m", threads);
+    let y = b.channel("y", threads);
+    let mut src = Source::new("src", x, threads);
+    let mut sorted = arrivals.to_vec();
+    sorted.sort_by_key(|&(t, phase, cycle)| (t, phase, cycle));
+    for (t, phase, cycle) in sorted {
+        src.push_at(t, cycle, Tagged::new(t, phase, cycle));
+    }
+    b.add(src);
+    b.add_boxed(kind.build_with::<Tagged>("meb", x, m, threads, ArbiterKind::RoundRobin));
+    b.add(Barrier::new("bar", m, y, threads));
+    b.add(Sink::with_capture("snk", y, threads, ReadyPolicy::Always));
+    (b.build().expect("barrier circuit is well-formed"), y)
+}
+
+/// Many phases in sequence: each phase's releases happen only after that
+/// phase's last arrival, for both MEB kinds feeding the barrier.
+#[test]
+fn many_phases_release_in_order() {
+    const THREADS: usize = 4;
+    const PHASES: u64 = 12;
+    for kind in [MebKind::Full, MebKind::Reduced] {
+        let arrivals: Vec<(usize, u64, u64)> = (0..PHASES)
+            .flat_map(|p| (0..THREADS).map(move |t| (t, p, p * 10 + ((t as u64 * 3) % 7))))
+            .collect();
+        let (mut circuit, y) = barrier_circuit(THREADS, kind, &arrivals);
+        circuit.set_deadlock_watchdog(Some(200));
+        circuit
+            .run_until(PHASES * 40 + 200, |c| {
+                c.stats().total_transfers(y) >= PHASES * THREADS as u64
+            })
+            .expect("all phases complete");
+        let snk: &Sink<Tagged> = circuit.get("snk").expect("sink");
+        for p in 0..PHASES {
+            let last_arrival = p * 10 + 6;
+            for t in 0..THREADS {
+                let (cycle, _) = snk.captured(t)[p as usize];
+                assert!(
+                    cycle > last_arrival,
+                    "{kind} phase {p} thread {t}: released at {cycle} before last arrival {last_arrival}"
+                );
+            }
+        }
+        let bar: &Barrier<Tagged> = circuit.get("bar").expect("barrier");
+        assert_eq!(bar.releases(), PHASES);
+    }
+}
+
+// The barrier keeps working with skewed per-phase arrival order.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_skew_never_leaks_or_deadlocks(
+        threads in 2usize..5,
+        phases in 1u64..6,
+        skews in prop::collection::vec(0u64..12, 32),
+    ) {
+        let mut k = 0;
+        let arrivals: Vec<(usize, u64, u64)> = (0..phases)
+            .flat_map(|p| {
+                (0..threads).map(|t| {
+                    let skew = skews[k % skews.len()];
+                    k += 1;
+                    (t, p, p * 20 + skew)
+                }).collect::<Vec<_>>()
+            })
+            .collect();
+        let (mut circuit, y) = barrier_circuit(threads, MebKind::Reduced, &arrivals);
+        circuit.set_deadlock_watchdog(Some(300));
+        let expected = phases * threads as u64;
+        let done = circuit.run_until(phases * 80 + 400, |c| {
+            c.stats().total_transfers(y) >= expected
+        });
+        prop_assert!(matches!(done, Ok(true)), "{done:?}");
+
+        // Per phase: all releases strictly after the phase's last arrival.
+        let snk: &Sink<Tagged> = circuit.get("snk").expect("sink");
+        for p in 0..phases {
+            let last_arrival = arrivals
+                .iter()
+                .filter(|&&(_, phase, _)| phase == p)
+                .map(|&(_, _, c)| c)
+                .max()
+                .expect("phase has arrivals");
+            for t in 0..threads {
+                let (cycle, tok) = &snk.captured(t)[p as usize];
+                prop_assert_eq!(tok.seq, p, "thread {} phase order", t);
+                prop_assert!(*cycle > last_arrival);
+            }
+        }
+    }
+}
+
+/// A missing participant blocks everyone (barrier semantics), and the
+/// blocked threads are in WAIT while the missing one stays IDLE.
+#[test]
+fn missing_participant_blocks_the_phase() {
+    let arrivals: Vec<(usize, u64, u64)> = vec![(0, 0, 0), (1, 0, 2)]; // thread 2 never arrives
+    let (mut circuit, y) = barrier_circuit(3, MebKind::Reduced, &arrivals);
+    circuit.run(80).expect("runs clean");
+    assert_eq!(circuit.stats().total_transfers(y), 0);
+    let bar: &Barrier<Tagged> = circuit.get("bar").expect("barrier");
+    assert_eq!(bar.thread_state(0), BarrierState::Wait);
+    assert_eq!(bar.thread_state(1), BarrierState::Wait);
+    assert_eq!(bar.thread_state(2), BarrierState::Idle);
+    assert_eq!(bar.count(), 2);
+}
+
+/// Partial participation: non-participants stream through a barrier that
+/// synchronizes only the masked threads.
+#[test]
+fn partial_participation_mixes_streams() {
+    const THREADS: usize = 3;
+    let mut b = CircuitBuilder::<Tagged>::new();
+    let x = b.channel("x", THREADS);
+    let y = b.channel("y", THREADS);
+    let mut src = Source::new("src", x, THREADS);
+    // Threads 0 and 1 participate (one token each, skewed); thread 2 just
+    // streams 10 tokens.
+    src.push_at(0, 0, Tagged::new(0, 0, 0));
+    src.push_at(1, 15, Tagged::new(1, 0, 0));
+    src.extend(2, (0..10).map(|i| Tagged::new(2, i, i)));
+    b.add(src);
+    b.add(
+        Barrier::new("bar", x, y, THREADS).with_participants(vec![true, true, false]),
+    );
+    b.add(Sink::with_capture("snk", y, THREADS, ReadyPolicy::Always));
+    let mut circuit = b.build().expect("valid");
+    circuit.run(40).expect("clean");
+    let snk: &Sink<Tagged> = circuit.get("snk").expect("sink");
+    assert_eq!(snk.consumed(2), 10, "bypass thread streams freely");
+    assert_eq!(snk.consumed(0), 1);
+    assert_eq!(snk.consumed(1), 1);
+    assert!(snk.captured(0)[0].0 > 15, "thread 0 waited for thread 1");
+}

@@ -1,0 +1,122 @@
+//! E-X4 — the multithreaded elastic processor: architectural correctness
+//! across workloads, thread counts and MEB kinds, and the utilization
+//! claims of the paper's introduction.
+
+use mt_elastic::core::MebKind;
+use mt_elastic::proc::{programs, Cpu, CpuConfig};
+
+fn init_data(cpu: &mut Cpu, threads: usize) {
+    for t in 0..threads {
+        for i in 0..16usize {
+            cpu.set_mem(t * 64 + i, (t * 100 + i + 1) as u32);
+            cpu.set_mem(t * 64 + 16 + i, (2 * i + 1) as u32);
+        }
+    }
+}
+
+/// Architectural results are identical across MEB kinds and independent
+/// of the (seeded) variable latencies.
+#[test]
+fn results_invariant_across_meb_kinds_and_seeds() {
+    for threads in [1usize, 4] {
+        let mut reference: Option<Vec<u32>> = None;
+        for kind in [MebKind::Full, MebKind::Reduced, MebKind::Fifo { depth: 3 }] {
+            for seed in [1u64, 999] {
+                let mut cpu = Cpu::from_asm(
+                    CpuConfig::new(threads).with_meb(kind).with_seed(seed),
+                    programs::FIBONACCI,
+                )
+                .expect("assembles");
+                cpu.run_to_halt(500_000).expect("halts");
+                let results: Vec<u32> = (0..threads).map(|t| cpu.mem(t)).collect();
+                match &reference {
+                    None => reference = Some(results),
+                    Some(r) => assert_eq!(&results, r, "{kind} seed {seed} threads {threads}"),
+                }
+            }
+        }
+    }
+}
+
+/// Every bundled workload halts and produces its documented results on
+/// 8 threads.
+#[test]
+fn all_workloads_complete_on_8_threads() {
+    for (name, source, _) in programs::all() {
+        let mut cpu = Cpu::from_asm(CpuConfig::new(8), source).expect("assembles");
+        init_data(&mut cpu, 8);
+        let stats = cpu.run_to_halt(3_000_000).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(stats.ipc > 0.0, "{name}");
+        assert!(stats.executed.iter().all(|&e| e > 0), "{name}: some thread never executed");
+    }
+}
+
+/// Fig. 1's motivation quantified: IPC grows monotonically-ish with the
+/// thread count on a branchy dependent workload, and 8 threads more than
+/// double single-thread IPC.
+#[test]
+fn ipc_scales_with_threads() {
+    let mut ipcs = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let mut cpu = Cpu::from_asm(CpuConfig::new(threads), programs::SUM_LOOP).expect("assembles");
+        let stats = cpu.run_to_halt(500_000).expect("halts");
+        ipcs.push(stats.ipc);
+    }
+    assert!(ipcs[3] > 2.0 * ipcs[0], "IPC 1t {:.3} vs 8t {:.3}", ipcs[0], ipcs[3]);
+    assert!(ipcs[1] > ipcs[0] * 1.2, "2 threads should already help: {ipcs:?}");
+}
+
+/// Deterministic single-cycle units: the pipeline still interleaves
+/// threads correctly (hazards are the only stalls).
+#[test]
+fn deterministic_config_still_correct() {
+    let mut cpu = Cpu::from_asm(
+        CpuConfig::new(4).deterministic(),
+        programs::SUM_LOOP,
+    )
+    .expect("assembles");
+    cpu.run_to_halt(100_000).expect("halts");
+    for t in 0..4 {
+        let n = 8 + t as u32;
+        assert_eq!(cpu.reg(t, 2), n * (n + 1) / 2, "thread {t}");
+    }
+}
+
+/// Per-thread register files are genuinely private: a pathological
+/// program writing the same registers in every thread never leaks across
+/// threads.
+#[test]
+fn register_files_are_private_per_thread() {
+    let source = "tid  r7\n\
+                  sll  r8, r7, 4\n\
+                  addi r9, r8, 1\n\
+                  mul  r10, r9, r9\n\
+                  halt\n";
+    let mut cpu = Cpu::from_asm(CpuConfig::new(8), source).expect("assembles");
+    cpu.run_to_halt(100_000).expect("halts");
+    for t in 0..8u32 {
+        let expect = (16 * t + 1) * (16 * t + 1);
+        assert_eq!(cpu.reg(t as usize, 10), expect, "thread {t}");
+    }
+}
+
+/// Loads observe earlier stores of the same thread (memory ordering
+/// through the variable-latency memory unit).
+#[test]
+fn memory_ordering_within_a_thread() {
+    let source = "tid  r1\n\
+                  sll  r2, r1, 4\n\
+                  addi r3, r0, 111\n\
+                  sw   r3, 0(r2)\n\
+                  lw   r4, 0(r2)\n\
+                  addi r5, r4, 1\n\
+                  sw   r5, 1(r2)\n\
+                  lw   r6, 1(r2)\n\
+                  halt\n";
+    let mut cpu = Cpu::from_asm(CpuConfig::new(4), source).expect("assembles");
+    cpu.run_to_halt(100_000).expect("halts");
+    for t in 0..4 {
+        assert_eq!(cpu.reg(t, 4), 111);
+        assert_eq!(cpu.reg(t, 6), 112);
+    }
+}

@@ -1,0 +1,171 @@
+//! The kernel's protocol checks, exercised deliberately: ill-formed
+//! circuits must be *reported*, not mis-simulated.
+
+use mt_elastic::sim::{
+    impl_as_any, ChannelId, CircuitBuilder, Component, EvalCtx, Ports, ReadyPolicy, SimError,
+    Sink, Source, TickCtx, Transform,
+};
+
+/// A misbehaving producer that asserts two valids at once.
+struct DoubleValid {
+    out: ChannelId,
+}
+
+impl Component<u64> for DoubleValid {
+    fn name(&self) -> &str {
+        "double_valid"
+    }
+    fn ports(&self) -> Ports {
+        Ports::new([], [self.out])
+    }
+    fn eval(&mut self, ctx: &mut EvalCtx<'_, u64>) {
+        ctx.set_valid(self.out, 0, true);
+        ctx.set_valid(self.out, 1, true);
+        ctx.set_data(self.out, Some(1));
+    }
+    fn tick(&mut self, _ctx: &TickCtx<'_, u64>) {}
+    impl_as_any!();
+}
+
+/// A producer that asserts valid but never drives data.
+struct NoData {
+    out: ChannelId,
+}
+
+impl Component<u64> for NoData {
+    fn name(&self) -> &str {
+        "no_data"
+    }
+    fn ports(&self) -> Ports {
+        Ports::new([], [self.out])
+    }
+    fn eval(&mut self, ctx: &mut EvalCtx<'_, u64>) {
+        ctx.set_valid(self.out, 0, true);
+        ctx.set_data(self.out, None);
+    }
+    fn tick(&mut self, _ctx: &TickCtx<'_, u64>) {}
+    impl_as_any!();
+}
+
+#[test]
+fn multiple_valids_violate_the_mt_channel_invariant() {
+    let mut b = CircuitBuilder::<u64>::new();
+    let ch = b.channel("bus", 2);
+    b.add(DoubleValid { out: ch });
+    b.add(Sink::new("snk", ch, 2, ReadyPolicy::Always));
+    let mut circuit = b.build().expect("structurally valid");
+    let err = circuit.step().expect_err("invariant must trip");
+    match err {
+        SimError::ChannelInvariant { channel, threads, .. } => {
+            assert_eq!(channel, "bus");
+            assert_eq!(threads, vec![0, 1]);
+        }
+        other => panic!("unexpected: {other}"),
+    }
+}
+
+#[test]
+fn valid_without_data_is_reported() {
+    let mut b = CircuitBuilder::<u64>::new();
+    let ch = b.channel("bus", 1);
+    b.add(NoData { out: ch });
+    b.add(Sink::new("snk", ch, 1, ReadyPolicy::Always));
+    let mut circuit = b.build().expect("structurally valid");
+    let err = circuit.step().expect_err("missing data must trip");
+    assert!(matches!(err, SimError::MissingData { thread: 0, .. }), "{err}");
+}
+
+/// Two combinational transforms wired in a loop: structurally legal (one
+/// driver/reader per channel) but has no settling fixed point — the
+/// circuit class elastic design forbids without a buffer.
+#[test]
+fn unbuffered_combinational_loop_is_detected() {
+    struct Gate {
+        name: &'static str,
+        invert: bool,
+        inp: ChannelId,
+        out: ChannelId,
+    }
+    impl Component<u64> for Gate {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn ports(&self) -> Ports {
+            Ports::new([self.inp], [self.out])
+        }
+        fn eval(&mut self, ctx: &mut EvalCtx<'_, u64>) {
+            let v = ctx.valid(self.inp, 0);
+            ctx.set_valid(self.out, 0, v ^ self.invert);
+            ctx.set_data(self.out, Some(0));
+            ctx.set_ready(self.inp, 0, false);
+        }
+        fn tick(&mut self, _ctx: &TickCtx<'_, u64>) {}
+        impl_as_any!();
+    }
+    // x = !y and y = x ⇒ x = !x: no fixed point exists.
+    let mut b = CircuitBuilder::<u64>::new();
+    let x = b.channel("x", 1);
+    let y = b.channel("y", 1);
+    b.add(Gate { name: "not", invert: true, inp: x, out: y });
+    b.add(Gate { name: "wire", invert: false, inp: y, out: x });
+    let mut circuit = b.build().expect("structurally valid");
+    let err = circuit.step().expect_err("combinational loop must be detected");
+    assert!(matches!(err, SimError::CombinationalLoop { .. }), "{err}");
+}
+
+/// A component driving a channel it does not own is a programming error
+/// caught by the eval context's ownership assertions.
+#[test]
+fn driving_a_foreign_channel_panics() {
+    struct Trespasser {
+        mine: ChannelId,
+        theirs: ChannelId,
+    }
+    impl Component<u64> for Trespasser {
+        fn name(&self) -> &str {
+            "trespasser"
+        }
+        fn ports(&self) -> Ports {
+            Ports::new([], [self.mine])
+        }
+        fn eval(&mut self, ctx: &mut EvalCtx<'_, u64>) {
+            ctx.drive_idle(self.mine);
+            ctx.set_valid(self.theirs, 0, true); // not ours!
+        }
+        fn tick(&mut self, _ctx: &TickCtx<'_, u64>) {}
+        impl_as_any!();
+    }
+    let mut b = CircuitBuilder::<u64>::new();
+    let mine = b.channel("mine", 1);
+    let theirs = b.channel("theirs", 1);
+    b.add(Trespasser { mine, theirs });
+    let mut src = Source::new("src", theirs, 1);
+    src.push(0, 1);
+    b.add(src);
+    b.add(Sink::new("s1", mine, 1, ReadyPolicy::Always));
+    b.add(Sink::new("s2", theirs, 1, ReadyPolicy::Always));
+    let mut circuit = b.build().expect("structurally valid");
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| circuit.step()));
+    assert!(r.is_err(), "ownership assertion must panic");
+}
+
+/// The same loop, legalized with an elastic buffer, settles fine — the
+/// canonical fix the error message suggests.
+#[test]
+fn a_buffer_cuts_the_loop() {
+    use mt_elastic::core::ElasticBuffer;
+    let mut b = CircuitBuilder::<u64>::new();
+    let x = b.channel("x", 1);
+    let y = b.channel("y", 1);
+    let z = b.channel("z", 1);
+    let mut src = Source::new("src", x, 1);
+    src.extend(0, 0..5u64);
+    b.add(src);
+    b.add(Transform::new("inc", x, y, 1, |v| v + 1));
+    b.add(ElasticBuffer::new("eb", y, z));
+    b.add(Sink::with_capture("snk", z, 1, ReadyPolicy::Always));
+    let mut circuit = b.build().expect("valid");
+    circuit.run(10).expect("settles every cycle");
+    let snk: &Sink<u64> = circuit.get("snk").expect("sink");
+    assert_eq!(snk.consumed_total(), 5);
+}

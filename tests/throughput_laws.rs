@@ -1,0 +1,72 @@
+//! E-X1 — the Sec. III-A throughput analysis as executable laws.
+
+use elastic_bench::measure_throughput;
+use mt_elastic::core::MebKind;
+
+/// "If M = 1 (only one thread is active), a 100% throughput can be
+/// achieved for the active thread."
+#[test]
+fn lone_thread_gets_full_throughput() {
+    for kind in [MebKind::Full, MebKind::Reduced] {
+        let p = measure_throughput(kind, 8, 1, 3);
+        assert!(p.per_thread > 0.95, "{kind}: {:.3}", p.per_thread);
+    }
+}
+
+/// "When M threads are active, with 2 ≤ M ≤ S, each thread will receive
+/// a throughput of 1/M."
+#[test]
+fn one_over_m_for_all_m() {
+    for kind in [MebKind::Full, MebKind::Reduced] {
+        for active in 2..=8usize {
+            let p = measure_throughput(kind, 8, active, 3);
+            let expect = 1.0 / active as f64;
+            assert!(
+                (p.per_thread - expect).abs() < 0.05,
+                "{kind} M={active}: {:.3} vs {:.3}",
+                p.per_thread,
+                expect
+            );
+        }
+    }
+}
+
+/// The aggregate channel stays fully utilized for every M ≥ 1 — threads
+/// share, they don't waste.
+#[test]
+fn aggregate_utilization_is_independent_of_m() {
+    for kind in [MebKind::Full, MebKind::Reduced] {
+        for active in 1..=8usize {
+            let p = measure_throughput(kind, 8, active, 3);
+            assert!(p.aggregate > 0.93, "{kind} M={active}: aggregate {:.3}", p.aggregate);
+        }
+    }
+}
+
+/// The ablation FIFO with depth 1 (no auxiliary storage at all) caps a
+/// lone thread at 50 % — why the baseline EB needs two slots (Sec. II).
+#[test]
+fn depth_one_fifo_halves_lone_thread() {
+    let p = measure_throughput(MebKind::Fifo { depth: 1 }, 4, 1, 3);
+    assert!((p.per_thread - 0.5).abs() < 0.05, "{:.3}", p.per_thread);
+    // But under uniform M = S load even depth-1 sustains the aggregate:
+    // every thread is served once per S cycles anyway.
+    let p = measure_throughput(MebKind::Fifo { depth: 1 }, 4, 4, 3);
+    assert!(p.aggregate > 0.9, "{:.3}", p.aggregate);
+}
+
+/// Reduced and full MEBs are throughput-equivalent under uniform load —
+/// the whole point of sharing the auxiliary slot (Sec. III-A).
+#[test]
+fn reduced_equals_full_under_uniform_load() {
+    for active in [2usize, 4, 8] {
+        let full = measure_throughput(MebKind::Full, 8, active, 3);
+        let reduced = measure_throughput(MebKind::Reduced, 8, active, 3);
+        assert!(
+            (full.aggregate - reduced.aggregate).abs() < 0.03,
+            "M={active}: full {:.3} vs reduced {:.3}",
+            full.aggregate,
+            reduced.aggregate
+        );
+    }
+}
