@@ -14,9 +14,11 @@ fn bench_choose(c: &mut Criterion) {
         for t in 0..16 {
             arb.commit(t);
         }
-        group.bench_with_input(BenchmarkId::new("64-wide", kind.to_string()), &kind, |b, _| {
-            b.iter(|| arb.choose(std::hint::black_box(&requests)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("64-wide", kind.to_string()),
+            &kind,
+            |b, _| b.iter(|| arb.choose(std::hint::black_box(&requests))),
+        );
     }
     group.finish();
 }
@@ -24,15 +26,19 @@ fn bench_choose(c: &mut Criterion) {
 fn bench_policy_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("arbiter_pipeline");
     for kind in ArbiterKind::all() {
-        group.bench_with_input(BenchmarkId::new("8t", kind.to_string()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut cfg = PipelineConfig::free_flowing(8, 2, MebKind::Reduced, 500);
-                cfg.arbiter = kind;
-                let mut h = PipelineHarness::build(cfg);
-                h.circuit.run(500).expect("pipeline runs clean");
-                h.sink().consumed_total()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("8t", kind.to_string()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut cfg = PipelineConfig::free_flowing(8, 2, MebKind::Reduced, 500);
+                    cfg.arbiter = kind;
+                    let mut h = PipelineHarness::build(cfg);
+                    h.circuit.run(500).expect("pipeline runs clean");
+                    h.sink().consumed_total()
+                })
+            },
+        );
     }
     group.finish();
 }

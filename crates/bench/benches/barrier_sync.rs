@@ -17,7 +17,13 @@ fn run_barrier(threads: usize, phases: u64) -> u64 {
         src.extend(t, (0..phases).map(|p| Tagged::new(t, p, p)));
     }
     b.add(src);
-    b.add_boxed(MebKind::Reduced.build_with::<Tagged>("meb", x, m, threads, ArbiterKind::RoundRobin));
+    b.add_boxed(MebKind::Reduced.build_with::<Tagged>(
+        "meb",
+        x,
+        m,
+        threads,
+        ArbiterKind::RoundRobin,
+    ));
     b.add(Barrier::new("bar", m, y, threads));
     b.add(Sink::with_capture("snk", y, threads, ReadyPolicy::Always));
     let mut circuit = b.build().expect("barrier bench circuit is well-formed");
@@ -35,9 +41,11 @@ fn bench_barrier(c: &mut Criterion) {
     const PHASES: u64 = 50;
     group.throughput(Throughput::Elements(PHASES));
     for threads in [2usize, 4, 8, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| run_barrier(threads, PHASES))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| run_barrier(threads, PHASES)),
+        );
     }
     group.finish();
 }

@@ -1,14 +1,18 @@
 //! Criterion bench: the elastic MD5 circuit (8 threads, full vs reduced
 //! MEBs) against the software reference — how much the cycle-accurate
 //! model costs, and that both MEB variants simulate at comparable speed
-//! (E-X3 harness).
+//! (E-X3 harness). A second group pits the event-driven dirty-set kernel
+//! against the exhaustive sweep oracle on the same circuit.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use elastic_core::MebKind;
 use elastic_md5::{algo, Md5Hasher};
+use elastic_sim::EvalMode;
 
 fn messages() -> Vec<Vec<u8>> {
-    (0..8).map(|i| format!("benchmark message number {i} padded to some length").into_bytes()).collect()
+    (0..8)
+        .map(|i| format!("benchmark message number {i} padded to some length").into_bytes())
+        .collect()
 }
 
 fn bench_circuit(c: &mut Criterion) {
@@ -22,17 +26,45 @@ fn bench_circuit(c: &mut Criterion) {
             &kind,
             |b, &kind| {
                 let hasher = Md5Hasher::new(8, kind);
-                b.iter(|| hasher.hash_messages(std::hint::black_box(&refs)).expect("hashes"))
+                b.iter(|| {
+                    hasher
+                        .hash_messages(std::hint::black_box(&refs))
+                        .expect("hashes")
+                })
             },
         );
     }
     group.bench_function("software_reference", |b| {
         b.iter(|| {
-            refs.iter().map(|m| algo::md5(std::hint::black_box(m))).collect::<Vec<_>>()
+            refs.iter()
+                .map(|m| algo::md5(std::hint::black_box(m)))
+                .collect::<Vec<_>>()
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_circuit);
+fn bench_eval_modes(c: &mut Criterion) {
+    let msgs = messages();
+    let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+    let mut group = c.benchmark_group("md5_eval_mode");
+    group.throughput(Throughput::Elements(refs.len() as u64));
+    for mode in [EvalMode::EventDriven, EvalMode::Exhaustive] {
+        group.bench_with_input(
+            BenchmarkId::new("circuit_8t_reduced", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                let hasher = Md5Hasher::new(8, MebKind::Reduced).with_eval_mode(mode);
+                b.iter(|| {
+                    hasher
+                        .hash_messages(std::hint::black_box(&refs))
+                        .expect("hashes")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_circuit, bench_eval_modes);
 criterion_main!(benches);

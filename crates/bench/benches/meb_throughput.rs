@@ -1,13 +1,16 @@
 //! Criterion bench: simulation throughput of MEB pipelines across
 //! microarchitectures and thread counts (full vs reduced vs FIFO
 //! ablation) — how expensive each buffer's control is to evaluate, and
-//! the harness behind the E-X1 throughput experiment.
+//! the harness behind the E-X1 throughput experiment. A second group
+//! compares the event-driven dirty-set kernel against the exhaustive
+//! sweep oracle on the same pipelines (see `docs/kernel.md`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use elastic_core::{MebKind, PipelineConfig, PipelineHarness};
+use elastic_sim::EvalMode;
 
-fn run_pipeline(kind: MebKind, threads: usize, cycles: u64) -> u64 {
-    let cfg = PipelineConfig::free_flowing(threads, 3, kind, cycles);
+fn run_pipeline(kind: MebKind, threads: usize, cycles: u64, mode: EvalMode) -> u64 {
+    let cfg = PipelineConfig::free_flowing(threads, 3, kind, cycles).with_eval_mode(mode);
     let mut h = PipelineHarness::build(cfg);
     h.circuit.run(cycles).expect("pipeline runs clean");
     h.sink().consumed_total()
@@ -22,12 +25,28 @@ fn bench_meb_throughput(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(kind.to_string(), threads),
                 &threads,
-                |b, &threads| b.iter(|| run_pipeline(kind, threads, CYCLES)),
+                |b, &threads| b.iter(|| run_pipeline(kind, threads, CYCLES, EvalMode::EventDriven)),
             );
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_meb_throughput);
+fn bench_eval_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_mode");
+    const CYCLES: u64 = 2_000;
+    group.throughput(Throughput::Elements(CYCLES));
+    for mode in [EvalMode::EventDriven, EvalMode::Exhaustive] {
+        for threads in [4usize, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), threads),
+                &threads,
+                |b, &threads| b.iter(|| run_pipeline(MebKind::Reduced, threads, CYCLES, mode)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_meb_throughput, bench_eval_modes);
 criterion_main!(benches);

@@ -37,8 +37,7 @@ fn bench_workloads(c: &mut Criterion) {
     for (name, source, _) in programs::all() {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let mut cpu =
-                    Cpu::from_asm(CpuConfig::new(8), source).expect("assembles");
+                let mut cpu = Cpu::from_asm(CpuConfig::new(8), source).expect("assembles");
                 cpu.run_to_halt(2_000_000).expect("halts").ipc
             })
         });

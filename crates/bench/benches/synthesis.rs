@@ -26,9 +26,11 @@ fn build_gcd(threads: usize) -> SynthCircuit<(u64, u64)> {
 fn bench_elaboration(c: &mut Criterion) {
     let mut group = c.benchmark_group("synth_elaborate");
     for threads in [1usize, 4, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| build_gcd(threads))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| build_gcd(threads)),
+        );
     }
     group.finish();
 }
@@ -37,16 +39,21 @@ fn bench_gcd_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("synth_gcd_run");
     for threads in [1usize, 4, 8] {
         group.throughput(Throughput::Elements(threads as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| {
-                let mut s = build_gcd(threads);
-                for t in 0..threads {
-                    s.push("pairs", t, (1071 + t as u64, 462)).expect("push");
-                }
-                s.run_until_outputs("gcd", threads as u64, 200_000).expect("completes");
-                s.circuit.cycle()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut s = build_gcd(threads);
+                    for t in 0..threads {
+                        s.push("pairs", t, (1071 + t as u64, 462)).expect("push");
+                    }
+                    s.run_until_outputs("gcd", threads as u64, 200_000)
+                        .expect("completes");
+                    s.circuit.cycle()
+                })
+            },
+        );
     }
     group.finish();
 }

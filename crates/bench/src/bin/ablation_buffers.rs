@@ -50,7 +50,10 @@ fn buffer_ablation() {
 fn arbiter_ablation() {
     const THREADS: usize = 4;
     println!("2. Arbiter ablation — {THREADS} always-active threads on one reduced-MEB stage\n");
-    println!("{:<14} {:>10} {:>26}", "policy", "aggregate", "per-thread min/max");
+    println!(
+        "{:<14} {:>10} {:>26}",
+        "policy", "aggregate", "per-thread min/max"
+    );
     println!("{}", "-".repeat(54));
     for arbiter in ArbiterKind::all() {
         let mut cfg = PipelineConfig::free_flowing(THREADS, 1, MebKind::Reduced, 800);
@@ -60,7 +63,9 @@ fn arbiter_ablation() {
         h.circuit.reset_stats();
         h.circuit.run(400).expect("ablation runs clean");
         let out = h.pipeline.output;
-        let per: Vec<f64> = (0..THREADS).map(|t| h.circuit.stats().throughput(out, t)).collect();
+        let per: Vec<f64> = (0..THREADS)
+            .map(|t| h.circuit.stats().throughput(out, t))
+            .collect();
         let min = per.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = per.iter().cloned().fold(0.0_f64, f64::max);
         println!(

@@ -19,14 +19,23 @@ fn measure(kind: MebKind, stall: bool) -> OccupancyStats {
         // Irregular stalls on half the threads so backpressure actually
         // bites (deterministic per-cycle hash, no periodic resonance).
         for t in 0..THREADS / 2 {
-            cfg = cfg.with_sink_policy(t, ReadyPolicy::Random { p: 0.25, seed: 11 + t as u64 });
+            cfg = cfg.with_sink_policy(
+                t,
+                ReadyPolicy::Random {
+                    p: 0.25,
+                    seed: 11 + t as u64,
+                },
+            );
         }
     }
     let mut h = PipelineHarness::build(cfg);
     h.circuit.enable_trace();
     h.circuit.run(600).expect("runs clean");
     let stats = occupancy_stats(h.circuit.trace().expect("traced"));
-    stats.get(&h.pipeline.meb_names[0]).expect("meb snapshots present").clone()
+    stats
+        .get(&h.pipeline.meb_names[0])
+        .expect("meb snapshots present")
+        .clone()
 }
 
 fn aux_busy(stats: &OccupancyStats) -> (f64, f64) {
@@ -40,7 +49,10 @@ fn aux_busy(stats: &OccupancyStats) -> (f64, f64) {
             aux_n += 1;
         }
     }
-    (main_sum / main_n.max(1) as f64, aux_sum / aux_n.max(1) as f64)
+    (
+        main_sum / main_n.max(1) as f64,
+        aux_sum / aux_n.max(1) as f64,
+    )
 }
 
 fn main() {

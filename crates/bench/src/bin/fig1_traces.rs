@@ -14,14 +14,22 @@
 
 use elastic_core::{ArbiterKind, MebKind};
 use elastic_sim::{
-    CircuitBuilder, GridTrace, LatencyModel, ReadyPolicy, RowSpec, Sink, Source, Tagged,
-    VarLatency,
+    CircuitBuilder, GridTrace, LatencyModel, ReadyPolicy, RowSpec, Sink, Source, Tagged, VarLatency,
 };
 
 /// Thread A's bursty arrival pattern: tokens released in clumps.
 fn thread_a_schedule() -> Vec<(u64, u64)> {
     // (release cycle, sequence) — bursts of 2–3 with gaps.
-    vec![(0, 0), (1, 1), (5, 2), (6, 3), (7, 4), (12, 5), (13, 6), (18, 7)]
+    vec![
+        (0, 0),
+        (1, 1),
+        (5, 2),
+        (6, 3),
+        (7, 4),
+        (12, 5),
+        (13, 6),
+        (18, 7),
+    ]
 }
 
 fn run_variant(threads: usize, b_tokens: u64) -> (f64, String) {
@@ -52,7 +60,11 @@ fn run_variant(threads: usize, b_tokens: u64) -> (f64, String) {
         computed,
         threads,
         2,
-        LatencyModel::Uniform { min: 1, max: 2, seed: 7 },
+        LatencyModel::Uniform {
+            min: 1,
+            max: 2,
+            seed: 7,
+        },
     ));
     b.add(Sink::new("snk", computed, threads, ReadyPolicy::Always));
     let mut circuit = b.build().expect("fig1 circuit is well-formed");

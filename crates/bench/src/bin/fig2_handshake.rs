@@ -8,9 +8,7 @@
 //! ```
 
 use elastic_core::ElasticBuffer;
-use elastic_sim::{
-    render_waveform, CircuitBuilder, ReadyPolicy, Sink, Source,
-};
+use elastic_sim::{render_waveform, CircuitBuilder, ReadyPolicy, Sink, Source};
 
 fn main() {
     let mut b = CircuitBuilder::<String>::new();
@@ -24,7 +22,16 @@ fn main() {
     b.add(src);
     b.add(ElasticBuffer::new("eb0", input, mid));
     b.add(ElasticBuffer::new("eb1", mid, output));
-    b.add(Sink::new("snk", output, 1, ReadyPolicy::Period { on: 2, off: 1, phase: 1 }));
+    b.add(Sink::new(
+        "snk",
+        output,
+        1,
+        ReadyPolicy::Period {
+            on: 2,
+            off: 1,
+            phase: 1,
+        },
+    ));
     let mut circuit = b.build().expect("fig2 circuit is well-formed");
     circuit.enable_trace();
     circuit.run(12).expect("fig2 runs clean");

@@ -18,7 +18,10 @@ use elastic_sim::GridTrace;
 fn main() {
     let long = std::env::args().any(|a| a == "--long");
 
-    for (kind, figure) in [(MebKind::Full, "Fig. 5(a)"), (MebKind::Reduced, "Fig. 5(b)")] {
+    for (kind, figure) in [
+        (MebKind::Full, "Fig. 5(a)"),
+        (MebKind::Reduced, "Fig. 5(b)"),
+    ] {
         let setup = Fig5Setup::paper(kind);
         let h = fig5_harness(&setup);
         println!(
@@ -27,7 +30,14 @@ fn main() {
             setup.stall_from, setup.stall_to
         );
         let grid = GridTrace::new(fig5_rows(&h, kind));
-        println!("{}", grid.render(h.circuit.trace().expect("trace enabled"), 0, setup.cycles - 1));
+        println!(
+            "{}",
+            grid.render(
+                h.circuit.trace().expect("trace enabled"),
+                0,
+                setup.cycles - 1
+            )
+        );
         let out = h.pipeline.output;
         println!(
             "delivered: thread A {} tokens, thread B {} tokens in {} cycles\n",
@@ -38,7 +48,9 @@ fn main() {
     }
 
     if long {
-        println!("Sec. III-A worst case: all threads but A blocked, stall propagated to the source");
+        println!(
+            "Sec. III-A worst case: all threads but A blocked, stall propagated to the source"
+        );
         println!("(this is the only behavioural difference between the two MEBs)\n");
         for kind in [MebKind::Full, MebKind::Reduced] {
             let r = reduced_worstcase(kind, 2, 4);

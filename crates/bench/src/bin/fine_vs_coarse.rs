@@ -47,7 +47,16 @@ fn pipeline_latency(arbiter: ArbiterKind) -> (f64, u64) {
     b.add_boxed(
         MebKind::Fifo { depth: 8 }.build_with::<Tagged>("meb", input, output, THREADS, arbiter),
     );
-    b.add(Sink::with_capture("snk", output, THREADS, ReadyPolicy::Period { on: 2, off: 1, phase: 0 }));
+    b.add(Sink::with_capture(
+        "snk",
+        output,
+        THREADS,
+        ReadyPolicy::Period {
+            on: 2,
+            off: 1,
+            phase: 0,
+        },
+    ));
     let mut circuit = b.build().expect("latency circuit is well-formed");
     circuit.run(450).expect("runs clean");
     // Latency = delivery cycle − the token's scheduled release cycle (the

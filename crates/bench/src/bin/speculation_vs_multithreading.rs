@@ -30,7 +30,10 @@ fn main() {
             continue;
         }
         println!("workload `{name}` — useful IPC (wrong-path squashes in parentheses)\n");
-        println!("{:<10} {:>16} {:>24}", "threads", "stall-on-branch", "predict-not-taken");
+        println!(
+            "{:<10} {:>16} {:>24}",
+            "threads", "stall-on-branch", "predict-not-taken"
+        );
         println!("{}", "-".repeat(52));
         for threads in [1usize, 2, 4, 8] {
             let (base_ipc, _) = run(threads, false, source);

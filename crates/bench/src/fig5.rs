@@ -26,7 +26,14 @@ impl Fig5Setup {
     /// The paper's scenario: 2 stages, B stalls for a handful of cycles,
     /// then is released.
     pub fn paper(kind: MebKind) -> Self {
-        Self { kind, stages: 2, tokens_per_thread: 8, stall_from: 3, stall_to: 8, cycles: 24 }
+        Self {
+            kind,
+            stages: 2,
+            tokens_per_thread: 8,
+            stall_from: 3,
+            stall_to: 8,
+            cycles: 24,
+        }
     }
 }
 
@@ -38,10 +45,18 @@ impl Fig5Setup {
 /// Panics if the simulation reports a protocol error (it must not).
 pub fn fig5_harness(setup: &Fig5Setup) -> PipelineHarness {
     let cfg = PipelineConfig::free_flowing(2, setup.stages, setup.kind, setup.tokens_per_thread)
-        .with_sink_policy(1, ReadyPolicy::StallWindow { from: setup.stall_from, to: setup.stall_to });
+        .with_sink_policy(
+            1,
+            ReadyPolicy::StallWindow {
+                from: setup.stall_from,
+                to: setup.stall_to,
+            },
+        );
     let mut h = PipelineHarness::build(cfg);
     h.circuit.enable_trace();
-    h.circuit.run(setup.cycles).expect("fig5 pipeline runs clean");
+    h.circuit
+        .run(setup.cycles)
+        .expect("fig5 pipeline runs clean");
     h
 }
 
@@ -53,25 +68,44 @@ pub fn fig5_rows(h: &PipelineHarness, kind: MebKind) -> Vec<RowSpec> {
         match kind {
             MebKind::Full => {
                 for t in 0..2 {
-                    rows.push(RowSpec::slot(name, format!("main[{t}]"), format!("MEB#{i} main[{t}]")));
-                    rows.push(RowSpec::slot(name, format!("aux[{t}]"), format!("MEB#{i} aux[{t}]")));
+                    rows.push(RowSpec::slot(
+                        name,
+                        format!("main[{t}]"),
+                        format!("MEB#{i} main[{t}]"),
+                    ));
+                    rows.push(RowSpec::slot(
+                        name,
+                        format!("aux[{t}]"),
+                        format!("MEB#{i} aux[{t}]"),
+                    ));
                 }
             }
             MebKind::Reduced => {
                 for t in 0..2 {
-                    rows.push(RowSpec::slot(name, format!("main[{t}]"), format!("MEB#{i} main[{t}]")));
+                    rows.push(RowSpec::slot(
+                        name,
+                        format!("main[{t}]"),
+                        format!("MEB#{i} main[{t}]"),
+                    ));
                 }
                 rows.push(RowSpec::slot(name, "shared", format!("MEB#{i} shared")));
             }
             MebKind::Fifo { depth } => {
                 for t in 0..2 {
                     for d in 0..depth {
-                        rows.push(RowSpec::slot(name, format!("q[{t}][{d}]"), format!("MEB#{i} q[{t}][{d}]")));
+                        rows.push(RowSpec::slot(
+                            name,
+                            format!("q[{t}][{d}]"),
+                            format!("MEB#{i} q[{t}][{d}]"),
+                        ));
                     }
                 }
             }
         }
-        rows.push(RowSpec::channel(h.pipeline.channels[i + 1], format!("Channel {i}")));
+        rows.push(RowSpec::channel(
+            h.pipeline.channels[i + 1],
+            format!("Channel {i}"),
+        ));
     }
     rows.pop();
     rows.push(RowSpec::channel(h.pipeline.output, "Output"));
@@ -113,11 +147,14 @@ mod tests {
         // During the stall, some MEB's shared slot must hold a B token.
         let some_shared_b = trace.records().iter().any(|r| {
             r.slots.values().any(|slots| {
-                slots
-                    .iter()
-                    .any(|s| s.name == "shared" && s.occupant.as_ref().is_some_and(|(t, _)| *t == 1))
+                slots.iter().any(|s| {
+                    s.name == "shared" && s.occupant.as_ref().is_some_and(|(t, _)| *t == 1)
+                })
             })
         });
-        assert!(some_shared_b, "shared register never held the stalled thread");
+        assert!(
+            some_shared_b,
+            "shared register never held the stalled thread"
+        );
     }
 }

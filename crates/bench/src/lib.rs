@@ -12,6 +12,4 @@ pub mod fig5;
 pub mod throughput;
 
 pub use fig5::{fig5_harness, fig5_rows, Fig5Setup};
-pub use throughput::{
-    measure_throughput, reduced_worstcase, ThroughputPoint, WorstcaseResult,
-};
+pub use throughput::{measure_throughput, reduced_worstcase, ThroughputPoint, WorstcaseResult};

@@ -51,7 +51,9 @@ pub fn measure_throughput(
     let mut h = PipelineHarness::build(cfg);
     h.circuit.run(warmup).expect("warmup runs clean");
     h.circuit.reset_stats();
-    h.circuit.run(measure_cycles).expect("measurement runs clean");
+    h.circuit
+        .run(measure_cycles)
+        .expect("measurement runs clean");
     let out = h.pipeline.output;
     let per_thread = (0..active)
         .map(|t| h.circuit.stats().throughput(out, t))
@@ -99,7 +101,9 @@ pub fn reduced_worstcase(kind: MebKind, threads: usize, stages: usize) -> Worstc
     let mut h = PipelineHarness::build(cfg);
     h.circuit.run(warmup).expect("warmup runs clean");
     h.circuit.reset_stats();
-    h.circuit.run(measure_cycles).expect("measurement runs clean");
+    h.circuit
+        .run(measure_cycles)
+        .expect("measurement runs clean");
     WorstcaseResult {
         kind,
         stages,
@@ -124,7 +128,11 @@ mod tests {
                     p.per_thread,
                     expect
                 );
-                assert!(p.aggregate > 0.9, "{kind} M={active}: aggregate {:.3}", p.aggregate);
+                assert!(
+                    p.aggregate > 0.9,
+                    "{kind} M={active}: aggregate {:.3}",
+                    p.aggregate
+                );
             }
         }
     }
@@ -134,7 +142,11 @@ mod tests {
     fn worstcase_separates_full_from_reduced() {
         let full = reduced_worstcase(MebKind::Full, 2, 4);
         let reduced = reduced_worstcase(MebKind::Reduced, 2, 4);
-        assert!(full.active_throughput > 0.93, "full: {:.3}", full.active_throughput);
+        assert!(
+            full.active_throughput > 0.93,
+            "full: {:.3}",
+            full.active_throughput
+        );
         assert!(
             (reduced.active_throughput - 0.5).abs() < 0.06,
             "reduced: {:.3}",

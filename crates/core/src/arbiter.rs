@@ -82,7 +82,9 @@ impl Arbiter for RoundRobin {
         if n == 0 {
             return None;
         }
-        (0..n).map(|off| (self.next + off) % n).find(|&t| requests[t])
+        (0..n)
+            .map(|off| (self.next + off) % n)
+            .find(|&t| requests[t])
     }
 
     fn commit(&mut self, granted: usize) {
@@ -157,7 +159,11 @@ impl CoarseGrained {
     /// Panics if `quantum == 0` (that would never grant anybody).
     pub fn new(quantum: u32) -> Self {
         assert!(quantum > 0, "quantum must be at least 1");
-        Self { quantum, current: 0, used: 0 }
+        Self {
+            quantum,
+            current: 0,
+            used: 0,
+        }
     }
 
     /// The configured quantum.
@@ -176,7 +182,9 @@ impl Arbiter for CoarseGrained {
         if self.current < n && requests[self.current] && self.used < self.quantum {
             return Some(self.current);
         }
-        (1..=n).map(|off| (self.current + off) % n).find(|&t| requests[t])
+        (1..=n)
+            .map(|off| (self.current + off) % n)
+            .find(|&t| requests[t])
     }
 
     fn commit(&mut self, granted: usize) {

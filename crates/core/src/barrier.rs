@@ -15,7 +15,7 @@
 //! realized in elastic handshake logic.
 
 use elastic_sim::{
-    impl_as_any, ChannelId, Component, EvalCtx, Ports, SlotView, TickCtx, Token,
+    impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, SlotView, TickCtx, Token,
 };
 
 /// Per-thread barrier FSM state (paper, Fig. 8).
@@ -123,7 +123,10 @@ impl<T: Token> Barrier<T> {
     #[must_use]
     pub fn with_participants(mut self, mask: Vec<bool>) -> Self {
         assert_eq!(mask.len(), self.threads, "participant mask length mismatch");
-        assert!(mask.iter().any(|&p| p), "a barrier needs at least one participant");
+        assert!(
+            mask.iter().any(|&p| p),
+            "a barrier needs at least one participant"
+        );
         self.participant = mask;
         self
     }
@@ -236,6 +239,10 @@ impl<T: Token> Component<T> for Barrier<T> {
             .collect()
     }
 
+    fn next_event(&self, _now: u64) -> NextEvent {
+        NextEvent::Idle
+    }
+
     impl_as_any!();
 }
 
@@ -244,7 +251,7 @@ mod tests {
     use super::*;
     use crate::arbiter::ArbiterKind;
     use crate::meb::ReducedMeb;
-    use elastic_sim::{CircuitBuilder, Circuit, ReadyPolicy, Sink, Source, Tagged};
+    use elastic_sim::{Circuit, CircuitBuilder, ReadyPolicy, Sink, Source, Tagged};
 
     /// Builds src → MEB → barrier → sink over `threads` threads.
     fn barrier_fixture(
@@ -262,7 +269,13 @@ mod tests {
             seq[t] += 1;
         }
         b.add(src);
-        b.add(ReducedMeb::new("meb", x, m, threads, ArbiterKind::RoundRobin.build()));
+        b.add(ReducedMeb::new(
+            "meb",
+            x,
+            m,
+            threads,
+            ArbiterKind::RoundRobin.build(),
+        ));
         b.add(Barrier::new("bar", m, y, threads));
         b.add(Sink::with_capture("snk", y, threads, ReadyPolicy::Always));
         (b.build().expect("valid"), y)
@@ -272,7 +285,11 @@ mod tests {
     fn nobody_passes_until_all_arrive() {
         let (mut circuit, y) = barrier_fixture(3, &[(0, 0), (1, 4), (2, 12)]);
         circuit.run(11).expect("clean");
-        assert_eq!(circuit.stats().total_transfers(y), 0, "barrier still closed");
+        assert_eq!(
+            circuit.stats().total_transfers(y),
+            0,
+            "barrier still closed"
+        );
         circuit.run(20).expect("clean");
         assert_eq!(circuit.stats().total_transfers(y), 3, "all released");
     }
@@ -285,7 +302,10 @@ mod tests {
         let cycles: Vec<u64> = (0..3).map(|t| snk.captured(t)[0].0).collect();
         let last_arrival = 8;
         for (t, &c) in cycles.iter().enumerate() {
-            assert!(c > last_arrival, "thread {t} released at {c}, before the last arrival");
+            assert!(
+                c > last_arrival,
+                "thread {t} released at {c}, before the last arrival"
+            );
         }
         // Release is tight: all three pass within a few cycles of each
         // other (serialized on one channel).
@@ -296,12 +316,16 @@ mod tests {
     #[test]
     fn barrier_reopens_for_successive_phases() {
         // Every thread passes the barrier three times (three phases).
-        let arrivals: Vec<(usize, u64)> =
-            (0..3).flat_map(|phase| (0..2).map(move |t| (t, 10 * phase))).collect();
+        let arrivals: Vec<(usize, u64)> = (0..3)
+            .flat_map(|phase| (0..2).map(move |t| (t, 10 * phase)))
+            .collect();
         let (mut circuit, y) = barrier_fixture(2, &arrivals);
         circuit.run(80).expect("clean");
         assert_eq!(circuit.stats().total_transfers(y), 6);
-        let bar: &Barrier<Tagged> = circuit.component("bar").and_then(|_| circuit.get("bar")).expect("barrier");
+        let bar: &Barrier<Tagged> = circuit
+            .component("bar")
+            .and_then(|_| circuit.get("bar"))
+            .expect("barrier");
         assert_eq!(bar.releases(), 3);
         assert_eq!(bar.count(), 0);
         for t in 0..2 {

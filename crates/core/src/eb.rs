@@ -7,7 +7,7 @@
 //! the paper's Fig. 6: EMPTY, HALF (one item) and FULL (two items).
 
 use elastic_sim::{
-    impl_as_any, ChannelId, Component, EvalCtx, Ports, SlotView, TickCtx, Token,
+    impl_as_any, ChannelId, Component, EvalCtx, Ports, ProtocolError, SlotView, TickCtx, Token,
 };
 
 /// Occupancy state of a (per-thread) elastic buffer control FSM.
@@ -39,21 +39,24 @@ impl EbState {
     /// Applies one clock edge given whether an enqueue and/or a dequeue
     /// fired this cycle.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on protocol violations: enqueueing into FULL or dequeueing
-    /// from EMPTY (the surrounding control must never let these fire).
-    pub fn advance(self, enq: bool, deq: bool) -> EbState {
+    /// Returns a [`ProtocolError`] on violations — enqueueing into FULL or
+    /// dequeueing from EMPTY (the surrounding control must never let these
+    /// fire). Inside a running circuit the buffer latches the error and
+    /// the kernel surfaces it as
+    /// [`SimError::Component`](elastic_sim::SimError::Component).
+    pub fn advance(self, enq: bool, deq: bool) -> Result<EbState, ProtocolError> {
         match (self, enq, deq) {
-            (s, false, false) => s,
-            (EbState::Empty, true, false) => EbState::Half,
-            (EbState::Half, true, false) => EbState::Full,
-            (EbState::Half, false, true) => EbState::Empty,
-            (EbState::Half, true, true) => EbState::Half,
-            (EbState::Full, false, true) => EbState::Half,
-            (EbState::Full, true, true) => EbState::Full,
-            (EbState::Empty, _, true) => panic!("EB protocol violation: dequeue from EMPTY"),
-            (EbState::Full, true, false) => panic!("EB protocol violation: enqueue into FULL"),
+            (s, false, false) => Ok(s),
+            (EbState::Empty, true, false) => Ok(EbState::Half),
+            (EbState::Half, true, false) => Ok(EbState::Full),
+            (EbState::Half, false, true) => Ok(EbState::Empty),
+            (EbState::Half, true, true) => Ok(EbState::Half),
+            (EbState::Full, false, true) => Ok(EbState::Half),
+            (EbState::Full, true, true) => Ok(EbState::Full),
+            (EbState::Empty, _, true) => Err(ProtocolError::BufferUnderflow),
+            (EbState::Full, true, false) => Err(ProtocolError::BufferOverflow),
         }
     }
 }
@@ -95,12 +98,22 @@ pub struct ElasticBuffer<T: Token> {
     main: Option<T>,
     /// Second item, used only while FULL.
     aux: Option<T>,
+    /// Protocol fault latched at a clock edge, collected by the kernel.
+    fault: Option<ProtocolError>,
 }
 
 impl<T: Token> ElasticBuffer<T> {
     /// An empty EB between `inp` and `out` (both single-thread channels).
     pub fn new(name: impl Into<String>, inp: ChannelId, out: ChannelId) -> Self {
-        Self { name: name.into(), inp, out, state: EbState::Empty, main: None, aux: None }
+        Self {
+            name: name.into(),
+            inp,
+            out,
+            state: EbState::Empty,
+            main: None,
+            aux: None,
+            fault: None,
+        }
     }
 
     /// Current occupancy state.
@@ -151,12 +164,26 @@ impl<T: Token> Component<T> for ElasticBuffer<T> {
                 self.aux = item;
             }
         }
-        self.state = self.state.advance(enq, deq);
+        match self.state.advance(enq, deq) {
+            Ok(next) => self.state = next,
+            Err(e) => {
+                self.fault = Some(e);
+                return;
+            }
+        }
         debug_assert_eq!(
             self.state.occupancy(),
             usize::from(self.main.is_some()) + usize::from(self.aux.is_some()),
             "EB state must agree with register occupancy"
         );
+    }
+
+    fn take_fault(&mut self) -> Option<ProtocolError> {
+        self.fault.take()
+    }
+
+    fn next_event(&self, _now: u64) -> elastic_sim::NextEvent {
+        elastic_sim::NextEvent::Idle
     }
 
     fn slots(&self) -> Vec<SlotView> {
@@ -178,25 +205,33 @@ mod tests {
     #[test]
     fn fsm_transitions_match_the_paper() {
         use EbState::*;
-        assert_eq!(Empty.advance(true, false), Half);
-        assert_eq!(Half.advance(true, false), Full);
-        assert_eq!(Half.advance(false, true), Empty);
-        assert_eq!(Half.advance(true, true), Half);
-        assert_eq!(Full.advance(false, true), Half);
-        assert_eq!(Full.advance(true, true), Full);
-        assert_eq!(Empty.advance(false, false), Empty);
+        assert_eq!(Empty.advance(true, false), Ok(Half));
+        assert_eq!(Half.advance(true, false), Ok(Full));
+        assert_eq!(Half.advance(false, true), Ok(Empty));
+        assert_eq!(Half.advance(true, true), Ok(Half));
+        assert_eq!(Full.advance(false, true), Ok(Half));
+        assert_eq!(Full.advance(true, true), Ok(Full));
+        assert_eq!(Empty.advance(false, false), Ok(Empty));
     }
 
     #[test]
-    #[should_panic(expected = "dequeue from EMPTY")]
     fn fsm_rejects_underflow() {
-        EbState::Empty.advance(false, true);
+        assert_eq!(
+            EbState::Empty.advance(false, true),
+            Err(ProtocolError::BufferUnderflow)
+        );
+        assert_eq!(
+            EbState::Empty.advance(true, true),
+            Err(ProtocolError::BufferUnderflow)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "enqueue into FULL")]
     fn fsm_rejects_overflow() {
-        EbState::Full.advance(true, false);
+        assert_eq!(
+            EbState::Full.advance(true, false),
+            Err(ProtocolError::BufferOverflow)
+        );
     }
 
     fn eb_chain(n_ebs: usize, tokens: u64, sink: ReadyPolicy) -> (u64, Vec<u64>) {
@@ -210,7 +245,9 @@ mod tests {
         }
         b.add(Sink::with_capture("snk", chs[n_ebs], 1, sink));
         let mut circuit = b.build().expect("valid");
-        circuit.run(4 * tokens + 4 * n_ebs as u64 + 10).expect("clean");
+        circuit
+            .run(4 * tokens + 4 * n_ebs as u64 + 10)
+            .expect("clean");
         let snk: &Sink<u64> = circuit.get("snk").expect("sink");
         let outs = snk.captured(0).iter().map(|(_, t)| *t).collect();
         (snk.consumed(0), outs)

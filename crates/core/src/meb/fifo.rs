@@ -10,7 +10,8 @@
 use std::collections::VecDeque;
 
 use elastic_sim::{
-    impl_as_any, ChannelId, Component, EvalCtx, Ports, SlotView, TickCtx, Token,
+    impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, ProtocolError, SlotView, TickCtx,
+    Token,
 };
 
 use crate::arbiter::Arbiter;
@@ -50,7 +51,9 @@ impl<T: Token> FifoMeb<T> {
             out,
             threads,
             depth,
-            queues: (0..threads).map(|_| VecDeque::with_capacity(depth)).collect(),
+            queues: (0..threads)
+                .map(|_| VecDeque::with_capacity(depth))
+                .collect(),
             arbiter,
             select: SelectState::new(),
         }
@@ -59,21 +62,28 @@ impl<T: Token> FifoMeb<T> {
     /// Pre-loads tokens before the first cycle (the dataflow "initial
     /// token on the back edge"), at most `depth` per thread, in order.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::ExcessInitialTokens`] if a thread receives
+    /// more than `depth` initial tokens.
+    ///
     /// # Panics
     ///
-    /// Panics if a thread receives more than `depth` initial tokens or
-    /// the thread index is out of range.
-    #[must_use]
-    pub fn with_initial(mut self, tokens: impl IntoIterator<Item = (usize, T)>) -> Self {
+    /// Panics if a thread index is out of range.
+    pub fn with_initial(
+        mut self,
+        tokens: impl IntoIterator<Item = (usize, T)>,
+    ) -> Result<Self, ProtocolError> {
         for (t, tok) in tokens {
-            assert!(
-                self.queues[t].len() < self.depth,
-                "thread {t} given more than {} initial tokens",
-                self.depth
-            );
+            if self.queues[t].len() >= self.depth {
+                return Err(ProtocolError::ExcessInitialTokens {
+                    thread: t,
+                    capacity: self.depth,
+                });
+            }
             self.queues[t].push_back(tok);
         }
-        self
+        Ok(self)
     }
 
     /// Items stored for `thread`.
@@ -111,7 +121,10 @@ impl<T: Token> Component<T> for FifoMeb<T> {
             ctx.set_ready(self.inp, t, self.queues[t].len() < self.depth);
         }
         let has: Vec<bool> = self.queues.iter().map(|q| !q.is_empty()).collect();
-        match self.select.select(ctx, self.out, self.arbiter.as_ref(), &has) {
+        match self
+            .select
+            .select(ctx, self.out, self.arbiter.as_ref(), &has)
+        {
             Some(t) => {
                 let head = self.queues[t].front().cloned().expect("non-empty queue");
                 ctx.drive_token(self.out, t, head);
@@ -145,6 +158,10 @@ impl<T: Token> Component<T> for FifoMeb<T> {
         out
     }
 
+    fn next_event(&self, _now: u64) -> NextEvent {
+        NextEvent::Idle
+    }
+
     impl_as_any!();
 }
 
@@ -161,7 +178,14 @@ mod tests {
         let mut src = Source::new("src", a, 1);
         src.extend(0, 0..cycles);
         b.add(src);
-        b.add(FifoMeb::new("meb", a, c, 1, depth, ArbiterKind::RoundRobin.build()));
+        b.add(FifoMeb::new(
+            "meb",
+            a,
+            c,
+            1,
+            depth,
+            ArbiterKind::RoundRobin.build(),
+        ));
         b.add(Sink::new("snk", c, 1, ReadyPolicy::Always));
         let mut circuit = b.build().expect("valid");
         circuit.run(cycles).expect("clean");
@@ -190,7 +214,14 @@ mod tests {
         let mut src = Source::new("src", a, 1);
         src.extend(0, 0..20u64);
         b.add(src);
-        b.add(FifoMeb::new("meb", a, c, 1, 5, ArbiterKind::RoundRobin.build()));
+        b.add(FifoMeb::new(
+            "meb",
+            a,
+            c,
+            1,
+            5,
+            ArbiterKind::RoundRobin.build(),
+        ));
         b.add(Sink::new("snk", c, 1, ReadyPolicy::Never));
         let mut circuit = b.build().expect("valid");
         circuit.run(20).expect("clean");

@@ -8,7 +8,8 @@
 //! which the reduced MEB eliminates.
 
 use elastic_sim::{
-    impl_as_any, ChannelId, Component, EvalCtx, Ports, SlotView, TickCtx, Token,
+    impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, ProtocolError, SlotView, TickCtx,
+    Token,
 };
 
 use crate::arbiter::Arbiter;
@@ -81,22 +82,31 @@ impl<T: Token> FullMeb<T> {
     /// Pre-loads tokens before the first cycle (the dataflow "initial
     /// token on the back edge"), at most two per thread.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::ExcessInitialTokens`] if a thread receives
+    /// more than two initial tokens.
+    ///
     /// # Panics
     ///
-    /// Panics if a thread receives more than two initial tokens or the
-    /// thread index is out of range.
-    #[must_use]
-    pub fn with_initial(mut self, tokens: impl IntoIterator<Item = (usize, T)>) -> Self {
+    /// Panics if a thread index is out of range.
+    pub fn with_initial(
+        mut self,
+        tokens: impl IntoIterator<Item = (usize, T)>,
+    ) -> Result<Self, ProtocolError> {
         for (t, tok) in tokens {
             if self.main[t].is_none() {
                 self.main[t] = Some(tok);
             } else if self.aux[t].is_none() {
                 self.aux[t] = Some(tok);
             } else {
-                panic!("thread {t} given more than two initial tokens");
+                return Err(ProtocolError::ExcessInitialTokens {
+                    thread: t,
+                    capacity: 2,
+                });
             }
         }
-        self
+        Ok(self)
     }
 
     /// Items stored for `thread` (0–2).
@@ -131,9 +141,14 @@ impl<T: Token> Component<T> for FullMeb<T> {
         }
         // Downstream valid: arbiter over threads with data.
         let has: Vec<bool> = (0..self.threads).map(|t| self.main[t].is_some()).collect();
-        match self.select.select(ctx, self.out, self.arbiter.as_ref(), &has) {
+        match self
+            .select
+            .select(ctx, self.out, self.arbiter.as_ref(), &has)
+        {
             Some(t) => {
-                let head = self.main[t].clone().expect("selected thread has a head item");
+                let head = self.main[t]
+                    .clone()
+                    .expect("selected thread has a head item");
                 ctx.drive_token(self.out, t, head);
             }
             None => ctx.drive_idle(self.out),
@@ -168,6 +183,10 @@ impl<T: Token> Component<T> for FullMeb<T> {
             out.push(view(format!("aux[{t}]"), &self.aux[t]));
         }
         out
+    }
+
+    fn next_event(&self, _now: u64) -> NextEvent {
+        NextEvent::Idle
     }
 
     impl_as_any!();
@@ -211,7 +230,13 @@ mod tests {
         src.extend(0, tagged_stream(0, 10));
         src.extend(1, tagged_stream(1, 10));
         b.add(src);
-        b.add(FullMeb::new("meb", a, c, 2, ArbiterKind::RoundRobin.build()));
+        b.add(FullMeb::new(
+            "meb",
+            a,
+            c,
+            2,
+            ArbiterKind::RoundRobin.build(),
+        ));
         let mut sink = Sink::with_capture("snk", c, 2, ReadyPolicy::Always);
         sink.set_policy(0, ReadyPolicy::Never);
         b.add(sink);
@@ -233,7 +258,13 @@ mod tests {
         src.extend(0, tagged_stream(0, 50));
         src.extend(1, tagged_stream(1, 50));
         b.add(src);
-        b.add(FullMeb::new("meb", a, c, 2, ArbiterKind::RoundRobin.build()));
+        b.add(FullMeb::new(
+            "meb",
+            a,
+            c,
+            2,
+            ArbiterKind::RoundRobin.build(),
+        ));
         b.add(Sink::new("snk", c, 2, ReadyPolicy::Always));
         let mut circuit = b.build().expect("valid");
         circuit.run(40).expect("clean");
@@ -254,8 +285,19 @@ mod tests {
             src.extend(t, tagged_stream(t, 20));
         }
         b.add(src);
-        b.add(FullMeb::new("meb", a, c, 3, ArbiterKind::RoundRobin.build()));
-        b.add(Sink::with_capture("snk", c, 3, ReadyPolicy::Random { p: 0.5, seed: 3 }));
+        b.add(FullMeb::new(
+            "meb",
+            a,
+            c,
+            3,
+            ArbiterKind::RoundRobin.build(),
+        ));
+        b.add(Sink::with_capture(
+            "snk",
+            c,
+            3,
+            ReadyPolicy::Random { p: 0.5, seed: 3 },
+        ));
         let mut circuit = b.build().expect("valid");
         circuit.run(400).expect("clean");
         let snk: &Sink<Tagged> = circuit.get("snk").expect("sink");

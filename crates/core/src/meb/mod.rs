@@ -17,7 +17,7 @@ pub use fifo::FifoMeb;
 pub use full::FullMeb;
 pub use reduced::ReducedMeb;
 
-use elastic_sim::{ChannelId, Component, Token};
+use elastic_sim::{ChannelId, Component, ProtocolError, Token};
 
 use crate::arbiter::{Arbiter, ArbiterKind};
 
@@ -58,9 +58,10 @@ impl MebKind {
     /// dataflow "token on the back edge"; see the per-kind `with_initial`
     /// for capacity limits).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the initial tokens exceed the kind's per-thread capacity.
+    /// Returns [`ProtocolError::ExcessInitialTokens`] if the initial
+    /// tokens exceed the kind's per-thread capacity.
     pub fn build_initial<T: Token>(
         self,
         name: impl Into<String>,
@@ -69,18 +70,18 @@ impl MebKind {
         threads: usize,
         arbiter: Box<dyn Arbiter>,
         initial: Vec<(usize, T)>,
-    ) -> Box<dyn Component<T>> {
-        match self {
+    ) -> Result<Box<dyn Component<T>>, ProtocolError> {
+        Ok(match self {
             MebKind::Full => {
-                Box::new(FullMeb::new(name, inp, out, threads, arbiter).with_initial(initial))
+                Box::new(FullMeb::new(name, inp, out, threads, arbiter).with_initial(initial)?)
             }
             MebKind::Reduced => {
-                Box::new(ReducedMeb::new(name, inp, out, threads, arbiter).with_initial(initial))
+                Box::new(ReducedMeb::new(name, inp, out, threads, arbiter).with_initial(initial)?)
             }
             MebKind::Fifo { depth } => Box::new(
-                FifoMeb::new(name, inp, out, threads, depth, arbiter).with_initial(initial),
+                FifoMeb::new(name, inp, out, threads, depth, arbiter).with_initial(initial)?,
             ),
-        }
+        })
     }
 
     /// Same, with a freshly built arbiter of the given kind.
@@ -138,14 +139,17 @@ mod tests {
             src.push(0, Tagged::new(0, 10, 10));
             src.push(1, Tagged::new(1, 10, 10));
             b.add(src);
-            b.add_boxed(kind.build_initial::<Tagged>(
-                "meb",
-                a,
-                c,
-                2,
-                ArbiterKind::RoundRobin.build(),
-                vec![(0, Tagged::new(0, 0, 0)), (1, Tagged::new(1, 0, 0))],
-            ));
+            b.add_boxed(
+                kind.build_initial::<Tagged>(
+                    "meb",
+                    a,
+                    c,
+                    2,
+                    ArbiterKind::RoundRobin.build(),
+                    vec![(0, Tagged::new(0, 0, 0)), (1, Tagged::new(1, 0, 0))],
+                )
+                .expect("initial tokens fit"),
+            );
             b.add(Sink::with_capture("snk", c, 2, ReadyPolicy::Always));
             let mut circuit = b.build().expect("valid");
             circuit.run(12).expect("clean");
@@ -158,14 +162,49 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "more than one initial token")]
     fn reduced_rejects_two_initial_tokens_per_thread() {
         use elastic_sim::CircuitBuilder;
         let mut b = CircuitBuilder::<u64>::new();
         let a = b.channel("a", 1);
         let c = b.channel("c", 1);
-        let _ = crate::meb::ReducedMeb::<u64>::new("m", a, c, 1, ArbiterKind::Fixed.build())
-            .with_initial(vec![(0, 1), (0, 2)]);
+        let err = crate::meb::ReducedMeb::<u64>::new("m", a, c, 1, ArbiterKind::Fixed.build())
+            .with_initial(vec![(0, 1), (0, 2)])
+            .err()
+            .expect("second token must be rejected");
+        assert_eq!(
+            err,
+            ProtocolError::ExcessInitialTokens {
+                thread: 0,
+                capacity: 1
+            }
+        );
+    }
+
+    #[test]
+    fn build_initial_rejects_excess_tokens_per_kind() {
+        use elastic_sim::CircuitBuilder;
+        for (kind, capacity) in [
+            (MebKind::Full, 2),
+            (MebKind::Reduced, 1),
+            (MebKind::Fifo { depth: 3 }, 3),
+        ] {
+            let mut b = CircuitBuilder::<u64>::new();
+            let a = b.channel("a", 1);
+            let c = b.channel("c", 1);
+            let too_many: Vec<(usize, u64)> = (0..=capacity as u64).map(|i| (0, i)).collect();
+            let err = kind
+                .build_initial::<u64>("m", a, c, 1, ArbiterKind::Fixed.build(), too_many)
+                .err()
+                .expect("overflow must be rejected");
+            assert_eq!(
+                err,
+                ProtocolError::ExcessInitialTokens {
+                    thread: 0,
+                    capacity
+                },
+                "{kind}"
+            );
+        }
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //! thread sees only one slot per stage and tops out at 50 % throughput.
 
 use elastic_sim::{
-    impl_as_any, ChannelId, Component, EvalCtx, Ports, SlotView, TickCtx, Token,
+    impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, ProtocolError, SlotView, TickCtx,
+    Token,
 };
 
 use crate::arbiter::Arbiter;
@@ -97,21 +98,31 @@ impl<T: Token> ReducedMeb<T> {
     /// token on the back edge"), at most one per thread (the shared slot
     /// starts free).
     ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::ExcessInitialTokens`] if a thread receives
+    /// more than one initial token.
+    ///
     /// # Panics
     ///
-    /// Panics if a thread receives more than one initial token or the
-    /// thread index is out of range.
-    #[must_use]
-    pub fn with_initial(mut self, tokens: impl IntoIterator<Item = (usize, T)>) -> Self {
+    /// Panics if a thread index is out of range.
+    pub fn with_initial(
+        mut self,
+        tokens: impl IntoIterator<Item = (usize, T)>,
+    ) -> Result<Self, ProtocolError> {
         for (t, tok) in tokens {
-            assert!(
-                self.main[t].is_none(),
-                "thread {t} given more than one initial token (reduced MEB mains hold one)"
-            );
+            if self.main[t].is_some() {
+                // Reduced MEB mains hold one initial token per thread (the
+                // shared register cannot be pre-assigned).
+                return Err(ProtocolError::ExcessInitialTokens {
+                    thread: t,
+                    capacity: 1,
+                });
+            }
             self.main[t] = Some(tok);
             self.state[t] = EbState::Half;
         }
-        self
+        Ok(self)
     }
 
     /// Control state of `thread`'s replicated EB FSM.
@@ -196,7 +207,10 @@ impl<T: Token> Component<T> for ReducedMeb<T> {
         // Downstream valid: arbiter over non-empty threads; head is always
         // the main register.
         let has: Vec<bool> = self.state.iter().map(|&s| s != EbState::Empty).collect();
-        match self.select.select(ctx, self.out, self.arbiter.as_ref(), &has) {
+        match self
+            .select
+            .select(ctx, self.out, self.arbiter.as_ref(), &has)
+        {
             Some(t) => {
                 let head = self.main[t].clone().expect("non-empty thread has a head");
                 ctx.drive_token(self.out, t, head);
@@ -246,7 +260,10 @@ impl<T: Token> Component<T> for ReducedMeb<T> {
                         !refilled_shared_this_cycle,
                         "shared register cannot be refilled and re-written in one cycle"
                     );
-                    debug_assert!(self.shared.is_none(), "goFull with occupied shared register");
+                    debug_assert!(
+                        self.shared.is_none(),
+                        "goFull with occupied shared register"
+                    );
                     self.shared = Some((t, data.clone()));
                     self.state[t] = EbState::Full;
                 }
@@ -273,6 +290,10 @@ impl<T: Token> Component<T> for ReducedMeb<T> {
         out
     }
 
+    fn next_event(&self, _now: u64) -> NextEvent {
+        NextEvent::Idle
+    }
+
     impl_as_any!();
 }
 
@@ -280,14 +301,18 @@ impl<T: Token> Component<T> for ReducedMeb<T> {
 mod tests {
     use super::*;
     use crate::arbiter::ArbiterKind;
-    use elastic_sim::{CircuitBuilder, Circuit, ReadyPolicy, Sink, Source, Tagged};
+    use elastic_sim::{Circuit, CircuitBuilder, ReadyPolicy, Sink, Source, Tagged};
 
     fn two_thread_meb(
         n0: u64,
         n1: u64,
         sink0: ReadyPolicy,
         sink1: ReadyPolicy,
-    ) -> (Circuit<Tagged>, elastic_sim::ChannelId, elastic_sim::ChannelId) {
+    ) -> (
+        Circuit<Tagged>,
+        elastic_sim::ChannelId,
+        elastic_sim::ChannelId,
+    ) {
         let mut b = CircuitBuilder::<Tagged>::new();
         let a = b.channel("a", 2);
         let c = b.channel("c", 2);
@@ -295,7 +320,13 @@ mod tests {
         src.extend(0, (0..n0).map(|i| Tagged::new(0, i, i)));
         src.extend(1, (0..n1).map(|i| Tagged::new(1, i, i)));
         b.add(src);
-        b.add(ReducedMeb::new("meb", a, c, 2, ArbiterKind::RoundRobin.build()));
+        b.add(ReducedMeb::new(
+            "meb",
+            a,
+            c,
+            2,
+            ArbiterKind::RoundRobin.build(),
+        ));
         let mut sink = Sink::with_capture("snk", c, 2, sink0);
         sink.set_policy(1, sink1);
         b.add(sink);
@@ -310,7 +341,13 @@ mod tests {
         let mut src = Source::new("src", a, 1);
         src.extend(0, 0..10u64);
         b.add(src);
-        b.add(ReducedMeb::new("meb", a, c, 1, ArbiterKind::RoundRobin.build()));
+        b.add(ReducedMeb::new(
+            "meb",
+            a,
+            c,
+            1,
+            ArbiterKind::RoundRobin.build(),
+        ));
         b.add(Sink::new("snk", c, 1, ReadyPolicy::Never));
         let mut circuit = b.build().expect("valid");
         circuit.run(10).expect("clean");
@@ -349,7 +386,9 @@ mod tests {
         circuit.run(20).expect("clean");
         assert_eq!(circuit.stats().total_transfers(a), 3, "S+1 items accepted");
         let meb: &ReducedMeb<Tagged> = circuit.get("meb").expect("meb");
-        let fulls = (0..2).filter(|&t| meb.thread_state(t) == EbState::Full).count();
+        let fulls = (0..2)
+            .filter(|&t| meb.thread_state(t) == EbState::Full)
+            .count();
         assert_eq!(fulls, 1, "exactly one FULL thread");
         assert_eq!(meb.occupancy_total(), 3);
         assert!(meb.shared_owner().is_some());
@@ -359,8 +398,12 @@ mod tests {
     fn blocked_thread_releases_shared_slot_on_drain() {
         // Block thread 0 until cycle 12, then release; afterwards both
         // threads flow and the shared register empties.
-        let (mut circuit, _a, c) =
-            two_thread_meb(10, 10, ReadyPolicy::StallWindow { from: 0, to: 12 }, ReadyPolicy::Always);
+        let (mut circuit, _a, c) = two_thread_meb(
+            10,
+            10,
+            ReadyPolicy::StallWindow { from: 0, to: 12 },
+            ReadyPolicy::Always,
+        );
         circuit.run(60).expect("clean");
         let snk_total = circuit.stats().total_transfers(c);
         assert_eq!(snk_total, 20, "all tokens eventually delivered");
@@ -395,7 +438,10 @@ mod tests {
         assert_eq!(slots.len(), 3);
         assert_eq!(slots[0].name, "main[0]");
         assert_eq!(slots[2].name, "shared");
-        assert!(slots[2].occupant.is_some(), "shared slot claimed under stall");
+        assert!(
+            slots[2].occupant.is_some(),
+            "shared slot claimed under stall"
+        );
     }
 
     #[test]

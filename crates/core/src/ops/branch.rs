@@ -6,7 +6,7 @@
 //! corresponds" — here the condition is a pure function of the token, so
 //! each thread's token self-selects its path.
 
-use elastic_sim::{impl_as_any, ChannelId, Component, EvalCtx, Ports, TickCtx, Token};
+use elastic_sim::{impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, TickCtx, Token};
 
 /// A two-way conditional router.
 ///
@@ -106,6 +106,10 @@ impl<T: Token> Component<T> for Branch<T> {
 
     fn tick(&mut self, _ctx: &TickCtx<'_, T>) {}
 
+    fn next_event(&self, _now: u64) -> NextEvent {
+        NextEvent::Idle
+    }
+
     impl_as_any!();
 }
 
@@ -172,8 +176,16 @@ mod tests {
             src.extend(t, (0..8).map(|i| Tagged::new(t, i, i)));
         }
         b.add(src);
-        b.add(ReducedMeb::new("meb", x0, x1, 2, ArbiterKind::RoundRobin.build()));
-        b.add(Branch::new("br", x1, t_out, f_out, 2, |tok: &Tagged| tok.payload % 2 == 0));
+        b.add(ReducedMeb::new(
+            "meb",
+            x0,
+            x1,
+            2,
+            ArbiterKind::RoundRobin.build(),
+        ));
+        b.add(Branch::new("br", x1, t_out, f_out, 2, |tok: &Tagged| {
+            tok.payload % 2 == 0
+        }));
         b.add(Sink::with_capture("st", t_out, 2, ReadyPolicy::Always));
         b.add(Sink::with_capture("sf", f_out, 2, ReadyPolicy::Always));
         let mut circuit = b.build().expect("valid");

@@ -13,7 +13,7 @@
 //! The multithreaded M-Fork is the per-thread replication of the baseline
 //! fork; the `done` state is therefore indexed by thread as well.
 
-use elastic_sim::{impl_as_any, ChannelId, Component, EvalCtx, Ports, TickCtx, Token};
+use elastic_sim::{impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, TickCtx, Token};
 
 /// Per-token output-routing function (see [`Fork::with_route`]).
 type RouteFn<T> = Box<dyn Fn(&T) -> Vec<bool> + Send>;
@@ -124,7 +124,10 @@ impl<T: Token> Fork<T> {
             (Some(f), Some(tok)) => {
                 let mask = f(tok);
                 assert_eq!(mask.len(), self.outputs.len(), "route mask length mismatch");
-                assert!(mask.iter().any(|&m| m), "route mask must select at least one output");
+                assert!(
+                    mask.iter().any(|&m| m),
+                    "route mask must select at least one output"
+                );
                 mask
             }
             _ => vec![true; self.outputs.len()],
@@ -209,6 +212,10 @@ impl<T: Token> Component<T> for Fork<T> {
         }
     }
 
+    fn next_event(&self, _now: u64) -> NextEvent {
+        NextEvent::Idle
+    }
+
     impl_as_any!();
 }
 
@@ -216,7 +223,7 @@ impl<T: Token> Component<T> for Fork<T> {
 mod tests {
     use super::*;
     use crate::eb::ElasticBuffer;
-    use elastic_sim::{CircuitBuilder, Circuit, ReadyPolicy, Sink, Source, Tagged};
+    use elastic_sim::{Circuit, CircuitBuilder, ReadyPolicy, Sink, Source, Tagged};
 
     fn fork_fixture(mode: ForkMode, p0: ReadyPolicy, p1: ReadyPolicy) -> Circuit<u64> {
         let mut b = CircuitBuilder::<u64>::new();
@@ -251,7 +258,11 @@ mod tests {
         let mut c = fork_fixture(
             ForkMode::Lazy,
             ReadyPolicy::Always,
-            ReadyPolicy::Period { on: 1, off: 3, phase: 0 },
+            ReadyPolicy::Period {
+                on: 1,
+                off: 3,
+                phase: 0,
+            },
         );
         c.run(60).expect("clean");
         let s0: &Sink<u64> = c.get("s0").expect("s0");
@@ -340,13 +351,15 @@ mod tests {
         src.extend(0, 0..9u64);
         b.add(src);
         // Multiples of 3 go to both outputs, even → y0, odd → y1.
-        b.add(Fork::new("f", x, vec![y0, y1], 1, ForkMode::Eager).with_route(|v: &u64| {
-            if v.is_multiple_of(3) {
-                vec![true, true]
-            } else {
-                vec![v.is_multiple_of(2), !v.is_multiple_of(2)]
-            }
-        }));
+        b.add(
+            Fork::new("f", x, vec![y0, y1], 1, ForkMode::Eager).with_route(|v: &u64| {
+                if v.is_multiple_of(3) {
+                    vec![true, true]
+                } else {
+                    vec![v.is_multiple_of(2), !v.is_multiple_of(2)]
+                }
+            }),
+        );
         b.add(Sink::with_capture("s0", y0, 1, ReadyPolicy::Always));
         b.add(Sink::with_capture("s1", y1, 1, ReadyPolicy::Always));
         let mut c = b.build().expect("valid");

@@ -7,7 +7,7 @@
 //! replicated per thread — here expressed directly by evaluating the join
 //! condition thread-wise over multithreaded channels.
 
-use elastic_sim::{impl_as_any, ChannelId, Component, EvalCtx, Ports, TickCtx, Token};
+use elastic_sim::{impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, TickCtx, Token};
 
 /// An N-input join with a combine function.
 ///
@@ -70,7 +70,13 @@ impl<T: Token> Join<T> {
         f: impl Fn(&[&T]) -> T + Send + 'static,
     ) -> Self {
         assert!(inputs.len() >= 2, "a join needs at least two inputs");
-        Self { name: name.into(), inputs, out, threads, combine: Box::new(f) }
+        Self {
+            name: name.into(),
+            inputs,
+            out,
+            threads,
+            combine: Box::new(f),
+        }
     }
 }
 
@@ -108,6 +114,10 @@ impl<T: Token> Component<T> for Join<T> {
     }
 
     fn tick(&mut self, _ctx: &TickCtx<'_, T>) {}
+
+    fn next_event(&self, _now: u64) -> NextEvent {
+        NextEvent::Idle
+    }
 
     impl_as_any!();
 }
@@ -160,10 +170,25 @@ mod tests {
         }
         b.add(sx);
         b.add(sy);
-        b.add(ReducedMeb::new("mx", xa, xb, 2, ArbiterKind::RoundRobin.build()));
-        b.add(ReducedMeb::new("my", ya, yb, 2, ArbiterKind::LeastRecent.build()));
+        b.add(ReducedMeb::new(
+            "mx",
+            xa,
+            xb,
+            2,
+            ArbiterKind::RoundRobin.build(),
+        ));
+        b.add(ReducedMeb::new(
+            "my",
+            ya,
+            yb,
+            2,
+            ArbiterKind::LeastRecent.build(),
+        ));
         b.add(Join::new("j", vec![xb, yb], z, 2, |ins: &[&Tagged]| {
-            assert_eq!(ins[0].thread, ins[1].thread, "join must pair same-thread tokens");
+            assert_eq!(
+                ins[0].thread, ins[1].thread,
+                "join must pair same-thread tokens"
+            );
             Tagged::new(ins[0].thread, ins[0].seq, ins[0].payload + ins[1].payload)
         }));
         b.add(Sink::with_capture("snk", z, 2, ReadyPolicy::Always));
@@ -190,7 +215,9 @@ mod tests {
             s.extend(0, [(i as u64 + 1) * 10]);
             b.add(s);
         }
-        b.add(Join::new("j", chs.clone(), z, 1, |ins| ins.iter().copied().sum()));
+        b.add(Join::new("j", chs.clone(), z, 1, |ins| {
+            ins.iter().copied().sum()
+        }));
         b.add(Sink::with_capture("snk", z, 1, ReadyPolicy::Always));
         let mut circuit = b.build().expect("valid");
         circuit.run(5).expect("clean");
@@ -214,9 +241,22 @@ mod tests {
         b.add(sx);
         b.add(sy);
         b.add_boxed(MebKind::Full.build_with::<Tagged>("mx", xa, xb, 2, ArbiterKind::RoundRobin));
-        b.add_boxed(MebKind::Reduced.build_with::<Tagged>("my", ya, yb, 2, ArbiterKind::RoundRobin));
-        b.add(Join::new("j", vec![xb, yb], z, 2, |ins: &[&Tagged]| ins[0].clone()));
-        b.add(Sink::new("snk", z, 2, ReadyPolicy::Random { p: 0.4, seed: 77 }));
+        b.add_boxed(MebKind::Reduced.build_with::<Tagged>(
+            "my",
+            ya,
+            yb,
+            2,
+            ArbiterKind::RoundRobin,
+        ));
+        b.add(Join::new("j", vec![xb, yb], z, 2, |ins: &[&Tagged]| {
+            ins[0].clone()
+        }));
+        b.add(Sink::new(
+            "snk",
+            z,
+            2,
+            ReadyPolicy::Random { p: 0.4, seed: 77 },
+        ));
         let mut circuit = b.build().expect("valid");
         circuit.set_deadlock_watchdog(Some(100));
         circuit.run(500).expect("clean");

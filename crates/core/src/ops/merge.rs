@@ -12,7 +12,7 @@
 //! input simply sees `ready` low and retries — no token is lost.
 //! This clarification is recorded in `DESIGN.md`.
 
-use elastic_sim::{impl_as_any, ChannelId, Component, EvalCtx, Ports, TickCtx, Token};
+use elastic_sim::{impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, TickCtx, Token};
 
 /// An N-input merge onto one channel.
 ///
@@ -153,6 +153,10 @@ impl<T: Token> Component<T> for Merge<T> {
         }
     }
 
+    fn next_event(&self, _now: u64) -> NextEvent {
+        NextEvent::Idle
+    }
+
     impl_as_any!();
 }
 
@@ -199,7 +203,12 @@ mod tests {
         b.add(src);
         b.add(crate::ops::Branch::new("br", x, hi, lo, 1, |v| v % 3 == 0));
         b.add(Merge::new("mg", vec![hi, lo], y, 1));
-        b.add(Sink::with_capture("snk", y, 1, ReadyPolicy::Random { p: 0.6, seed: 9 }));
+        b.add(Sink::with_capture(
+            "snk",
+            y,
+            1,
+            ReadyPolicy::Random { p: 0.6, seed: 9 },
+        ));
         let mut circuit = b.build().expect("valid");
         circuit.set_deadlock_watchdog(Some(60));
         circuit.run(200).expect("clean");
@@ -228,8 +237,20 @@ mod tests {
         sq.extend(1, (0..10).map(|i| Tagged::new(1, i, i)));
         b.add(sp);
         b.add(sq);
-        b.add(ReducedMeb::new("mp", pa, pb, 2, ArbiterKind::RoundRobin.build()));
-        b.add(ReducedMeb::new("mq", qa, qb, 2, ArbiterKind::RoundRobin.build()));
+        b.add(ReducedMeb::new(
+            "mp",
+            pa,
+            pb,
+            2,
+            ArbiterKind::RoundRobin.build(),
+        ));
+        b.add(ReducedMeb::new(
+            "mq",
+            qa,
+            qb,
+            2,
+            ArbiterKind::RoundRobin.build(),
+        ));
         b.add(Merge::new("mg", vec![pb, qb], y, 2));
         b.add(Sink::with_capture("snk", y, 2, ReadyPolicy::Always));
         let mut circuit = b.build().expect("valid");

@@ -2,7 +2,9 @@
 //! paper's Figure 5 experiment and of every pipelined datapath in the
 //! design examples (pipeline registers replaced by MEBs, Sec. V-B).
 
-use elastic_sim::{ChannelId, CircuitBuilder, Circuit, ReadyPolicy, Sink, Source, Tagged, Token};
+use elastic_sim::{
+    ChannelId, Circuit, CircuitBuilder, EvalMode, ReadyPolicy, Sink, Source, Tagged, Token,
+};
 
 use crate::arbiter::ArbiterKind;
 use crate::meb::MebKind;
@@ -83,6 +85,9 @@ pub struct PipelineConfig {
     pub tokens_per_thread: Vec<u64>,
     /// Per-thread sink policy.
     pub sink_policies: Vec<ReadyPolicy>,
+    /// Settle-phase scheduling mode of the built circuit (the dirty-set
+    /// kernel by default; [`EvalMode::Exhaustive`] for oracle runs).
+    pub eval_mode: EvalMode,
 }
 
 impl PipelineConfig {
@@ -96,6 +101,7 @@ impl PipelineConfig {
             arbiter: ArbiterKind::RoundRobin,
             tokens_per_thread: vec![n; threads],
             sink_policies: vec![ReadyPolicy::Always; threads],
+            eval_mode: EvalMode::default(),
         }
     }
 
@@ -103,6 +109,13 @@ impl PipelineConfig {
     #[must_use]
     pub fn with_sink_policy(mut self, thread: usize, policy: ReadyPolicy) -> Self {
         self.sink_policies[thread] = policy;
+        self
+    }
+
+    /// Selects the simulation kernel's settle-phase mode.
+    #[must_use]
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.eval_mode = mode;
         self
     }
 }
@@ -118,24 +131,27 @@ impl PipelineHarness {
         assert_eq!(config.tokens_per_thread.len(), config.threads);
         assert_eq!(config.sink_policies.len(), config.threads);
         let mut b = CircuitBuilder::<Tagged>::new();
-        let pipeline =
-            build_meb_pipeline(&mut b, "p.", config.threads, config.stages, config.kind, config.arbiter);
+        let pipeline = build_meb_pipeline(
+            &mut b,
+            "p.",
+            config.threads,
+            config.stages,
+            config.kind,
+            config.arbiter,
+        );
         let mut src = Source::new("src", pipeline.input, config.threads);
         for (t, &n) in config.tokens_per_thread.iter().enumerate() {
             src.extend(t, (0..n).map(|i| Tagged::new(t, i, i)));
         }
         b.add(src);
-        let mut sink = Sink::with_capture(
-            "snk",
-            pipeline.output,
-            config.threads,
-            ReadyPolicy::Always,
-        );
+        let mut sink =
+            Sink::with_capture("snk", pipeline.output, config.threads, ReadyPolicy::Always);
         for (t, p) in config.sink_policies.iter().enumerate() {
             sink.set_policy(t, p.clone());
         }
         b.add(sink);
-        let circuit = b.build().expect("pipeline harness netlist is well-formed");
+        let mut circuit = b.build().expect("pipeline harness netlist is well-formed");
+        circuit.set_eval_mode(config.eval_mode);
         Self { circuit, pipeline }
     }
 
@@ -174,6 +190,24 @@ mod tests {
     }
 
     #[test]
+    fn eval_modes_agree_on_a_stalled_pipeline() {
+        // The Figure 5 shape (thread B stalls mid-run) under both kernel
+        // modes: captures must match exactly.
+        let run = |mode: EvalMode| {
+            let cfg = PipelineConfig::free_flowing(2, 3, MebKind::Reduced, 15)
+                .with_sink_policy(1, ReadyPolicy::StallWindow { from: 4, to: 12 })
+                .with_eval_mode(mode);
+            let mut h = PipelineHarness::build(cfg);
+            assert_eq!(h.circuit.eval_mode(), mode);
+            h.circuit.run(120).expect("clean");
+            (0..2)
+                .map(|t| h.sink().captured(t).to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(EvalMode::EventDriven), run(EvalMode::Exhaustive));
+    }
+
+    #[test]
     fn full_and_reduced_agree_when_nothing_stalls() {
         // Without stalls the two microarchitectures are observationally
         // equivalent (same transfer counts and completion time).
@@ -182,7 +216,10 @@ mod tests {
             let cfg = PipelineConfig::free_flowing(4, 3, kind, 25);
             let mut h = PipelineHarness::build(cfg);
             h.circuit.run(150).expect("clean");
-            results.push((h.sink().consumed_total(), h.circuit.stats().total_transfers(h.pipeline.output)));
+            results.push((
+                h.sink().consumed_total(),
+                h.circuit.stats().total_transfers(h.pipeline.output),
+            ));
         }
         assert_eq!(results[0], results[1]);
         assert_eq!(results[0].0, 100);

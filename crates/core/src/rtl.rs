@@ -368,11 +368,11 @@ mod tests {
         let mut start = 0;
         while let Some(pos) = text[start..].find(kw) {
             let at = start + pos;
-            let before_ok = at == 0
-                || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+            let before_ok =
+                at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
             let end = at + kw.len();
-            let after_ok = end >= text.len()
-                || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+            let after_ok =
+                end >= text.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
             if before_ok && after_ok {
                 n += 1;
             }
@@ -382,15 +382,31 @@ mod tests {
     }
 
     fn check_balanced(text: &str) {
-        assert_eq!(count_kw(text, "module"), count_kw(text, "endmodule"), "module balance");
-        assert_eq!(count_kw(text, "begin"), count_kw(text, "end"), "begin/end balance");
-        assert_eq!(count_kw(text, "case"), count_kw(text, "endcase"), "case balance");
+        assert_eq!(
+            count_kw(text, "module"),
+            count_kw(text, "endmodule"),
+            "module balance"
+        );
+        assert_eq!(
+            count_kw(text, "begin"),
+            count_kw(text, "end"),
+            "begin/end balance"
+        );
+        assert_eq!(
+            count_kw(text, "case"),
+            count_kw(text, "endcase"),
+            "case balance"
+        );
         assert_eq!(
             count_kw(text, "generate"),
             count_kw(text, "endgenerate"),
             "generate balance"
         );
-        assert_eq!(text.matches('(').count(), text.matches(')').count(), "paren balance");
+        assert_eq!(
+            text.matches('(').count(),
+            text.matches(')').count(),
+            "paren balance"
+        );
     }
 
     #[test]
@@ -411,7 +427,13 @@ mod tests {
     #[test]
     fn package_contains_every_module_once() {
         let pkg = rtl_package();
-        for module in ["elastic_buffer", "rr_arbiter", "full_meb", "reduced_meb", "mt_barrier"] {
+        for module in [
+            "elastic_buffer",
+            "rr_arbiter",
+            "full_meb",
+            "reduced_meb",
+            "mt_barrier",
+        ] {
             let decl = format!("module {module} #(");
             assert_eq!(pkg.matches(&decl).count(), 1, "{module} declared once");
         }

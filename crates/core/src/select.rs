@@ -50,11 +50,14 @@ pub fn select_output_thread<T: Token>(
     let threads = has_data.len();
     debug_assert_eq!(threads, ctx.threads(out));
 
-    let ready_requests: Vec<bool> =
-        (0..threads).map(|t| has_data[t] && ctx.ready(out, t)).collect();
+    let ready_requests: Vec<bool> = (0..threads)
+        .map(|t| has_data[t] && ctx.ready(out, t))
+        .collect();
 
     if ready_requests.iter().any(|&r| r) {
-        let pick = arbiter.choose(&ready_requests).expect("non-empty request set");
+        let pick = arbiter
+            .choose(&ready_requests)
+            .expect("non-empty request set");
         // Anti-swap guard — settle-phase damping only (`fresh == false`):
         // when this module is already offering a thread that still has
         // data but is not ready, it may abandon that offer for a ready
@@ -69,12 +72,17 @@ pub fn select_output_thread<T: Token>(
             let current = (0..threads).find(|&t| ctx.valid(out, t));
             if let Some(c) = current {
                 if has_data[c] && !ctx.ready(out, c) {
-                    let rank = |t: usize| (t + threads - (ctx.cycle() as usize % threads)) % threads;
+                    let rank =
+                        |t: usize| (t + threads - (ctx.cycle() as usize % threads)) % threads;
                     let best = (0..threads)
                         .filter(|&t| ready_requests[t])
                         .min_by_key(|&t| rank(t))
                         .expect("non-empty request set");
-                    return if rank(best) < rank(c) { Some(best) } else { Some(c) };
+                    return if rank(best) < rank(c) {
+                        Some(best)
+                    } else {
+                        Some(c)
+                    };
                 }
             }
         }
@@ -82,7 +90,9 @@ pub fn select_output_thread<T: Token>(
     }
 
     // No thread is ready: rotating stalled offer.
-    (0..threads).map(|off| (stall_start + off) % threads).find(|&t| has_data[t])
+    (0..threads)
+        .map(|off| (stall_start + off) % threads)
+        .find(|&t| has_data[t])
 }
 
 /// Stateful wrapper around [`select_output_thread`] /
@@ -147,9 +157,7 @@ pub fn advance_stall_pointer<T: Token>(ctx: &TickCtx<'_, T>, out: ChannelId, sta
 mod tests {
     use super::*;
     use crate::arbiter::RoundRobin;
-    use elastic_sim::{
-        impl_as_any, CircuitBuilder, Component, Ports, ReadyPolicy, Sink, TickCtx,
-    };
+    use elastic_sim::{impl_as_any, CircuitBuilder, Component, Ports, ReadyPolicy, Sink, TickCtx};
 
     /// A probe component that exposes what `select_output_thread` decides
     /// for a fixed `has_data` mask, against a scripted sink.
@@ -162,7 +170,12 @@ mod tests {
 
     impl Probe {
         fn new(out: ChannelId, has: Vec<bool>) -> Self {
-            Self { out, has, arb: RoundRobin::new(), select: SelectState::new() }
+            Self {
+                out,
+                has,
+                arb: RoundRobin::new(),
+                select: SelectState::new(),
+            }
         }
     }
 

@@ -9,9 +9,7 @@
 //! * storage never exceeds the architectural capacity (`2S` vs `S+1`).
 
 use elastic_core::{ArbiterKind, FullMeb, MebKind, ReducedMeb};
-use elastic_sim::{
-    Circuit, CircuitBuilder, CycleTrace, ReadyPolicy, Sink, Source, Tagged,
-};
+use elastic_sim::{Circuit, CircuitBuilder, CycleTrace, ReadyPolicy, Sink, Source, Tagged};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -40,13 +38,23 @@ fn run_meb(
     b.add_boxed(kind.build_with::<Tagged>("meb", input, output, threads, ArbiterKind::RoundRobin));
     let mut sink = Sink::with_capture("snk", output, threads, ReadyPolicy::Always);
     for t in 0..threads {
-        sink.set_policy(t, ReadyPolicy::Random { p: p_ready, seed: seed ^ (t as u64) << 7 });
+        sink.set_policy(
+            t,
+            ReadyPolicy::Random {
+                p: p_ready,
+                seed: seed ^ (t as u64) << 7,
+            },
+        );
     }
     b.add(sink);
     let mut circuit = b.build().expect("valid");
     circuit.enable_trace();
     circuit.run(cycles).expect("protocol clean");
-    TraceRun { circuit, input, output }
+    TraceRun {
+        circuit,
+        input,
+        output,
+    }
 }
 
 /// Arrival cycle per label on `ch` (fired transfers).
@@ -203,7 +211,13 @@ fn occupancy_accessors_match_reality() {
     src.extend(0, (0..4).map(|i| Tagged::new(0, i, i)));
     src.extend(1, (0..4).map(|i| Tagged::new(1, i, i)));
     b.add(src);
-    b.add(FullMeb::new("full", input, output, 2, ArbiterKind::RoundRobin.build()));
+    b.add(FullMeb::new(
+        "full",
+        input,
+        output,
+        2,
+        ArbiterKind::RoundRobin.build(),
+    ));
     b.add(Sink::new("snk", output, 2, ReadyPolicy::Never));
     let mut c = b.build().expect("valid");
     c.run(12).expect("clean");
@@ -219,7 +233,13 @@ fn occupancy_accessors_match_reality() {
     src.extend(0, (0..4).map(|i| Tagged::new(0, i, i)));
     src.extend(1, (0..4).map(|i| Tagged::new(1, i, i)));
     b.add(src);
-    b.add(ReducedMeb::new("red", input, output, 2, ArbiterKind::RoundRobin.build()));
+    b.add(ReducedMeb::new(
+        "red",
+        input,
+        output,
+        2,
+        ArbiterKind::RoundRobin.build(),
+    ));
     b.add(Sink::new("snk", output, 2, ReadyPolicy::Never));
     let mut c = b.build().expect("valid");
     c.run(12).expect("clean");

@@ -71,7 +71,11 @@ impl DesignSpec {
         let mut inv = (self.comb)(threads);
         for &(name, width) in &self.meb_widths {
             let sub = meb_inventory(kind, threads, width);
-            inv.push(format!("MEB `{name}` ({width}b, {kind})"), 1, sub.total_les());
+            inv.push(
+                format!("MEB `{name}` ({width}b, {kind})"),
+                1,
+                sub.total_les(),
+            );
         }
         inv
     }
@@ -88,7 +92,11 @@ fn md5_comb(threads: usize) -> Inventory {
     // adders, the 2-LUT-level boolean function F/G/H/I and the
     // message-word select (the 512-bit block itself lives in embedded
     // memory, mirroring the paper's BRAM accounting for the processor).
-    inv.push("unrolled step (4 adders + F + word select)", 16, 4 * adder(32) + 2 * lut_layer(32) + 3 * lut_layer(32));
+    inv.push(
+        "unrolled step (4 adders + F + word select)",
+        16,
+        4 * adder(32) + 2 * lut_layer(32) + 3 * lut_layer(32),
+    );
     inv.push("round configuration mux", 1, mux(32, 3));
     inv.push("barrier", 1, barrier(threads));
     inv.push("round counter + misc control", 1, 20);
@@ -100,7 +108,11 @@ fn processor_comb(threads: usize) -> Inventory {
     // Functional units; the multiplier maps to DSP blocks (excluded, like
     // the paper excludes DSPs and BRAMs), only its glue counts. The
     // register file maps to embedded memory (excluded by the paper).
-    inv.push("ALU (adder + logic + shifter + result mux)", 1, adder(32) + 2 * lut_layer(32) + 3 * lut_layer(32) + 2 * mux(32, 2));
+    inv.push(
+        "ALU (adder + logic + shifter + result mux)",
+        1,
+        adder(32) + 2 * lut_layer(32) + 3 * lut_layer(32) + 2 * mux(32, 2),
+    );
     inv.push("multiplier glue (DSP excluded)", 1, 40);
     inv.push("instruction decoder", 1, 120);
     inv.push("program counters", threads, register(16));
@@ -224,7 +236,10 @@ mod tests {
         let cpu = processor_design();
         let f_md5 = frequency_mhz(md5.logic_levels, md5.area_les(BufferKind::Full, 8));
         let f_cpu = frequency_mhz(cpu.logic_levels, cpu.area_les(BufferKind::Full, 8));
-        assert!(f_cpu > 4.0 * f_md5, "cpu {f_cpu:.1} MHz vs md5 {f_md5:.1} MHz");
+        assert!(
+            f_cpu > 4.0 * f_md5,
+            "cpu {f_cpu:.1} MHz vs md5 {f_md5:.1} MHz"
+        );
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub mod design;
 pub mod primitives;
 pub mod table1;
 
-pub use design::{frequency_mhz, gcd_design, md5_design, meb_inventory, processor_design, BufferKind, DesignSpec};
+pub use design::{
+    frequency_mhz, gcd_design, md5_design, meb_inventory, processor_design, BufferKind, DesignSpec,
+};
 pub use primitives::{CostItem, Inventory};
-pub use table1::{average_savings, paper_reference, render, savings_fraction, table1_rows, Table1Row};
+pub use table1::{
+    average_savings, paper_reference, render, savings_fraction, table1_rows, Table1Row,
+};

@@ -63,7 +63,11 @@ pub struct CostItem {
 impl CostItem {
     /// A new item.
     pub fn new(name: impl Into<String>, count: usize, les_each: usize) -> Self {
-        Self { name: name.into(), count, les_each }
+        Self {
+            name: name.into(),
+            count,
+            les_each,
+        }
     }
 
     /// Total LEs of this item.
@@ -99,7 +103,13 @@ impl Inventory {
     /// Renders the inventory as an aligned table.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let w = self.items.iter().map(|i| i.name.len()).max().unwrap_or(4).max(4);
+        let w = self
+            .items
+            .iter()
+            .map(|i| i.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
         for item in &self.items {
             out.push_str(&format!(
                 "{:w$}  {:>4} × {:>6} = {:>7}\n",
@@ -109,7 +119,13 @@ impl Inventory {
                 item.total()
             ));
         }
-        out.push_str(&format!("{:w$}  {:>4}   {:>6}   {:>7}\n", "total", "", "", self.total_les()));
+        out.push_str(&format!(
+            "{:w$}  {:>4}   {:>6}   {:>7}\n",
+            "total",
+            "",
+            "",
+            self.total_les()
+        ));
         out
     }
 }

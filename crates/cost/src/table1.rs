@@ -45,7 +45,11 @@ pub fn table1_rows(threads: usize) -> Vec<Table1Row> {
                 kind,
                 area_les: area,
                 freq_mhz: frequency_mhz(spec.logic_levels, area),
-                paper: if threads == 8 { paper_reference(spec.name, kind) } else { None },
+                paper: if threads == 8 {
+                    paper_reference(spec.name, kind)
+                } else {
+                    None
+                },
             });
         }
     }
@@ -61,16 +65,15 @@ pub fn savings_fraction(spec: &DesignSpec, threads: usize) -> f64 {
 
 /// Average reduced-MEB saving over both designs.
 pub fn average_savings(threads: usize) -> f64 {
-    (savings_fraction(&md5_design(), threads) + savings_fraction(&processor_design(), threads)) / 2.0
+    (savings_fraction(&md5_design(), threads) + savings_fraction(&processor_design(), threads))
+        / 2.0
 }
 
 /// Renders the regenerated Table I (plus the requested thread counts) as
 /// an aligned ASCII table with the paper's numbers for comparison.
 pub fn render(thread_counts: &[usize]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "TABLE I — FPGA implementation results (structural cost model vs paper)\n\n",
-    );
+    out.push_str("TABLE I — FPGA implementation results (structural cost model vs paper)\n\n");
     out.push_str(&format!(
         "{:<10} {:>3}  {:<12} {:>10} {:>10}   {:>10} {:>10}\n",
         "Design", "S", "Buffer", "LEs", "MHz", "paper LEs", "paper MHz"
@@ -96,7 +99,8 @@ pub fn render(thread_counts: &[usize]) -> String {
         }
         out.push_str(&format!(
             "{:<10} {:>3}  average reduced-MEB area saving: {:.1}%  (paper: {})\n\n",
-            "", s,
+            "",
+            s,
             100.0 * average_savings(s),
             match s {
                 8 => "≈15%",
@@ -133,8 +137,22 @@ mod tests {
             let (p_les, p_mhz) = row.paper.expect("8-thread rows are in Table I");
             let area_err = (row.area_les as f64 - p_les as f64).abs() / p_les as f64;
             let freq_err = (row.freq_mhz - p_mhz).abs() / p_mhz;
-            assert!(area_err < 0.20, "{} {} area {} vs {}", row.design, row.kind, row.area_les, p_les);
-            assert!(freq_err < 0.20, "{} {} freq {:.1} vs {}", row.design, row.kind, row.freq_mhz, p_mhz);
+            assert!(
+                area_err < 0.20,
+                "{} {} area {} vs {}",
+                row.design,
+                row.kind,
+                row.area_les,
+                p_les
+            );
+            assert!(
+                freq_err < 0.20,
+                "{} {} freq {:.1} vs {}",
+                row.design,
+                row.kind,
+                row.freq_mhz,
+                p_mhz
+            );
         }
     }
 

@@ -25,7 +25,8 @@ use std::sync::Arc;
 
 use elastic_core::{ArbiterKind, Barrier, Branch, MebKind, Merge};
 use elastic_sim::{
-    ChannelId, Circuit, CircuitBuilder, ReadyPolicy, SimError, Sink, Source, Token, Transform,
+    ChannelId, Circuit, CircuitBuilder, EvalMode, KernelStats, ReadyPolicy, SimError, Sink, Source,
+    Token, Transform,
 };
 
 use crate::algo::{apply_steps, digest_bytes, pad_blocks, MD5_IV};
@@ -175,7 +176,10 @@ impl Md5Circuit {
     /// Panics if `participants == 0`, `participants > threads`, or
     /// `stages` does not divide 16.
     pub fn with_stages(threads: usize, participants: usize, kind: MebKind, stages: usize) -> Self {
-        assert!(participants > 0 && participants <= threads, "invalid participant count");
+        assert!(
+            participants > 0 && participants <= threads,
+            "invalid participant count"
+        );
         assert!(
             stages > 0 && 16 % stages == 0,
             "round stages must divide the 16 steps of a round"
@@ -191,7 +195,12 @@ impl Md5Circuit {
         let done = b.channel("done", threads);
 
         b.add(Source::<Md5Token>::new("feeder", fresh, threads));
-        b.add(Merge::new("entry", vec![loopback, fresh], into_buf, threads));
+        b.add(Merge::new(
+            "entry",
+            vec![loopback, fresh],
+            into_buf,
+            threads,
+        ));
         b.add_boxed(kind.build_with::<Md5Token>(
             "meb_in",
             into_buf,
@@ -228,8 +237,7 @@ impl Md5Circuit {
                         tok.label()
                     );
                     let mut out = tok.clone();
-                    out.work =
-                        apply_steps(out.work, &out.block, expect_steps, steps_per_stage);
+                    out.work = apply_steps(out.work, &out.block, expect_steps, steps_per_stage);
                     out.steps_done += steps_per_stage as u8;
                     out
                 },
@@ -263,10 +271,20 @@ impl Md5Circuit {
                 }),
         );
 
-        b.add(Branch::new("exit", released, done, loopback, threads, |tok: &Md5Token| {
-            tok.steps_done >= 64
-        }));
-        b.add(Sink::with_capture("out", done, threads, ReadyPolicy::Always));
+        b.add(Branch::new(
+            "exit",
+            released,
+            done,
+            loopback,
+            threads,
+            |tok: &Md5Token| tok.steps_done >= 64,
+        ));
+        b.add(Sink::with_capture(
+            "out",
+            done,
+            threads,
+            ReadyPolicy::Always,
+        ));
 
         let circuit = b.build().expect("md5 netlist is well-formed");
         Self {
@@ -305,6 +323,7 @@ pub struct Md5Hasher {
     threads: usize,
     kind: MebKind,
     stages: usize,
+    eval_mode: EvalMode,
 }
 
 impl Md5Hasher {
@@ -316,7 +335,21 @@ impl Md5Hasher {
     /// Panics if `threads == 0`.
     pub fn new(threads: usize, kind: MebKind) -> Self {
         assert!(threads > 0, "need at least one thread");
-        Self { threads, kind, stages: 1 }
+        Self {
+            threads,
+            kind,
+            stages: 1,
+            eval_mode: EvalMode::default(),
+        }
+    }
+
+    /// Selects the simulation kernel's settle-phase scheduling mode (the
+    /// event-driven dirty-set kernel by default; [`EvalMode::Exhaustive`]
+    /// for oracle/ablation runs).
+    #[must_use]
+    pub fn with_eval_mode(mut self, mode: EvalMode) -> Self {
+        self.eval_mode = mode;
+        self
     }
 
     /// Pipelines the round unit into `stages` stages (see
@@ -327,7 +360,10 @@ impl Md5Hasher {
     /// Panics if `stages` does not divide 16.
     #[must_use]
     pub fn with_stages(mut self, stages: usize) -> Self {
-        assert!(stages > 0 && 16 % stages == 0, "round stages must divide 16");
+        assert!(
+            stages > 0 && 16 % stages == 0,
+            "round stages must divide 16"
+        );
         self.stages = stages;
         self
     }
@@ -342,19 +378,38 @@ impl Md5Hasher {
     /// * [`Md5Error::Timeout`] if the run exceeds its internal cycle
     ///   budget (would indicate a bug — the budget is generous).
     pub fn hash_messages(&self, messages: &[&[u8]]) -> Result<(Vec<[u8; 16]>, u64), Md5Error> {
+        self.hash_messages_instrumented(messages)
+            .map(|(d, c, _)| (d, c))
+    }
+
+    /// Like [`hash_messages`](Self::hash_messages) but additionally
+    /// returns the simulation kernel's counters for the run — the
+    /// instrumentation behind the `kernel_ablation` comparison.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`hash_messages`](Self::hash_messages).
+    pub fn hash_messages_instrumented(
+        &self,
+        messages: &[&[u8]],
+    ) -> Result<(Vec<[u8; 16]>, u64, KernelStats), Md5Error> {
         if messages.is_empty() {
-            return Ok((Vec::new(), 0));
+            return Ok((Vec::new(), 0, KernelStats::default()));
         }
         if messages.len() > self.threads {
-            return Err(Md5Error::TooManyMessages { given: messages.len(), threads: self.threads });
+            return Err(Md5Error::TooManyMessages {
+                given: messages.len(),
+                threads: self.threads,
+            });
         }
         let participants = messages.len();
         let blocks: Vec<Vec<[u32; 16]>> = messages.iter().map(|m| pad_blocks(m)).collect();
         let waves = blocks.iter().map(Vec::len).max().unwrap_or(0);
 
-        let mut md5 =
-            Md5Circuit::with_stages(self.threads, participants, self.kind, self.stages);
-        md5.circuit.set_deadlock_watchdog(Some(200 + 20 * self.threads as u64));
+        let mut md5 = Md5Circuit::with_stages(self.threads, participants, self.kind, self.stages);
+        md5.circuit.set_eval_mode(self.eval_mode);
+        md5.circuit
+            .set_deadlock_watchdog(Some(200 + 20 * self.threads as u64));
 
         let mut chain: Vec<[u32; 4]> = vec![MD5_IV; participants];
         let mut seen: Vec<usize> = vec![0; participants];
@@ -411,7 +466,8 @@ impl Md5Hasher {
         }
 
         let digests = (0..participants).map(|t| digest_bytes(chain[t])).collect();
-        Ok((digests, md5.circuit.cycle()))
+        let kernel = *md5.circuit.stats().kernel();
+        Ok((digests, md5.circuit.cycle(), kernel))
     }
 }
 
@@ -459,8 +515,9 @@ mod tests {
 
     #[test]
     fn eight_threads_reduced_meb_match_reference() {
-        let messages: Vec<Vec<u8>> =
-            (0..8).map(|i| format!("thread message #{i}").into_bytes()).collect();
+        let messages: Vec<Vec<u8>> = (0..8)
+            .map(|i| format!("thread message #{i}").into_bytes())
+            .collect();
         let refs: Vec<&[u8]> = messages.iter().map(|m| m.as_slice()).collect();
         let got = hash_with(MebKind::Reduced, 8, &refs);
         for (g, m) in got.iter().zip(&messages) {
@@ -500,8 +557,16 @@ mod tests {
     #[test]
     fn too_many_messages_is_an_error() {
         let hasher = Md5Hasher::new(2, MebKind::Reduced);
-        let err = hasher.hash_messages(&[b"a" as &[u8], b"b", b"c"]).unwrap_err();
-        assert!(matches!(err, Md5Error::TooManyMessages { given: 3, threads: 2 }));
+        let err = hasher
+            .hash_messages(&[b"a" as &[u8], b"b", b"c"])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Md5Error::TooManyMessages {
+                given: 3,
+                threads: 2
+            }
+        ));
     }
 
     #[test]
@@ -517,8 +582,7 @@ mod tests {
     #[test]
     fn pipelined_round_unit_matches_reference() {
         let messages: [&[u8]; 3] = [b"abc", b"pipelined rounds", b"x"];
-        let reference: Vec<String> =
-            messages.iter().map(|m| to_hex(&md5(m))).collect();
+        let reference: Vec<String> = messages.iter().map(|m| to_hex(&md5(m))).collect();
         for stages in [2usize, 4, 16] {
             let hasher = Md5Hasher::new(4, MebKind::Reduced).with_stages(stages);
             let (digests, _) = hasher.hash_messages(&messages).expect("hashing succeeds");

@@ -40,7 +40,10 @@ impl std::fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses `r0`–`r31`.
@@ -50,7 +53,9 @@ fn reg(line: usize, tok: &str) -> Result<u8, AsmError> {
         .strip_prefix('r')
         .or_else(|| tok.strip_prefix('$'))
         .ok_or_else(|| err(line, format!("expected register, got `{tok}`")))?;
-    let n: u8 = body.parse().map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    let n: u8 = body
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{tok}`")))?;
     if n >= 32 {
         return Err(err(line, format!("register `{tok}` out of range")));
     }
@@ -80,7 +85,12 @@ fn imm16s(line: usize, tok: &str) -> Result<i16, AsmError> {
 
 fn imm16u(line: usize, tok: &str) -> Result<u16, AsmError> {
     let v = imm_i64(line, tok)?;
-    u16::try_from(v).map_err(|_| err(line, format!("immediate `{tok}` exceeds 16 bits (unsigned)")))
+    u16::try_from(v).map_err(|_| {
+        err(
+            line,
+            format!("immediate `{tok}` exceeds 16 bits (unsigned)"),
+        )
+    })
 }
 
 fn shamt5(line: usize, tok: &str) -> Result<u8, AsmError> {
@@ -102,8 +112,16 @@ enum Target {
 #[derive(Clone, Debug)]
 enum Item {
     Ready(Instr),
-    Branch { kind: BranchKind, rs: u8, rt: u8, target: Target },
-    Jump { link: bool, target: Target },
+    Branch {
+        kind: BranchKind,
+        rs: u8,
+        rt: u8,
+        target: Target,
+    },
+    Jump {
+        link: bool,
+        target: Target,
+    },
     /// A raw data word (`.word`).
     Word(u32),
 }
@@ -117,11 +135,17 @@ enum BranchKind {
 /// Splits `"lw r1, 4(r2)"`-style memory operands.
 fn mem_operand(line: usize, tok: &str) -> Result<(i16, u8), AsmError> {
     let tok = tok.trim();
-    let open = tok.find('(').ok_or_else(|| err(line, format!("expected `off(reg)`, got `{tok}`")))?;
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected `off(reg)`, got `{tok}`")))?;
     let close = tok
         .strip_suffix(')')
         .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
-    let off = if open == 0 { 0 } else { imm16s(line, &tok[..open])? };
+    let off = if open == 0 {
+        0
+    } else {
+        imm16s(line, &tok[..open])?
+    };
     let base = reg(line, &close[open + 1..])?;
     Ok((off, base))
 }
@@ -161,7 +185,10 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
             if label.is_empty() || label.contains(char::is_whitespace) {
                 return Err(err(line, format!("bad label `{label}`")));
             }
-            if labels.insert(label.to_string(), items.len() as u32).is_some() {
+            if labels
+                .insert(label.to_string(), items.len() as u32)
+                .is_some()
+            {
                 return Err(err(line, format!("duplicate label `{label}`")));
             }
             text = text[colon + 1..].trim();
@@ -183,7 +210,10 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
             if ops.len() == n {
                 Ok(())
             } else {
-                Err(err(line, format!("`{mnemonic}` expects {n} operands, got {}", ops.len())))
+                Err(err(
+                    line,
+                    format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+                ))
             }
         };
 
@@ -213,7 +243,11 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
             }
             "sll" | "srl" | "sra" => {
                 argc(3)?;
-                let (rd, rt, shamt) = (reg(line, ops[0])?, reg(line, ops[1])?, shamt5(line, ops[2])?);
+                let (rd, rt, shamt) = (
+                    reg(line, ops[0])?,
+                    reg(line, ops[1])?,
+                    shamt5(line, ops[2])?,
+                );
                 Item::Ready(match mnemonic {
                     "sll" => Instr::Sll { rd, rt, shamt },
                     "srl" => Instr::Srl { rd, rt, shamt },
@@ -222,7 +256,11 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
             }
             "addi" | "slti" => {
                 argc(3)?;
-                let (rt, rs, imm) = (reg(line, ops[0])?, reg(line, ops[1])?, imm16s(line, ops[2])?);
+                let (rt, rs, imm) = (
+                    reg(line, ops[0])?,
+                    reg(line, ops[1])?,
+                    imm16s(line, ops[2])?,
+                );
                 Item::Ready(if mnemonic == "addi" {
                     Instr::Addi { rt, rs, imm }
                 } else {
@@ -231,7 +269,11 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
             }
             "andi" | "ori" | "xori" => {
                 argc(3)?;
-                let (rt, rs, imm) = (reg(line, ops[0])?, reg(line, ops[1])?, imm16u(line, ops[2])?);
+                let (rt, rs, imm) = (
+                    reg(line, ops[0])?,
+                    reg(line, ops[1])?,
+                    imm16u(line, ops[2])?,
+                );
                 Item::Ready(match mnemonic {
                     "andi" => Instr::Andi { rt, rs, imm },
                     "ori" => Instr::Ori { rt, rs, imm },
@@ -240,7 +282,10 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
             }
             "lui" => {
                 argc(2)?;
-                Item::Ready(Instr::Lui { rt: reg(line, ops[0])?, imm: imm16u(line, ops[1])? })
+                Item::Ready(Instr::Lui {
+                    rt: reg(line, ops[0])?,
+                    imm: imm16u(line, ops[1])?,
+                })
             }
             "lw" | "sw" => {
                 argc(2)?;
@@ -255,7 +300,11 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
             "beq" | "bne" => {
                 argc(3)?;
                 Item::Branch {
-                    kind: if mnemonic == "beq" { BranchKind::Eq } else { BranchKind::Ne },
+                    kind: if mnemonic == "beq" {
+                        BranchKind::Eq
+                    } else {
+                        BranchKind::Ne
+                    },
                     rs: reg(line, ops[0])?,
                     rt: reg(line, ops[1])?,
                     target: target(ops[2])?,
@@ -276,28 +325,50 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
                     "ble" => (b_reg, a, BranchKind::Eq), // a <= b  ⇔ !(b < a)
                     _ => (a, b_reg, BranchKind::Eq),     // a >= b  ⇔ !(a < b)
                 };
-                items.push((line, Item::Ready(Instr::Slt { rd: AT, rs: slt_rs, rt: slt_rt })));
-                Item::Branch { kind, rs: AT, rt: 0, target: t }
+                items.push((
+                    line,
+                    Item::Ready(Instr::Slt {
+                        rd: AT,
+                        rs: slt_rs,
+                        rt: slt_rt,
+                    }),
+                ));
+                Item::Branch {
+                    kind,
+                    rs: AT,
+                    rt: 0,
+                    target: t,
+                }
             }
             ".word" => {
                 argc(1)?;
                 let v = imm_i64(line, ops[0])?;
                 if !(i64::from(i32::MIN)..=i64::from(u32::MAX)).contains(&v) {
-                    return Err(err(line, format!("`.word` value `{}` out of range", ops[0])));
+                    return Err(err(
+                        line,
+                        format!("`.word` value `{}` out of range", ops[0]),
+                    ));
                 }
                 Item::Word(v as u32)
             }
             "j" | "jal" => {
                 argc(1)?;
-                Item::Jump { link: mnemonic == "jal", target: target(ops[0])? }
+                Item::Jump {
+                    link: mnemonic == "jal",
+                    target: target(ops[0])?,
+                }
             }
             "jr" => {
                 argc(1)?;
-                Item::Ready(Instr::Jr { rs: reg(line, ops[0])? })
+                Item::Ready(Instr::Jr {
+                    rs: reg(line, ops[0])?,
+                })
             }
             "tid" => {
                 argc(1)?;
-                Item::Ready(Instr::Tid { rd: reg(line, ops[0])? })
+                Item::Ready(Instr::Tid {
+                    rd: reg(line, ops[0])?,
+                })
             }
             "nop" => {
                 argc(0)?;
@@ -310,20 +381,39 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
             // Pseudo-instructions.
             "mov" => {
                 argc(2)?;
-                Item::Ready(Instr::Add { rd: reg(line, ops[0])?, rs: reg(line, ops[1])?, rt: 0 })
+                Item::Ready(Instr::Add {
+                    rd: reg(line, ops[0])?,
+                    rs: reg(line, ops[1])?,
+                    rt: 0,
+                })
             }
             "li" => {
                 argc(2)?;
                 let rt = reg(line, ops[0])?;
                 let v = imm_i64(line, ops[1])?;
                 if let Ok(small) = i16::try_from(v) {
-                    Item::Ready(Instr::Addi { rt, rs: 0, imm: small })
+                    Item::Ready(Instr::Addi {
+                        rt,
+                        rs: 0,
+                        imm: small,
+                    })
                 } else {
-                    let v = u32::try_from(v & 0xffff_ffff)
-                        .map_err(|_| err(line, format!("`li` immediate `{}` out of range", ops[1])))?;
+                    let v = u32::try_from(v & 0xffff_ffff).map_err(|_| {
+                        err(line, format!("`li` immediate `{}` out of range", ops[1]))
+                    })?;
                     // Two instructions: lui + ori.
-                    items.push((line, Item::Ready(Instr::Lui { rt, imm: (v >> 16) as u16 })));
-                    Item::Ready(Instr::Ori { rt, rs: rt, imm: (v & 0xffff) as u16 })
+                    items.push((
+                        line,
+                        Item::Ready(Instr::Lui {
+                            rt,
+                            imm: (v >> 16) as u16,
+                        }),
+                    ));
+                    Item::Ready(Instr::Ori {
+                        rt,
+                        rs: rt,
+                        imm: (v & 0xffff) as u16,
+                    })
                 }
             }
             other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
@@ -345,14 +435,27 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
     for (pc, (line, item)) in items.iter().enumerate() {
         let instr = match item {
             Item::Ready(i) => *i,
-            Item::Branch { kind, rs, rt, target } => {
+            Item::Branch {
+                kind,
+                rs,
+                rt,
+                target,
+            } => {
                 let dest = resolve(*line, target)? as i64;
                 let off = dest - (pc as i64 + 1);
                 let imm = i16::try_from(off)
                     .map_err(|_| err(*line, format!("branch offset {off} out of range")))?;
                 match kind {
-                    BranchKind::Eq => Instr::Beq { rs: *rs, rt: *rt, imm },
-                    BranchKind::Ne => Instr::Bne { rs: *rs, rt: *rt, imm },
+                    BranchKind::Eq => Instr::Beq {
+                        rs: *rs,
+                        rt: *rt,
+                        imm,
+                    },
+                    BranchKind::Ne => Instr::Bne {
+                        rs: *rs,
+                        rt: *rt,
+                        imm,
+                    },
                 }
             }
             Item::Jump { link, target } => {
@@ -399,22 +502,57 @@ mod tests {
         )
         .expect("assembles");
         assert_eq!(words.len(), 4);
-        assert_eq!(Instr::decode(words[2]), Ok(Instr::Bne { rs: 1, rt: 0, imm: -2 }));
+        assert_eq!(
+            Instr::decode(words[2]),
+            Ok(Instr::Bne {
+                rs: 1,
+                rt: 0,
+                imm: -2
+            })
+        );
         assert_eq!(Instr::decode(words[3]), Ok(Instr::Halt));
     }
 
     #[test]
     fn forward_labels_resolve() {
         let words = assemble("beq r0, r0, end\nnop\nend: halt\n").expect("assembles");
-        assert_eq!(Instr::decode(words[0]), Ok(Instr::Beq { rs: 0, rt: 0, imm: 1 }));
+        assert_eq!(
+            Instr::decode(words[0]),
+            Ok(Instr::Beq {
+                rs: 0,
+                rt: 0,
+                imm: 1
+            })
+        );
     }
 
     #[test]
     fn memory_operands_parse() {
         let words = assemble("lw r1, 8(r2)\nsw r3, -4(r4)\nlw r5, (r6)\n").expect("assembles");
-        assert_eq!(Instr::decode(words[0]), Ok(Instr::Lw { rt: 1, rs: 2, imm: 8 }));
-        assert_eq!(Instr::decode(words[1]), Ok(Instr::Sw { rt: 3, rs: 4, imm: -4 }));
-        assert_eq!(Instr::decode(words[2]), Ok(Instr::Lw { rt: 5, rs: 6, imm: 0 }));
+        assert_eq!(
+            Instr::decode(words[0]),
+            Ok(Instr::Lw {
+                rt: 1,
+                rs: 2,
+                imm: 8
+            })
+        );
+        assert_eq!(
+            Instr::decode(words[1]),
+            Ok(Instr::Sw {
+                rt: 3,
+                rs: 4,
+                imm: -4
+            })
+        );
+        assert_eq!(
+            Instr::decode(words[2]),
+            Ok(Instr::Lw {
+                rt: 5,
+                rs: 6,
+                imm: 0
+            })
+        );
     }
 
     #[test]
@@ -423,8 +561,18 @@ mod tests {
         assert_eq!(small.len(), 1);
         let large = assemble("li r1, 0x12345678\n").expect("assembles");
         assert_eq!(large.len(), 2);
-        assert_eq!(Instr::decode(large[0]), Ok(Instr::Lui { rt: 1, imm: 0x1234 }));
-        assert_eq!(Instr::decode(large[1]), Ok(Instr::Ori { rt: 1, rs: 1, imm: 0x5678 }));
+        assert_eq!(
+            Instr::decode(large[0]),
+            Ok(Instr::Lui { rt: 1, imm: 0x1234 })
+        );
+        assert_eq!(
+            Instr::decode(large[1]),
+            Ok(Instr::Ori {
+                rt: 1,
+                rs: 1,
+                imm: 0x5678
+            })
+        );
     }
 
     #[test]
@@ -468,11 +616,43 @@ mod tests {
                     halt\n",
         )
         .expect("assembles");
-        assert_eq!(words.len(), 5, "two pseudo-branches expand to two words each");
-        assert_eq!(Instr::decode(words[0]), Ok(Instr::Slt { rd: 1, rs: 2, rt: 3 }));
-        assert_eq!(Instr::decode(words[1]), Ok(Instr::Bne { rs: 1, rt: 0, imm: -2 }));
-        assert_eq!(Instr::decode(words[2]), Ok(Instr::Slt { rd: 1, rs: 2, rt: 3 }));
-        assert_eq!(Instr::decode(words[3]), Ok(Instr::Beq { rs: 1, rt: 0, imm: -4 }));
+        assert_eq!(
+            words.len(),
+            5,
+            "two pseudo-branches expand to two words each"
+        );
+        assert_eq!(
+            Instr::decode(words[0]),
+            Ok(Instr::Slt {
+                rd: 1,
+                rs: 2,
+                rt: 3
+            })
+        );
+        assert_eq!(
+            Instr::decode(words[1]),
+            Ok(Instr::Bne {
+                rs: 1,
+                rt: 0,
+                imm: -2
+            })
+        );
+        assert_eq!(
+            Instr::decode(words[2]),
+            Ok(Instr::Slt {
+                rd: 1,
+                rs: 2,
+                rt: 3
+            })
+        );
+        assert_eq!(
+            Instr::decode(words[3]),
+            Ok(Instr::Beq {
+                rs: 1,
+                rt: 0,
+                imm: -4
+            })
+        );
     }
 
     #[test]

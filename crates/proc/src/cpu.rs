@@ -17,9 +17,7 @@
 use std::sync::Arc;
 
 use elastic_core::{ArbiterKind, Fork, ForkMode, MebKind};
-use elastic_sim::{
-    ChannelId, Circuit, CircuitBuilder, LatencyModel, SimError, VarLatency,
-};
+use elastic_sim::{ChannelId, Circuit, CircuitBuilder, LatencyModel, SimError, VarLatency};
 
 use crate::isa::Instr;
 use crate::stages::{execute, Fetcher, MemUnit, RegUnit, SpecState};
@@ -207,7 +205,10 @@ impl Cpu {
     /// Panics if `entry_pcs.len() != config.threads` or the program is
     /// empty.
     pub fn new(config: CpuConfig, program: Vec<u32>, entry_pcs: Vec<u32>) -> Self {
-        assert!(!program.is_empty(), "program must contain at least one instruction");
+        assert!(
+            !program.is_empty(),
+            "program must contain at least one instruction"
+        );
         assert_eq!(entry_pcs.len(), config.threads, "one entry PC per thread");
         let s = config.threads;
         let mut b = CircuitBuilder::<ProcToken>::new();
@@ -244,13 +245,23 @@ impl Cpu {
                 seed: config.seed ^ 0x1CAC4E,
             },
         ));
-        b.add_boxed(config.meb.build_with::<ProcToken>("meb_if", fetched, decode_in, s, config.arbiter));
+        b.add_boxed(config.meb.build_with::<ProcToken>(
+            "meb_if",
+            fetched,
+            decode_in,
+            s,
+            config.arbiter,
+        ));
         let mut regs = RegUnit::new("regs", decode_in, wb, issued, s);
         if config.speculate {
             regs = regs.with_speculation(Arc::clone(&spec));
         }
         b.add(regs);
-        b.add_boxed(config.meb.build_with::<ProcToken>("meb_id", issued, ex_in, s, config.arbiter));
+        b.add_boxed(
+            config
+                .meb
+                .build_with::<ProcToken>("meb_id", issued, ex_in, s, config.arbiter),
+        );
         let mul_latency = config.mul_latency;
         b.add(
             VarLatency::new(
@@ -266,17 +277,29 @@ impl Cpu {
             )
             .with_transform(execute),
         );
-        b.add_boxed(config.meb.build_with::<ProcToken>("meb_ex", ex_out, route_in, s, config.arbiter));
+        b.add_boxed(config.meb.build_with::<ProcToken>(
+            "meb_ex",
+            ex_out,
+            route_in,
+            s,
+            config.arbiter,
+        ));
         b.add(
-            Fork::new("router", route_in, vec![mem_in, redirect_raw], s, ForkMode::Eager)
-                .with_route(|tok: &ProcToken| {
-                    let ProcToken::Executed { instr, .. } = tok else {
-                        panic!("router received a non-executed token");
-                    };
-                    let to_wb = !instr.is_control_flow() || matches!(instr, Instr::Jal { .. });
-                    let to_redirect = instr.is_control_flow();
-                    vec![to_wb, to_redirect]
-                }),
+            Fork::new(
+                "router",
+                route_in,
+                vec![mem_in, redirect_raw],
+                s,
+                ForkMode::Eager,
+            )
+            .with_route(|tok: &ProcToken| {
+                let ProcToken::Executed { instr, .. } = tok else {
+                    panic!("router received a non-executed token");
+                };
+                let to_wb = !instr.is_control_flow() || matches!(instr, Instr::Jal { .. });
+                let to_redirect = instr.is_control_flow();
+                vec![to_wb, to_redirect]
+            }),
         );
         let mut dmem = MemUnit::new(
             "dmem",
@@ -292,8 +315,18 @@ impl Cpu {
             dmem = dmem.with_speculation(Arc::clone(&spec));
         }
         b.add(dmem);
-        b.add_boxed(config.meb.build_with::<ProcToken>("meb_wb", mem_out, wb, s, config.arbiter));
-        b.add_boxed(config.meb.build_with::<ProcToken>("meb_rd", redirect_raw, redirect, s, config.arbiter));
+        b.add_boxed(
+            config
+                .meb
+                .build_with::<ProcToken>("meb_wb", mem_out, wb, s, config.arbiter),
+        );
+        b.add_boxed(config.meb.build_with::<ProcToken>(
+            "meb_rd",
+            redirect_raw,
+            redirect,
+            s,
+            config.arbiter,
+        ));
 
         let circuit = b.build().expect("cpu netlist is well-formed");
         Self {
@@ -382,7 +415,8 @@ impl Cpu {
     /// [`CpuError::Timeout`] when the budget is exhausted, or
     /// [`CpuError::Sim`] on a protocol violation/deadlock.
     pub fn run_to_halt(&mut self, max_cycles: u64) -> Result<CpuRunStats, CpuError> {
-        let drain_window = 8 + 4 * (self.config.imem_latency.1.max(self.config.dmem_latency.1) as u64)
+        let drain_window = 8
+            + 4 * (self.config.imem_latency.1.max(self.config.dmem_latency.1) as u64)
             + u64::from(self.config.mul_latency);
         let mut idle = 0u64;
         loop {
@@ -404,8 +438,9 @@ impl Cpu {
         let executed: Vec<u64> = (0..self.config.threads)
             .map(|t| self.circuit.stats().transfers(self.channels.ex_out, t))
             .collect();
-        let squashed: Vec<u64> =
-            (0..self.config.threads).map(|t| self.fetcher().squashed(t)).collect();
+        let squashed: Vec<u64> = (0..self.config.threads)
+            .map(|t| self.fetcher().squashed(t))
+            .collect();
         let total: u64 = executed.iter().sum();
         let useful = total.saturating_sub(squashed.iter().sum());
         Ok(CpuRunStats {
@@ -581,8 +616,7 @@ mod tests {
                             halt\n";
         let mut results = Vec::new();
         for kind in [MebKind::Full, MebKind::Reduced] {
-            let mut cpu =
-                Cpu::from_asm(CpuConfig::new(4).with_meb(kind), source).expect("asm");
+            let mut cpu = Cpu::from_asm(CpuConfig::new(4).with_meb(kind), source).expect("asm");
             cpu.run_to_halt(100_000).expect("halts");
             results.push((0..4).map(|t| cpu.mem(t)).collect::<Vec<_>>());
         }
@@ -628,8 +662,7 @@ mod tests {
                             sw   r4, 0(r0)\n\
                       skip: lw   r5, 0(r0)\n\
                             halt\n";
-        let mut cpu =
-            Cpu::from_asm(CpuConfig::new(1).with_speculation(), source).expect("asm");
+        let mut cpu = Cpu::from_asm(CpuConfig::new(1).with_speculation(), source).expect("asm");
         cpu.run_to_halt(100_000).expect("halts");
         assert_eq!(cpu.mem(0), 42, "wrong-path store leaked to memory");
         assert_eq!(cpu.reg(0, 5), 42);
@@ -652,8 +685,7 @@ mod tests {
                       done: halt\n";
         let mut base = Cpu::from_asm(CpuConfig::new(1), source).expect("asm");
         let b = base.run_to_halt(500_000).expect("halts");
-        let mut spec =
-            Cpu::from_asm(CpuConfig::new(1).with_speculation(), source).expect("asm");
+        let mut spec = Cpu::from_asm(CpuConfig::new(1).with_speculation(), source).expect("asm");
         let sp = spec.run_to_halt(500_000).expect("halts");
         assert_eq!(spec.reg(0, 3), base.reg(0, 3));
         assert!(

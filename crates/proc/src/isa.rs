@@ -284,7 +284,11 @@ pub struct DecodeInstrError {
 
 impl std::fmt::Display for DecodeInstrError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "word {:#010x} is not a valid DTU-RISC instruction", self.word)
+        write!(
+            f,
+            "word {:#010x} is not a valid DTU-RISC instruction",
+            self.word
+        )
     }
 }
 
@@ -294,7 +298,11 @@ impl Instr {
     /// Encodes the instruction into its 32-bit word.
     pub fn encode(self) -> u32 {
         let r = |rs: u8, rt: u8, rd: u8, shamt: u8, f: u32| {
-            (u32::from(rs) << 21) | (u32::from(rt) << 16) | (u32::from(rd) << 11) | (u32::from(shamt) << 6) | f
+            (u32::from(rs) << 21)
+                | (u32::from(rt) << 16)
+                | (u32::from(rd) << 11)
+                | (u32::from(shamt) << 6)
+                | f
         };
         let i = |opc: u32, rs: u8, rt: u8, imm: u16| {
             (opc << 26) | (u32::from(rs) << 21) | (u32::from(rt) << 16) | u32::from(imm)
@@ -364,8 +372,12 @@ impl Instr {
                 funct::SLTU => Instr::Sltu { rd, rs, rt },
                 _ => return Err(err),
             },
-            op::J => Instr::J { target: word & 0x03ff_ffff },
-            op::JAL => Instr::Jal { target: word & 0x03ff_ffff },
+            op::J => Instr::J {
+                target: word & 0x03ff_ffff,
+            },
+            op::JAL => Instr::Jal {
+                target: word & 0x03ff_ffff,
+            },
             op::BEQ => Instr::Beq { rs, rt, imm: imm_s },
             op::BNE => Instr::Bne { rs, rt, imm: imm_s },
             op::ADDI => Instr::Addi { rt, rs, imm: imm_s },
@@ -509,31 +521,120 @@ mod tests {
 
     fn all_sample_instrs() -> Vec<Instr> {
         vec![
-            Instr::Add { rd: 1, rs: 2, rt: 3 },
-            Instr::Sub { rd: 31, rs: 0, rt: 15 },
-            Instr::And { rd: 4, rs: 5, rt: 6 },
-            Instr::Or { rd: 7, rs: 8, rt: 9 },
-            Instr::Xor { rd: 10, rs: 11, rt: 12 },
-            Instr::Nor { rd: 13, rs: 14, rt: 15 },
-            Instr::Slt { rd: 16, rs: 17, rt: 18 },
-            Instr::Sltu { rd: 19, rs: 20, rt: 21 },
-            Instr::Mul { rd: 22, rs: 23, rt: 24 },
-            Instr::Sll { rd: 25, rt: 26, shamt: 31 },
-            Instr::Srl { rd: 27, rt: 28, shamt: 1 },
-            Instr::Sra { rd: 29, rt: 30, shamt: 16 },
+            Instr::Add {
+                rd: 1,
+                rs: 2,
+                rt: 3,
+            },
+            Instr::Sub {
+                rd: 31,
+                rs: 0,
+                rt: 15,
+            },
+            Instr::And {
+                rd: 4,
+                rs: 5,
+                rt: 6,
+            },
+            Instr::Or {
+                rd: 7,
+                rs: 8,
+                rt: 9,
+            },
+            Instr::Xor {
+                rd: 10,
+                rs: 11,
+                rt: 12,
+            },
+            Instr::Nor {
+                rd: 13,
+                rs: 14,
+                rt: 15,
+            },
+            Instr::Slt {
+                rd: 16,
+                rs: 17,
+                rt: 18,
+            },
+            Instr::Sltu {
+                rd: 19,
+                rs: 20,
+                rt: 21,
+            },
+            Instr::Mul {
+                rd: 22,
+                rs: 23,
+                rt: 24,
+            },
+            Instr::Sll {
+                rd: 25,
+                rt: 26,
+                shamt: 31,
+            },
+            Instr::Srl {
+                rd: 27,
+                rt: 28,
+                shamt: 1,
+            },
+            Instr::Sra {
+                rd: 29,
+                rt: 30,
+                shamt: 16,
+            },
             Instr::Jr { rs: 31 },
             Instr::Tid { rd: 9 },
-            Instr::Addi { rt: 1, rs: 2, imm: -32768 },
-            Instr::Andi { rt: 3, rs: 4, imm: 0xffff },
-            Instr::Ori { rt: 5, rs: 6, imm: 0x1234 },
-            Instr::Xori { rt: 7, rs: 8, imm: 1 },
-            Instr::Slti { rt: 9, rs: 10, imm: -1 },
-            Instr::Lui { rt: 11, imm: 0xdead },
-            Instr::Lw { rt: 12, rs: 13, imm: 100 },
-            Instr::Sw { rt: 14, rs: 15, imm: -100 },
-            Instr::Beq { rs: 16, rt: 17, imm: -4 },
-            Instr::Bne { rs: 18, rt: 19, imm: 7 },
-            Instr::J { target: 0x03ff_ffff },
+            Instr::Addi {
+                rt: 1,
+                rs: 2,
+                imm: -32768,
+            },
+            Instr::Andi {
+                rt: 3,
+                rs: 4,
+                imm: 0xffff,
+            },
+            Instr::Ori {
+                rt: 5,
+                rs: 6,
+                imm: 0x1234,
+            },
+            Instr::Xori {
+                rt: 7,
+                rs: 8,
+                imm: 1,
+            },
+            Instr::Slti {
+                rt: 9,
+                rs: 10,
+                imm: -1,
+            },
+            Instr::Lui {
+                rt: 11,
+                imm: 0xdead,
+            },
+            Instr::Lw {
+                rt: 12,
+                rs: 13,
+                imm: 100,
+            },
+            Instr::Sw {
+                rt: 14,
+                rs: 15,
+                imm: -100,
+            },
+            Instr::Beq {
+                rs: 16,
+                rt: 17,
+                imm: -4,
+            },
+            Instr::Bne {
+                rs: 18,
+                rt: 19,
+                imm: 7,
+            },
+            Instr::J {
+                target: 0x03ff_ffff,
+            },
             Instr::Jal { target: 42 },
             Instr::Nop,
             Instr::Halt,
@@ -564,19 +665,71 @@ mod tests {
 
     #[test]
     fn hazard_metadata_is_consistent() {
-        assert_eq!(Instr::Add { rd: 1, rs: 2, rt: 3 }.sources(), vec![2, 3]);
-        assert_eq!(Instr::Add { rd: 1, rs: 2, rt: 3 }.dest(), Some(1));
-        assert_eq!(Instr::Sw { rt: 4, rs: 5, imm: 0 }.dest(), None);
+        assert_eq!(
+            Instr::Add {
+                rd: 1,
+                rs: 2,
+                rt: 3
+            }
+            .sources(),
+            vec![2, 3]
+        );
+        assert_eq!(
+            Instr::Add {
+                rd: 1,
+                rs: 2,
+                rt: 3
+            }
+            .dest(),
+            Some(1)
+        );
+        assert_eq!(
+            Instr::Sw {
+                rt: 4,
+                rs: 5,
+                imm: 0
+            }
+            .dest(),
+            None
+        );
         assert_eq!(Instr::Jal { target: 0 }.dest(), Some(31));
-        assert!(Instr::Beq { rs: 0, rt: 0, imm: 0 }.is_control_flow());
-        assert!(!Instr::Lw { rt: 1, rs: 2, imm: 0 }.is_control_flow());
-        assert!(Instr::Lw { rt: 1, rs: 2, imm: 0 }.is_mem());
-        assert!(Instr::Mul { rd: 1, rs: 2, rt: 3 }.is_mul());
+        assert!(Instr::Beq {
+            rs: 0,
+            rt: 0,
+            imm: 0
+        }
+        .is_control_flow());
+        assert!(!Instr::Lw {
+            rt: 1,
+            rs: 2,
+            imm: 0
+        }
+        .is_control_flow());
+        assert!(Instr::Lw {
+            rt: 1,
+            rs: 2,
+            imm: 0
+        }
+        .is_mem());
+        assert!(Instr::Mul {
+            rd: 1,
+            rs: 2,
+            rt: 3
+        }
+        .is_mul());
     }
 
     #[test]
     fn display_is_readable() {
-        assert_eq!(Instr::Lw { rt: 3, rs: 4, imm: -8 }.to_string(), "lw r3, -8(r4)");
+        assert_eq!(
+            Instr::Lw {
+                rt: 3,
+                rs: 4,
+                imm: -8
+            }
+            .to_string(),
+            "lw r3, -8(r4)"
+        );
         assert_eq!(Instr::Tid { rd: 5 }.to_string(), "tid r5");
     }
 }

@@ -177,13 +177,29 @@ kloop:
 /// All named workloads, for sweeps: `(name, source, description)`.
 pub fn all() -> Vec<(&'static str, &'static str, &'static str)> {
     vec![
-        ("sum_loop", SUM_LOOP, "dependent arithmetic loop, branch every 3 instructions"),
+        (
+            "sum_loop",
+            SUM_LOOP,
+            "dependent arithmetic loop, branch every 3 instructions",
+        ),
         ("fibonacci", FIBONACCI, "dependent arithmetic chain"),
         ("memcpy", MEMCPY, "memory-bound copy loop"),
-        ("dot_product", DOT_PRODUCT, "loads + long-latency multiplies"),
-        ("sieve", SIEVE, "branch- and store-heavy sieve of Eratosthenes"),
+        (
+            "dot_product",
+            DOT_PRODUCT,
+            "loads + long-latency multiplies",
+        ),
+        (
+            "sieve",
+            SIEVE,
+            "branch- and store-heavy sieve of Eratosthenes",
+        ),
         ("bubble_sort", BUBBLE_SORT, "nested compare-and-swap loops"),
-        ("matmul", MATMUL, "4x4 matrix multiply, indexed loads + multiplies"),
+        (
+            "matmul",
+            MATMUL,
+            "4x4 matrix multiply, indexed loads + multiplies",
+        ),
     ]
 }
 
@@ -221,7 +237,11 @@ mod tests {
         cpu.run_to_halt(200_000).expect("halts");
         for t in 0..4usize {
             for i in 0..16usize {
-                assert_eq!(cpu.mem(t * 64 + 32 + i), (1000 * t + i) as u32, "thread {t} word {i}");
+                assert_eq!(
+                    cpu.mem(t * 64 + 32 + i),
+                    (1000 * t + i) as u32,
+                    "thread {t} word {i}"
+                );
             }
         }
     }
@@ -250,8 +270,7 @@ mod tests {
         let mut cpu = Cpu::from_asm(CpuConfig::new(4), BUBBLE_SORT).expect("asm");
         let mut expected: Vec<Vec<u32>> = Vec::new();
         for t in 0..4usize {
-            let vals: Vec<u32> =
-                (0..8).map(|i| ((7 * i + 11 * t + 3) % 50) as u32).collect();
+            let vals: Vec<u32> = (0..8).map(|i| ((7 * i + 11 * t + 3) % 50) as u32).collect();
             for (i, &v) in vals.iter().enumerate() {
                 cpu.set_mem(t * 32 + i, v);
             }
@@ -281,8 +300,7 @@ mod tests {
             for i in 0..4 {
                 for j in 0..4 {
                     for k in 0..4 {
-                        c[i][j] =
-                            c[i][j].wrapping_add(a[4 * i + k].wrapping_mul(bm[4 * k + j]));
+                        c[i][j] = c[i][j].wrapping_add(a[4 * i + k].wrapping_mul(bm[4 * k + j]));
                     }
                 }
             }
@@ -292,7 +310,11 @@ mod tests {
         for (t, expect) in expect.iter().enumerate() {
             for (i, row) in expect.iter().enumerate() {
                 for (j, &cell) in row.iter().enumerate() {
-                    assert_eq!(cpu.mem(t * 64 + 32 + 4 * i + j), cell, "thread {t} C[{i}][{j}]");
+                    assert_eq!(
+                        cpu.mem(t * 64 + 32 + 4 * i + j),
+                        cell,
+                        "thread {t} C[{i}][{j}]"
+                    );
                 }
             }
         }
@@ -317,7 +339,11 @@ mod tests {
         spec.run_to_halt(800_000).expect("halts");
         for t in 0..2usize {
             for i in 0..8usize {
-                assert_eq!(spec.mem(t * 32 + i), base.mem(t * 32 + i), "thread {t} [{i}]");
+                assert_eq!(
+                    spec.mem(t * 32 + i),
+                    base.mem(t * 32 + i),
+                    "thread {t} [{i}]"
+                );
             }
         }
     }

@@ -13,9 +13,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use elastic_core::{Arbiter, RoundRobin, SelectState};
-use elastic_sim::{
-    impl_as_any, ChannelId, Component, EvalCtx, Ports, SlotView, TickCtx,
-};
+use elastic_sim::{impl_as_any, ChannelId, Component, EvalCtx, Ports, SlotView, TickCtx};
 
 use crate::isa::{Instr, NUM_REGS};
 use crate::token::ProcToken;
@@ -58,7 +56,11 @@ impl SpecState {
 
     /// The thread's current (open) epoch.
     pub fn current_epoch(&self, thread: usize) -> u32 {
-        (self.boundaries[thread].lock().expect("spec state lock").len() - 1) as u32
+        (self.boundaries[thread]
+            .lock()
+            .expect("spec state lock")
+            .len()
+            - 1) as u32
     }
 
     /// Whether a token is on a squashed (wrong) path.
@@ -75,7 +77,11 @@ impl SpecState {
         if seq > b[epoch as usize] {
             return false;
         }
-        debug_assert_eq!(epoch as usize, b.len() - 1, "live branch must be in the open epoch");
+        debug_assert_eq!(
+            epoch as usize,
+            b.len() - 1,
+            "live branch must be in the open epoch"
+        );
         let last = b.len() - 1;
         b[last] = seq;
         b.push(u64::MAX);
@@ -202,7 +208,17 @@ impl Component<ProcToken> for Fetcher {
                 let word = self.imem[pc as usize];
                 let epoch = self.epoch(t);
                 let seq = self.fetched[t];
-                ctx.drive_token(self.out, t, ProcToken::Fetched { thread: t, pc, word, epoch, seq });
+                ctx.drive_token(
+                    self.out,
+                    t,
+                    ProcToken::Fetched {
+                        thread: t,
+                        pc,
+                        word,
+                        epoch,
+                        seq,
+                    },
+                );
             }
             None => ctx.drive_idle(self.out),
         }
@@ -233,11 +249,24 @@ impl Component<ProcToken> for Fetcher {
         }
         // A control-flow instruction resolved.
         if let Some((t, tok)) = ctx.fired_any(self.redirect) {
-            let ProcToken::Executed { instr, pc, taken, target, epoch, seq, .. } = tok else {
+            let ProcToken::Executed {
+                instr,
+                pc,
+                taken,
+                target,
+                epoch,
+                seq,
+                ..
+            } = tok
+            else {
                 unreachable!("redirect carries Executed tokens");
             };
             if self.speculate {
-                let spec = self.spec.as_ref().expect("speculation state present").clone();
+                let spec = self
+                    .spec
+                    .as_ref()
+                    .expect("speculation state present")
+                    .clone();
                 match instr {
                     Instr::Halt | Instr::J { .. } | Instr::Jal { .. } => {
                         // Halt handled at predecode; direct jumps already
@@ -344,7 +373,9 @@ impl RegUnit {
     }
 
     fn is_stale(&self, t: usize, epoch: u32, seq: u64) -> bool {
-        self.spec.as_ref().is_some_and(|s| s.is_squashed(t, epoch, seq))
+        self.spec
+            .as_ref()
+            .is_some_and(|s| s.is_squashed(t, epoch, seq))
     }
 
     /// Architectural register value (r0 is always 0).
@@ -402,11 +433,22 @@ impl RegUnit {
             | Instr::Xori { rs, .. }
             | Instr::Slti { rs, .. }
             | Instr::Lw { rs, .. } => (src(rs), 0),
-            Instr::Lui { .. } | Instr::Tid { .. } | Instr::J { .. } | Instr::Jal { .. } | Instr::Nop | Instr::Halt => {
-                (0, 0)
-            }
+            Instr::Lui { .. }
+            | Instr::Tid { .. }
+            | Instr::J { .. }
+            | Instr::Jal { .. }
+            | Instr::Nop
+            | Instr::Halt => (0, 0),
         };
-        ProcToken::Decoded { thread: t, pc, instr, a, b, epoch, seq }
+        ProcToken::Decoded {
+            thread: t,
+            pc,
+            instr,
+            a,
+            b,
+            epoch,
+            seq,
+        }
     }
 }
 
@@ -449,7 +491,16 @@ impl Component<ProcToken> for RegUnit {
         }
         // Drive the decoded token downstream.
         match &offered {
-            Some((t, ProcToken::Fetched { pc, word, epoch, seq, .. })) => {
+            Some((
+                t,
+                ProcToken::Fetched {
+                    pc,
+                    word,
+                    epoch,
+                    seq,
+                    ..
+                },
+            )) => {
                 let instr = Instr::decode(*word).expect("validated above");
                 if self.hazard(*t, &instr) {
                     ctx.drive_idle(self.id_out);
@@ -466,7 +517,14 @@ impl Component<ProcToken> for RegUnit {
         // Retire writebacks first (a dependent issue still waits one cycle;
         // there is no same-cycle bypass, cf. module docs).
         if let Some((t, tok)) = ctx.fired_any(self.wb_in) {
-            let ProcToken::Executed { instr, result, epoch, seq, .. } = tok else {
+            let ProcToken::Executed {
+                instr,
+                result,
+                epoch,
+                seq,
+                ..
+            } = tok
+            else {
                 unreachable!("writeback carries Executed tokens");
             };
             let stale = self.is_stale(t, *epoch, *seq);
@@ -510,7 +568,16 @@ impl Component<ProcToken> for RegUnit {
 ///
 /// Panics if `tok` is not a [`ProcToken::Decoded`].
 pub fn execute(tok: &ProcToken) -> ProcToken {
-    let ProcToken::Decoded { thread, pc, instr, a, b, epoch, seq } = tok.clone() else {
+    let ProcToken::Decoded {
+        thread,
+        pc,
+        instr,
+        a,
+        b,
+        epoch,
+        seq,
+    } = tok.clone()
+    else {
         panic!("execute stage received a non-decoded token");
     };
     let (mut result, mut addr, mut taken, mut target) = (0u32, 0u32, false, 0u32);
@@ -562,7 +629,17 @@ pub fn execute(tok: &ProcToken) -> ProcToken {
         }
         Instr::Nop | Instr::Halt => {}
     }
-    ProcToken::Executed { thread, pc, instr, result, addr, taken, target, epoch, seq }
+    ProcToken::Executed {
+        thread,
+        pc,
+        instr,
+        result,
+        addr,
+        taken,
+        target,
+        epoch,
+        seq,
+    }
 }
 
 /// The variable-latency data-memory unit. Loads and stores take effect at
@@ -710,7 +787,13 @@ impl Component<ProcToken> for MemUnit {
                 .spec
                 .as_ref()
                 .is_some_and(|s| s.is_squashed(t, tok.epoch(), tok.seq()));
-            let latency = if let ProcToken::Executed { instr, addr, result, .. } = &mut tok {
+            let latency = if let ProcToken::Executed {
+                instr,
+                addr,
+                result,
+                ..
+            } = &mut tok
+            {
                 match instr {
                     _ if stale => 1, // squashed: no side effects, no service time
                     Instr::Lw { .. } => {
@@ -731,7 +814,8 @@ impl Component<ProcToken> for MemUnit {
             } else {
                 unreachable!("memory stage receives Executed tokens");
             };
-            self.entries.push((t, tok, ctx.cycle() + u64::from(latency)));
+            self.entries
+                .push((t, tok, ctx.cycle() + u64::from(latency)));
         }
     }
 
@@ -755,23 +839,102 @@ mod tests {
 
     #[test]
     fn execute_computes_alu_results() {
-        let dec = |instr, a, b| ProcToken::Decoded { thread: 0, pc: 10, instr, a, b, epoch: 0, seq: 0 };
+        let dec = |instr, a, b| ProcToken::Decoded {
+            thread: 0,
+            pc: 10,
+            instr,
+            a,
+            b,
+            epoch: 0,
+            seq: 0,
+        };
         let get = |tok: ProcToken| match tok {
             ProcToken::Executed { result, .. } => result,
             _ => panic!("expected executed"),
         };
-        assert_eq!(get(execute(&dec(Instr::Add { rd: 1, rs: 2, rt: 3 }, 7, 5))), 12);
-        assert_eq!(get(execute(&dec(Instr::Sub { rd: 1, rs: 2, rt: 3 }, 3, 5))), 3u32.wrapping_sub(5));
-        assert_eq!(get(execute(&dec(Instr::Slt { rd: 1, rs: 2, rt: 3 }, (-1i32) as u32, 0))), 1);
-        assert_eq!(get(execute(&dec(Instr::Sltu { rd: 1, rs: 2, rt: 3 }, (-1i32) as u32, 0))), 0);
-        assert_eq!(get(execute(&dec(Instr::Sra { rd: 1, rt: 2, shamt: 4 }, 0, (-64i32) as u32))), (-4i32) as u32);
+        assert_eq!(
+            get(execute(&dec(
+                Instr::Add {
+                    rd: 1,
+                    rs: 2,
+                    rt: 3
+                },
+                7,
+                5
+            ))),
+            12
+        );
+        assert_eq!(
+            get(execute(&dec(
+                Instr::Sub {
+                    rd: 1,
+                    rs: 2,
+                    rt: 3
+                },
+                3,
+                5
+            ))),
+            3u32.wrapping_sub(5)
+        );
+        assert_eq!(
+            get(execute(&dec(
+                Instr::Slt {
+                    rd: 1,
+                    rs: 2,
+                    rt: 3
+                },
+                (-1i32) as u32,
+                0
+            ))),
+            1
+        );
+        assert_eq!(
+            get(execute(&dec(
+                Instr::Sltu {
+                    rd: 1,
+                    rs: 2,
+                    rt: 3
+                },
+                (-1i32) as u32,
+                0
+            ))),
+            0
+        );
+        assert_eq!(
+            get(execute(&dec(
+                Instr::Sra {
+                    rd: 1,
+                    rt: 2,
+                    shamt: 4
+                },
+                0,
+                (-64i32) as u32
+            ))),
+            (-4i32) as u32
+        );
         assert_eq!(get(execute(&dec(Instr::Tid { rd: 1 }, 0, 0))), 0);
     }
 
     #[test]
     fn execute_resolves_branches() {
-        let dec = |instr, a, b| ProcToken::Decoded { thread: 0, pc: 10, instr, a, b, epoch: 0, seq: 0 };
-        match execute(&dec(Instr::Beq { rs: 1, rt: 2, imm: -3 }, 9, 9)) {
+        let dec = |instr, a, b| ProcToken::Decoded {
+            thread: 0,
+            pc: 10,
+            instr,
+            a,
+            b,
+            epoch: 0,
+            seq: 0,
+        };
+        match execute(&dec(
+            Instr::Beq {
+                rs: 1,
+                rt: 2,
+                imm: -3,
+            },
+            9,
+            9,
+        )) {
             ProcToken::Executed { taken, target, .. } => {
                 assert!(taken);
                 assert_eq!(target, 8); // 10 + 1 - 3
@@ -779,7 +942,12 @@ mod tests {
             _ => panic!("expected executed"),
         }
         match execute(&dec(Instr::Jal { target: 99 }, 0, 0)) {
-            ProcToken::Executed { taken, target, result, .. } => {
+            ProcToken::Executed {
+                taken,
+                target,
+                result,
+                ..
+            } => {
                 assert!(taken);
                 assert_eq!(target, 99);
                 assert_eq!(result, 11); // link = pc + 1
@@ -790,8 +958,24 @@ mod tests {
 
     #[test]
     fn execute_forms_memory_addresses() {
-        let dec = |instr, a, b| ProcToken::Decoded { thread: 1, pc: 0, instr, a, b, epoch: 0, seq: 0 };
-        match execute(&dec(Instr::Sw { rt: 2, rs: 1, imm: 4 }, 100, 77)) {
+        let dec = |instr, a, b| ProcToken::Decoded {
+            thread: 1,
+            pc: 0,
+            instr,
+            a,
+            b,
+            epoch: 0,
+            seq: 0,
+        };
+        match execute(&dec(
+            Instr::Sw {
+                rt: 2,
+                rs: 1,
+                imm: 4,
+            },
+            100,
+            77,
+        )) {
             ProcToken::Executed { addr, result, .. } => {
                 assert_eq!(addr, 104);
                 assert_eq!(result, 77);

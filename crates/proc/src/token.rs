@@ -118,7 +118,13 @@ mod tests {
 
     #[test]
     fn labels_show_thread_stage_and_pc() {
-        let t = ProcToken::Fetched { thread: 1, pc: 7, word: 0, epoch: 0, seq: 0 };
+        let t = ProcToken::Fetched {
+            thread: 1,
+            pc: 7,
+            word: 0,
+            epoch: 0,
+            seq: 0,
+        };
         assert_eq!(t.label(), "BF7");
         let t = ProcToken::Executed {
             thread: 0,

@@ -45,7 +45,10 @@ impl<T: Token> Default for CircuitBuilder<T> {
 impl<T: Token> CircuitBuilder<T> {
     /// An empty builder.
     pub fn new() -> Self {
-        Self { specs: Vec::new(), components: Vec::new() }
+        Self {
+            specs: Vec::new(),
+            components: Vec::new(),
+        }
     }
 
     /// Declares a channel supporting `threads` concurrent threads.
@@ -56,14 +59,19 @@ impl<T: Token> CircuitBuilder<T> {
     pub fn channel(&mut self, name: impl Into<String>, threads: usize) -> ChannelId {
         assert!(threads > 0, "a channel must support at least one thread");
         let id = ChannelId(self.specs.len());
-        self.specs.push(ChannelSpec { name: name.into(), threads });
+        self.specs.push(ChannelSpec {
+            name: name.into(),
+            threads,
+        });
         id
     }
 
     /// Declares `n` channels named `prefix0`, `prefix1`, … (handy for
     /// pipelines).
     pub fn channels(&mut self, prefix: &str, threads: usize, n: usize) -> Vec<ChannelId> {
-        (0..n).map(|i| self.channel(format!("{prefix}{i}"), threads)).collect()
+        (0..n)
+            .map(|i| self.channel(format!("{prefix}{i}"), threads))
+            .collect()
     }
 
     /// Adds a component; returns its evaluation-order index.
@@ -98,26 +106,38 @@ impl<T: Token> CircuitBuilder<T> {
             let ports = comp.ports();
             for ch in ports.outputs {
                 if ch.0 >= n_ch {
-                    return Err(BuildError::UnknownChannel { component: comp.name().to_string() });
+                    return Err(BuildError::UnknownChannel {
+                        component: comp.name().to_string(),
+                    });
                 }
                 drivers[ch.0].push(i);
             }
             for ch in ports.inputs {
                 if ch.0 >= n_ch {
-                    return Err(BuildError::UnknownChannel { component: comp.name().to_string() });
+                    return Err(BuildError::UnknownChannel {
+                        component: comp.name().to_string(),
+                    });
                 }
                 readers[ch.0].push(i);
             }
         }
 
-        let names: BTreeMap<usize, String> =
-            self.components.iter().enumerate().map(|(i, c)| (i, c.name().to_string())).collect();
+        let names: BTreeMap<usize, String> = self
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.name().to_string()))
+            .collect();
 
         let mut driver = Vec::with_capacity(n_ch);
         let mut reader = Vec::with_capacity(n_ch);
         for (ci, spec) in self.specs.iter().enumerate() {
             match drivers[ci].as_slice() {
-                [] => return Err(BuildError::NoDriver { channel: spec.name.clone() }),
+                [] => {
+                    return Err(BuildError::NoDriver {
+                        channel: spec.name.clone(),
+                    })
+                }
                 [d] => driver.push(*d),
                 many => {
                     return Err(BuildError::MultipleDrivers {
@@ -127,7 +147,11 @@ impl<T: Token> CircuitBuilder<T> {
                 }
             }
             match readers[ci].as_slice() {
-                [] => return Err(BuildError::NoReader { channel: spec.name.clone() }),
+                [] => {
+                    return Err(BuildError::NoReader {
+                        channel: spec.name.clone(),
+                    })
+                }
                 [r] => reader.push(*r),
                 many => {
                     return Err(BuildError::MultipleReaders {
@@ -139,15 +163,20 @@ impl<T: Token> CircuitBuilder<T> {
         }
 
         let channels = self.specs.into_iter().map(ChannelState::new).collect();
-        Ok(Circuit::from_parts(self.components, channels, driver, reader))
+        Ok(Circuit::from_parts(
+            self.components,
+            channels,
+            driver,
+            reader,
+        ))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::component::Ports;
     use crate::circuit::{EvalCtx, TickCtx};
+    use crate::component::Ports;
 
     struct Stub {
         name: String,
@@ -167,7 +196,10 @@ mod tests {
     }
 
     fn stub(name: &str, inputs: Vec<ChannelId>, outputs: Vec<ChannelId>) -> Stub {
-        Stub { name: name.into(), ports: Ports { inputs, outputs } }
+        Stub {
+            name: name.into(),
+            ports: Ports { inputs, outputs },
+        }
     }
 
     #[test]
@@ -190,7 +222,12 @@ mod tests {
         let mut b = CircuitBuilder::<u64>::new();
         let ch = b.channel("c", 1);
         b.add(stub("q", vec![ch], vec![]));
-        assert_eq!(b.build().err(), Some(BuildError::NoDriver { channel: "c".into() }));
+        assert_eq!(
+            b.build().err(),
+            Some(BuildError::NoDriver {
+                channel: "c".into()
+            })
+        );
     }
 
     #[test]
@@ -198,7 +235,12 @@ mod tests {
         let mut b = CircuitBuilder::<u64>::new();
         let ch = b.channel("c", 1);
         b.add(stub("p", vec![], vec![ch]));
-        assert_eq!(b.build().err(), Some(BuildError::NoReader { channel: "c".into() }));
+        assert_eq!(
+            b.build().err(),
+            Some(BuildError::NoReader {
+                channel: "c".into()
+            })
+        );
     }
 
     #[test]
@@ -224,14 +266,20 @@ mod tests {
         b.add(stub("p", vec![], vec![ch]));
         b.add(stub("q1", vec![ch], vec![]));
         b.add(stub("q2", vec![ch], vec![]));
-        assert!(matches!(b.build().err(), Some(BuildError::MultipleReaders { .. })));
+        assert!(matches!(
+            b.build().err(),
+            Some(BuildError::MultipleReaders { .. })
+        ));
     }
 
     #[test]
     fn unknown_channel_is_rejected() {
         let mut b = CircuitBuilder::<u64>::new();
         b.add(stub("p", vec![], vec![ChannelId(5)]));
-        assert!(matches!(b.build().err(), Some(BuildError::UnknownChannel { .. })));
+        assert!(matches!(
+            b.build().err(),
+            Some(BuildError::UnknownChannel { .. })
+        ));
     }
 
     #[test]

@@ -48,7 +48,12 @@ pub(crate) struct ChannelState<T: Token> {
 impl<T: Token> ChannelState<T> {
     pub fn new(spec: ChannelSpec) -> Self {
         let threads = spec.threads;
-        Self { spec, valid: vec![false; threads], ready: vec![false; threads], data: None }
+        Self {
+            spec,
+            valid: vec![false; threads],
+            ready: vec![false; threads],
+            data: None,
+        }
     }
 
     /// Returns the indices of all threads whose valid bit is high.
@@ -85,7 +90,10 @@ mod tests {
     use super::*;
 
     fn ch() -> ChannelState<u64> {
-        ChannelState::new(ChannelSpec { name: "c".into(), threads: 3 })
+        ChannelState::new(ChannelSpec {
+            name: "c".into(),
+            threads: 3,
+        })
     }
 
     #[test]

@@ -2,33 +2,64 @@
 //!
 //! Each cycle proceeds in two phases, mirroring synchronous hardware:
 //!
-//! 1. **Combinational settle** — all channel signals are cleared, then all
-//!    components' [`eval`](crate::Component::eval) run repeatedly until no
-//!    signal changes (fixed point). A network whose handshakes form a
-//!    zero-latency cycle never settles and is reported as a
-//!    [`SimError::CombinationalLoop`] — exactly the class of circuit that
-//!    is illegal in elastic design unless cut by an elastic buffer.
+//! 1. **Combinational settle** — components' [`eval`](crate::Component::eval)
+//!    run until no signal changes (fixed point). The default
+//!    [`EvalMode::EventDriven`] kernel performs one full sweep and then
+//!    re-evaluates only *dirty* components: when a channel's `valid`/`data`
+//!    changes its reader is woken, when its `ready` changes its driver is
+//!    woken (the wake map comes from the builder's driver/reader tables).
+//!    A network whose handshakes form a zero-latency cycle never settles
+//!    and is reported as a [`SimError::CombinationalLoop`] — exactly the
+//!    class of circuit that is illegal in elastic design unless cut by an
+//!    elastic buffer.
 //! 2. **Clock edge** — the settled signals determine which transfers fire
 //!    (`valid(i) && ready(i)`); every component's
 //!    [`tick`](crate::Component::tick) then updates its registers.
+//!
+//! Two fast-paths keep the event-driven kernel cheap (see
+//! `docs/kernel.md`): a cycle that converges after its single full sweep
+//! goes straight to the clock edge, and a *quiescent* network (no token
+//! offered anywhere) can be fast-forwarded across empty cycles to the next
+//! self-scheduled component event ([`Component::next_event`]).
 
 use std::collections::BTreeMap;
 
 use crate::channel::{ChannelId, ChannelState};
-use crate::component::Component;
+use crate::component::{Component, NextEvent};
 use crate::error::SimError;
 use crate::stats::Stats;
 use crate::token::Token;
 use crate::trace::{ChannelTrace, CycleTrace, TraceRecorder};
+
+/// How the settle phase schedules component evaluations each cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum EvalMode {
+    /// Event-driven dirty-set kernel (default): after one full sweep,
+    /// only components woken by a signal change on a channel they read
+    /// or drive are re-evaluated, until the worklist drains.
+    #[default]
+    EventDriven,
+    /// Reference kernel: every settle iteration re-evaluates every
+    /// component until an iteration changes nothing. Kept as the
+    /// equivalence oracle for tests, benches and the ablation binary.
+    Exhaustive,
+}
 
 /// Combinational-phase view of the circuit handed to
 /// [`Component::eval`](crate::Component::eval).
 ///
 /// Setters enforce signal ownership: a component may drive `valid`/`data`
 /// only on its output channels and `ready` only on its input channels.
+/// Every effective change is recorded in the kernel's dirty set — a
+/// `valid`/`data` change wakes the channel's reader, a `ready` change
+/// wakes its driver.
 pub struct EvalCtx<'a, T: Token> {
     pub(crate) channels: &'a mut [ChannelState<T>],
-    pub(crate) dirty: &'a mut bool,
+    /// Per-component wake flags: set when a signal a component depends on
+    /// changes, consumed by the settle loop's worklist rounds.
+    pub(crate) woke: &'a mut [bool],
+    /// Whether any signal changed during the current settle round.
+    pub(crate) changed: &'a mut bool,
     pub(crate) current: usize,
     pub(crate) driver: &'a [usize],
     pub(crate) reader: &'a [usize],
@@ -84,7 +115,12 @@ impl<'a, T: Token> EvalCtx<'a, T> {
         let slot = &mut self.channels[ch.0].valid[thread];
         if *slot != value {
             *slot = value;
-            *self.dirty = true;
+            *self.changed = true;
+            self.woke[self.reader[ch.0]] = true;
+            // Self-wake: selection logic (arbiters, anti-swap guards) reads
+            // the component's own driven signals, so its eval must re-run
+            // until it is a no-op — the oracle's convergence condition.
+            self.woke[self.current] = true;
         }
     }
 
@@ -102,7 +138,9 @@ impl<'a, T: Token> EvalCtx<'a, T> {
         let slot = &mut self.channels[ch.0].data;
         if *slot != value {
             *slot = value;
-            *self.dirty = true;
+            *self.changed = true;
+            self.woke[self.reader[ch.0]] = true;
+            self.woke[self.current] = true;
         }
     }
 
@@ -120,7 +158,9 @@ impl<'a, T: Token> EvalCtx<'a, T> {
         let slot = &mut self.channels[ch.0].ready[thread];
         if *slot != value {
             *slot = value;
-            *self.dirty = true;
+            *self.changed = true;
+            self.woke[self.driver[ch.0]] = true;
+            self.woke[self.current] = true;
         }
     }
 
@@ -221,8 +261,11 @@ pub struct CycleReport {
     pub cycle: u64,
     /// All transfers that fired.
     pub transfers: Vec<Transfer>,
-    /// Number of settle iterations the combinational phase needed.
+    /// Number of settle rounds the combinational phase needed (the full
+    /// sweep counts as round one).
     pub settle_iterations: usize,
+    /// Number of `Component::eval` invocations the settle phase performed.
+    pub evals: usize,
 }
 
 /// A fully wired synchronous elastic circuit.
@@ -232,8 +275,17 @@ pub struct CycleReport {
 pub struct Circuit<T: Token> {
     pub(crate) components: Vec<Box<dyn Component<T>>>,
     pub(crate) channels: Vec<ChannelState<T>>,
+    /// Per-channel driving component — doubles as the `ready`-change wake
+    /// map of the event-driven kernel.
     pub(crate) driver: Vec<usize>,
+    /// Per-channel reading component — doubles as the `valid`/`data`
+    /// wake map of the event-driven kernel.
     pub(crate) reader: Vec<usize>,
+    mode: EvalMode,
+    /// Scratch wake flags, one per component (the dirty set).
+    woke: Vec<bool>,
+    /// Whether the last stepped cycle ended with no token anywhere.
+    quiescent: bool,
     cycle: u64,
     stats: Stats,
     recorder: Option<TraceRecorder>,
@@ -248,12 +300,20 @@ impl<T: Token> Circuit<T> {
         driver: Vec<usize>,
         reader: Vec<usize>,
     ) -> Self {
-        let stats = Stats::new(channels.iter().map(|c| (c.spec.name.clone(), c.spec.threads)));
+        let stats = Stats::new(
+            channels
+                .iter()
+                .map(|c| (c.spec.name.clone(), c.spec.threads)),
+        );
+        let woke = vec![false; components.len()];
         Self {
             components,
             channels,
             driver,
             reader,
+            mode: EvalMode::default(),
+            woke,
+            quiescent: false,
             cycle: 0,
             stats,
             recorder: None,
@@ -266,6 +326,18 @@ impl<T: Token> Circuit<T> {
     /// [`step`](Circuit::step)).
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// The active settle-phase scheduling mode.
+    pub fn eval_mode(&self) -> EvalMode {
+        self.mode
+    }
+
+    /// Selects the settle-phase scheduling mode. Both modes reach the
+    /// same fixed point (the exhaustive sweep is kept as the equivalence
+    /// oracle); they differ only in how many `eval` calls they spend.
+    pub fn set_eval_mode(&mut self, mode: EvalMode) {
+        self.mode = mode;
     }
 
     /// Accumulated statistics.
@@ -303,7 +375,10 @@ impl<T: Token> Circuit<T> {
 
     /// Immutable access to a component by instance name.
     pub fn component(&self, name: &str) -> Option<&dyn Component<T>> {
-        self.components.iter().find(|c| c.name() == name).map(|b| b.as_ref())
+        self.components
+            .iter()
+            .find(|c| c.name() == name)
+            .map(|b| b.as_ref())
     }
 
     /// Typed immutable access to a component by instance name.
@@ -326,7 +401,10 @@ impl<T: Token> Circuit<T> {
 
     /// Names of all components, in evaluation order.
     pub fn component_names(&self) -> Vec<String> {
-        self.components.iter().map(|c| c.name().to_string()).collect()
+        self.components
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect()
     }
 
     /// Name of channel `ch`.
@@ -363,34 +441,57 @@ impl<T: Token> Circuit<T> {
     /// * [`SimError::ChannelInvariant`] — two threads asserted valid on the
     ///   same channel in the same cycle;
     /// * [`SimError::MissingData`] — a producer asserted valid without data;
+    /// * [`SimError::Component`] — a component latched a protocol fault at
+    ///   the clock edge;
     /// * [`SimError::Deadlock`] — the watchdog fired (if armed).
     pub fn step(&mut self) -> Result<CycleReport, SimError> {
         // Phase 1: combinational fixed point. Signals are *warm-started*
         // from the previous cycle's settled values: every component
-        // re-drives all signals it owns on every pass (the total-drive
-        // rule), so stale values cannot survive to the fixed point, and
-        // the previous cycle is usually an excellent initial guess — both
-        // faster and closer to how real combinational logic leaves the
-        // previous cycle's voltages on the wires.
+        // re-drives all signals it owns whenever it is evaluated (the
+        // total-drive rule), so stale values cannot survive to the fixed
+        // point, and the previous cycle is usually an excellent initial
+        // guess — both faster and closer to how real combinational logic
+        // leaves the previous cycle's voltages on the wires.
+        //
+        // Round 1 is always a full sweep (eval may depend on the cycle
+        // number — sink ready policies, source release times). Subsequent
+        // rounds depend on the mode: the exhaustive oracle re-sweeps
+        // everything until a sweep changes nothing, the event-driven
+        // kernel drains the dirty worklist. Each round claims a
+        // component's wake flag *before* evaluating it, so a wake issued
+        // by an earlier component in the same round is serviced in-round
+        // (the sweep stays Gauss–Seidel in component index order) while a
+        // wake aimed at an already-evaluated component carries over to
+        // the next round.
         let n = self.components.len();
-        let max_iters = 2 * n + 8;
-        let mut iterations = 0;
+        let max_rounds = 2 * n + 8;
+        let exhaustive = self.mode == EvalMode::Exhaustive;
+        let mut rounds = 0usize;
+        let mut evals = 0usize;
         let mut stable = false;
-        while iterations < max_iters {
-            let mut dirty = false;
+        self.woke.iter_mut().for_each(|w| *w = false);
+        while rounds < max_rounds {
+            let full = exhaustive || rounds == 0;
+            let mut changed = false;
             for i in 0..n {
+                if !full && !self.woke[i] {
+                    continue;
+                }
+                self.woke[i] = false;
                 let mut ctx = EvalCtx {
                     channels: &mut self.channels,
-                    dirty: &mut dirty,
+                    woke: &mut self.woke,
+                    changed: &mut changed,
                     current: i,
                     driver: &self.driver,
                     reader: &self.reader,
                     cycle: self.cycle,
                 };
                 self.components[i].eval(&mut ctx);
+                evals += 1;
             }
-            iterations += 1;
-            if std::env::var_os("ELASTIC_SIM_DEBUG_SETTLE").is_some() && iterations + 6 >= max_iters {
+            rounds += 1;
+            if std::env::var_os("ELASTIC_SIM_DEBUG_SETTLE").is_some() && rounds + 6 >= max_rounds {
                 let dump: Vec<String> = self
                     .channels
                     .iter()
@@ -399,19 +500,42 @@ impl<T: Token> Circuit<T> {
                             "{}:v{:?}r{:?}",
                             ch.spec.name,
                             ch.asserted_threads(),
-                            (0..ch.spec.threads).filter(|&t| ch.ready[t]).collect::<Vec<_>>()
+                            (0..ch.spec.threads)
+                                .filter(|&t| ch.ready[t])
+                                .collect::<Vec<_>>()
                         )
                     })
                     .collect();
-                eprintln!("settle iter {iterations}: {}", dump.join(" "));
+                eprintln!("settle round {rounds}: {}", dump.join(" "));
             }
-            if !dirty {
+            // Convergence: the oracle stops when a sweep changes nothing
+            // (the historical criterion); the dirty-set kernel stops as
+            // soon as the worklist is empty — every component whose
+            // inputs changed has been re-evaluated, so the network is at
+            // a fixed point even if this round did change signals.
+            let converged = if exhaustive {
+                !changed
+            } else {
+                !self.woke.iter().any(|&w| w)
+            };
+            if converged {
                 stable = true;
                 break;
             }
         }
         if !stable {
-            return Err(SimError::CombinationalLoop { cycle: self.cycle, iterations });
+            return Err(SimError::CombinationalLoop {
+                cycle: self.cycle,
+                iterations: rounds,
+            });
+        }
+        let kernel = self.stats.kernel_mut();
+        kernel.component_evals += evals as u64;
+        kernel.settle_rounds += rounds as u64;
+        kernel.components_skipped += (rounds * n - evals) as u64;
+        kernel.stepped_cycles += 1;
+        if rounds == 1 {
+            kernel.single_sweep_cycles += 1;
         }
 
         // Phase 2: protocol invariant checks.
@@ -476,7 +600,11 @@ impl<T: Token> Circuit<T> {
                     slots.insert(c.name().to_string(), s);
                 }
             }
-            let record = CycleTrace { cycle: self.cycle, channels, slots };
+            let record = CycleTrace {
+                cycle: self.cycle,
+                channels,
+                slots,
+            };
             recorder.push(record);
         }
 
@@ -484,6 +612,7 @@ impl<T: Token> Circuit<T> {
         // offered (a valid is asserted) yet nothing moves. A circuit with
         // no valid tokens at all is quiescent, not deadlocked.
         let any_valid = self.channels.iter().any(|ch| ch.valid.iter().any(|&v| v));
+        self.quiescent = transfers.is_empty() && !any_valid;
         if transfers.is_empty() && any_valid {
             self.idle_cycles += 1;
         } else {
@@ -491,35 +620,125 @@ impl<T: Token> Circuit<T> {
         }
         if let Some(limit) = self.watchdog {
             if self.idle_cycles >= limit {
-                return Err(SimError::Deadlock { cycle: self.cycle, idle_cycles: self.idle_cycles });
+                return Err(SimError::Deadlock {
+                    cycle: self.cycle,
+                    idle_cycles: self.idle_cycles,
+                });
             }
         }
 
-        // Phase 4: clock edge.
-        let tick_ctx = TickCtx { channels: &self.channels, cycle: self.cycle };
+        // Phase 4: clock edge, then collect any fault a component latched
+        // while processing it (the typed replacement for in-component
+        // panics).
+        let tick_ctx = TickCtx {
+            channels: &self.channels,
+            cycle: self.cycle,
+        };
         for c in &mut self.components {
             c.tick(&tick_ctx);
         }
+        for c in &mut self.components {
+            if let Some(error) = c.take_fault() {
+                return Err(SimError::Component {
+                    cycle: self.cycle,
+                    component: c.name().to_string(),
+                    error,
+                });
+            }
+        }
 
-        let report = CycleReport { cycle: self.cycle, transfers, settle_iterations: iterations };
+        let report = CycleReport {
+            cycle: self.cycle,
+            transfers,
+            settle_iterations: rounds,
+            evals,
+        };
         self.cycle += 1;
         Ok(report)
     }
 
+    /// True when the last stepped cycle completed with no transfer and no
+    /// asserted `valid` anywhere — the network holds no visible token.
+    pub fn is_quiescent(&self) -> bool {
+        self.quiescent
+    }
+
+    /// The earliest future component event: `Some(None)` when every
+    /// component is purely reactive (idle forever), `Some(Some(c))` for
+    /// the earliest scheduled cycle, `None` when some component is
+    /// time-sensitive every cycle and the fast-path must stay off.
+    fn next_component_event(&self) -> Option<Option<u64>> {
+        let mut earliest: Option<u64> = None;
+        for c in &self.components {
+            match c.next_event(self.cycle) {
+                NextEvent::EveryCycle => return None,
+                NextEvent::Idle => {}
+                NextEvent::At(at) => {
+                    earliest = Some(earliest.map_or(at, |e| e.min(at)));
+                }
+            }
+        }
+        Some(earliest)
+    }
+
+    /// Quiescence fast-path: advances the clock directly to the next
+    /// self-scheduled component event — or to `limit` (exclusive end of
+    /// the simulation window) when every component is idle — without
+    /// evaluating anything. A cycle can only be skipped when the network
+    /// is [quiescent](Circuit::is_quiescent): with no `valid` asserted
+    /// anywhere, no transfer can fire and no reactive component can
+    /// change state, so the skipped cycles are provably empty. Skipped
+    /// cycles still count toward [`Stats::cycles`] (and are tallied in
+    /// [`KernelStats::quiesced_cycles`](crate::KernelStats)).
+    ///
+    /// Returns the number of cycles skipped (0 when the last cycle was
+    /// not quiescent, a trace is being recorded, or a component reports
+    /// [`NextEvent::EveryCycle`]).
+    pub fn fast_forward(&mut self, limit: u64) -> u64 {
+        if !self.quiescent || self.recorder.is_some() || self.cycle >= limit {
+            return 0;
+        }
+        let target = match self.next_component_event() {
+            None => return 0,
+            Some(None) => limit,
+            Some(Some(at)) => at.min(limit).max(self.cycle),
+        };
+        let skipped = target - self.cycle;
+        if skipped > 0 {
+            self.cycle = target;
+            self.stats.record_quiesced(skipped);
+        }
+        skipped
+    }
+
     /// Simulates `cycles` clock cycles.
+    ///
+    /// Quiescent stretches (no token anywhere) are fast-forwarded to the
+    /// next scheduled component event when tracing is off; the skipped
+    /// cycles still count toward the simulated total, so the observable
+    /// end state matches stepping cycle by cycle.
     ///
     /// # Errors
     ///
     /// Propagates the first error from [`step`](Circuit::step).
     pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
-        for _ in 0..cycles {
+        let end = self.cycle.saturating_add(cycles);
+        while self.cycle < end {
             self.step()?;
+            if self.quiescent {
+                self.fast_forward(end);
+            }
         }
         Ok(())
     }
 
     /// Steps until `pred` holds (checked *before* each step) or `max_cycles`
     /// elapse. Returns `true` if the predicate was satisfied.
+    ///
+    /// Quiescent stretches are fast-forwarded exactly as in
+    /// [`run`](Circuit::run); the predicate is re-checked after each jump
+    /// (it cannot change during skipped cycles, which by construction
+    /// move no token and touch no component state).
     ///
     /// # Errors
     ///
@@ -529,11 +748,15 @@ impl<T: Token> Circuit<T> {
         max_cycles: u64,
         mut pred: impl FnMut(&Self) -> bool,
     ) -> Result<bool, SimError> {
-        for _ in 0..max_cycles {
+        let end = self.cycle.saturating_add(max_cycles);
+        while self.cycle < end {
             if pred(self) {
                 return Ok(true);
             }
             self.step()?;
+            if self.quiescent {
+                self.fast_forward(end);
+            }
         }
         Ok(pred(self))
     }
@@ -543,8 +766,16 @@ impl<T: Token> std::fmt::Debug for Circuit<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Circuit")
             .field("cycle", &self.cycle)
+            .field("mode", &self.mode)
             .field("components", &self.component_names())
-            .field("channels", &self.channels.iter().map(|c| &c.spec.name).collect::<Vec<_>>())
+            .field(
+                "channels",
+                &self
+                    .channels
+                    .iter()
+                    .map(|c| &c.spec.name)
+                    .collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

@@ -56,7 +56,10 @@ impl fmt::Display for BuildError {
                 write!(f, "channel `{channel}` has multiple readers: {readers:?}")
             }
             BuildError::UnknownChannel { component } => {
-                write!(f, "component `{component}` references an unknown channel id")
+                write!(
+                    f,
+                    "component `{component}` references an unknown channel id"
+                )
             }
             BuildError::Empty => write!(f, "circuit contains no components"),
         }
@@ -64,6 +67,50 @@ impl fmt::Display for BuildError {
 }
 
 impl Error for BuildError {}
+
+/// A local handshake-protocol fault detected inside a component — the
+/// typed replacement for the `panic!`s that used to live in the
+/// elastic-buffer FSMs of `elastic-core`.
+///
+/// Construction-time checks (e.g. seeding a buffer with more initial
+/// tokens than it can hold) return this directly; run-time faults are
+/// latched by the component, collected by the kernel through
+/// [`Component::take_fault`](crate::Component::take_fault) and surfaced
+/// as [`SimError::Component`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProtocolError {
+    /// A dequeue fired while the buffer was empty.
+    BufferUnderflow,
+    /// An enqueue fired while the buffer was full.
+    BufferOverflow,
+    /// More initial tokens were supplied for a thread than its storage
+    /// can hold.
+    ExcessInitialTokens {
+        /// Thread whose initial tokens overflowed.
+        thread: usize,
+        /// Per-thread capacity of the storage.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BufferUnderflow => {
+                write!(f, "protocol violation: dequeue from an empty buffer")
+            }
+            ProtocolError::BufferOverflow => {
+                write!(f, "protocol violation: enqueue into a full buffer")
+            }
+            ProtocolError::ExcessInitialTokens { thread, capacity } => write!(
+                f,
+                "thread {thread} given more initial tokens than its capacity ({capacity})"
+            ),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
 
 /// Errors raised while stepping a [`Circuit`](crate::Circuit).
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -97,6 +144,17 @@ pub enum SimError {
         /// Thread whose valid bit was high.
         thread: usize,
     },
+    /// A component latched a local protocol fault during its clock edge
+    /// (e.g. an elastic-buffer FSM asked to dequeue while empty). The
+    /// kernel collects faults after every tick phase.
+    Component {
+        /// Cycle whose clock edge faulted.
+        cycle: u64,
+        /// Name of the faulting component.
+        component: String,
+        /// The latched fault.
+        error: ProtocolError,
+    },
     /// The circuit made no transfer for a configured number of consecutive
     /// cycles while at least one token was being offered (watchdog; see
     /// [`Circuit::set_deadlock_watchdog`](crate::Circuit::set_deadlock_watchdog)).
@@ -116,14 +174,30 @@ impl fmt::Display for SimError {
                 "combinational loop: handshake network failed to settle at cycle {cycle} \
                  after {iterations} iterations (insert an elastic buffer to cut the cycle)"
             ),
-            SimError::ChannelInvariant { cycle, channel, threads } => write!(
+            SimError::ChannelInvariant {
+                cycle,
+                channel,
+                threads,
+            } => write!(
                 f,
                 "MT channel invariant violated on `{channel}` at cycle {cycle}: \
                  valid asserted for threads {threads:?} simultaneously"
             ),
-            SimError::MissingData { cycle, channel, thread } => write!(
+            SimError::MissingData {
+                cycle,
+                channel,
+                thread,
+            } => write!(
                 f,
                 "channel `{channel}` asserted valid({thread}) without data at cycle {cycle}"
+            ),
+            SimError::Component {
+                cycle,
+                component,
+                error,
+            } => write!(
+                f,
+                "component `{component}` faulted at cycle {cycle}: {error}"
             ),
             SimError::Deadlock { cycle, idle_cycles } => write!(
                 f,
@@ -141,7 +215,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = BuildError::NoDriver { channel: "ch0".into() };
+        let e = BuildError::NoDriver {
+            channel: "ch0".into(),
+        };
         assert_eq!(e.to_string(), "channel `ch0` has no driver");
 
         let e = SimError::ChannelInvariant {
@@ -159,5 +235,24 @@ mod tests {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<BuildError>();
         assert_err::<SimError>();
+        assert_err::<ProtocolError>();
+    }
+
+    #[test]
+    fn protocol_errors_display() {
+        assert!(ProtocolError::BufferUnderflow.to_string().contains("empty"));
+        assert!(ProtocolError::BufferOverflow.to_string().contains("full"));
+        let e = ProtocolError::ExcessInitialTokens {
+            thread: 3,
+            capacity: 2,
+        };
+        assert!(e.to_string().contains("thread 3"));
+        let s = SimError::Component {
+            cycle: 7,
+            component: "eb0".into(),
+            error: ProtocolError::BufferUnderflow,
+        };
+        assert!(s.to_string().contains("eb0"));
+        assert!(s.to_string().contains("cycle 7"));
     }
 }

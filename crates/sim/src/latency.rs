@@ -105,8 +105,9 @@ pub fn token_latencies(
         .map(|&(_, t, _)| t + 1)
         .max()
         .unwrap_or(0);
-    let mut pending: Vec<std::collections::VecDeque<u64>> =
-        (0..threads).map(|_| std::collections::VecDeque::new()).collect();
+    let mut pending: Vec<std::collections::VecDeque<u64>> = (0..threads)
+        .map(|_| std::collections::VecDeque::new())
+        .collect();
     for &(cycle, t, _) in &entries {
         pending[t].push_back(cycle);
     }
@@ -155,7 +156,11 @@ mod tests {
             c,
             2,
             2,
-            LatencyModel::Uniform { min: 2, max: 6, seed: 3 },
+            LatencyModel::Uniform {
+                min: 2,
+                max: 6,
+                seed: 3,
+            },
         ));
         b.add(Sink::new("snk", c, 2, ReadyPolicy::Always));
         let mut circuit = b.build().expect("valid");

@@ -24,6 +24,15 @@
 //! (optionally) deadlock are reported as [`SimError`]s rather than silently
 //! mis-simulated.
 //!
+//! The settle phase is **event-driven** by default ([`EvalMode`]): after
+//! one full sweep per cycle, only components woken by a signal change on a
+//! channel they touch are re-evaluated, idle stretches are fast-forwarded
+//! to the next scheduled component event ([`NextEvent`]), and the saved
+//! work is reported through [`KernelStats`]. The exhaustive sweep of the
+//! original kernel is kept as an equivalence oracle
+//! ([`EvalMode::Exhaustive`]); `docs/kernel.md` documents both and the
+//! argument for why they reach identical fixed points.
+//!
 //! # Example
 //!
 //! A source feeding a sink through a wire (the smallest legal circuit):
@@ -65,14 +74,14 @@ mod vcd;
 
 pub use builder::CircuitBuilder;
 pub use channel::{ChannelId, ChannelSpec};
-pub use circuit::{Circuit, CycleReport, EvalCtx, TickCtx, Transfer};
-pub use component::{Component, Ports, SlotView};
-pub use error::{BuildError, SimError};
+pub use circuit::{Circuit, CycleReport, EvalCtx, EvalMode, TickCtx, Transfer};
+pub use component::{Component, NextEvent, Ports, SlotView};
+pub use error::{BuildError, ProtocolError, SimError};
 pub use latency::{token_latencies, LatencySummary, TokenLatencies};
 pub use netlist::{NetlistEdge, NetlistGraph};
 pub use occupancy::{occupancy_stats, OccupancyStats};
 pub use schedule::{ReadyPolicy, Sink, Source};
-pub use stats::{ChannelStats, Stats};
+pub use stats::{ChannelStats, KernelStats, Stats};
 pub use token::{thread_letter, Tagged, Token};
 pub use trace::{render_waveform, ChannelTrace, CycleTrace, GridTrace, RowSpec, TraceRecorder};
 pub use varlat::{LatencyModel, Transform, VarLatency};
@@ -157,9 +166,18 @@ mod kernel_tests {
             c,
             2,
             3,
-            LatencyModel::Uniform { min: 1, max: 4, seed: 99 },
+            LatencyModel::Uniform {
+                min: 1,
+                max: 4,
+                seed: 99,
+            },
         ));
-        b.add(Sink::with_capture("snk", c, 2, ReadyPolicy::Random { p: 0.7, seed: 5 }));
+        b.add(Sink::with_capture(
+            "snk",
+            c,
+            2,
+            ReadyPolicy::Random { p: 0.7, seed: 5 },
+        ));
         let mut circuit = b.build().expect("valid");
         circuit.run(400).expect("runs clean");
         let snk: &Sink<u64> = circuit.get("snk").expect("sink");
@@ -202,6 +220,139 @@ mod kernel_tests {
         assert_eq!(labels.len(), 2);
         assert!(labels.contains(&"A0"));
         assert!(labels.contains(&"B0"));
+    }
+
+    /// Builds the same randomized pipeline twice and runs it under both
+    /// eval modes; captures, stats and injection counts must be
+    /// bit-identical (the dirty-set kernel is an optimization, not a
+    /// semantics change).
+    #[test]
+    fn event_driven_kernel_matches_exhaustive_oracle() {
+        let build = || {
+            let mut b = CircuitBuilder::<u64>::new();
+            let a = b.channel("a", 3);
+            let c = b.channel("c", 3);
+            let d = b.channel("d", 3);
+            let mut src = Source::new("src", a, 3);
+            src.extend(0, 0..25u64);
+            src.extend(1, 100..125u64);
+            src.extend(2, 200..225u64);
+            b.add(src);
+            b.add(VarLatency::new(
+                "mem",
+                a,
+                c,
+                3,
+                2,
+                LatencyModel::Uniform {
+                    min: 1,
+                    max: 5,
+                    seed: 31,
+                },
+            ));
+            b.add(Transform::new("inc", c, d, 3, |x| x + 1));
+            b.add(Sink::with_capture(
+                "snk",
+                d,
+                3,
+                ReadyPolicy::Random { p: 0.6, seed: 77 },
+            ));
+            b.build().expect("valid")
+        };
+
+        let mut oracle = build();
+        oracle.set_eval_mode(EvalMode::Exhaustive);
+        oracle.run(600).expect("oracle runs clean");
+
+        let mut fast = build();
+        assert_eq!(fast.eval_mode(), EvalMode::EventDriven);
+        fast.run(600).expect("event-driven runs clean");
+
+        let o: &Sink<u64> = oracle.get("snk").expect("sink");
+        let f: &Sink<u64> = fast.get("snk").expect("sink");
+        for t in 0..3 {
+            assert_eq!(o.captured(t), f.captured(t), "thread {t} capture diverged");
+        }
+        assert_eq!(
+            oracle.stats().total_transfers(ChannelId(2)),
+            fast.stats().total_transfers(ChannelId(2))
+        );
+        // And the dirty-set kernel must actually have skipped work.
+        assert!(
+            fast.stats().kernel().component_evals < oracle.stats().kernel().component_evals,
+            "event-driven kernel did not save any evals ({} vs {})",
+            fast.stats().kernel().component_evals,
+            oracle.stats().kernel().component_evals,
+        );
+    }
+
+    /// A cycle whose warm-started signals are already at the fixed point
+    /// (here: a token stalled at an unready sink) converges inside the
+    /// single full sweep and goes straight to the clock edge — the
+    /// counters prove it.
+    #[test]
+    fn converged_first_sweep_skips_further_rounds() {
+        let mut b = CircuitBuilder::<u64>::new();
+        let a = b.channel("a", 1);
+        let mut src = Source::new("src", a, 1);
+        src.extend(0, 0..2u64);
+        b.add(src);
+        b.add(Sink::new(
+            "snk",
+            a,
+            1,
+            ReadyPolicy::StallWindow { from: 0, to: 6 },
+        ));
+        let mut circuit = b.build().expect("valid");
+        circuit.run(8).expect("clean");
+        let k = circuit.stats().kernel();
+        assert!(
+            k.single_sweep_cycles > 0,
+            "no cycle converged in one sweep: {k:?}"
+        );
+        assert!(
+            k.rounds_per_cycle() < 3.0,
+            "rounds per cycle too high: {k:?}"
+        );
+    }
+
+    /// With all source tokens released far in the future, `run` jumps the
+    /// quiescent gap instead of stepping empty cycles, while the end state
+    /// (cycle count, deliveries) matches the exhaustive step-by-step run.
+    #[test]
+    fn quiescence_fast_forward_skips_idle_gap() {
+        let build = || {
+            let mut b = CircuitBuilder::<u64>::new();
+            let a = b.channel("a", 1);
+            let mut src = Source::new("src", a, 1);
+            src.push(0, 7);
+            src.push_at(0, 500, 8);
+            b.add(src);
+            b.add(Sink::with_capture("snk", a, 1, ReadyPolicy::Always));
+            b.build().expect("valid")
+        };
+
+        let mut fast = build();
+        fast.run(520).expect("clean");
+        let k = fast.stats().kernel();
+        assert!(k.quiesced_cycles > 400, "gap not skipped: {k:?}");
+        assert_eq!(k.stepped_cycles + k.quiesced_cycles, 520);
+        assert_eq!(fast.stats().cycles(), 520);
+        assert_eq!(fast.cycle(), 520);
+
+        let mut slow = build();
+        slow.set_eval_mode(EvalMode::Exhaustive);
+        slow.enable_trace(); // tracing disables the fast-path
+        slow.run(520).expect("clean");
+        assert_eq!(slow.stats().kernel().quiesced_cycles, 0);
+
+        let f: &Sink<u64> = fast.get("snk").expect("sink");
+        let s: &Sink<u64> = slow.get("snk").expect("sink");
+        assert_eq!(
+            f.captured(0),
+            s.captured(0),
+            "fast-forward changed delivery"
+        );
     }
 
     /// `run_until` stops as soon as the predicate holds.

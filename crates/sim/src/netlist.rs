@@ -55,9 +55,39 @@ impl NetlistGraph {
 
     /// Components with no inputs (sources) and no outputs (sinks).
     pub fn endpoints(&self) -> (Vec<usize>, Vec<usize>) {
-        let sources = (0..self.components.len()).filter(|&i| self.fan_in(i) == 0).collect();
-        let sinks = (0..self.components.len()).filter(|&i| self.fan_out(i) == 0).collect();
+        let sources = (0..self.components.len())
+            .filter(|&i| self.fan_in(i) == 0)
+            .collect();
+        let sinks = (0..self.components.len())
+            .filter(|&i| self.fan_out(i) == 0)
+            .collect();
         (sources, sinks)
+    }
+
+    /// The components woken when component `i`'s signals change — the
+    /// readers of its output channels (reached by `valid`/`data` changes)
+    /// plus the drivers of its input channels (reached by `ready`
+    /// changes), sorted and deduplicated, excluding `i` itself. This is
+    /// the static neighbourhood the event-driven kernel's dirty set walks
+    /// (see `docs/kernel.md`).
+    pub fn wake_set(&self, i: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .edges
+            .iter()
+            .filter_map(|e| {
+                if e.from == i {
+                    Some(e.to)
+                } else if e.to == i {
+                    Some(e.from)
+                } else {
+                    None
+                }
+            })
+            .filter(|&j| j != i)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 
     /// Whether the graph contains a directed cycle (a feedback loop
@@ -108,7 +138,9 @@ impl NetlistGraph {
     /// Renders the graph in Graphviz DOT syntax. Multithreaded channels
     /// are labelled with their thread count.
     pub fn to_dot(&self) -> String {
-        let mut out = String::from("digraph elastic {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");
+        let mut out = String::from(
+            "digraph elastic {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n",
+        );
         for (i, name) in self.components.iter().enumerate() {
             let _ = writeln!(out, "  n{i} [label=\"{}\"];", name.replace('"', "'"));
         }
@@ -138,7 +170,11 @@ impl std::fmt::Display for NetlistGraph {
             "netlist: {} components, {} channels{}",
             self.component_count(),
             self.channel_count(),
-            if self.has_cycle() { " (contains feedback)" } else { "" }
+            if self.has_cycle() {
+                " (contains feedback)"
+            } else {
+                ""
+            }
         )?;
         for e in &self.edges {
             writeln!(
@@ -203,6 +239,16 @@ mod tests {
     }
 
     #[test]
+    fn wake_set_is_the_channel_neighbourhood() {
+        let g = pipeline().netlist();
+        // src's only neighbour is the transform (reader of `a`); the
+        // transform is woken by both endpoints.
+        assert_eq!(g.wake_set(0), vec![1]);
+        assert_eq!(g.wake_set(1), vec![0, 2]);
+        assert_eq!(g.wake_set(2), vec![1]);
+    }
+
+    #[test]
     fn dot_output_is_wellformed() {
         let dot = pipeline().netlist().to_dot();
         assert!(dot.starts_with("digraph elastic {"));
@@ -217,9 +263,24 @@ mod tests {
         let g = NetlistGraph {
             components: vec!["a".into(), "b".into(), "c".into()],
             edges: vec![
-                NetlistEdge { channel: "x".into(), threads: 1, from: 0, to: 1 },
-                NetlistEdge { channel: "y".into(), threads: 1, from: 1, to: 2 },
-                NetlistEdge { channel: "z".into(), threads: 1, from: 2, to: 1 },
+                NetlistEdge {
+                    channel: "x".into(),
+                    threads: 1,
+                    from: 0,
+                    to: 1,
+                },
+                NetlistEdge {
+                    channel: "y".into(),
+                    threads: 1,
+                    from: 1,
+                    to: 2,
+                },
+                NetlistEdge {
+                    channel: "z".into(),
+                    threads: 1,
+                    from: 2,
+                    to: 1,
+                },
             ],
         };
         assert!(g.has_cycle());

@@ -60,9 +60,9 @@ pub fn occupancy_stats(recorder: &TraceRecorder) -> BTreeMap<String, OccupancySt
     let mut acc: BTreeMap<String, Acc> = BTreeMap::new();
     for record in recorder.records() {
         for (comp, slots) in &record.slots {
-            let entry = acc.entry(comp.clone()).or_insert_with(|| {
-                (0, slots.iter().map(|s| (s.name.clone(), 0)).collect(), 0, 0)
-            });
+            let entry = acc
+                .entry(comp.clone())
+                .or_insert_with(|| (0, slots.iter().map(|s| (s.name.clone(), 0)).collect(), 0, 0));
             entry.0 += 1;
             let mut occupied = 0;
             for (i, slot) in slots.iter().enumerate() {
@@ -83,11 +83,24 @@ pub fn occupancy_stats(recorder: &TraceRecorder) -> BTreeMap<String, OccupancySt
             let stats = OccupancyStats {
                 slots,
                 cycles,
-                mean: if cycles == 0 { 0.0 } else { total as f64 / cycles as f64 },
+                mean: if cycles == 0 {
+                    0.0
+                } else {
+                    total as f64 / cycles as f64
+                },
                 max,
                 per_slot: per
                     .into_iter()
-                    .map(|(n, c)| (n, if cycles == 0 { 0.0 } else { c as f64 / cycles as f64 }))
+                    .map(|(n, c)| {
+                        (
+                            n,
+                            if cycles == 0 {
+                                0.0
+                            } else {
+                                c as f64 / cycles as f64
+                            },
+                        )
+                    })
                     .collect(),
             };
             (name, stats)
@@ -104,7 +117,11 @@ mod tests {
     fn record(cycle: u64, occupied: &[bool]) -> CycleTrace {
         CycleTrace {
             cycle,
-            channels: vec![ChannelTrace { valid_thread: None, label: None, fired: false }],
+            channels: vec![ChannelTrace {
+                valid_thread: None,
+                label: None,
+                fired: false,
+            }],
             slots: BTreeMap::from([(
                 "buf".to_string(),
                 occupied

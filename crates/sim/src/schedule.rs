@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use crate::channel::ChannelId;
 use crate::circuit::{EvalCtx, TickCtx};
-use crate::component::{Component, Ports};
+use crate::component::{Component, NextEvent, Ports};
 use crate::token::Token;
 
 /// Deterministic 64-bit mix (splitmix64 finalizer). Used to derive
@@ -69,7 +69,8 @@ impl ReadyPolicy {
                 (cycle.wrapping_add(phase)) % period < on
             }
             ReadyPolicy::Random { p, seed } => {
-                let h = mix64(seed ^ cycle.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ (thread as u64) << 48);
+                let h =
+                    mix64(seed ^ cycle.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ (thread as u64) << 48);
                 (h as f64 / u64::MAX as f64) < p
             }
         }
@@ -122,7 +123,10 @@ impl<T: Token> Source<T> {
     /// release cycle of the previously queued token (FIFO order).
     pub fn push_at(&mut self, thread: usize, cycle: u64, token: T) {
         if let Some((last, _)) = self.queues[thread].back() {
-            assert!(*last <= cycle, "source release cycles must be non-decreasing per thread");
+            assert!(
+                *last <= cycle,
+                "source release cycles must be non-decreasing per thread"
+            );
         }
         self.queues[thread].push_back((cycle, token));
     }
@@ -155,9 +159,8 @@ impl<T: Token> Source<T> {
     }
 
     fn eligible(&self, cycle: u64) -> impl Iterator<Item = usize> + '_ {
-        (0..self.threads).filter(move |&t| {
-            self.queues[t].front().is_some_and(|(rel, _)| *rel <= cycle)
-        })
+        (0..self.threads)
+            .filter(move |&t| self.queues[t].front().is_some_and(|(rel, _)| *rel <= cycle))
     }
 }
 
@@ -188,11 +191,16 @@ impl<T: Token> Component<T> for Source<T> {
         // eligible thread so `valid` precedes `ready` (elastic protocol
         // permits valid-without-ready; the token simply stalls).
         if chosen.is_none() {
-            chosen = self.eligible(cycle).min_by_key(|&t| (t + self.threads - self.rr) % self.threads);
+            chosen = self
+                .eligible(cycle)
+                .min_by_key(|&t| (t + self.threads - self.rr) % self.threads);
         }
         match chosen {
             Some(t) => {
-                let data = self.queues[t].front().map(|(_, d)| d.clone()).expect("eligible head");
+                let data = self.queues[t]
+                    .front()
+                    .map(|(_, d)| d.clone())
+                    .expect("eligible head");
                 ctx.drive_token(self.out, t, data);
             }
             None => ctx.drive_idle(self.out),
@@ -214,6 +222,25 @@ impl<T: Token> Component<T> for Source<T> {
         }
     }
 
+    fn next_event(&self, now: u64) -> NextEvent {
+        // An already-released head means the source is (or should be)
+        // asserting valid — report the conservative answer. Otherwise the
+        // earliest future release is the next moment this source can act.
+        let mut earliest: Option<u64> = None;
+        for q in &self.queues {
+            if let Some(&(rel, _)) = q.front() {
+                if rel <= now {
+                    return NextEvent::EveryCycle;
+                }
+                earliest = Some(earliest.map_or(rel, |e| e.min(rel)));
+            }
+        }
+        match earliest {
+            Some(rel) => NextEvent::At(rel),
+            None => NextEvent::Idle,
+        }
+    }
+
     crate::impl_as_any!();
 }
 
@@ -230,7 +257,12 @@ pub struct Sink<T: Token> {
 
 impl<T: Token> Sink<T> {
     /// A sink applying the same `policy` to every thread, not capturing.
-    pub fn new(name: impl Into<String>, inp: ChannelId, threads: usize, policy: ReadyPolicy) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        inp: ChannelId,
+        threads: usize,
+        policy: ReadyPolicy,
+    ) -> Self {
         Self {
             name: name.into(),
             inp,
@@ -242,7 +274,12 @@ impl<T: Token> Sink<T> {
     }
 
     /// A sink that records every `(cycle, token)` it consumes.
-    pub fn with_capture(name: impl Into<String>, inp: ChannelId, threads: usize, policy: ReadyPolicy) -> Self {
+    pub fn with_capture(
+        name: impl Into<String>,
+        inp: ChannelId,
+        threads: usize,
+        policy: ReadyPolicy,
+    ) -> Self {
         let mut s = Self::new(name, inp, threads, policy);
         s.capture = true;
         s
@@ -299,6 +336,15 @@ impl<T: Token> Component<T> for Sink<T> {
         }
     }
 
+    fn next_event(&self, _now: u64) -> NextEvent {
+        // Purely reactive. Ready policies do depend on the cycle number,
+        // but while the network is quiescent no token exists for a ready
+        // change to release, and the first stepped cycle after a jump
+        // re-sweeps every component, recomputing the policies at the new
+        // cycle.
+        NextEvent::Idle
+    }
+
     crate::impl_as_any!();
 }
 
@@ -314,7 +360,11 @@ mod tests {
         assert!(!w.is_ready(4, 0));
         assert!(w.is_ready(5, 0));
 
-        let p = ReadyPolicy::Period { on: 1, off: 2, phase: 0 };
+        let p = ReadyPolicy::Period {
+            on: 1,
+            off: 2,
+            phase: 0,
+        };
         assert!(p.is_ready(0, 0));
         assert!(!p.is_ready(1, 0));
         assert!(!p.is_ready(2, 0));
@@ -338,6 +388,80 @@ mod tests {
         s.push_at(0, 5, 1);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.push_at(0, 3, 2)));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn source_eval_is_idempotent_within_a_cycle() {
+        // Regression for the stalled-offer fallback: with no thread ready
+        // downstream, a second settle sweep must re-derive exactly the
+        // same offer — `eval` may not depend on how many times it ran.
+        use crate::channel::{ChannelSpec, ChannelState};
+
+        let mut src = Source::<u64>::new("src", ChannelId(0), 3);
+        src.push(0, 10);
+        src.push(1, 11);
+        src.push(2, 12);
+        src.rr = 1; // mid-rotation, as after a few simulated cycles
+
+        let mut channels = vec![ChannelState::<u64>::new(ChannelSpec {
+            name: "ch".into(),
+            threads: 3,
+        })];
+        let driver = vec![0usize];
+        let reader = vec![0usize];
+        let mut woke = vec![false];
+        let mut sweep = |src: &mut Source<u64>, channels: &mut Vec<ChannelState<u64>>| {
+            let mut changed = false;
+            let mut ctx = EvalCtx {
+                channels,
+                woke: &mut woke,
+                changed: &mut changed,
+                current: 0,
+                driver: &driver,
+                reader: &reader,
+                cycle: 4,
+            };
+            src.eval(&mut ctx);
+            changed
+        };
+
+        // Nobody ready: the fallback offer must be stable across sweeps.
+        sweep(&mut src, &mut channels);
+        let first = (channels[0].valid.clone(), channels[0].data);
+        let changed = sweep(&mut src, &mut channels);
+        assert!(
+            !changed,
+            "second sweep changed signals the first already settled"
+        );
+        assert_eq!((channels[0].valid.clone(), channels[0].data), first);
+        assert_eq!(
+            channels[0].single_valid(),
+            Some(1),
+            "fallback follows the rr pointer"
+        );
+
+        // Downstream becomes ready for thread 2 only: again stable.
+        channels[0].ready = vec![false, false, true];
+        sweep(&mut src, &mut channels);
+        let first = (channels[0].valid.clone(), channels[0].data);
+        let changed = sweep(&mut src, &mut channels);
+        assert!(!changed);
+        assert_eq!((channels[0].valid.clone(), channels[0].data), first);
+        assert_eq!(
+            channels[0].single_valid(),
+            Some(2),
+            "ready request wins over fallback"
+        );
+    }
+
+    #[test]
+    fn source_next_event_reports_earliest_release() {
+        let mut s = Source::<u64>::new("s", ChannelId(0), 2);
+        assert_eq!(s.next_event(0), NextEvent::Idle);
+        s.push_at(0, 9, 1);
+        s.push_at(1, 5, 2);
+        assert_eq!(s.next_event(3), NextEvent::At(5));
+        assert_eq!(s.next_event(5), NextEvent::EveryCycle);
     }
 
     #[test]

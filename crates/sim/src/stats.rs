@@ -23,12 +23,61 @@ pub struct ChannelStats {
 
 impl ChannelStats {
     pub(crate) fn new(name: String, threads: usize) -> Self {
-        Self { name, transfers: vec![0; threads], busy_cycles: 0, stall_cycles: 0 }
+        Self {
+            name,
+            transfers: vec![0; threads],
+            busy_cycles: 0,
+            stall_cycles: 0,
+        }
     }
 
     /// Total transfers across all threads.
     pub fn total_transfers(&self) -> u64 {
         self.transfers.iter().sum()
+    }
+}
+
+/// Counters for the evaluation kernel itself: how much combinational
+/// work the settle phase performed, and how much the event-driven
+/// dirty-set scheduler avoided (see `docs/kernel.md`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct KernelStats {
+    /// Total `Component::eval` invocations across the run.
+    pub component_evals: u64,
+    /// Total settle rounds (the initial full sweep of each cycle plus
+    /// every dirty-set round after it).
+    pub settle_rounds: u64,
+    /// Evaluations avoided relative to an exhaustive kernel performing
+    /// the same number of rounds (`rounds × components − evals`).
+    pub components_skipped: u64,
+    /// Cycles whose settle phase converged after the single full sweep,
+    /// going straight to the clock edge.
+    pub single_sweep_cycles: u64,
+    /// Cycles skipped wholesale by the quiescence fast-path (no token
+    /// anywhere; the clock jumped to the next scheduled event).
+    pub quiesced_cycles: u64,
+    /// Cycles actually stepped through the settle loop.
+    pub stepped_cycles: u64,
+}
+
+impl KernelStats {
+    /// Mean `Component::eval` calls per stepped cycle — the headline
+    /// metric of the dirty-set kernel.
+    pub fn evals_per_cycle(&self) -> f64 {
+        if self.stepped_cycles == 0 {
+            0.0
+        } else {
+            self.component_evals as f64 / self.stepped_cycles as f64
+        }
+    }
+
+    /// Mean settle rounds per stepped cycle.
+    pub fn rounds_per_cycle(&self) -> f64 {
+        if self.stepped_cycles == 0 {
+            0.0
+        } else {
+            self.settle_rounds as f64 / self.stepped_cycles as f64
+        }
     }
 }
 
@@ -51,18 +100,38 @@ impl ChannelStats {
 pub struct Stats {
     channels: Vec<ChannelStats>,
     cycles: u64,
+    kernel: KernelStats,
 }
 
 impl Stats {
     pub(crate) fn new(specs: impl IntoIterator<Item = (String, usize)>) -> Self {
         Self {
-            channels: specs.into_iter().map(|(n, t)| ChannelStats::new(n, t)).collect(),
+            channels: specs
+                .into_iter()
+                .map(|(n, t)| ChannelStats::new(n, t))
+                .collect(),
             cycles: 0,
+            kernel: KernelStats::default(),
         }
     }
 
     pub(crate) fn record_cycle(&mut self) {
         self.cycles += 1;
+    }
+
+    pub(crate) fn record_quiesced(&mut self, cycles: u64) {
+        self.cycles += cycles;
+        self.kernel.quiesced_cycles += cycles;
+    }
+
+    pub(crate) fn kernel_mut(&mut self) -> &mut KernelStats {
+        &mut self.kernel
+    }
+
+    /// Evaluation-kernel counters (evals per cycle, settle rounds,
+    /// skipped work, quiesced cycles).
+    pub fn kernel(&self) -> &KernelStats {
+        &self.kernel
     }
 
     pub(crate) fn channel_mut(&mut self, ch: ChannelId) -> &mut ChannelStats {
@@ -142,6 +211,7 @@ impl Stats {
     /// after a warm-up period).
     pub fn reset(&mut self) {
         self.cycles = 0;
+        self.kernel = KernelStats::default();
         for c in &mut self.channels {
             c.transfers.iter_mut().for_each(|t| *t = 0);
             c.busy_cycles = 0;
@@ -184,9 +254,31 @@ mod tests {
         s.record_cycle();
         s.channel_mut(ChannelId(1)).transfers[0] = 3;
         s.channel_mut(ChannelId(1)).busy_cycles = 4;
+        s.kernel_mut().component_evals = 9;
         s.reset();
         assert_eq!(s.cycles(), 0);
         assert_eq!(s.total_transfers(ChannelId(1)), 0);
         assert_eq!(s.channel(ChannelId(1)).busy_cycles, 0);
+        assert_eq!(s.kernel().component_evals, 0);
+    }
+
+    #[test]
+    fn kernel_rates_average_over_stepped_cycles() {
+        let mut k = KernelStats::default();
+        assert_eq!(k.evals_per_cycle(), 0.0);
+        k.component_evals = 30;
+        k.settle_rounds = 15;
+        k.stepped_cycles = 10;
+        assert_eq!(k.evals_per_cycle(), 3.0);
+        assert_eq!(k.rounds_per_cycle(), 1.5);
+    }
+
+    #[test]
+    fn quiesced_cycles_count_toward_total_cycles() {
+        let mut s = stats();
+        s.record_cycle();
+        s.record_quiesced(9);
+        assert_eq!(s.cycles(), 10);
+        assert_eq!(s.kernel().quiesced_cycles, 9);
     }
 }

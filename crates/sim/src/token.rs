@@ -100,7 +100,11 @@ pub struct Tagged<P = u64> {
 impl<P> Tagged<P> {
     /// Creates a tagged token for `thread` with sequence number `seq`.
     pub fn new(thread: usize, seq: u64, payload: P) -> Self {
-        Self { thread, seq, payload }
+        Self {
+            thread,
+            seq,
+            payload,
+        }
     }
 }
 

@@ -59,7 +59,10 @@ impl TraceRecorder {
     /// A recorder that keeps only the first `limit` cycles (older runs of
     /// millions of cycles would otherwise exhaust memory).
     pub fn with_limit(limit: usize) -> Self {
-        Self { records: Vec::new(), limit: Some(limit) }
+        Self {
+            records: Vec::new(),
+            limit: Some(limit),
+        }
     }
 
     pub(crate) fn push(&mut self, record: CycleTrace) {
@@ -114,12 +117,23 @@ pub enum RowSpec {
 impl RowSpec {
     /// Row displaying channel `id` with the given caption.
     pub fn channel(id: ChannelId, caption: impl Into<String>) -> Self {
-        RowSpec::Channel { id, caption: caption.into() }
+        RowSpec::Channel {
+            id,
+            caption: caption.into(),
+        }
     }
 
     /// Row displaying slot `slot` of component `component`.
-    pub fn slot(component: impl Into<String>, slot: impl Into<String>, caption: impl Into<String>) -> Self {
-        RowSpec::Slot { component: component.into(), slot: slot.into(), caption: caption.into() }
+    pub fn slot(
+        component: impl Into<String>,
+        slot: impl Into<String>,
+        caption: impl Into<String>,
+    ) -> Self {
+        RowSpec::Slot {
+            component: component.into(),
+            slot: slot.into(),
+            caption: caption.into(),
+        }
     }
 }
 
@@ -159,7 +173,9 @@ impl GridTrace {
                     (None, _) => String::new(),
                 }
             }
-            RowSpec::Slot { component, slot, .. } => rec
+            RowSpec::Slot {
+                component, slot, ..
+            } => rec
                 .slots
                 .get(component)
                 .and_then(|slots| slots.iter().find(|s| &s.name == slot))
@@ -175,14 +191,19 @@ impl GridTrace {
     /// that was valid but stalled (did not fire). Slot cells show the
     /// occupant label; empty cells are blank.
     pub fn render(&self, recorder: &TraceRecorder, from: u64, to: u64) -> String {
-        let records: Vec<&CycleTrace> =
-            recorder.records().iter().filter(|r| r.cycle >= from && r.cycle <= to).collect();
+        let records: Vec<&CycleTrace> = recorder
+            .records()
+            .iter()
+            .filter(|r| r.cycle >= from && r.cycle <= to)
+            .collect();
 
         let captions: Vec<&str> = self
             .rows
             .iter()
             .map(|r| match r {
-                RowSpec::Channel { caption, .. } | RowSpec::Slot { caption, .. } => caption.as_str(),
+                RowSpec::Channel { caption, .. } | RowSpec::Slot { caption, .. } => {
+                    caption.as_str()
+                }
             })
             .collect();
         let caption_w = captions.iter().map(|c| c.len()).max().unwrap_or(0).max(6);
@@ -227,10 +248,23 @@ impl GridTrace {
 /// `valid`/`ready` rows use `▔` for high and `▁` for low; the data row
 /// prints the token label at the cycle the transfer fires and `.`
 /// otherwise.
-pub fn render_waveform(recorder: &TraceRecorder, channels: &[(ChannelId, &str)], from: u64, to: u64) -> String {
-    let records: Vec<&CycleTrace> =
-        recorder.records().iter().filter(|r| r.cycle >= from && r.cycle <= to).collect();
-    let name_w = channels.iter().map(|(_, n)| n.len() + 6).max().unwrap_or(10).max(10);
+pub fn render_waveform(
+    recorder: &TraceRecorder,
+    channels: &[(ChannelId, &str)],
+    from: u64,
+    to: u64,
+) -> String {
+    let records: Vec<&CycleTrace> = recorder
+        .records()
+        .iter()
+        .filter(|r| r.cycle >= from && r.cycle <= to)
+        .collect();
+    let name_w = channels
+        .iter()
+        .map(|(_, n)| n.len() + 6)
+        .max()
+        .unwrap_or(10)
+        .max(10);
     let mut out = String::new();
 
     let _ = write!(out, "{:name_w$} ", "cycle");
@@ -246,7 +280,15 @@ pub fn render_waveform(recorder: &TraceRecorder, channels: &[(ChannelId, &str)],
                 let c = &r.channels[ch.index()];
                 match signal {
                     "valid" => {
-                        let _ = write!(out, "{:>3}", if c.valid_thread.is_some() { "▔" } else { "▁" });
+                        let _ = write!(
+                            out,
+                            "{:>3}",
+                            if c.valid_thread.is_some() {
+                                "▔"
+                            } else {
+                                "▁"
+                            }
+                        );
                     }
                     "ready" => {
                         // A channel is shown ready when the asserted thread fired,
@@ -255,7 +297,11 @@ pub fn render_waveform(recorder: &TraceRecorder, channels: &[(ChannelId, &str)],
                         let _ = write!(out, "{:>3}", if c.fired { "▔" } else { "▁" });
                     }
                     _ => {
-                        let cell = if c.fired { c.label.clone().unwrap_or_default() } else { ".".into() };
+                        let cell = if c.fired {
+                            c.label.clone().unwrap_or_default()
+                        } else {
+                            ".".into()
+                        };
                         let _ = write!(out, "{cell:>3}");
                     }
                 }

@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::channel::ChannelId;
 use crate::circuit::{EvalCtx, TickCtx};
-use crate::component::{Component, Ports, SlotView};
+use crate::component::{Component, NextEvent, Ports, SlotView};
 use crate::token::Token;
 
 /// Per-token latency function (see [`LatencyModel::PerToken`]).
@@ -120,7 +120,10 @@ impl<T: Token> VarLatency<T> {
         capacity: usize,
         latency: LatencyModel<T>,
     ) -> Self {
-        assert!(capacity > 0, "a variable-latency unit needs at least one slot");
+        assert!(
+            capacity > 0,
+            "a variable-latency unit needs at least one slot"
+        );
         let seed = latency.seed();
         Self {
             name: name.into(),
@@ -246,7 +249,11 @@ impl<T: Token> Component<T> for VarLatency<T> {
         // Emit first (frees the slot next cycle, not this one — the input
         // ready this cycle already accounted for the pre-emission count).
         if let Some((t, _)) = ctx.fired_any(self.out) {
-            if let Some(pos) = self.entries.iter().position(|e| e.thread == t && e.done_at <= ctx.cycle()) {
+            if let Some(pos) = self
+                .entries
+                .iter()
+                .position(|e| e.thread == t && e.done_at <= ctx.cycle())
+            {
                 self.entries.remove(pos);
             }
             self.rr = (t + 1) % self.threads;
@@ -271,6 +278,27 @@ impl<T: Token> Component<T> for VarLatency<T> {
                 None => SlotView::empty(format!("slot[{i}]")),
             })
             .collect()
+    }
+
+    fn next_event(&self, now: u64) -> NextEvent {
+        // The unit acts spontaneously when an in-flight token completes:
+        // the earliest per-thread head deadline is the next event. A head
+        // already complete means valid is (or should be) asserted.
+        let mut seen = vec![false; self.threads];
+        let mut earliest: Option<u64> = None;
+        for e in &self.entries {
+            if !seen[e.thread] {
+                seen[e.thread] = true;
+                if e.done_at <= now {
+                    return NextEvent::EveryCycle;
+                }
+                earliest = Some(earliest.map_or(e.done_at, |x| x.min(e.done_at)));
+            }
+        }
+        match earliest {
+            Some(at) => NextEvent::At(at),
+            None => NextEvent::Idle,
+        }
     }
 
     crate::impl_as_any!();
@@ -298,7 +326,13 @@ impl<T: Token> Transform<T> {
         threads: usize,
         f: impl Fn(&T) -> T + Send + 'static,
     ) -> Self {
-        Self { name: name.into(), inp, out, threads, f: Box::new(f) }
+        Self {
+            name: name.into(),
+            inp,
+            out,
+            threads,
+            f: Box::new(f),
+        }
     }
 }
 
@@ -324,6 +358,10 @@ impl<T: Token> Component<T> for Transform<T> {
 
     fn tick(&mut self, _ctx: &TickCtx<'_, T>) {}
 
+    fn next_event(&self, _now: u64) -> NextEvent {
+        NextEvent::Idle
+    }
+
     crate::impl_as_any!();
 }
 
@@ -336,7 +374,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let m = LatencyModel::<u64>::Fixed(0);
         assert_eq!(m.sample(&0, &mut rng), 1);
-        let m = LatencyModel::<u64>::Uniform { min: 2, max: 5, seed: 7 };
+        let m = LatencyModel::<u64>::Uniform {
+            min: 2,
+            max: 5,
+            seed: 7,
+        };
         for _ in 0..32 {
             let l = m.sample(&0, &mut rng);
             assert!((2..=5).contains(&l));
@@ -347,19 +389,80 @@ mod tests {
 
     #[test]
     fn completed_heads_respects_per_thread_order() {
-        let mut v = VarLatency::<u64>::new("v", ChannelId(0), ChannelId(1), 2, 4, LatencyModel::Fixed(1));
-        v.entries.push_back(Entry { thread: 0, token: 1, done_at: 10 });
-        v.entries.push_back(Entry { thread: 0, token: 2, done_at: 0 });
-        v.entries.push_back(Entry { thread: 1, token: 3, done_at: 0 });
+        let mut v = VarLatency::<u64>::new(
+            "v",
+            ChannelId(0),
+            ChannelId(1),
+            2,
+            4,
+            LatencyModel::Fixed(1),
+        );
+        v.entries.push_back(Entry {
+            thread: 0,
+            token: 1,
+            done_at: 10,
+        });
+        v.entries.push_back(Entry {
+            thread: 0,
+            token: 2,
+            done_at: 0,
+        });
+        v.entries.push_back(Entry {
+            thread: 1,
+            token: 3,
+            done_at: 0,
+        });
         // Thread 0's head is not done; its second (done) entry must wait.
         let heads = v.completed_heads(5);
         assert_eq!(heads, vec![(1, 2)]);
     }
 
     #[test]
+    fn next_event_tracks_per_thread_head_deadlines() {
+        let mut v = VarLatency::<u64>::new(
+            "v",
+            ChannelId(0),
+            ChannelId(1),
+            2,
+            4,
+            LatencyModel::Fixed(1),
+        );
+        assert_eq!(v.next_event(0), NextEvent::Idle);
+        v.entries.push_back(Entry {
+            thread: 0,
+            token: 1,
+            done_at: 12,
+        });
+        v.entries.push_back(Entry {
+            thread: 1,
+            token: 2,
+            done_at: 8,
+        });
+        // Thread 0's second entry completes earlier but is not the head.
+        v.entries.push_back(Entry {
+            thread: 0,
+            token: 3,
+            done_at: 5,
+        });
+        assert_eq!(v.next_event(3), NextEvent::At(8));
+        assert_eq!(v.next_event(8), NextEvent::EveryCycle);
+    }
+
+    #[test]
     fn slots_report_occupancy() {
-        let mut v = VarLatency::<u64>::new("v", ChannelId(0), ChannelId(1), 1, 2, LatencyModel::Fixed(1));
-        v.entries.push_back(Entry { thread: 0, token: 42, done_at: 3 });
+        let mut v = VarLatency::<u64>::new(
+            "v",
+            ChannelId(0),
+            ChannelId(1),
+            1,
+            2,
+            LatencyModel::Fixed(1),
+        );
+        v.entries.push_back(Entry {
+            thread: 0,
+            token: 42,
+            done_at: 3,
+        });
         let slots = v.slots();
         assert_eq!(slots.len(), 2);
         assert_eq!(slots[0].occupant, Some((0, "42".to_string())));

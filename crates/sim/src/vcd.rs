@@ -74,7 +74,9 @@ fn id_code(mut n: usize) -> String {
 
 /// Sanitizes a channel name into a VCD identifier.
 fn sanitize(name: &str) -> String {
-    name.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect()
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
 }
 
 /// Writes the recorded cycles of `recorder` for the given channels as a
@@ -141,8 +143,10 @@ pub fn write_vcd<W: Write>(
             }
             let label = tr.label.clone().unwrap_or_default();
             if last_label[ci].as_deref() != Some(label.as_str()) {
-                let encoded: String =
-                    label.chars().map(|c| if c.is_whitespace() { '_' } else { c }).collect();
+                let encoded: String = label
+                    .chars()
+                    .map(|c| if c.is_whitespace() { '_' } else { c })
+                    .collect();
                 changes.push(format!("s{encoded} {label_id}"));
                 last_label[ci] = Some(label);
             }
@@ -194,7 +198,16 @@ mod tests {
         src.extend(0, (0..3).map(|i| Tagged::new(0, i, i)));
         src.extend(1, (0..2).map(|i| Tagged::new(1, i, i)));
         b.add(src);
-        b.add(Sink::new("snk", ch, 2, ReadyPolicy::Period { on: 2, off: 1, phase: 0 }));
+        b.add(Sink::new(
+            "snk",
+            ch,
+            2,
+            ReadyPolicy::Period {
+                on: 2,
+                off: 1,
+                phase: 0,
+            },
+        ));
         let mut c = b.build().expect("valid");
         c.enable_trace();
         c.run(10).expect("clean");

@@ -195,7 +195,10 @@ impl<T: Token> DataflowBuilder<T> {
         cond: impl Fn(&T) -> bool + Send + 'static,
     ) -> (Wire, Wire) {
         let idx = self.add_node(
-            Node::Branch { name: name.into(), cond: Box::new(cond) },
+            Node::Branch {
+                name: name.into(),
+                cond: Box::new(cond),
+            },
             vec![input],
         );
         let outs = self.add_outputs(idx, 2);
@@ -209,7 +212,10 @@ impl<T: Token> DataflowBuilder<T> {
     /// Panics if fewer than two inputs are given.
     pub fn merge(&mut self, name: impl Into<String>, inputs: &[Wire]) -> Wire {
         assert!(inputs.len() >= 2, "a merge needs at least two inputs");
-        let node = Node::Merge { name: name.into(), arity: inputs.len() };
+        let node = Node::Merge {
+            name: name.into(),
+            arity: inputs.len(),
+        };
         let idx = self.add_node(node, inputs.to_vec());
         self.add_outputs(idx, 1)[0]
     }
@@ -221,7 +227,13 @@ impl<T: Token> DataflowBuilder<T> {
     /// Panics if `n < 2`.
     pub fn fork(&mut self, name: impl Into<String>, input: Wire, n: usize) -> Vec<Wire> {
         assert!(n >= 2, "a fork needs at least two outputs");
-        let idx = self.add_node(Node::Fork { name: name.into(), arity: n }, vec![input]);
+        let idx = self.add_node(
+            Node::Fork {
+                name: name.into(),
+                arity: n,
+            },
+            vec![input],
+        );
         self.add_outputs(idx, n)
     }
 
@@ -245,8 +257,14 @@ impl<T: Token> DataflowBuilder<T> {
         kind: MebKind,
         initial: Vec<(usize, T)>,
     ) -> Wire {
-        let idx =
-            self.add_node(Node::Buffer { name: name.into(), kind, initial }, vec![input]);
+        let idx = self.add_node(
+            Node::Buffer {
+                name: name.into(),
+                kind,
+                initial,
+            },
+            vec![input],
+        );
         self.add_outputs(idx, 1)[0]
     }
 
@@ -281,7 +299,9 @@ impl<T: Token> DataflowBuilder<T> {
             .map(Wire)
             .ok_or_else(|| SynthError::Build(format!("input `{port}` has no live wire")))?;
         let consumer_node = self.consumer[placeholder.0].ok_or_else(|| {
-            SynthError::Build(format!("placeholder `{port}` is not consumed by anything yet"))
+            SynthError::Build(format!(
+                "placeholder `{port}` is not consumed by anything yet"
+            ))
         })?;
         if self.consumer[wire.0].is_some() {
             return Err(SynthError::Build(format!(
@@ -304,9 +324,8 @@ impl<T: Token> DataflowBuilder<T> {
     /// syntax — ops as boxes, branches as diamonds, buffers as cylinders.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from(
-            "digraph dataflow {\n  rankdir=LR;\n  node [fontname=\"monospace\"];\n",
-        );
+        let mut out =
+            String::from("digraph dataflow {\n  rankdir=LR;\n  node [fontname=\"monospace\"];\n");
         for (i, node) in self.nodes.iter().enumerate() {
             if self.dead_nodes[i] {
                 continue;
@@ -358,7 +377,10 @@ impl<T: Token> DataflowBuilder<T> {
             }
             match node {
                 Node::Op { arity, .. } if *arity == 0 => {
-                    return Err(SynthError::BadArity { node: node.name().to_string(), arity: 0 })
+                    return Err(SynthError::BadArity {
+                        node: node.name().to_string(),
+                        arity: 0,
+                    })
                 }
                 Node::Merge { arity, .. } | Node::Fork { arity, .. } if *arity < 2 => {
                     return Err(SynthError::BadArity {
@@ -396,8 +418,8 @@ impl<T: Token> DataflowBuilder<T> {
             }
             let (pnode, pport) = self.producer[w];
             let pname = self.nodes[pnode].name();
-            let auto = config.buffers == BufferPolicy::AfterOps
-                && self.nodes[pnode].wants_auto_buffer();
+            let auto =
+                config.buffers == BufferPolicy::AfterOps && self.nodes[pnode].wants_auto_buffer();
             let ch = b.channel(format!("w{w}:{pname}.{pport}"), threads);
             if auto {
                 let buffered = b.channel(format!("w{w}:{pname}.{pport}:buf"), threads);
@@ -440,10 +462,20 @@ impl<T: Token> DataflowBuilder<T> {
                 Node::Output { name } => {
                     let comp = format!("out:{name}");
                     let ch = inc(ins[0]);
-                    b.add(Sink::<T>::with_capture(comp.clone(), ch, threads, ReadyPolicy::Always));
+                    b.add(Sink::<T>::with_capture(
+                        comp.clone(),
+                        ch,
+                        threads,
+                        ReadyPolicy::Always,
+                    ));
                     outputs.insert(name, (comp, ch));
                 }
-                Node::Op { name, arity, f, latency } => {
+                Node::Op {
+                    name,
+                    arity,
+                    f,
+                    latency,
+                } => {
                     let out_ch = outc(outs[0]);
                     // The joined/combined value either goes straight out
                     // (combinational) or through a latency unit.
@@ -507,17 +539,30 @@ impl<T: Token> DataflowBuilder<T> {
                 }
                 Node::Fork { name, .. } => {
                     let chans: Vec<ChannelId> = outs.iter().map(|&w| outc(w)).collect();
-                    b.add(Fork::new(name, inc(ins[0]), chans, threads, ForkMode::Eager));
-                }
-                Node::Buffer { name, kind, initial } => {
-                    b.add_boxed(kind.build_initial::<T>(
+                    b.add(Fork::new(
                         name,
                         inc(ins[0]),
-                        outc(outs[0]),
+                        chans,
                         threads,
-                        config.arbiter.build(),
-                        initial,
+                        ForkMode::Eager,
                     ));
+                }
+                Node::Buffer {
+                    name,
+                    kind,
+                    initial,
+                } => {
+                    let meb = kind
+                        .build_initial::<T>(
+                            name,
+                            inc(ins[0]),
+                            outc(outs[0]),
+                            threads,
+                            config.arbiter.build(),
+                            initial,
+                        )
+                        .map_err(|e| SynthError::Build(e.to_string()))?;
+                    b.add_boxed(meb);
                 }
                 Node::Barrier { name } => {
                     b.add(Barrier::new(name, inc(ins[0]), outc(outs[0]), threads));

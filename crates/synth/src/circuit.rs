@@ -15,7 +15,11 @@ pub struct UnknownPortError {
 
 impl std::fmt::Display for UnknownPortError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "unknown port `{}` (available: {:?})", self.port, self.available)
+        write!(
+            f,
+            "unknown port `{}` (available: {:?})",
+            self.port, self.available
+        )
     }
 }
 
@@ -83,7 +87,12 @@ impl<T: Token> SynthCircuit<T> {
         inputs: BTreeMap<String, String>,
         outputs: BTreeMap<String, (String, ChannelId)>,
     ) -> Self {
-        Self { circuit, threads, inputs, outputs }
+        Self {
+            circuit,
+            threads,
+            inputs,
+            outputs,
+        }
     }
 
     /// Thread count of every port.
@@ -104,7 +113,11 @@ impl<T: Token> SynthCircuit<T> {
     fn unknown(&self, port: &str, inputs: bool) -> RunError {
         RunError::UnknownPort(UnknownPortError {
             port: port.to_string(),
-            available: if inputs { self.input_ports() } else { self.output_ports() },
+            available: if inputs {
+                self.input_ports()
+            } else {
+                self.output_ports()
+            },
         })
     }
 
@@ -114,9 +127,12 @@ impl<T: Token> SynthCircuit<T> {
     ///
     /// [`RunError::UnknownPort`] if the port does not exist.
     pub fn push(&mut self, port: &str, thread: usize, token: T) -> Result<(), RunError> {
-        let comp = self.inputs.get(port).ok_or_else(|| self.unknown(port, true))?.clone();
-        let src: &mut Source<T> =
-            self.circuit.get_mut(&comp).expect("input component exists");
+        let comp = self
+            .inputs
+            .get(port)
+            .ok_or_else(|| self.unknown(port, true))?
+            .clone();
+        let src: &mut Source<T> = self.circuit.get_mut(&comp).expect("input component exists");
         src.push(thread, token);
         Ok(())
     }
@@ -127,10 +143,19 @@ impl<T: Token> SynthCircuit<T> {
     /// # Errors
     ///
     /// [`RunError::UnknownPort`] if the port does not exist.
-    pub fn push_at(&mut self, port: &str, thread: usize, cycle: u64, token: T) -> Result<(), RunError> {
-        let comp = self.inputs.get(port).ok_or_else(|| self.unknown(port, true))?.clone();
-        let src: &mut Source<T> =
-            self.circuit.get_mut(&comp).expect("input component exists");
+    pub fn push_at(
+        &mut self,
+        port: &str,
+        thread: usize,
+        cycle: u64,
+        token: T,
+    ) -> Result<(), RunError> {
+        let comp = self
+            .inputs
+            .get(port)
+            .ok_or_else(|| self.unknown(port, true))?
+            .clone();
+        let src: &mut Source<T> = self.circuit.get_mut(&comp).expect("input component exists");
         src.push_at(thread, cycle, token);
         Ok(())
     }
@@ -144,10 +169,16 @@ impl<T: Token> SynthCircuit<T> {
     /// [`output_ports`]: SynthCircuit::output_ports
     pub fn collected(&self, port: &str, thread: usize) -> Vec<T> {
         let (comp, _) = self.outputs.get(port).unwrap_or_else(|| {
-            panic!("unknown output port `{port}` (available: {:?})", self.output_ports())
+            panic!(
+                "unknown output port `{port}` (available: {:?})",
+                self.output_ports()
+            )
         });
         let sink: &Sink<T> = self.circuit.get(comp).expect("output component exists");
-        sink.captured(thread).iter().map(|(_, t)| t.clone()).collect()
+        sink.captured(thread)
+            .iter()
+            .map(|(_, t)| t.clone())
+            .collect()
     }
 
     /// Total tokens collected on output `port` across threads.
@@ -157,7 +188,10 @@ impl<T: Token> SynthCircuit<T> {
     /// Panics if the port does not exist.
     pub fn collected_total(&self, port: &str) -> u64 {
         let (comp, _) = self.outputs.get(port).unwrap_or_else(|| {
-            panic!("unknown output port `{port}` (available: {:?})", self.output_ports())
+            panic!(
+                "unknown output port `{port}` (available: {:?})",
+                self.output_ports()
+            )
         });
         let sink: &Sink<T> = self.circuit.get(comp).expect("output component exists");
         sink.consumed_total()
@@ -176,7 +210,10 @@ impl<T: Token> SynthCircuit<T> {
         count: u64,
         max_cycles: u64,
     ) -> Result<(), RunError> {
-        let (_, ch) = *self.outputs.get(port).ok_or_else(|| self.unknown(port, false))?;
+        let (_, ch) = *self
+            .outputs
+            .get(port)
+            .ok_or_else(|| self.unknown(port, false))?;
         let done = self
             .circuit
             .run_until(max_cycles, move |c| c.stats().total_transfers(ch) >= count)?;

@@ -130,7 +130,11 @@ impl<T: Token> Node<T> {
     pub fn inputs(&self) -> usize {
         match self {
             Node::Input { .. } => 0,
-            Node::Output { .. } | Node::Branch { .. } | Node::Fork { .. } | Node::Buffer { .. } | Node::Barrier { .. } => 1,
+            Node::Output { .. }
+            | Node::Branch { .. }
+            | Node::Fork { .. }
+            | Node::Buffer { .. }
+            | Node::Barrier { .. } => 1,
             Node::Op { arity, .. } => *arity,
             Node::Merge { arity, .. } => *arity,
         }
@@ -140,7 +144,11 @@ impl<T: Token> Node<T> {
     pub fn outputs(&self) -> usize {
         match self {
             Node::Output { .. } => 0,
-            Node::Input { .. } | Node::Op { .. } | Node::Merge { .. } | Node::Buffer { .. } | Node::Barrier { .. } => 1,
+            Node::Input { .. }
+            | Node::Op { .. }
+            | Node::Merge { .. }
+            | Node::Buffer { .. }
+            | Node::Barrier { .. } => 1,
             Node::Branch { .. } => 2,
             Node::Fork { arity, .. } => *arity,
         }
@@ -159,13 +167,22 @@ impl<T: Token> std::fmt::Debug for Node<T> {
         match self {
             Node::Input { name } => write!(f, "Input({name})"),
             Node::Output { name } => write!(f, "Output({name})"),
-            Node::Op { name, arity, latency, .. } => {
+            Node::Op {
+                name,
+                arity,
+                latency,
+                ..
+            } => {
                 write!(f, "Op({name}, arity={arity}, {latency:?})")
             }
             Node::Branch { name, .. } => write!(f, "Branch({name})"),
             Node::Merge { name, arity } => write!(f, "Merge({name}, arity={arity})"),
             Node::Fork { name, arity } => write!(f, "Fork({name}, arity={arity})"),
-            Node::Buffer { name, kind, initial } => {
+            Node::Buffer {
+                name,
+                kind,
+                initial,
+            } => {
                 write!(f, "Buffer({name}, {kind}, {} initial)", initial.len())
             }
             Node::Barrier { name } => write!(f, "Barrier({name})"),
@@ -245,18 +262,27 @@ mod tests {
         assert_eq!(op.outputs(), 1);
         assert!(op.wants_auto_buffer());
 
-        let br: Node<u64> = Node::Branch { name: "b".into(), cond: Box::new(|_| true) };
+        let br: Node<u64> = Node::Branch {
+            name: "b".into(),
+            cond: Box::new(|_| true),
+        };
         assert_eq!(br.inputs(), 1);
         assert_eq!(br.outputs(), 2);
         assert!(!br.wants_auto_buffer());
 
-        let fork: Node<u64> = Node::Fork { name: "f".into(), arity: 3 };
+        let fork: Node<u64> = Node::Fork {
+            name: "f".into(),
+            arity: 3,
+        };
         assert_eq!(fork.outputs(), 3);
     }
 
     #[test]
     fn errors_display() {
-        let e = SynthError::UnconsumedWire { wire: 3, producer: "add".into() };
+        let e = SynthError::UnconsumedWire {
+            wire: 3,
+            producer: "add".into(),
+        };
         assert!(e.to_string().contains("add"));
         assert!(SynthError::EmptyGraph.to_string().contains("no nodes"));
     }

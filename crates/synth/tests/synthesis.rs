@@ -1,9 +1,7 @@
 //! End-to-end tests of the dataflow-to-elastic synthesis flow.
 
 use elastic_core::MebKind;
-use elastic_synth::{
-    BufferPolicy, DataflowBuilder, OpLatency, RunError, SynthConfig, SynthError,
-};
+use elastic_synth::{BufferPolicy, DataflowBuilder, OpLatency, RunError, SynthConfig, SynthError};
 use proptest::prelude::*;
 
 fn software_gcd(mut a: u64, mut b: u64) -> u64 {
@@ -43,7 +41,8 @@ fn gcd_multithreaded_matches_software() {
     for (t, &(a, b)) in pairs.iter().enumerate() {
         s.push("pairs", t, (a, b)).expect("port exists");
     }
-    s.run_until_outputs("gcd", 4, 20_000).expect("all gcds complete");
+    s.run_until_outputs("gcd", 4, 20_000)
+        .expect("all gcds complete");
     for (t, &(a, b)) in pairs.iter().enumerate() {
         let expect = software_gcd(a, b);
         assert_eq!(s.collected("gcd", t), vec![(expect, expect)], "thread {t}");
@@ -68,8 +67,10 @@ fn gcd_streams_multiple_problems_per_thread() {
     for (t, list) in per_thread.iter().enumerate() {
         let mut got = s.collected("gcd", t);
         got.sort_unstable();
-        let mut expect: Vec<(u64, u64)> =
-            list.iter().map(|&(a, b)| (software_gcd(a, b), software_gcd(a, b))).collect();
+        let mut expect: Vec<(u64, u64)> = list
+            .iter()
+            .map(|&(a, b)| (software_gcd(a, b), software_gcd(a, b)))
+            .collect();
         expect.sort_unstable();
         assert_eq!(got, expect, "thread {t}");
     }
@@ -80,7 +81,13 @@ fn full_and_reduced_synthesis_agree() {
     let pairs = [(250u64, 35u64), (13, 39)];
     let mut results = Vec::new();
     for meb in [MebKind::Full, MebKind::Reduced] {
-        let mut s = gcd_circuit(2, SynthConfig { meb, ..SynthConfig::default() });
+        let mut s = gcd_circuit(
+            2,
+            SynthConfig {
+                meb,
+                ..SynthConfig::default()
+            },
+        );
         for (t, &(a, b)) in pairs.iter().enumerate() {
             s.push("pairs", t, (a, b)).expect("push");
         }
@@ -98,8 +105,19 @@ fn diamond_fork_join() {
     let x = g.input("x");
     let copies = g.fork("split", x, 2);
     let doubled = g.op1("double", OpLatency::Combinational, copies[0], |v| v * 2);
-    let squared = g.op1("square", OpLatency::Variable { min: 1, max: 3, seed: 5 }, copies[1], |v| v * v);
-    let sum = g.op2("sum", OpLatency::Combinational, doubled, squared, |a, b| a + b);
+    let squared = g.op1(
+        "square",
+        OpLatency::Variable {
+            min: 1,
+            max: 3,
+            seed: 5,
+        },
+        copies[1],
+        |v| v * v,
+    );
+    let sum = g.op2("sum", OpLatency::Combinational, doubled, squared, |a, b| {
+        a + b
+    });
     g.output("y", sum);
     let mut s = g.elaborate(SynthConfig::default()).expect("elaborates");
     for t in 0..2 {
@@ -163,7 +181,8 @@ fn accumulator_loop_with_initial_tokens() {
         }
     }
     let total: u64 = streams.iter().map(|v| v.len() as u64).sum();
-    s.run_until_outputs("sums", total, 10_000).expect("completes");
+    s.run_until_outputs("sums", total, 10_000)
+        .expect("completes");
     assert_eq!(s.collected("sums", 0), vec![1, 3, 6, 10]);
     assert_eq!(s.collected("sums", 1), vec![10, 30]);
     assert_eq!(s.collected("sums", 2), vec![5, 10, 15]);
@@ -200,7 +219,10 @@ fn dataflow_dot_export_shows_the_loop() {
 #[test]
 fn empty_graph_is_rejected() {
     let g = DataflowBuilder::<u64>::new(1);
-    assert!(matches!(g.elaborate(SynthConfig::default()), Err(SynthError::EmptyGraph)));
+    assert!(matches!(
+        g.elaborate(SynthConfig::default()),
+        Err(SynthError::EmptyGraph)
+    ));
 }
 
 #[test]
@@ -250,7 +272,10 @@ fn unbuffered_loop_is_detected_at_runtime() {
     });
     g.loopback("loop", step).expect("loop closes");
     let mut s = g
-        .elaborate(SynthConfig { buffers: BufferPolicy::Manual, ..SynthConfig::default() })
+        .elaborate(SynthConfig {
+            buffers: BufferPolicy::Manual,
+            ..SynthConfig::default()
+        })
         .expect("elaborates structurally");
     s.push("pairs", 0, (6, 4)).expect("push");
     let err = s.run_until_outputs("gcd", 1, 100).unwrap_err();
@@ -281,7 +306,10 @@ fn manually_buffered_loop_works() {
     });
     g.loopback("loop", step).expect("loop closes");
     let mut s = g
-        .elaborate(SynthConfig { buffers: BufferPolicy::Manual, ..SynthConfig::default() })
+        .elaborate(SynthConfig {
+            buffers: BufferPolicy::Manual,
+            ..SynthConfig::default()
+        })
         .expect("elaborates");
     s.push("pairs", 0, (48, 18)).expect("push");
     s.run_until_outputs("gcd", 1, 5_000).expect("completes");

@@ -25,21 +25,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     b.add(src);
-    b.add_boxed(MebKind::Reduced.build_with::<Tagged>("meb", x, m, THREADS, ArbiterKind::RoundRobin));
-    b.add(
-        Barrier::new("bar", m, y, THREADS).with_release_action(|n| {
-            println!("  >> barrier released (phase {n})");
-        }),
-    );
+    b.add_boxed(MebKind::Reduced.build_with::<Tagged>(
+        "meb",
+        x,
+        m,
+        THREADS,
+        ArbiterKind::RoundRobin,
+    ));
+    b.add(Barrier::new("bar", m, y, THREADS).with_release_action(|n| {
+        println!("  >> barrier released (phase {n})");
+    }));
     b.add(Sink::with_capture("snk", y, THREADS, ReadyPolicy::Always));
 
     let mut circuit = b.build()?;
     circuit.enable_trace();
     circuit.set_deadlock_watchdog(Some(100));
-    circuit.run_until(400, |c| c.stats().total_transfers(y) >= (3 * THREADS) as u64)?;
+    circuit.run_until(400, |c| {
+        c.stats().total_transfers(y) >= (3 * THREADS) as u64
+    })?;
 
     let rows: Vec<RowSpec> = std::iter::once(RowSpec::channel(x, "arrivals"))
-        .chain((0..THREADS).map(|t| RowSpec::slot("bar", format!("fsm[{t}]"), format!("thread {t} FSM"))))
+        .chain(
+            (0..THREADS)
+                .map(|t| RowSpec::slot("bar", format!("fsm[{t}]"), format!("thread {t} FSM"))),
+        )
         .chain(std::iter::once(RowSpec::channel(y, "released")))
         .collect();
     let grid = GridTrace::new(rows);
@@ -48,7 +57,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let snk: &Sink<Tagged> = circuit.get("snk").expect("sink exists");
     for phase in 0..3u64 {
         let pass_cycles: Vec<u64> = (0..THREADS)
-            .map(|t| snk.captured(t).iter().find(|(_, tok)| tok.seq == phase).expect("phase passed").0)
+            .map(|t| {
+                snk.captured(t)
+                    .iter()
+                    .find(|(_, tok)| tok.seq == phase)
+                    .expect("phase passed")
+                    .0
+            })
             .collect();
         let last_arrival = 3 * (THREADS as u64 - 1) + phase * 12;
         println!(

@@ -17,8 +17,8 @@
 //! ```
 
 use mt_elastic::sim::{
-    impl_as_any, ChannelId, CircuitBuilder, Component, EvalCtx, Ports, ReadyPolicy, Sink,
-    SlotView, Source, Tagged, TickCtx,
+    impl_as_any, ChannelId, CircuitBuilder, Component, EvalCtx, Ports, ReadyPolicy, Sink, SlotView,
+    Source, Tagged, TickCtx,
 };
 
 /// Forwards every `n`-th token per thread, consuming the others.
@@ -33,14 +33,27 @@ struct Decimator {
 }
 
 impl Decimator {
-    fn new(name: impl Into<String>, inp: ChannelId, out: ChannelId, threads: usize, n: u64) -> Self {
+    fn new(
+        name: impl Into<String>,
+        inp: ChannelId,
+        out: ChannelId,
+        threads: usize,
+        n: u64,
+    ) -> Self {
         assert!(n > 0, "decimation factor must be at least 1");
-        Self { name: name.into(), inp, out, threads, n, count: vec![0; threads] }
+        Self {
+            name: name.into(),
+            inp,
+            out,
+            threads,
+            n,
+            count: vec![0; threads],
+        }
     }
 
     /// Whether the *next* accepted token of `t` is forwarded.
     fn keeps(&self, t: usize) -> bool {
-        self.count[t] % self.n == 0
+        self.count[t].is_multiple_of(self.n)
     }
 }
 
@@ -97,7 +110,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     b.add(src);
     b.add(Decimator::new("dec", input, output, THREADS, 3));
-    b.add(Sink::with_capture("snk", output, THREADS, ReadyPolicy::Always));
+    b.add(Sink::with_capture(
+        "snk",
+        output,
+        THREADS,
+        ReadyPolicy::Always,
+    ));
 
     let mut circuit = b.build()?;
     circuit.run(40)?;

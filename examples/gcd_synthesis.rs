@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Elaborate: merges/ops get reduced MEBs automatically, so the loop is
     // legal elastic hardware and inherently multithreaded.
     let mut s = g.elaborate(SynthConfig::default())?;
-    println!("synthesized components: {:?}\n", s.circuit.component_names());
+    println!(
+        "synthesized components: {:?}\n",
+        s.circuit.component_names()
+    );
 
     let problems = [(1071u64, 462u64), (270, 192), (35, 64), (123456, 7890)];
     for (t, &(a, b)) in problems.iter().enumerate() {

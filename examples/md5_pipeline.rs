@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{kind} MEBs — 8 threads, {cycles} cycles:");
         for (msg, digest) in refs.iter().zip(&digests) {
             let reference = algo::md5(msg);
-            let status = if *digest == reference { "ok" } else { "MISMATCH" };
+            let status = if *digest == reference {
+                "ok"
+            } else {
+                "MISMATCH"
+            };
             println!(
                 "  {:<44} {} [{status}]",
                 format!("{:?}", String::from_utf8_lossy(&msg[..msg.len().min(40)])),

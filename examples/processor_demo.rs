@@ -12,7 +12,14 @@ use mt_elastic::proc::{programs, Cpu, CpuConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("DTU-RISC multithreaded elastic processor — IPC vs hardware threads\n");
-    let header = ["workload", "1 thr", "2 thr", "4 thr", "8 thr", "description"];
+    let header = [
+        "workload",
+        "1 thr",
+        "2 thr",
+        "4 thr",
+        "8 thr",
+        "description",
+    ];
     println!(
         "{:<12} {:>8} {:>8} {:>8} {:>8}   {}",
         header[0], header[1], header[2], header[3], header[4], header[5]

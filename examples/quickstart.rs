@@ -29,7 +29,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. The paper's reduced MEB: S main registers + one shared auxiliary
     //    slot, arbitrated round-robin.
-    b.add(ReducedMeb::new("meb", inject, buffered, THREADS, ArbiterKind::RoundRobin.build()));
+    b.add(ReducedMeb::new(
+        "meb",
+        inject,
+        buffered,
+        THREADS,
+        ArbiterKind::RoundRobin.build(),
+    ));
 
     // 4. A variable-latency computation unit (1–3 cycles), as elasticity
     //    is designed to tolerate.
@@ -40,13 +46,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             computed,
             THREADS,
             2,
-            LatencyModel::Uniform { min: 1, max: 3, seed: 42 },
+            LatencyModel::Uniform {
+                min: 1,
+                max: 3,
+                seed: 42,
+            },
         )
         .with_transform(|tok: &Tagged| Tagged::new(tok.thread, tok.seq, tok.payload * 2)),
     );
 
     // 5. A consumer that occasionally back-pressures.
-    b.add(Sink::with_capture("snk", computed, THREADS, ReadyPolicy::Period { on: 3, off: 1, phase: 0 }));
+    b.add(Sink::with_capture(
+        "snk",
+        computed,
+        THREADS,
+        ReadyPolicy::Period {
+            on: 3,
+            off: 1,
+            phase: 0,
+        },
+    ));
 
     // 6. Build (the netlist is validated) and run.
     let mut circuit = b.build()?;
@@ -55,7 +74,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let snk: &Sink<Tagged> = circuit.get("snk").expect("sink exists");
     println!("consumed per thread:");
     for t in 0..THREADS {
-        let first: Vec<u64> = snk.captured(t).iter().take(4).map(|(_, tok)| tok.payload).collect();
+        let first: Vec<u64> = snk
+            .captured(t)
+            .iter()
+            .take(4)
+            .map(|(_, tok)| tok.payload)
+            .collect();
         println!(
             "  thread {t}: {} tokens (first payloads: {:?}), throughput {:.3}",
             snk.consumed(t),

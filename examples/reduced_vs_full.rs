@@ -9,7 +9,9 @@
 //! ```
 
 use mt_elastic::core::{MebKind, PipelineConfig, PipelineHarness};
-use mt_elastic::cost::{average_savings, md5_design, processor_design, savings_fraction, BufferKind};
+use mt_elastic::cost::{
+    average_savings, md5_design, processor_design, savings_fraction, BufferKind,
+};
 use mt_elastic::sim::ReadyPolicy;
 
 fn measure(kind: MebKind, blocked: bool) -> (f64, u64) {
@@ -42,11 +44,20 @@ fn main() {
     for kind in [MebKind::Full, MebKind::Reduced] {
         let (uniform, slots) = measure(kind, false);
         let (worst, _) = measure(kind, true);
-        println!("{:<12} {:>12} {:>20.3} {:>22.3}", kind.to_string(), slots, uniform, worst);
+        println!(
+            "{:<12} {:>12} {:>20.3} {:>22.3}",
+            kind.to_string(),
+            slots,
+            uniform,
+            worst
+        );
     }
 
     println!("\nreduced vs full MEB — silicon (structural cost model, Table I)\n");
-    for (spec, label) in [(md5_design(), "MD5 hash"), (processor_design(), "processor")] {
+    for (spec, label) in [
+        (md5_design(), "MD5 hash"),
+        (processor_design(), "processor"),
+    ] {
         println!(
             "  {label:<10} 8 threads: full {:>6} LEs, reduced {:>6} LEs  (saves {:.1}%)",
             spec.area_les(BufferKind::Full, 8),

@@ -24,7 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. VCD waveform of every channel.
     std::fs::create_dir_all("target")?;
     let vcd_path = "target/fig5_reduced.vcd";
-    h.circuit.write_vcd(BufWriter::new(File::create(vcd_path)?))?;
+    h.circuit
+        .write_vcd(BufWriter::new(File::create(vcd_path)?))?;
     println!("wrote {vcd_path} — open with `gtkwave {vcd_path}`");
 
     // 2. Structural netlist as DOT.
@@ -35,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "wrote {dot_path} — {} components, {} channels{}",
         netlist.component_count(),
         netlist.channel_count(),
-        if netlist.has_cycle() { " (with feedback)" } else { "" }
+        if netlist.has_cycle() {
+            " (with feedback)"
+        } else {
+            ""
+        }
     );
 
     // 3. Per-token latency through the 2-stage pipeline.

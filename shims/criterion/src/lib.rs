@@ -1,0 +1,224 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors
+//! a minimal benchmark harness with criterion's API shape: groups,
+//! `bench_function` / `bench_with_input`, `Throughput`, `BenchmarkId`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: a short warm-up, then timed batches until either
+//! ~200 ms or 10k iterations elapse; the mean ns/iter (and derived
+//! element/byte throughput) is printed to stdout. No statistics, plots
+//! or baselines — enough to compare kernels by eye and to keep
+//! `cargo bench` runnable offline.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units for reporting throughput alongside time per iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter display.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            std_black_box(f());
+        }
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < budget && iters < 10_000 {
+            std_black_box(f());
+            iters += 1;
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let per = match throughput {
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 / mean_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / mean_ns * 1e9 / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<48} {mean_ns:>14.0} ns/iter{per}");
+}
+
+/// A named set of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API compatibility; the shim runs a fixed number of
+    /// iterations regardless.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores time budgets.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver (stand-in for criterion's `Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        report(&id.to_string(), b.mean_ns, None);
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::new("inc", 1), &1u64, |b, &x| {
+            ran += 1;
+            b.iter(|| x + 1)
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

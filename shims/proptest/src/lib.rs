@@ -1,0 +1,460 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors
+//! the subset of the proptest API its test suites use: the `proptest!`
+//! macro, `Strategy` with `prop_map`, `Just`, `prop_oneof!`, `any`,
+//! ranges as strategies, tuples, `prop::collection::vec`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case panics with its inputs formatted
+//!   into the message; cases are derived deterministically from the test
+//!   name and case index, so failures reproduce exactly on re-run.
+//! * **No persistence files**, no forking, no timeout handling.
+//!
+//! The generation RNG is the same splitmix64 mixer the simulation's
+//! deterministic policies use.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generation RNG for one test case.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test named `name` (stable across runs).
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Run-count configuration (subset of proptest's `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of test-case values (subset of proptest's `Strategy`).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy yielding a constant.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives (backs `prop_oneof!`).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(
+            !self.0.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.below(span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.below(span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let unit = rng.next_u64() as f64 / (u64::MAX as f64 + 1.0);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Blanket full-range generation (subset of proptest's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_u64() as f64 / u64::MAX as f64
+    }
+}
+
+/// Strategy for the full value range of `T` (proptest's `any`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — a strategy generating arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The `prop::` namespace (subset: `prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Length specification for [`vec`]: a fixed size or a range.
+        pub trait IntoSizeRange {
+            /// Lower and inclusive upper length bound.
+            fn bounds(&self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(&self) -> (usize, usize) {
+                (*self, *self)
+            }
+        }
+
+        impl IntoSizeRange for Range<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                assert!(self.start < self.end, "empty vec size range");
+                (self.start, self.end - 1)
+            }
+        }
+
+        impl IntoSizeRange for RangeInclusive<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                (*self.start(), *self.end())
+            }
+        }
+
+        /// Strategy generating vectors of `element` with a length drawn
+        /// from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            min: usize,
+            max: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.max == self.min {
+                    self.min
+                } else {
+                    self.min + rng.below((self.max - self.min + 1) as u64) as usize
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            VecStrategy { element, min, max }
+        }
+    }
+}
+
+/// Everything a test module needs (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Uniform choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Declares property tests: each `fn` runs `cases` times with inputs
+/// drawn from the given strategies (deterministic per test name + case).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut prop_rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut prop_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strategy),* ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_any_generate_in_bounds() {
+        let mut rng = super::TestRng::for_case("shim", 0);
+        for _ in 0..500 {
+            let x = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_alternative() {
+        let s = prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|v| v)];
+        let mut rng = super::TestRng::for_case("shim2", 1);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2) && (seen.contains(&5) || seen.contains(&6)));
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let s = prop::collection::vec(0u64..10, 2..5);
+        let mut rng = super::TestRng::for_case("shim3", 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        let fixed = prop::collection::vec(0u64..3, 32usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 32);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(
+            a in 1usize..5,
+            b in any::<bool>(),
+            pair in (1u64..10, 1u64..10),
+        ) {
+            prop_assert!((1..5).contains(&a));
+            prop_assert_eq!(u64::from(b) | 1, 1);
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+        }
+    }
+}

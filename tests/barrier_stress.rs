@@ -3,7 +3,7 @@
 //! MEBs of both kinds.
 
 use mt_elastic::core::{ArbiterKind, Barrier, BarrierState, MebKind};
-use mt_elastic::sim::{CircuitBuilder, Circuit, ReadyPolicy, Sink, Source, Tagged};
+use mt_elastic::sim::{Circuit, CircuitBuilder, ReadyPolicy, Sink, Source, Tagged};
 use proptest::prelude::*;
 
 fn barrier_circuit(
@@ -137,9 +137,7 @@ fn partial_participation_mixes_streams() {
     src.push_at(1, 15, Tagged::new(1, 0, 0));
     src.extend(2, (0..10).map(|i| Tagged::new(2, i, i)));
     b.add(src);
-    b.add(
-        Barrier::new("bar", x, y, THREADS).with_participants(vec![true, true, false]),
-    );
+    b.add(Barrier::new("bar", x, y, THREADS).with_participants(vec![true, true, false]));
     b.add(Sink::with_capture("snk", y, THREADS, ReadyPolicy::Always));
     let mut circuit = b.build().expect("valid");
     circuit.run(40).expect("clean");

@@ -4,7 +4,7 @@
 //! protocol-checking kernel never reports a violation.
 
 use mt_elastic::core::{ArbiterKind, MebKind, PipelineConfig, PipelineHarness};
-use mt_elastic::sim::ReadyPolicy;
+use mt_elastic::sim::{EvalMode, ReadyPolicy};
 use proptest::prelude::*;
 
 fn meb_kind_strategy() -> impl Strategy<Value = MebKind> {
@@ -66,6 +66,65 @@ proptest! {
         }
         // Nothing left inside the pipeline.
         prop_assert!(h.source().is_drained());
+    }
+
+    /// The event-driven dirty-set kernel is *observationally identical*
+    /// to the exhaustive-sweep oracle: over random topologies, thread
+    /// counts, MEB kinds and random sink stalls, both modes deliver the
+    /// same tokens to the same threads at the same cycles, conserve every
+    /// token, and agree on all transfer counts.
+    #[test]
+    fn dirty_set_kernel_matches_exhaustive_oracle(
+        threads in 1usize..5,
+        stages in 1usize..5,
+        kind in meb_kind_strategy(),
+        arbiter in arbiter_strategy(),
+        tokens in 1u64..20,
+        p_ready in 0.2f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let build = |mode: EvalMode| {
+            let mut cfg = PipelineConfig::free_flowing(threads, stages, kind, tokens)
+                .with_eval_mode(mode);
+            cfg.arbiter = arbiter;
+            for t in 0..threads {
+                cfg.sink_policies[t] =
+                    ReadyPolicy::Random { p: p_ready, seed: seed ^ t as u64 };
+            }
+            PipelineHarness::build(cfg)
+        };
+        let cycles = 200 + tokens * threads as u64 * 12 + stages as u64 * 20;
+
+        let mut oracle = build(EvalMode::Exhaustive);
+        let oracle_run = oracle.circuit.run(cycles);
+        prop_assert!(oracle_run.is_ok(), "oracle violated the protocol: {oracle_run:?}");
+
+        let mut fast = build(EvalMode::EventDriven);
+        let fast_run = fast.circuit.run(cycles);
+        prop_assert!(fast_run.is_ok(), "dirty-set kernel violated the protocol: {fast_run:?}");
+
+        // Bit-identical per-thread deliveries, including arrival cycles.
+        for t in 0..threads {
+            prop_assert_eq!(
+                oracle.sink().captured(t),
+                fast.sink().captured(t),
+                "thread {} delivery diverged between kernels", t
+            );
+        }
+        // Same transfer counts on every channel of the pipeline.
+        for (i, &ch) in oracle.pipeline.channels.iter().enumerate() {
+            prop_assert_eq!(
+                oracle.circuit.stats().total_transfers(ch),
+                fast.circuit.stats().total_transfers(ch),
+                "channel {} transfer count diverged", i
+            );
+        }
+        // Conservation in both: injected == delivered + in flight, and
+        // both kernels agree on the split.
+        let injected: u64 = (0..threads).map(|t| oracle.source().injected(t)).sum();
+        let injected_fast: u64 = (0..threads).map(|t| fast.source().injected(t)).sum();
+        prop_assert_eq!(injected, injected_fast);
+        prop_assert_eq!(oracle.sink().consumed_total(), fast.sink().consumed_total());
     }
 
     /// Occupancy never exceeds the architectural capacity of the chosen

@@ -15,10 +15,24 @@ fn bounded_stall_same_deliveries_for_both_variants() {
     for kind in [MebKind::Full, MebKind::Reduced] {
         let h = fig5_harness(&Fig5Setup::paper(kind));
         let per_thread: Vec<Vec<u64>> = (0..2)
-            .map(|t| h.sink().captured(t).iter().map(|(_, tok)| tok.seq).collect())
+            .map(|t| {
+                h.sink()
+                    .captured(t)
+                    .iter()
+                    .map(|(_, tok)| tok.seq)
+                    .collect()
+            })
             .collect();
-        assert_eq!(per_thread[0], (0..8).collect::<Vec<_>>(), "{kind} thread A order");
-        assert_eq!(per_thread[1], (0..8).collect::<Vec<_>>(), "{kind} thread B order");
+        assert_eq!(
+            per_thread[0],
+            (0..8).collect::<Vec<_>>(),
+            "{kind} thread A order"
+        );
+        assert_eq!(
+            per_thread[1],
+            (0..8).collect::<Vec<_>>(),
+            "{kind} thread B order"
+        );
         outputs.push(per_thread);
     }
     assert_eq!(outputs[0], outputs[1]);
@@ -38,7 +52,10 @@ fn unblocked_thread_keeps_flowing_during_the_stall() {
             .filter(|(c, _)| *c >= setup.stall_from && *c < setup.stall_to)
             .count();
         // The stall lasts 5 cycles; thread A must land several tokens.
-        assert!(a_during_stall >= 2, "{kind}: A delivered {a_during_stall} during the stall");
+        assert!(
+            a_during_stall >= 2,
+            "{kind}: A delivered {a_during_stall} during the stall"
+        );
     }
 }
 
@@ -50,7 +67,11 @@ fn unblocked_thread_keeps_flowing_during_the_stall() {
 fn worstcase_throughput_separation() {
     let full = reduced_worstcase(MebKind::Full, 2, 4);
     let reduced = reduced_worstcase(MebKind::Reduced, 2, 4);
-    assert!(full.active_throughput > 0.95, "full: {:.3}", full.active_throughput);
+    assert!(
+        full.active_throughput > 0.95,
+        "full: {:.3}",
+        full.active_throughput
+    );
     assert!(
         (reduced.active_throughput - 0.5).abs() < 0.05,
         "reduced: {:.3}",
@@ -95,9 +116,9 @@ fn traces_show_where_the_stalled_tokens_live() {
     let trace = h.circuit.trace().expect("traced");
     let b_in_aux = trace.records().iter().any(|r| {
         r.slots.values().any(|slots| {
-            slots.iter().any(|s| {
-                s.name == "aux[1]" && s.occupant.as_ref().is_some_and(|(t, _)| *t == 1)
-            })
+            slots
+                .iter()
+                .any(|s| s.name == "aux[1]" && s.occupant.as_ref().is_some_and(|(t, _)| *t == 1))
         })
     });
     assert!(b_in_aux, "full MEB never used thread B's private aux slot");
@@ -115,8 +136,15 @@ fn stalled_thread_injection_backpressures_to_the_source() {
     let injected_b = h.source().injected(1);
     // Reduced, 2 stages: B can hold at most one main slot per stage plus
     // the shared slots: 2 mains + 2 shared = 4 tokens in flight.
-    assert!(injected_b <= 4, "B injected {injected_b} tokens into a blocked pipeline");
+    assert!(
+        injected_b <= 4,
+        "B injected {injected_b} tokens into a blocked pipeline"
+    );
     // A keeps flowing meanwhile — at the reduced worst-case rate of ~50 %
     // once B's backpressure occupies every shared slot (Sec. III-A).
-    assert!(h.sink().consumed(0) >= 18, "A consumed only {}", h.sink().consumed(0));
+    assert!(
+        h.sink().consumed(0) >= 18,
+        "A consumed only {}",
+        h.sink().consumed(0)
+    );
 }

@@ -13,7 +13,10 @@ fn rfc1321_suite_through_the_circuit() {
         (b"a", "0cc175b9c0f1b6a831c399e269772661"),
         (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
         (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
-        (b"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+        (
+            b"abcdefghijklmnopqrstuvwxyz",
+            "c3fcd3d76192e4007dfb496cca67e13b",
+        ),
         (
             b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
             "d174ab98d277d9f5a5611c2c9f419d9f",
@@ -53,11 +56,15 @@ fn digests_are_thread_count_invariant() {
 fn cycles_scale_sublinearly_with_threads() {
     let one_msg = [b"x".repeat(40)];
     let one: Vec<&[u8]> = one_msg.iter().map(|m| m.as_slice()).collect();
-    let (_, cycles_1) = Md5Hasher::new(1, MebKind::Reduced).hash_messages(&one).expect("ok");
+    let (_, cycles_1) = Md5Hasher::new(1, MebKind::Reduced)
+        .hash_messages(&one)
+        .expect("ok");
 
     let eight_msgs: Vec<Vec<u8>> = (0..8).map(|_| b"x".repeat(40)).collect();
     let eight: Vec<&[u8]> = eight_msgs.iter().map(|m| m.as_slice()).collect();
-    let (_, cycles_8) = Md5Hasher::new(8, MebKind::Reduced).hash_messages(&eight).expect("ok");
+    let (_, cycles_8) = Md5Hasher::new(8, MebKind::Reduced)
+        .hash_messages(&eight)
+        .expect("ok");
 
     // 8× the work should cost well under 8× the cycles (measured ≈ 4×:
     // the rounds serialize on one channel but latencies overlap).

@@ -45,9 +45,14 @@ fn all_workloads_complete_on_8_threads() {
     for (name, source, _) in programs::all() {
         let mut cpu = Cpu::from_asm(CpuConfig::new(8), source).expect("assembles");
         init_data(&mut cpu, 8);
-        let stats = cpu.run_to_halt(3_000_000).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let stats = cpu
+            .run_to_halt(3_000_000)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(stats.ipc > 0.0, "{name}");
-        assert!(stats.executed.iter().all(|&e| e > 0), "{name}: some thread never executed");
+        assert!(
+            stats.executed.iter().all(|&e| e > 0),
+            "{name}: some thread never executed"
+        );
     }
 }
 
@@ -58,23 +63,29 @@ fn all_workloads_complete_on_8_threads() {
 fn ipc_scales_with_threads() {
     let mut ipcs = Vec::new();
     for threads in [1usize, 2, 4, 8] {
-        let mut cpu = Cpu::from_asm(CpuConfig::new(threads), programs::SUM_LOOP).expect("assembles");
+        let mut cpu =
+            Cpu::from_asm(CpuConfig::new(threads), programs::SUM_LOOP).expect("assembles");
         let stats = cpu.run_to_halt(500_000).expect("halts");
         ipcs.push(stats.ipc);
     }
-    assert!(ipcs[3] > 2.0 * ipcs[0], "IPC 1t {:.3} vs 8t {:.3}", ipcs[0], ipcs[3]);
-    assert!(ipcs[1] > ipcs[0] * 1.2, "2 threads should already help: {ipcs:?}");
+    assert!(
+        ipcs[3] > 2.0 * ipcs[0],
+        "IPC 1t {:.3} vs 8t {:.3}",
+        ipcs[0],
+        ipcs[3]
+    );
+    assert!(
+        ipcs[1] > ipcs[0] * 1.2,
+        "2 threads should already help: {ipcs:?}"
+    );
 }
 
 /// Deterministic single-cycle units: the pipeline still interleaves
 /// threads correctly (hazards are the only stalls).
 #[test]
 fn deterministic_config_still_correct() {
-    let mut cpu = Cpu::from_asm(
-        CpuConfig::new(4).deterministic(),
-        programs::SUM_LOOP,
-    )
-    .expect("assembles");
+    let mut cpu =
+        Cpu::from_asm(CpuConfig::new(4).deterministic(), programs::SUM_LOOP).expect("assembles");
     cpu.run_to_halt(100_000).expect("halts");
     for t in 0..4 {
         let n = 8 + t as u32;

@@ -2,8 +2,8 @@
 //! circuits must be *reported*, not mis-simulated.
 
 use mt_elastic::sim::{
-    impl_as_any, ChannelId, CircuitBuilder, Component, EvalCtx, Ports, ReadyPolicy, SimError,
-    Sink, Source, TickCtx, Transform,
+    impl_as_any, ChannelId, CircuitBuilder, Component, EvalCtx, Ports, ProtocolError, ReadyPolicy,
+    SimError, Sink, Source, TickCtx, Transform,
 };
 
 /// A misbehaving producer that asserts two valids at once.
@@ -56,7 +56,9 @@ fn multiple_valids_violate_the_mt_channel_invariant() {
     let mut circuit = b.build().expect("structurally valid");
     let err = circuit.step().expect_err("invariant must trip");
     match err {
-        SimError::ChannelInvariant { channel, threads, .. } => {
+        SimError::ChannelInvariant {
+            channel, threads, ..
+        } => {
             assert_eq!(channel, "bus");
             assert_eq!(threads, vec![0, 1]);
         }
@@ -72,7 +74,10 @@ fn valid_without_data_is_reported() {
     b.add(Sink::new("snk", ch, 1, ReadyPolicy::Always));
     let mut circuit = b.build().expect("structurally valid");
     let err = circuit.step().expect_err("missing data must trip");
-    assert!(matches!(err, SimError::MissingData { thread: 0, .. }), "{err}");
+    assert!(
+        matches!(err, SimError::MissingData { thread: 0, .. }),
+        "{err}"
+    );
 }
 
 /// Two combinational transforms wired in a loop: structurally legal (one
@@ -106,10 +111,22 @@ fn unbuffered_combinational_loop_is_detected() {
     let mut b = CircuitBuilder::<u64>::new();
     let x = b.channel("x", 1);
     let y = b.channel("y", 1);
-    b.add(Gate { name: "not", invert: true, inp: x, out: y });
-    b.add(Gate { name: "wire", invert: false, inp: y, out: x });
+    b.add(Gate {
+        name: "not",
+        invert: true,
+        inp: x,
+        out: y,
+    });
+    b.add(Gate {
+        name: "wire",
+        invert: false,
+        inp: y,
+        out: x,
+    });
     let mut circuit = b.build().expect("structurally valid");
-    let err = circuit.step().expect_err("combinational loop must be detected");
+    let err = circuit
+        .step()
+        .expect_err("combinational loop must be detected");
     assert!(matches!(err, SimError::CombinationalLoop { .. }), "{err}");
 }
 
@@ -147,6 +164,92 @@ fn driving_a_foreign_channel_panics() {
     let mut circuit = b.build().expect("structurally valid");
     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| circuit.step()));
     assert!(r.is_err(), "ownership assertion must panic");
+}
+
+/// A component that latches a protocol fault at its clock edge is
+/// reported as a typed [`SimError::Component`] by the kernel — no panic,
+/// no `catch_unwind`.
+#[test]
+fn latched_component_fault_is_surfaced_as_typed_error() {
+    struct Faulty {
+        out: ChannelId,
+        fault: Option<ProtocolError>,
+    }
+    impl Component<u64> for Faulty {
+        fn name(&self) -> &str {
+            "faulty_eb"
+        }
+        fn ports(&self) -> Ports {
+            Ports::new([], [self.out])
+        }
+        fn eval(&mut self, ctx: &mut EvalCtx<'_, u64>) {
+            ctx.drive_idle(self.out);
+        }
+        fn tick(&mut self, ctx: &TickCtx<'_, u64>) {
+            if ctx.cycle() == 2 {
+                self.fault = Some(ProtocolError::BufferUnderflow);
+            }
+        }
+        fn take_fault(&mut self) -> Option<ProtocolError> {
+            self.fault.take()
+        }
+        impl_as_any!();
+    }
+    let mut b = CircuitBuilder::<u64>::new();
+    let ch = b.channel("bus", 1);
+    b.add(Faulty {
+        out: ch,
+        fault: None,
+    });
+    b.add(Sink::new("snk", ch, 1, ReadyPolicy::Always));
+    let mut circuit = b.build().expect("structurally valid");
+    let err = circuit.run(10).expect_err("fault must surface");
+    match err {
+        SimError::Component {
+            cycle,
+            component,
+            error,
+        } => {
+            assert_eq!(cycle, 2);
+            assert_eq!(component, "faulty_eb");
+            assert_eq!(error, ProtocolError::BufferUnderflow);
+        }
+        other => panic!("unexpected: {other}"),
+    }
+}
+
+/// The elastic-buffer FSM reports violations as values, and seeding a MEB
+/// beyond its per-thread capacity is a typed error too (these used to be
+/// `panic!`s that tests had to catch as unwinds).
+#[test]
+fn buffer_protocol_violations_are_typed_values() {
+    use mt_elastic::core::{ArbiterKind, EbState, ReducedMeb};
+
+    assert_eq!(
+        EbState::Empty.advance(false, true),
+        Err(ProtocolError::BufferUnderflow)
+    );
+    assert_eq!(
+        EbState::Full.advance(true, false),
+        Err(ProtocolError::BufferOverflow)
+    );
+    assert_eq!(EbState::Half.advance(true, false), Ok(EbState::Full));
+
+    let mut b = CircuitBuilder::<u64>::new();
+    let a = b.channel("a", 2);
+    let c = b.channel("c", 2);
+    let err = ReducedMeb::<u64>::new("m", a, c, 2, ArbiterKind::RoundRobin.build())
+        .with_initial(vec![(1, 5), (1, 6)])
+        .err()
+        .expect("reduced MEB holds one initial token per thread");
+    assert_eq!(
+        err,
+        ProtocolError::ExcessInitialTokens {
+            thread: 1,
+            capacity: 1
+        }
+    );
+    assert!(err.to_string().contains("thread 1"));
 }
 
 /// The same loop, legalized with an elastic buffer, settles fine — the

@@ -3,8 +3,8 @@
 //! moves with the thread count.
 
 use mt_elastic::cost::{
-    average_savings, md5_design, paper_reference, processor_design, savings_fraction,
-    table1_rows, BufferKind,
+    average_savings, md5_design, paper_reference, processor_design, savings_fraction, table1_rows,
+    BufferKind,
 };
 
 /// Every Table I row: the model's area is within 20 % of the paper's and
@@ -15,8 +15,22 @@ fn absolute_numbers_within_20_percent_of_paper() {
         let (paper_les, paper_mhz) = paper_reference(row.design, row.kind).expect("in Table I");
         let area_err = (row.area_les as f64 - paper_les as f64).abs() / paper_les as f64;
         let freq_err = (row.freq_mhz - paper_mhz).abs() / paper_mhz;
-        assert!(area_err < 0.20, "{} {}: {} vs {}", row.design, row.kind, row.area_les, paper_les);
-        assert!(freq_err < 0.20, "{} {}: {:.1} vs {}", row.design, row.kind, row.freq_mhz, paper_mhz);
+        assert!(
+            area_err < 0.20,
+            "{} {}: {} vs {}",
+            row.design,
+            row.kind,
+            row.area_les,
+            paper_les
+        );
+        assert!(
+            freq_err < 0.20,
+            "{} {}: {:.1} vs {}",
+            row.design,
+            row.kind,
+            row.freq_mhz,
+            paper_mhz
+        );
     }
 }
 
@@ -64,7 +78,18 @@ fn savings_rise_with_16_threads() {
 #[test]
 fn clock_gap_between_designs() {
     let rows = table1_rows(8);
-    let md5_f = rows.iter().find(|r| r.design == "MD5 hash").expect("md5 row").freq_mhz;
-    let cpu_f = rows.iter().find(|r| r.design == "Processor").expect("cpu row").freq_mhz;
-    assert!(cpu_f > 4.0 * md5_f, "cpu {cpu_f:.1} MHz vs md5 {md5_f:.1} MHz");
+    let md5_f = rows
+        .iter()
+        .find(|r| r.design == "MD5 hash")
+        .expect("md5 row")
+        .freq_mhz;
+    let cpu_f = rows
+        .iter()
+        .find(|r| r.design == "Processor")
+        .expect("cpu row")
+        .freq_mhz;
+    assert!(
+        cpu_f > 4.0 * md5_f,
+        "cpu {cpu_f:.1} MHz vs md5 {md5_f:.1} MHz"
+    );
 }

@@ -38,7 +38,11 @@ fn aggregate_utilization_is_independent_of_m() {
     for kind in [MebKind::Full, MebKind::Reduced] {
         for active in 1..=8usize {
             let p = measure_throughput(kind, 8, active, 3);
-            assert!(p.aggregate > 0.93, "{kind} M={active}: aggregate {:.3}", p.aggregate);
+            assert!(
+                p.aggregate > 0.93,
+                "{kind} M={active}: aggregate {:.3}",
+                p.aggregate
+            );
         }
     }
 }
