@@ -6,12 +6,16 @@
 //! 2. **Arbiter policy** — fixed-priority vs round-robin vs
 //!    least-recently-granted fairness on a shared channel.
 //!
+//! Every table row is an independent simulation, so both ablations run
+//! their rows as [`run_sweep`] jobs (submission order = row order).
+//!
 //! ```text
 //! cargo run --release --bin ablation_buffers
 //! ```
 
 use elastic_bench::{measure_throughput, reduced_worstcase};
 use elastic_core::{ArbiterKind, MebKind, PipelineConfig, PipelineHarness};
+use elastic_sim::{run_sweep, SimJob};
 
 fn buffer_ablation() {
     const THREADS: usize = 4;
@@ -28,15 +32,24 @@ fn buffer_ablation() {
         MebKind::Full,
         MebKind::Fifo { depth: 4 },
     ];
-    for kind in kinds {
-        let uniform = measure_throughput(kind, THREADS, THREADS, 3);
-        let worst = reduced_worstcase(kind, THREADS, 3);
+    let jobs: Vec<SimJob<(f64, f64)>> = kinds
+        .iter()
+        .map(|&kind| {
+            SimJob::new(format!("buffer {kind}"), move || {
+                let uniform = measure_throughput(kind, THREADS, THREADS, 3);
+                let worst = reduced_worstcase(kind, THREADS, 3);
+                Ok((uniform.aggregate, worst.active_throughput))
+            })
+        })
+        .collect();
+    let rows = run_sweep(jobs).unwrap_all();
+    for (kind, (uniform, worst)) in kinds.iter().zip(rows) {
         println!(
             "{:<12} {:>6} {:>18.3} {:>22.3}",
             kind.to_string(),
             kind.slots(THREADS),
-            uniform.aggregate,
-            worst.active_throughput
+            uniform,
+            worst
         );
     }
     println!(
@@ -55,23 +68,33 @@ fn arbiter_ablation() {
         "policy", "aggregate", "per-thread min/max"
     );
     println!("{}", "-".repeat(54));
-    for arbiter in ArbiterKind::all() {
-        let mut cfg = PipelineConfig::free_flowing(THREADS, 1, MebKind::Reduced, 800);
-        cfg.arbiter = arbiter;
-        let mut h = PipelineHarness::build(cfg);
-        h.circuit.run(40).expect("warmup");
-        h.circuit.reset_stats();
-        h.circuit.run(400).expect("ablation runs clean");
-        let out = h.pipeline.output;
-        let per: Vec<f64> = (0..THREADS)
-            .map(|t| h.circuit.stats().throughput(out, t))
-            .collect();
-        let min = per.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = per.iter().cloned().fold(0.0_f64, f64::max);
+    let arbiters = ArbiterKind::all();
+    let jobs: Vec<SimJob<(f64, f64, f64)>> = arbiters
+        .iter()
+        .map(|&arbiter| {
+            SimJob::new(format!("arbiter {arbiter}"), move || {
+                let mut cfg = PipelineConfig::free_flowing(THREADS, 1, MebKind::Reduced, 800);
+                cfg.arbiter = arbiter;
+                let mut h = PipelineHarness::build(cfg);
+                h.circuit.run(40)?;
+                h.circuit.reset_stats();
+                h.circuit.run(400)?;
+                let out = h.pipeline.output;
+                let per: Vec<f64> = (0..THREADS)
+                    .map(|t| h.circuit.stats().throughput(out, t))
+                    .collect();
+                let min = per.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = per.iter().cloned().fold(0.0_f64, f64::max);
+                Ok((h.circuit.stats().channel_throughput(out), min, max))
+            })
+        })
+        .collect();
+    let rows = run_sweep(jobs).unwrap_all();
+    for (arbiter, (aggregate, min, max)) in arbiters.iter().zip(rows) {
         println!(
             "{:<14} {:>10.3} {:>15.3} / {:.3}",
             arbiter.to_string(),
-            h.circuit.stats().channel_throughput(out),
+            aggregate,
             min,
             max
         );

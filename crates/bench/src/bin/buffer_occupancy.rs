@@ -5,14 +5,17 @@
 //! how often the main slots vs the auxiliary/shared slots actually hold
 //! data, with and without downstream stalls.
 //!
+//! The four (load, buffer) configurations are independent traced runs
+//! and execute as [`run_sweep`] jobs in submission order.
+//!
 //! ```text
 //! cargo run --release --bin buffer_occupancy
 //! ```
 
 use elastic_core::{MebKind, PipelineConfig, PipelineHarness};
-use elastic_sim::{occupancy_stats, OccupancyStats, ReadyPolicy};
+use elastic_sim::{occupancy_stats, run_sweep, OccupancyStats, ReadyPolicy, SimError, SimJob};
 
-fn measure(kind: MebKind, stall: bool) -> OccupancyStats {
+fn measure(kind: MebKind, stall: bool) -> Result<OccupancyStats, SimError> {
     const THREADS: usize = 8;
     let mut cfg = PipelineConfig::free_flowing(THREADS, 1, kind, 900);
     if stall {
@@ -30,12 +33,12 @@ fn measure(kind: MebKind, stall: bool) -> OccupancyStats {
     }
     let mut h = PipelineHarness::build(cfg);
     h.circuit.enable_trace();
-    h.circuit.run(600).expect("runs clean");
+    h.circuit.run(600)?;
     let stats = occupancy_stats(h.circuit.trace().expect("traced"));
-    stats
+    Ok(stats
         .get(&h.pipeline.meb_names[0])
         .expect("meb snapshots present")
-        .clone()
+        .clone())
 }
 
 fn aux_busy(stats: &OccupancyStats) -> (f64, f64) {
@@ -65,19 +68,33 @@ fn main() {
         "configuration", "mean", "peak", "main busy", "aux busy"
     );
     println!("{}", "-".repeat(68));
-    for (stall, label) in [(false, "uniform"), (true, "half blocked")] {
-        for kind in [MebKind::Full, MebKind::Reduced] {
-            let stats = measure(kind, stall);
-            let (main, aux) = aux_busy(&stats);
-            println!(
-                "{:<26} {:>7.2} {:>6} {:>11.1}% {:>11.1}%",
-                format!("{kind}, {label}"),
-                stats.mean,
-                stats.max,
-                100.0 * main,
-                100.0 * aux
-            );
-        }
+
+    let configs: Vec<(bool, &str, MebKind)> = [(false, "uniform"), (true, "half blocked")]
+        .into_iter()
+        .flat_map(|(stall, label)| {
+            [MebKind::Full, MebKind::Reduced]
+                .into_iter()
+                .map(move |kind| (stall, label, kind))
+        })
+        .collect();
+    let jobs: Vec<SimJob<OccupancyStats>> = configs
+        .iter()
+        .map(|&(stall, label, kind)| {
+            SimJob::new(format!("{kind}, {label}"), move || measure(kind, stall))
+        })
+        .collect();
+    let results = run_sweep(jobs).unwrap_all();
+
+    for ((_, label, kind), stats) in configs.iter().zip(&results) {
+        let (main, aux) = aux_busy(stats);
+        println!(
+            "{:<26} {:>7.2} {:>6} {:>11.1}% {:>11.1}%",
+            format!("{kind}, {label}"),
+            stats.mean,
+            stats.max,
+            100.0 * main,
+            100.0 * aux
+        );
     }
     println!(
         "\nuniform load: the auxiliary slots are essentially idle — the full MEB\n\

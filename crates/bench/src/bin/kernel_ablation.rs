@@ -12,14 +12,23 @@
 //! while the table shows how many `Component::eval` calls the dirty-set
 //! worklist and the quiescence fast-path avoid.
 //!
+//! The campaign itself runs on the [`run_sweep_on`] worker pool. With
+//! `--parallel` the binary additionally proves the parallel path
+//! byte-identical to the serial one and records the wall-clock scaling
+//! curve of a replicated campaign in `BENCH_parallel_sweep.json`.
+//!
 //! ```text
-//! cargo run --release --bin kernel_ablation
+//! cargo run --release --bin kernel_ablation [-- --parallel]
 //! ```
+
+use std::time::Duration;
 
 use elastic_bench::Fig5Setup;
 use elastic_core::{MebKind, PipelineConfig, PipelineHarness};
-use elastic_md5::Md5Hasher;
-use elastic_sim::{EvalMode, KernelStats, ReadyPolicy};
+use elastic_md5::{Md5Error, Md5Hasher};
+use elastic_sim::{
+    available_workers, run_sweep_on, EvalMode, KernelStats, ReadyPolicy, SimError, SimJob,
+};
 
 fn header() {
     println!(
@@ -47,9 +56,9 @@ fn saving(old: &KernelStats, new: &KernelStats) {
     println!("{:>39}  → {pct:.1}% fewer evals\n", "");
 }
 
-/// Runs the Figure 5 scenario under `mode` and returns the per-thread
-/// captures plus kernel counters.
-fn run_fig5(kind: MebKind, mode: EvalMode) -> (Vec<Vec<(u64, u64)>>, KernelStats) {
+/// Runs the Figure 5 scenario under `mode` and returns a digest of the
+/// per-thread captures plus kernel counters.
+fn run_fig5(kind: MebKind, mode: EvalMode) -> Result<RunResult, SimError> {
     let setup = Fig5Setup::paper(kind);
     let cfg = PipelineConfig::free_flowing(2, setup.stages, kind, setup.tokens_per_thread)
         .with_sink_policy(
@@ -61,10 +70,8 @@ fn run_fig5(kind: MebKind, mode: EvalMode) -> (Vec<Vec<(u64, u64)>>, KernelStats
         )
         .with_eval_mode(mode);
     let mut h = PipelineHarness::build(cfg);
-    h.circuit
-        .run(setup.cycles)
-        .expect("fig5 pipeline runs clean");
-    let captures = (0..2)
+    h.circuit.run(setup.cycles)?;
+    let captures: Vec<Vec<(u64, u64)>> = (0..2)
         .map(|t| {
             h.sink()
                 .captured(t)
@@ -73,23 +80,25 @@ fn run_fig5(kind: MebKind, mode: EvalMode) -> (Vec<Vec<(u64, u64)>>, KernelStats
                 .collect()
         })
         .collect();
-    (captures, *h.circuit.stats().kernel())
+    Ok((format!("{captures:?}"), *h.circuit.stats().kernel()))
 }
 
 /// A longer random-stall pipeline where the dirty-set savings compound.
-fn run_stalled(mode: EvalMode) -> (Vec<Vec<(u64, u64)>>, KernelStats) {
+/// `seed` varies the stall pattern so the scaling campaign can replicate
+/// the workload into many distinct, equally-heavy jobs.
+fn run_stalled(seed: u64, mode: EvalMode) -> Result<RunResult, SimError> {
     const THREADS: usize = 4;
     let mut cfg =
         PipelineConfig::free_flowing(THREADS, 4, MebKind::Reduced, 64).with_eval_mode(mode);
     for t in 0..THREADS {
         cfg.sink_policies[t] = ReadyPolicy::Random {
             p: 0.4,
-            seed: 0xA5A5 ^ t as u64,
+            seed: seed ^ t as u64,
         };
     }
     let mut h = PipelineHarness::build(cfg);
-    h.circuit.run(1_200).expect("stalled pipeline runs clean");
-    let captures = (0..THREADS)
+    h.circuit.run(1_200)?;
+    let captures: Vec<Vec<(u64, u64)>> = (0..THREADS)
         .map(|t| {
             h.sink()
                 .captured(t)
@@ -98,62 +107,188 @@ fn run_stalled(mode: EvalMode) -> (Vec<Vec<(u64, u64)>>, KernelStats) {
                 .collect()
         })
         .collect();
-    (captures, *h.circuit.stats().kernel())
+    Ok((format!("{captures:?}"), *h.circuit.stats().kernel()))
 }
 
-fn main() {
-    header();
+/// The Sec. V-A MD5 circuit: 8 threads, one message each.
+fn run_md5(mode: EvalMode) -> Result<RunResult, SimError> {
+    let msgs: Vec<Vec<u8>> = (0..8)
+        .map(|i| format!("kernel ablation message {i}").into_bytes())
+        .collect();
+    let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+    let (digests, cycles, kernel) = Md5Hasher::new(8, MebKind::Reduced)
+        .with_eval_mode(mode)
+        .hash_messages_instrumented(&refs)
+        .map_err(|e| match e {
+            Md5Error::Sim(s) => s,
+            other => panic!("md5 harness misconfigured: {other}"),
+        })?;
+    Ok((format!("{digests:?} in {cycles} cycles"), kernel))
+}
 
+/// One campaign result: digest string + kernel counters.
+type RunResult = (String, KernelStats);
+
+/// The ablation campaign: every workload under both kernels, as
+/// independent sweep jobs (submission order = table order).
+fn campaign() -> (Vec<(String, EvalMode)>, Vec<SimJob<RunResult>>) {
+    let mut meta = Vec::new();
+    let mut jobs: Vec<SimJob<RunResult>> = Vec::new();
     for kind in [MebKind::Full, MebKind::Reduced] {
-        let (oracle_cap, oracle) = run_fig5(kind, EvalMode::Exhaustive);
-        let (fast_cap, fast) = run_fig5(kind, EvalMode::EventDriven);
-        assert_eq!(
-            oracle_cap, fast_cap,
-            "fig5({kind}) captures diverged between kernels"
-        );
-        let name = format!("fig5 ({kind})");
-        row(&name, EvalMode::Exhaustive, &oracle);
-        row(&name, EvalMode::EventDriven, &fast);
-        saving(&oracle, &fast);
+        for mode in [EvalMode::Exhaustive, EvalMode::EventDriven] {
+            meta.push((format!("fig5 ({kind})"), mode));
+            jobs.push(SimJob::new(format!("fig5 {kind} {mode:?}"), move || {
+                run_fig5(kind, mode)
+            }));
+        }
     }
-
-    {
-        let (oracle_cap, oracle) = run_stalled(EvalMode::Exhaustive);
-        let (fast_cap, fast) = run_stalled(EvalMode::EventDriven);
-        assert_eq!(
-            oracle_cap, fast_cap,
-            "stalled-pipeline captures diverged between kernels"
-        );
-        row("4t/4s random stalls", EvalMode::Exhaustive, &oracle);
-        row("4t/4s random stalls", EvalMode::EventDriven, &fast);
-        saving(&oracle, &fast);
+    for mode in [EvalMode::Exhaustive, EvalMode::EventDriven] {
+        meta.push(("4t/4s random stalls".to_string(), mode));
+        jobs.push(SimJob::new(format!("stalled {mode:?}"), move || {
+            run_stalled(0xA5A5, mode)
+        }));
     }
+    for mode in [EvalMode::Exhaustive, EvalMode::EventDriven] {
+        meta.push(("md5 (8t, reduced)".to_string(), mode));
+        jobs.push(SimJob::new(format!("md5 {mode:?}"), move || run_md5(mode)));
+    }
+    (meta, jobs)
+}
 
-    {
-        let msgs: Vec<Vec<u8>> = (0..8)
-            .map(|i| format!("kernel ablation message {i}").into_bytes())
-            .collect();
-        let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
-        let run = |mode| {
-            Md5Hasher::new(8, MebKind::Reduced)
-                .with_eval_mode(mode)
-                .hash_messages_instrumented(&refs)
-                .expect("md5 circuit hashes")
-        };
-        let (d_oracle, c_oracle, oracle) = run(EvalMode::Exhaustive);
-        let (d_fast, c_fast, fast) = run(EvalMode::EventDriven);
-        assert_eq!(d_oracle, d_fast, "md5 digests diverged between kernels");
-        assert_eq!(
-            c_oracle, c_fast,
-            "md5 cycle counts diverged between kernels"
-        );
-        row("md5 (8t, reduced)", EvalMode::Exhaustive, &oracle);
-        row("md5 (8t, reduced)", EvalMode::EventDriven, &fast);
-        saving(&oracle, &fast);
+/// Digests of a campaign's results, in submission order (the byte-level
+/// identity the parallel path must preserve).
+fn digests(results: &[RunResult]) -> Vec<&str> {
+    results.iter().map(|(d, _)| d.as_str()).collect()
+}
+
+fn one_over(d: Duration, w: Duration) -> f64 {
+    d.as_secs_f64() / w.as_secs_f64().max(1e-9)
+}
+
+/// Replicated stalled-pipeline campaign for the wall-clock scaling curve
+/// (both kernels × many seeds: enough independent work per job for the
+/// pool overhead to disappear).
+fn scaling_jobs() -> Vec<SimJob<RunResult>> {
+    let mut jobs = Vec::new();
+    for seed in 0..12u64 {
+        for mode in [EvalMode::Exhaustive, EvalMode::EventDriven] {
+            jobs.push(SimJob::new(format!("stalled seed {seed} {mode:?}"), {
+                move || run_stalled(0x5eed ^ (seed << 8), mode)
+            }));
+        }
+    }
+    jobs
+}
+
+fn scaling_curve() {
+    let available = available_workers();
+    // Always cross the 1→2→4 worker boundary (even on small hosts, so
+    // the byte-identity assertion below exercises real threads), then
+    // continue to the host's full width.
+    let mut worker_counts = vec![1usize, 2, 4];
+    for w in [8, 16] {
+        if w < available {
+            worker_counts.push(w);
+        }
+    }
+    if available > 4 {
+        worker_counts.push(available);
     }
 
     println!(
-        "identical captures/digests in every pair — the dirty-set kernel is\n\
-         observationally equivalent to the exhaustive oracle (docs/kernel.md)."
+        "parallel sweep scaling — replicated kernel-ablation campaign \
+         ({} jobs, {} cores available)\n",
+        scaling_jobs().len(),
+        available
     );
+    println!("{:>8} {:>10} {:>9}", "workers", "wall ms", "speedup");
+    println!("{}", "-".repeat(30));
+
+    let baseline = run_sweep_on(scaling_jobs(), 1);
+    let baseline_wall = baseline.wall;
+    let base_digests: Vec<RunResult> = baseline.unwrap_all();
+    let mut points = Vec::new();
+    for &w in &worker_counts {
+        let (wall, identical) = if w == 1 {
+            (baseline_wall, true)
+        } else {
+            let rep = run_sweep_on(scaling_jobs(), w);
+            let wall = rep.wall;
+            let identical = digests(&rep.unwrap_all()) == digests(&base_digests);
+            (wall, identical)
+        };
+        assert!(identical, "parallel campaign diverged at {w} workers");
+        let speedup = one_over(baseline_wall, wall);
+        println!(
+            "{:>8} {:>10.1} {:>8.2}x",
+            w,
+            wall.as_secs_f64() * 1e3,
+            speedup
+        );
+        points.push((w, wall, speedup));
+    }
+
+    let json_points: Vec<String> = points
+        .iter()
+        .map(|(w, wall, speedup)| {
+            format!(
+                "    {{\"workers\": {w}, \"wall_ms\": {:.3}, \"speedup\": {speedup:.3}}}",
+                wall.as_secs_f64() * 1e3
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"kernel_ablation parallel sweep\",\n  \
+         \"campaign\": \"stalled 4t/4s pipeline, 12 seeds x 2 kernels\",\n  \
+         \"jobs\": {},\n  \"available_parallelism\": {},\n  \
+         \"digests_identical\": true,\n  \"points\": [\n{}\n  ]\n}}\n",
+        scaling_jobs().len(),
+        available,
+        json_points.join(",\n")
+    );
+    std::fs::write("BENCH_parallel_sweep.json", json).expect("write BENCH_parallel_sweep.json");
+    println!("\nwrote BENCH_parallel_sweep.json");
+}
+
+fn main() {
+    let parallel = std::env::args().any(|a| a == "--parallel");
+    let (meta, jobs) = campaign();
+
+    // The table itself: run the campaign on the pool (all cores when
+    // --parallel, serial baseline otherwise) — results always arrive in
+    // submission order, so the table layout is identical either way.
+    let workers = if parallel { available_workers() } else { 1 };
+    let report = run_sweep_on(jobs, workers);
+    let results = report.unwrap_all();
+
+    header();
+    for pair in meta.chunks(2).zip(results.chunks(2)) {
+        let ((name, _), results) = (&pair.0[0], pair.1);
+        let (oracle_digest, oracle) = &results[0];
+        let (fast_digest, fast) = &results[1];
+        assert_eq!(
+            oracle_digest, fast_digest,
+            "{name}: captures diverged between kernels"
+        );
+        row(name, EvalMode::Exhaustive, oracle);
+        row(name, EvalMode::EventDriven, fast);
+        saving(oracle, fast);
+    }
+    println!(
+        "identical captures/digests in every pair — the dirty-set kernel is\n\
+         observationally equivalent to the exhaustive oracle (docs/kernel.md).\n"
+    );
+
+    if parallel {
+        // Prove the parallel path byte-identical to the serial one on
+        // the real campaign, then record the scaling curve.
+        let serial = run_sweep_on(campaign().1, 1).unwrap_all();
+        assert_eq!(
+            digests(&serial),
+            digests(&results),
+            "parallel ablation campaign diverged from the serial baseline"
+        );
+        println!("serial and parallel campaign digests are byte-identical.\n");
+        scaling_curve();
+    }
 }

@@ -3,6 +3,11 @@
 //! the paper's reported numbers side by side, plus the 16-thread
 //! extension behind the paper's ">22 % savings" remark.
 //!
+//! The per-thread-count sections are independent, so the sweep runs as
+//! [`run_sweep`] jobs — results come back in submission order, making
+//! the concatenated table byte-identical to the serial
+//! [`elastic_cost::render`] output (asserted below).
+//!
 //! With `--inventory`, also prints the itemized LE breakdown of every
 //! design/buffer combination.
 //!
@@ -10,12 +15,29 @@
 //! cargo run --release --bin table1_fpga [--inventory]
 //! ```
 
-use elastic_cost::{frequency_mhz, gcd_design, md5_design, processor_design, render, BufferKind};
+use elastic_cost::{
+    frequency_mhz, gcd_design, md5_design, processor_design, render, render_header, render_section,
+    BufferKind,
+};
+use elastic_sim::{run_sweep, SimJob};
+
+const THREAD_COUNTS: [usize; 2] = [8, 16];
 
 fn main() {
     let inventory = std::env::args().any(|a| a == "--inventory");
 
-    print!("{}", render(&[8, 16]));
+    let jobs: Vec<SimJob<String>> = THREAD_COUNTS
+        .iter()
+        .map(|&s| SimJob::new(format!("table1 S={s}"), move || Ok(render_section(s))))
+        .collect();
+    let sections = run_sweep(jobs).unwrap_all();
+    let table = format!("{}{}", render_header(), sections.concat());
+    assert_eq!(
+        table,
+        render(&THREAD_COUNTS),
+        "sweep-assembled Table I diverged from the serial render"
+    );
+    print!("{table}");
 
     // Extension: the same model applied to the circuit synthesized by the
     // elastic-synth flow (examples/gcd_synthesis.rs).

@@ -170,6 +170,26 @@ impl PipelineHarness {
 mod tests {
     use super::*;
 
+    /// Every paper primitive — and the fully-assembled harness — must be
+    /// `Send` so whole pipelines can be handed to the parallel sweep
+    /// workers in `elastic-sim` (`run_sweep`). This is a compile-time
+    /// guard against interior `Rc`/`RefCell` state creeping into a
+    /// buffer or arbiter implementation.
+    #[test]
+    fn primitives_and_harness_are_send() {
+        fn assert_send<X: Send>() {}
+        assert_send::<PipelineHarness>();
+        assert_send::<crate::ElasticBuffer<Tagged>>();
+        assert_send::<crate::FullMeb<Tagged>>();
+        assert_send::<crate::ReducedMeb<Tagged>>();
+        assert_send::<crate::FifoMeb<Tagged>>();
+        assert_send::<crate::Barrier<Tagged>>();
+        assert_send::<crate::Join<Tagged>>();
+        assert_send::<crate::Fork<Tagged>>();
+        assert_send::<crate::Branch<Tagged>>();
+        assert_send::<crate::Merge<Tagged>>();
+    }
+
     #[test]
     fn harness_runs_free_flowing_pipeline_to_completion() {
         let cfg = PipelineConfig::free_flowing(2, 3, MebKind::Reduced, 10);

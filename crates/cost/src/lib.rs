@@ -33,5 +33,6 @@ pub use design::{
 };
 pub use primitives::{CostItem, Inventory};
 pub use table1::{
-    average_savings, paper_reference, render, savings_fraction, table1_rows, Table1Row,
+    average_savings, paper_reference, render, render_header, render_section, savings_fraction,
+    table1_rows, Table1Row,
 };

@@ -69,9 +69,9 @@ pub fn average_savings(threads: usize) -> f64 {
         / 2.0
 }
 
-/// Renders the regenerated Table I (plus the requested thread counts) as
-/// an aligned ASCII table with the paper's numbers for comparison.
-pub fn render(thread_counts: &[usize]) -> String {
+/// Renders the table header (title + column rule) shared by every
+/// thread-count section.
+pub fn render_header() -> String {
     let mut out = String::new();
     out.push_str("TABLE I — FPGA implementation results (structural cost model vs paper)\n\n");
     out.push_str(&format!(
@@ -80,34 +80,51 @@ pub fn render(thread_counts: &[usize]) -> String {
     ));
     out.push_str(&"-".repeat(76));
     out.push('\n');
-    for &s in thread_counts {
-        for row in table1_rows(s) {
-            let (p_les, p_mhz) = match row.paper {
-                Some((a, f)) => (a.to_string(), format!("{f:.0}")),
-                None => ("—".to_string(), "—".to_string()),
-            };
-            out.push_str(&format!(
-                "{:<10} {:>3}  {:<12} {:>10} {:>10.1}   {:>10} {:>10}\n",
-                row.design,
-                row.threads,
-                row.kind.to_string(),
-                row.area_les,
-                row.freq_mhz,
-                p_les,
-                p_mhz
-            ));
-        }
+    out
+}
+
+/// Renders the rows + savings summary for one thread count. Sections
+/// are independent, so a sweep over thread counts can compute them as
+/// separate jobs and concatenate in submission order (see the
+/// `table1_fpga` binary).
+pub fn render_section(threads: usize) -> String {
+    let mut out = String::new();
+    for row in table1_rows(threads) {
+        let (p_les, p_mhz) = match row.paper {
+            Some((a, f)) => (a.to_string(), format!("{f:.0}")),
+            None => ("—".to_string(), "—".to_string()),
+        };
         out.push_str(&format!(
-            "{:<10} {:>3}  average reduced-MEB area saving: {:.1}%  (paper: {})\n\n",
-            "",
-            s,
-            100.0 * average_savings(s),
-            match s {
-                8 => "≈15%",
-                16 => ">22%",
-                _ => "n/a",
-            }
+            "{:<10} {:>3}  {:<12} {:>10} {:>10.1}   {:>10} {:>10}\n",
+            row.design,
+            row.threads,
+            row.kind.to_string(),
+            row.area_les,
+            row.freq_mhz,
+            p_les,
+            p_mhz
         ));
+    }
+    out.push_str(&format!(
+        "{:<10} {:>3}  average reduced-MEB area saving: {:.1}%  (paper: {})\n\n",
+        "",
+        threads,
+        100.0 * average_savings(threads),
+        match threads {
+            8 => "≈15%",
+            16 => ">22%",
+            _ => "n/a",
+        }
+    ));
+    out
+}
+
+/// Renders the regenerated Table I (plus the requested thread counts) as
+/// an aligned ASCII table with the paper's numbers for comparison.
+pub fn render(thread_counts: &[usize]) -> String {
+    let mut out = render_header();
+    for &s in thread_counts {
+        out.push_str(&render_section(s));
     }
     out
 }
@@ -190,5 +207,18 @@ mod tests {
         assert!(table.contains("Processor"));
         assert!(table.contains("12780"));
         assert!(table.contains("5590"));
+    }
+
+    /// `render` is exactly header + per-thread-count sections, so the
+    /// sweep harness can compute sections independently and concatenate.
+    #[test]
+    fn render_is_header_plus_independent_sections() {
+        let assembled = format!(
+            "{}{}{}",
+            render_header(),
+            render_section(8),
+            render_section(16)
+        );
+        assert_eq!(render(&[8, 16]), assembled);
     }
 }

@@ -291,6 +291,8 @@ pub struct Circuit<T: Token> {
     recorder: Option<TraceRecorder>,
     watchdog: Option<u64>,
     idle_cycles: u64,
+    /// Cycle of the most recent fired transfer, for watchdog reports.
+    last_progress: Option<u64>,
 }
 
 impl<T: Token> Circuit<T> {
@@ -319,6 +321,7 @@ impl<T: Token> Circuit<T> {
             recorder: None,
             watchdog: None,
             idle_cycles: 0,
+            last_progress: None,
         }
     }
 
@@ -574,7 +577,7 @@ impl<T: Token> Circuit<T> {
                         label: ch.data.as_ref().map(|d| d.label()).unwrap_or_default(),
                     });
                 } else {
-                    cs.stall_cycles += 1;
+                    cs.stall_cycles[t] += 1;
                 }
             }
         }
@@ -613,6 +616,9 @@ impl<T: Token> Circuit<T> {
         // no valid tokens at all is quiescent, not deadlocked.
         let any_valid = self.channels.iter().any(|ch| ch.valid.iter().any(|&v| v));
         self.quiescent = transfers.is_empty() && !any_valid;
+        if !transfers.is_empty() {
+            self.last_progress = Some(self.cycle);
+        }
         if transfers.is_empty() && any_valid {
             self.idle_cycles += 1;
         } else {
@@ -620,9 +626,25 @@ impl<T: Token> Circuit<T> {
         }
         if let Some(limit) = self.watchdog {
             if self.idle_cycles >= limit {
+                // Name the culprits: every (channel, thread) whose token
+                // is being offered (valid high) without acceptance
+                // (ready low) in the settled final cycle.
+                let stalled = self
+                    .channels
+                    .iter()
+                    .flat_map(|ch| {
+                        ch.asserted_threads()
+                            .into_iter()
+                            .filter(|&t| !ch.ready[t])
+                            .map(|t| (ch.spec.name.clone(), t))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
                 return Err(SimError::Deadlock {
                     cycle: self.cycle,
                     idle_cycles: self.idle_cycles,
+                    last_progress: self.last_progress,
+                    stalled,
                 });
             }
         }

@@ -158,11 +158,22 @@ pub enum SimError {
     /// The circuit made no transfer for a configured number of consecutive
     /// cycles while at least one token was being offered (watchdog; see
     /// [`Circuit::set_deadlock_watchdog`](crate::Circuit::set_deadlock_watchdog)).
+    ///
+    /// The report names the blocked handshakes so a deadlock in a deep
+    /// netlist (MD5 loop, processor pipeline) can be localized from the
+    /// error alone instead of re-running with tracing on.
     Deadlock {
         /// Cycle at which the watchdog fired.
         cycle: u64,
         /// Number of consecutive transfer-free cycles observed.
         idle_cycles: u64,
+        /// Cycle of the last fired transfer anywhere in the circuit, or
+        /// `None` when nothing ever moved.
+        last_progress: Option<u64>,
+        /// The blocked handshakes at the moment the watchdog fired: every
+        /// `(channel name, thread)` whose `valid` was asserted with
+        /// `ready` low.
+        stalled: Vec<(String, usize)>,
     },
 }
 
@@ -199,10 +210,29 @@ impl fmt::Display for SimError {
                 f,
                 "component `{component}` faulted at cycle {cycle}: {error}"
             ),
-            SimError::Deadlock { cycle, idle_cycles } => write!(
-                f,
-                "deadlock watchdog fired at cycle {cycle}: no transfer for {idle_cycles} cycles"
-            ),
+            SimError::Deadlock {
+                cycle,
+                idle_cycles,
+                last_progress,
+                stalled,
+            } => {
+                write!(
+                    f,
+                    "deadlock watchdog fired at cycle {cycle}: no transfer for {idle_cycles} cycles"
+                )?;
+                match last_progress {
+                    Some(p) => write!(f, " (last progress at cycle {p})")?,
+                    None => write!(f, " (no transfer ever fired)")?,
+                }
+                if !stalled.is_empty() {
+                    let names: Vec<String> = stalled
+                        .iter()
+                        .map(|(ch, t)| format!("`{ch}`[{t}]"))
+                        .collect();
+                    write!(f, "; blocked: {}", names.join(", "))?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -236,6 +266,29 @@ mod tests {
         assert_err::<BuildError>();
         assert_err::<SimError>();
         assert_err::<ProtocolError>();
+    }
+
+    #[test]
+    fn deadlock_names_blocked_channels() {
+        let e = SimError::Deadlock {
+            cycle: 42,
+            idle_cycles: 10,
+            last_progress: Some(32),
+            stalled: vec![("into_buf".into(), 1), ("obuf".into(), 0)],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("cycle 42"), "{msg}");
+        assert!(msg.contains("last progress at cycle 32"), "{msg}");
+        assert!(msg.contains("`into_buf`[1]"), "{msg}");
+        assert!(msg.contains("`obuf`[0]"), "{msg}");
+
+        let never = SimError::Deadlock {
+            cycle: 9,
+            idle_cycles: 9,
+            last_progress: None,
+            stalled: Vec::new(),
+        };
+        assert!(never.to_string().contains("no transfer ever fired"));
     }
 
     #[test]

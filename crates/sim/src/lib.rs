@@ -65,6 +65,7 @@ mod error;
 mod latency;
 mod netlist;
 mod occupancy;
+mod par;
 mod schedule;
 mod stats;
 mod token;
@@ -80,6 +81,9 @@ pub use error::{BuildError, ProtocolError, SimError};
 pub use latency::{token_latencies, LatencySummary, TokenLatencies};
 pub use netlist::{NetlistEdge, NetlistGraph};
 pub use occupancy::{occupancy_stats, OccupancyStats};
+pub use par::{
+    available_workers, run_sweep, run_sweep_on, JobError, JobReport, SimJob, SweepReport,
+};
 pub use schedule::{ReadyPolicy, Sink, Source};
 pub use stats::{ChannelStats, KernelStats, Stats};
 pub use token::{thread_letter, Tagged, Token};
@@ -90,6 +94,24 @@ pub use vcd::{write_vcd, VcdChannel, VcdError};
 #[cfg(test)]
 mod kernel_tests {
     use super::*;
+
+    /// The whole simulation stack must be shippable across threads: the
+    /// parallel sweep harness moves fully-built [`Circuit`]s (and the
+    /// closures that build them) onto pool workers. `Component<T>` and
+    /// `Token` carry `Send` bounds; this proves they compose all the way
+    /// up, and guards against a future `Rc`/`RefCell` sneaking in.
+    #[test]
+    fn circuits_and_jobs_are_send() {
+        fn assert_send<X: Send>() {}
+        assert_send::<Circuit<u64>>();
+        assert_send::<Circuit<Tagged<u64>>>();
+        assert_send::<Circuit<String>>();
+        assert_send::<Box<dyn Component<u64>>>();
+        assert_send::<Source<Tagged>>();
+        assert_send::<Sink<Tagged>>();
+        assert_send::<SimJob<Vec<u64>>>();
+        assert_send::<SweepReport<Stats>>();
+    }
 
     /// Source → Transform → Sink end to end through the kernel.
     #[test]

@@ -1,0 +1,435 @@
+//! Parallel sweep harness for simulation *campaigns*.
+//!
+//! Every experiment binary in this repository runs many **independent**
+//! simulations — cost sweeps, throughput-vs-threads curves, kernel
+//! ablations, oracle-equivalence campaigns. Each individual [`Circuit`]
+//! run is strictly sequential (a synchronous fixed point cannot be
+//! parallelized without changing its semantics), but the *campaign* is
+//! embarrassingly parallel: jobs share nothing, so they can be spread
+//! across all cores while remaining bit-deterministic.
+//!
+//! [`run_sweep`] executes a vector of [`SimJob`]s on a pure-`std` worker
+//! pool:
+//!
+//! * **Worker model** — [`std::thread::scope`] spawns
+//!   `available_parallelism()` workers (or the requested count); jobs are
+//!   pulled from a shared [`mpsc`] queue, so a long job never blocks the
+//!   others (work stealing by contention, not by static partitioning).
+//! * **Determinism** — each job is a self-contained deterministic
+//!   function; results are returned **in submission order**, so the
+//!   output of a parallel sweep is byte-identical to the serial
+//!   (`workers = 1`) path no matter how execution interleaves.
+//! * **Isolation** — a job that returns [`SimError`] or panics produces a
+//!   per-job [`JobError`]; it does not poison the pool, and every other
+//!   job still completes and reports.
+//! * **Aggregation** — per-job [`KernelStats`] are merged into a
+//!   campaign-wide total ([`SweepReport::kernel`]).
+//!
+//! [`Circuit`]: crate::Circuit
+//!
+//! # Example
+//!
+//! ```
+//! use elastic_sim::{run_sweep, SimJob};
+//!
+//! let jobs: Vec<SimJob<u64>> = (0..8)
+//!     .map(|i| SimJob::new(format!("square {i}"), move || Ok(i * i)))
+//!     .collect();
+//! let report = run_sweep(jobs);
+//! let squares: Vec<u64> = report.values().cloned().collect();
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::error::SimError;
+use crate::stats::KernelStats;
+
+/// One independent simulation to execute on the sweep pool.
+///
+/// The closure owns everything it needs (configs, seeds, token vectors)
+/// and must be deterministic: the harness guarantees submission-order
+/// results, so a deterministic job set yields a bit-identical campaign
+/// under any worker count.
+pub struct SimJob<R> {
+    label: String,
+    #[allow(clippy::type_complexity)]
+    run: Box<dyn FnOnce() -> Result<(R, KernelStats), SimError> + Send>,
+}
+
+impl<R> SimJob<R> {
+    /// A job whose closure returns only a result value.
+    pub fn new(
+        label: impl Into<String>,
+        f: impl FnOnce() -> Result<R, SimError> + Send + 'static,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            run: Box::new(move || f().map(|r| (r, KernelStats::default()))),
+        }
+    }
+
+    /// A job that also reports the [`KernelStats`] of its run, so the
+    /// sweep can aggregate settle-phase work across the whole campaign.
+    pub fn instrumented(
+        label: impl Into<String>,
+        f: impl FnOnce() -> Result<(R, KernelStats), SimError> + Send + 'static,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            run: Box::new(f),
+        }
+    }
+
+    /// The job's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Why a job failed (the pool itself never fails).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum JobError {
+    /// The job's simulation reported a protocol error, deadlock, etc.
+    Sim(SimError),
+    /// The job panicked; the payload message is preserved. The panic is
+    /// confined to the job — the worker and the rest of the sweep
+    /// continue.
+    Panic(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Sim(e) => write!(f, "simulation error: {e}"),
+            JobError::Panic(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Sim(e) => Some(e),
+            JobError::Panic(_) => None,
+        }
+    }
+}
+
+/// The outcome of one [`SimJob`], in submission order.
+#[derive(Debug)]
+pub struct JobReport<R> {
+    /// Submission index of the job (also its position in
+    /// [`SweepReport::jobs`]).
+    pub index: usize,
+    /// Label given at construction.
+    pub label: String,
+    /// The job's value, or the isolated failure.
+    pub outcome: Result<R, JobError>,
+    /// Kernel counters reported by the job (zeroed for plain or failed
+    /// jobs).
+    pub kernel: KernelStats,
+    /// Wall-clock time the job spent executing.
+    pub wall: Duration,
+}
+
+/// Everything a sweep produced: per-job reports in submission order plus
+/// campaign-level aggregates.
+#[derive(Debug)]
+pub struct SweepReport<R> {
+    /// Per-job outcomes, in submission order.
+    pub jobs: Vec<JobReport<R>>,
+    /// Number of workers the pool actually used.
+    pub workers: usize,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+    /// Kernel counters merged over all successful jobs.
+    pub kernel: KernelStats,
+}
+
+impl<R> SweepReport<R> {
+    /// Number of jobs that completed successfully.
+    pub fn ok_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.outcome.is_ok()).count()
+    }
+
+    /// The failed jobs, as `(label, error)` pairs in submission order.
+    pub fn failures(&self) -> Vec<(&str, &JobError)> {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.outcome.as_ref().err().map(|e| (j.label.as_str(), e)))
+            .collect()
+    }
+
+    /// Iterates over the successful values in submission order.
+    pub fn values(&self) -> impl Iterator<Item = &R> {
+        self.jobs.iter().filter_map(|j| j.outcome.as_ref().ok())
+    }
+
+    /// Unwraps every job into its value, in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the label and error of the first failed job.
+    pub fn unwrap_all(self) -> Vec<R> {
+        self.jobs
+            .into_iter()
+            .map(|j| match j.outcome {
+                Ok(v) => v,
+                Err(e) => panic!("sweep job `{}` failed: {e}", j.label),
+            })
+            .collect()
+    }
+}
+
+/// Worker count used by [`run_sweep`]: the machine's
+/// [`available_parallelism`](thread::available_parallelism), or 1 when it
+/// cannot be determined.
+pub fn available_workers() -> usize {
+    thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Runs `jobs` on [`available_workers`] threads. See [`run_sweep_on`].
+pub fn run_sweep<R: Send>(jobs: Vec<SimJob<R>>) -> SweepReport<R> {
+    let workers = available_workers();
+    run_sweep_on(jobs, workers)
+}
+
+fn execute<R>(job: SimJob<R>, index: usize) -> JobReport<R> {
+    let SimJob { label, run } = job;
+    let start = Instant::now();
+    let outcome = match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(Ok((value, kernel))) => Ok((value, kernel)),
+        Ok(Err(e)) => Err(JobError::Sim(e)),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(JobError::Panic(msg))
+        }
+    };
+    let wall = start.elapsed();
+    let (outcome, kernel) = match outcome {
+        Ok((value, kernel)) => (Ok(value), kernel),
+        Err(e) => (Err(e), KernelStats::default()),
+    };
+    JobReport {
+        index,
+        label,
+        outcome,
+        kernel,
+        wall,
+    }
+}
+
+/// Runs `jobs` on a pool of `workers` scoped threads (clamped to
+/// `1..=jobs.len()`), returning per-job reports **in submission order**.
+///
+/// `workers == 1` executes the jobs inline on the calling thread — the
+/// serial baseline every parallel sweep must reproduce bit-identically.
+/// Failures (simulation errors and panics alike) are isolated per job:
+/// the pool always returns one report per submitted job.
+pub fn run_sweep_on<R: Send>(jobs: Vec<SimJob<R>>, workers: usize) -> SweepReport<R> {
+    let n = jobs.len();
+    let workers = workers.clamp(1, n.max(1));
+    let start = Instant::now();
+    let mut slots: Vec<Option<JobReport<R>>> = (0..n).map(|_| None).collect();
+
+    if workers <= 1 {
+        for (index, job) in jobs.into_iter().enumerate() {
+            slots[index] = Some(execute(job, index));
+        }
+    } else {
+        // Shared work queue: a Mutex-guarded mpsc receiver hands each
+        // worker the next unclaimed job, so stragglers never serialize
+        // the rest of the queue behind a static partition.
+        let (job_tx, job_rx) = mpsc::channel::<(usize, SimJob<R>)>();
+        let (result_tx, result_rx) = mpsc::channel::<JobReport<R>>();
+        for pair in jobs.into_iter().enumerate() {
+            job_tx.send(pair).expect("queue open");
+        }
+        drop(job_tx); // workers drain until the queue is empty
+        let job_rx = Mutex::new(job_rx);
+
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = &job_rx;
+                let result_tx = result_tx.clone();
+                scope.spawn(move || loop {
+                    let next = job_rx.lock().expect("queue lock").recv();
+                    match next {
+                        Ok((index, job)) => {
+                            // A send only fails when the collector hung
+                            // up, which cannot happen while this scope is
+                            // alive.
+                            let _ = result_tx.send(execute(job, index));
+                        }
+                        Err(_) => break, // queue drained
+                    }
+                });
+            }
+            drop(result_tx);
+            for report in result_rx.iter() {
+                let index = report.index;
+                slots[index] = Some(report);
+            }
+        });
+    }
+
+    let jobs: Vec<JobReport<R>> = slots
+        .into_iter()
+        .map(|s| s.expect("one report per job"))
+        .collect();
+    let mut kernel = KernelStats::default();
+    for j in &jobs {
+        kernel.merge(&j.kernel);
+    }
+    SweepReport {
+        jobs,
+        workers,
+        wall: start.elapsed(),
+        kernel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::circuit::EvalMode;
+    use crate::schedule::{ReadyPolicy, Sink, Source};
+
+    /// A small but real simulation job: tokens through a 1-stage wire
+    /// with a seeded random sink, returning the capture.
+    fn pipeline_job(seed: u64, mode: EvalMode) -> Result<(Vec<(u64, u64)>, KernelStats), SimError> {
+        let mut b = CircuitBuilder::<u64>::new();
+        let ch = b.channel("ch", 2);
+        let mut src = Source::new("src", ch, 2);
+        src.extend(0, 0..20u64);
+        src.extend(1, 100..120u64);
+        b.add(src);
+        b.add(Sink::with_capture(
+            "snk",
+            ch,
+            2,
+            ReadyPolicy::Random { p: 0.6, seed },
+        ));
+        let mut c = b.build().expect("valid");
+        c.set_eval_mode(mode);
+        c.run(200)?;
+        let snk: &Sink<u64> = c.get("snk").expect("sink");
+        let mut cap: Vec<(u64, u64)> = Vec::new();
+        for t in 0..2 {
+            cap.extend(snk.captured(t).iter().copied());
+        }
+        Ok((cap, *c.stats().kernel()))
+    }
+
+    fn campaign(mode: EvalMode) -> Vec<SimJob<Vec<(u64, u64)>>> {
+        (0..12)
+            .map(|seed| {
+                SimJob::instrumented(format!("pipeline seed {seed}"), move || {
+                    pipeline_job(seed, mode)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let report = run_sweep_on(campaign(EvalMode::EventDriven), 4);
+        assert_eq!(report.jobs.len(), 12);
+        for (i, j) in report.jobs.iter().enumerate() {
+            assert_eq!(j.index, i);
+            assert_eq!(j.label, format!("pipeline seed {i}"));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let serial = run_sweep_on(campaign(EvalMode::EventDriven), 1);
+        let parallel = run_sweep_on(campaign(EvalMode::EventDriven), 4);
+        assert_eq!(serial.workers, 1);
+        let s: Vec<_> = serial.values().collect();
+        let p: Vec<_> = parallel.values().collect();
+        assert_eq!(s, p, "parallel sweep diverged from the serial baseline");
+        // Kernel aggregation is order-independent, so it must agree too.
+        assert_eq!(serial.kernel, parallel.kernel);
+        assert!(serial.kernel.component_evals > 0);
+    }
+
+    #[test]
+    fn panics_are_isolated_per_job() {
+        let mut jobs: Vec<SimJob<u64>> = Vec::new();
+        jobs.push(SimJob::new("fine before", || Ok(1)));
+        jobs.push(SimJob::new("explodes", || -> Result<u64, SimError> {
+            panic!("boom at job level")
+        }));
+        jobs.push(SimJob::new("fine after", || Ok(3)));
+        let report = run_sweep_on(jobs, 2);
+        assert_eq!(report.ok_count(), 2);
+        assert_eq!(report.jobs[0].outcome.as_ref().ok(), Some(&1));
+        assert_eq!(report.jobs[2].outcome.as_ref().ok(), Some(&3));
+        match &report.jobs[1].outcome {
+            Err(JobError::Panic(msg)) => assert!(msg.contains("boom"), "{msg}"),
+            other => panic!("expected isolated panic, got {other:?}"),
+        }
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "explodes");
+    }
+
+    #[test]
+    fn sim_errors_are_per_job_outcomes() {
+        let deadlocked = SimJob::new("deadlocks", || {
+            let mut b = CircuitBuilder::<u64>::new();
+            let ch = b.channel("ch", 1);
+            let mut src = Source::new("src", ch, 1);
+            src.push(0, 7);
+            b.add(src);
+            b.add(Sink::new("snk", ch, 1, ReadyPolicy::Never));
+            let mut c = b.build().expect("valid");
+            c.set_deadlock_watchdog(Some(4));
+            c.run(50)?;
+            Ok(0u64)
+        });
+        let fine = SimJob::new("fine", || Ok(42u64));
+        let report = run_sweep_on(vec![deadlocked, fine], 2);
+        assert!(matches!(
+            report.jobs[0].outcome,
+            Err(JobError::Sim(SimError::Deadlock { .. }))
+        ));
+        assert_eq!(report.jobs[1].outcome.as_ref().ok(), Some(&42));
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        let report = run_sweep_on(campaign(EvalMode::EventDriven), 64);
+        assert_eq!(report.workers, 12, "workers clamp to the job count");
+        let report = run_sweep_on(Vec::<SimJob<u64>>::new(), 8);
+        assert!(report.jobs.is_empty());
+        assert_eq!(report.workers, 1);
+    }
+
+    #[test]
+    fn unwrap_all_panics_with_label() {
+        let jobs: Vec<SimJob<u64>> = vec![SimJob::new("bad job", || {
+            Err(SimError::CombinationalLoop {
+                cycle: 0,
+                iterations: 1,
+            })
+        })];
+        let report = run_sweep_on(jobs, 1);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| report.unwrap_all()));
+        let msg = *r
+            .expect_err("must panic")
+            .downcast::<String>()
+            .expect("msg");
+        assert!(msg.contains("bad job"), "{msg}");
+    }
+}

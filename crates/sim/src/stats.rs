@@ -16,9 +16,12 @@ pub struct ChannelStats {
     pub transfers: Vec<u64>,
     /// Cycles in which some `valid(i)` was asserted.
     pub busy_cycles: u64,
-    /// Cycles in which some `valid(i)` was asserted but its `ready(i)` was
-    /// low (the channel was stalled by backpressure).
-    pub stall_cycles: u64,
+    /// Per-thread stall cycles: `stall_cycles[i]` counts the cycles in
+    /// which `valid(i)` was asserted but `ready(i)` was low (thread `i`
+    /// stalled by backpressure). Earlier versions kept a single counter
+    /// that conflated all threads, which made the per-thread
+    /// backpressure analysis of Sec. III-A impossible to read off.
+    pub stall_cycles: Vec<u64>,
 }
 
 impl ChannelStats {
@@ -27,13 +30,19 @@ impl ChannelStats {
             name,
             transfers: vec![0; threads],
             busy_cycles: 0,
-            stall_cycles: 0,
+            stall_cycles: vec![0; threads],
         }
     }
 
     /// Total transfers across all threads.
     pub fn total_transfers(&self) -> u64 {
         self.transfers.iter().sum()
+    }
+
+    /// Total stall cycles across all threads — the single number the
+    /// pre-split `stall_cycles` field used to hold.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.stall_cycles.iter().sum()
     }
 }
 
@@ -78,6 +87,19 @@ impl KernelStats {
         } else {
             self.settle_rounds as f64 / self.stepped_cycles as f64
         }
+    }
+
+    /// Adds `other`'s counters into `self`. Used by the parallel sweep
+    /// harness ([`run_sweep`](crate::run_sweep)) to aggregate kernel work
+    /// across the independent jobs of a campaign; merging is commutative,
+    /// so the aggregate is independent of job completion order.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.component_evals += other.component_evals;
+        self.settle_rounds += other.settle_rounds;
+        self.components_skipped += other.components_skipped;
+        self.single_sweep_cycles += other.single_sweep_cycles;
+        self.quiesced_cycles += other.quiesced_cycles;
+        self.stepped_cycles += other.stepped_cycles;
     }
 }
 
@@ -193,12 +215,28 @@ impl Stats {
     }
 
     /// Fraction of cycles in which the channel was stalled (valid without
-    /// ready for the asserted thread).
+    /// ready for the asserted thread), summed over threads.
     pub fn stall_rate(&self, ch: ChannelId) -> f64 {
         if self.cycles == 0 {
             0.0
         } else {
-            self.channels[ch.index()].stall_cycles as f64 / self.cycles as f64
+            self.channels[ch.index()].total_stall_cycles() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles in which `thread` was stalled on `ch` (its valid asserted
+    /// with ready low).
+    pub fn stall_cycles(&self, ch: ChannelId, thread: usize) -> u64 {
+        self.channels[ch.index()].stall_cycles[thread]
+    }
+
+    /// Fraction of cycles in which `thread` was stalled on `ch` — the
+    /// per-thread backpressure figure of the paper's Sec. III-A analysis.
+    pub fn thread_stall_rate(&self, ch: ChannelId, thread: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.stall_cycles(ch, thread) as f64 / self.cycles as f64
         }
     }
 
@@ -215,7 +253,7 @@ impl Stats {
         for c in &mut self.channels {
             c.transfers.iter_mut().for_each(|t| *t = 0);
             c.busy_cycles = 0;
-            c.stall_cycles = 0;
+            c.stall_cycles.iter_mut().for_each(|s| *s = 0);
         }
     }
 }
@@ -254,12 +292,63 @@ mod tests {
         s.record_cycle();
         s.channel_mut(ChannelId(1)).transfers[0] = 3;
         s.channel_mut(ChannelId(1)).busy_cycles = 4;
+        s.channel_mut(ChannelId(0)).stall_cycles[1] = 2;
         s.kernel_mut().component_evals = 9;
         s.reset();
         assert_eq!(s.cycles(), 0);
         assert_eq!(s.total_transfers(ChannelId(1)), 0);
         assert_eq!(s.channel(ChannelId(1)).busy_cycles, 0);
+        assert_eq!(s.channel(ChannelId(0)).total_stall_cycles(), 0);
         assert_eq!(s.kernel().component_evals, 0);
+    }
+
+    #[test]
+    fn stall_cycles_are_per_thread() {
+        let mut s = stats();
+        for _ in 0..10 {
+            s.record_cycle();
+        }
+        // Thread 0 stalled 4 cycles, thread 1 stalled 1 — the split the
+        // old single counter could not express.
+        s.channel_mut(ChannelId(0)).stall_cycles[0] = 4;
+        s.channel_mut(ChannelId(0)).stall_cycles[1] = 1;
+        assert_eq!(s.stall_cycles(ChannelId(0), 0), 4);
+        assert_eq!(s.stall_cycles(ChannelId(0), 1), 1);
+        assert_eq!(s.channel(ChannelId(0)).total_stall_cycles(), 5);
+        assert_eq!(s.thread_stall_rate(ChannelId(0), 0), 0.4);
+        assert_eq!(s.thread_stall_rate(ChannelId(0), 1), 0.1);
+        assert_eq!(s.stall_rate(ChannelId(0)), 0.5);
+    }
+
+    #[test]
+    fn kernel_stats_merge_adds_all_counters() {
+        let mut a = KernelStats {
+            component_evals: 10,
+            settle_rounds: 4,
+            components_skipped: 6,
+            single_sweep_cycles: 2,
+            quiesced_cycles: 1,
+            stepped_cycles: 3,
+        };
+        let b = KernelStats {
+            component_evals: 5,
+            settle_rounds: 2,
+            components_skipped: 3,
+            single_sweep_cycles: 1,
+            quiesced_cycles: 9,
+            stepped_cycles: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.component_evals, 15);
+        assert_eq!(a.settle_rounds, 6);
+        assert_eq!(a.components_skipped, 9);
+        assert_eq!(a.single_sweep_cycles, 3);
+        assert_eq!(a.quiesced_cycles, 10);
+        assert_eq!(a.stepped_cycles, 5);
+        // Merging a default is the identity.
+        let before = a;
+        a.merge(&KernelStats::default());
+        assert_eq!(a, before);
     }
 
     #[test]

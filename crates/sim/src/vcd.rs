@@ -74,9 +74,62 @@ fn id_code(mut n: usize) -> String {
 
 /// Sanitizes a channel name into a VCD identifier.
 fn sanitize(name: &str) -> String {
-    name.chars()
+    let s: String = name
+        .chars()
         .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.is_empty() {
+        "ch".to_string()
+    } else {
+        s
+    }
+}
+
+/// Sanitizes every channel name into a **unique** VCD scope name.
+///
+/// `sanitize` is lossy (`a.b` and `a_b` both map to `a_b`), so distinct
+/// channels used to collapse into one scope, leaving their variables
+/// indistinguishable in the waveform viewer. Colliding names get a
+/// `_2`, `_3`, … suffix in channel order.
+fn unique_scope_names(channels: &[VcdChannel]) -> Vec<String> {
+    let mut used = std::collections::HashSet::new();
+    channels
+        .iter()
+        .map(|ch| {
+            let base = sanitize(&ch.name);
+            let mut candidate = base.clone();
+            let mut n = 1usize;
+            while !used.insert(candidate.clone()) {
+                n += 1;
+                candidate = format!("{base}_{n}");
+            }
+            candidate
+        })
         .collect()
+}
+
+/// Encodes a token label for a `$var string` value-change line.
+///
+/// The VCD change record is `s<value> <id>`: any whitespace inside the
+/// value ends it early and shifts the identifier, producing a dump that
+/// GTKWave rejects (or silently mis-associates). Whitespace, control
+/// characters and the escape character itself are therefore hex-escaped
+/// (`\xNN` per UTF-8 byte); all other characters pass through.
+fn encode_label(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c == '\\' {
+            out.push_str("\\\\");
+        } else if c.is_whitespace() || c.is_control() {
+            let mut buf = [0u8; 4];
+            for b in c.encode_utf8(&mut buf).bytes() {
+                out.push_str(&format!("\\x{b:02x}"));
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
 }
 
 /// Writes the recorded cycles of `recorder` for the given channels as a
@@ -95,11 +148,11 @@ pub fn write_vcd<W: Write>(
     writeln!(w, "$scope module top $end")?;
 
     // Variable ids: per channel, [valid bits...], fired, label.
+    let scopes = unique_scope_names(channels);
     let mut next_id = 0usize;
     let mut var_ids: Vec<(Vec<String>, String, String)> = Vec::new();
-    for ch in channels {
-        let base = sanitize(&ch.name);
-        writeln!(w, "$scope module {base} $end")?;
+    for (ch, scope) in channels.iter().zip(&scopes) {
+        writeln!(w, "$scope module {scope} $end")?;
         let mut valid_ids = Vec::with_capacity(ch.threads);
         for t in 0..ch.threads {
             let id = id_code(next_id);
@@ -143,11 +196,7 @@ pub fn write_vcd<W: Write>(
             }
             let label = tr.label.clone().unwrap_or_default();
             if last_label[ci].as_deref() != Some(label.as_str()) {
-                let encoded: String = label
-                    .chars()
-                    .map(|c| if c.is_whitespace() { '_' } else { c })
-                    .collect();
-                changes.push(format!("s{encoded} {label_id}"));
+                changes.push(format!("s{} {label_id}", encode_label(&label)));
                 last_label[ci] = Some(label);
             }
         }
@@ -254,6 +303,140 @@ mod tests {
         let c = b.build().expect("valid");
         let err = c.write_vcd(Vec::new()).unwrap_err();
         assert!(matches!(err, VcdError::NoTrace));
+    }
+
+    /// Line-level validity check for the change section: every `$var
+    /// string` change must be exactly `s<value> <id>` with a known id and
+    /// no stray whitespace inside the value.
+    fn check_string_changes(text: &str) {
+        let defined: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("$var"))
+            .map(|l| l.split_whitespace().nth(3).expect("id field"))
+            .collect();
+        let mut saw_string_change = false;
+        let body = text
+            .split("$enddefinitions $end")
+            .nth(1)
+            .expect("change section");
+        for line in body.lines().filter(|l| l.starts_with('s')) {
+            saw_string_change = true;
+            let fields: Vec<&str> = line.split(' ').collect();
+            assert_eq!(fields.len(), 2, "malformed string change: {line:?}");
+            let value = &fields[0][1..];
+            assert!(
+                value.chars().all(|c| !c.is_whitespace() && !c.is_control()),
+                "unescaped whitespace in {line:?}"
+            );
+            assert!(
+                defined.contains(&fields[1]),
+                "change references undefined id: {line:?}"
+            );
+        }
+        assert!(saw_string_change, "no string change found:\n{text}");
+    }
+
+    #[test]
+    fn labels_with_spaces_are_escaped() {
+        // String tokens whose labels contain spaces, tabs and newlines —
+        // each used to leak raw whitespace into the `s<value> <id>`
+        // change record and shift the identifier field.
+        let mut b = CircuitBuilder::<String>::new();
+        let ch = b.channel("bus", 1);
+        let mut src = Source::new("src", ch, 1);
+        src.extend(
+            0,
+            [
+                "spaced label".to_string(),
+                "tab\tsep".to_string(),
+                "multi\nline".to_string(),
+                "back\\slash".to_string(),
+            ],
+        );
+        b.add(src);
+        b.add(Sink::new("snk", ch, 1, ReadyPolicy::Always));
+        let mut c = b.build().expect("valid");
+        c.enable_trace();
+        c.run(6).expect("clean");
+
+        let mut out = Vec::new();
+        c.write_vcd(&mut out).expect("vcd written");
+        let text = String::from_utf8(out).expect("utf8");
+        check_string_changes(&text);
+        assert!(
+            text.contains(r"sspaced\x20label"),
+            "space not hex-escaped:\n{text}"
+        );
+        assert!(text.contains(r"stab\x09sep"), "tab not escaped:\n{text}");
+        assert!(
+            text.contains(r"smulti\x0aline"),
+            "newline not escaped:\n{text}"
+        );
+        assert!(
+            text.contains(r"sback\\slash"),
+            "escape char not doubled:\n{text}"
+        );
+    }
+
+    #[test]
+    fn default_labels_still_pass_line_check() {
+        let c = traced_circuit();
+        let mut out = Vec::new();
+        c.write_vcd(&mut out).expect("vcd written");
+        check_string_changes(&String::from_utf8(out).expect("utf8"));
+    }
+
+    #[test]
+    fn sanitize_collisions_get_distinct_scopes() {
+        // `a.b` and `a_b` both sanitize to `a_b`; the dump must keep them
+        // apart or their variables merge into one scope in the viewer.
+        let mut b = CircuitBuilder::<u64>::new();
+        let c1 = b.channel("a.b", 1);
+        let c2 = b.channel("a_b", 1);
+        let mut s1 = Source::new("src1", c1, 1);
+        s1.push(0, 1);
+        let mut s2 = Source::new("src2", c2, 1);
+        s2.push(0, 2);
+        b.add(s1);
+        b.add(s2);
+        b.add(Sink::new("k1", c1, 1, ReadyPolicy::Always));
+        b.add(Sink::new("k2", c2, 1, ReadyPolicy::Always));
+        let mut c = b.build().expect("valid");
+        c.enable_trace();
+        c.run(3).expect("clean");
+
+        let mut out = Vec::new();
+        c.write_vcd(&mut out).expect("vcd written");
+        let text = String::from_utf8(out).expect("utf8");
+        let scopes: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("$scope module") && !l.contains(" top "))
+            .map(|l| l.split_whitespace().nth(2).expect("scope name"))
+            .collect();
+        assert_eq!(scopes.len(), 2);
+        let unique: std::collections::HashSet<&&str> = scopes.iter().collect();
+        assert_eq!(unique.len(), 2, "scope names collided: {scopes:?}");
+        assert!(scopes.contains(&"a_b"));
+        assert!(scopes.contains(&"a_b_2"));
+    }
+
+    #[test]
+    fn empty_channel_name_gets_fallback_scope() {
+        assert_eq!(sanitize("—"), "_");
+        assert_eq!(sanitize(""), "ch");
+        let chans = [
+            VcdChannel {
+                id: ChannelId(0),
+                name: String::new(),
+                threads: 1,
+            },
+            VcdChannel {
+                id: ChannelId(1),
+                name: String::new(),
+                threads: 1,
+            },
+        ];
+        assert_eq!(unique_scope_names(&chans), vec!["ch", "ch_2"]);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! protocol-checking kernel never reports a violation.
 
 use mt_elastic::core::{ArbiterKind, MebKind, PipelineConfig, PipelineHarness};
-use mt_elastic::sim::{EvalMode, ReadyPolicy};
+use mt_elastic::sim::{run_sweep_on, EvalMode, ReadyPolicy, SimJob};
 use proptest::prelude::*;
 
 fn meb_kind_strategy() -> impl Strategy<Value = MebKind> {
@@ -125,6 +125,52 @@ proptest! {
         let injected_fast: u64 = (0..threads).map(|t| fast.source().injected(t)).sum();
         prop_assert_eq!(injected, injected_fast);
         prop_assert_eq!(oracle.sink().consumed_total(), fast.sink().consumed_total());
+    }
+
+    /// The oracle-equivalence property survives the parallel sweep
+    /// harness: running the EventDriven/Exhaustive pair as concurrent
+    /// `run_sweep_on` jobs (real worker threads) yields exactly the
+    /// per-thread deliveries that the in-thread serial runs produce —
+    /// i.e. simulations are deterministic under concurrent execution.
+    #[test]
+    fn oracle_equivalence_holds_through_parallel_sweep(
+        threads in 1usize..4,
+        stages in 1usize..4,
+        kind in meb_kind_strategy(),
+        tokens in 1u64..16,
+        p_ready in 0.25f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let digest = move |mode: EvalMode| -> Result<String, mt_elastic::sim::SimError> {
+            let mut cfg = PipelineConfig::free_flowing(threads, stages, kind, tokens)
+                .with_eval_mode(mode);
+            for t in 0..threads {
+                cfg.sink_policies[t] =
+                    ReadyPolicy::Random { p: p_ready, seed: seed ^ t as u64 };
+            }
+            let mut h = PipelineHarness::build(cfg);
+            let cycles = 200 + tokens * threads as u64 * 12 + stages as u64 * 20;
+            h.circuit.run(cycles)?;
+            let caps: Vec<Vec<(u64, u64)>> = (0..threads)
+                .map(|t| h.sink().captured(t).iter().map(|(c, tok)| (*c, tok.seq)).collect())
+                .collect();
+            Ok(format!("{caps:?}"))
+        };
+
+        // Serial reference, computed on this thread.
+        let serial_oracle = digest(EvalMode::Exhaustive);
+        let serial_fast = digest(EvalMode::EventDriven);
+        prop_assert!(serial_oracle.is_ok() && serial_fast.is_ok());
+
+        // The same pair as concurrent sweep jobs on two workers.
+        let jobs = vec![
+            SimJob::new("oracle", move || digest(EvalMode::Exhaustive)),
+            SimJob::new("fast", move || digest(EvalMode::EventDriven)),
+        ];
+        let results = run_sweep_on(jobs, 2).unwrap_all();
+        prop_assert_eq!(&results[0], serial_oracle.as_ref().unwrap());
+        prop_assert_eq!(&results[1], serial_fast.as_ref().unwrap());
+        prop_assert_eq!(&results[0], &results[1], "kernels diverged under the sweep");
     }
 
     /// Occupancy never exceeds the architectural capacity of the chosen

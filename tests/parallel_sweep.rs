@@ -1,0 +1,183 @@
+//! Integration coverage for the parallel sweep harness (`sim::par`):
+//! running a realistic simulation campaign — MEB pipelines plus the MD5
+//! design example — through the worker pool must be byte-identical to
+//! running it serially, failures must stay isolated to their job, and on
+//! hosts with real parallelism the wall-clock must actually scale.
+
+use mt_elastic::core::{MebKind, PipelineConfig, PipelineHarness};
+use mt_elastic::md5::Md5Hasher;
+use mt_elastic::sim::{
+    available_workers, run_sweep, run_sweep_on, EvalMode, JobError, KernelStats, ReadyPolicy,
+    SimError, SimJob,
+};
+
+/// A deterministic stalled-pipeline run: digest of every capture.
+fn pipeline_digest(seed: u64, mode: EvalMode) -> Result<(String, KernelStats), SimError> {
+    const THREADS: usize = 3;
+    let mut cfg =
+        PipelineConfig::free_flowing(THREADS, 3, MebKind::Reduced, 24).with_eval_mode(mode);
+    for t in 0..THREADS {
+        cfg.sink_policies[t] = ReadyPolicy::Random {
+            p: 0.5,
+            seed: seed ^ t as u64,
+        };
+    }
+    let mut h = PipelineHarness::build(cfg);
+    h.circuit.run(600)?;
+    let captures: Vec<Vec<(u64, u64)>> = (0..THREADS)
+        .map(|t| {
+            h.sink()
+                .captured(t)
+                .iter()
+                .map(|(c, tok)| (*c, tok.seq))
+                .collect()
+        })
+        .collect();
+    Ok((format!("{captures:?}"), *h.circuit.stats().kernel()))
+}
+
+/// MD5 digests of a deterministic message set through the elastic
+/// circuit — the campaign's "real design example" leg.
+fn md5_digest(threads: usize) -> Result<(String, KernelStats), SimError> {
+    let msgs: Vec<Vec<u8>> = (0..threads)
+        .map(|i| format!("parallel sweep message {i}").into_bytes())
+        .collect();
+    let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+    let (digests, cycles, kernel) = Md5Hasher::new(threads, MebKind::Reduced)
+        .hash_messages_instrumented(&refs)
+        .expect("md5 campaign runs clean");
+    Ok((format!("{digests:02x?} in {cycles}"), kernel))
+}
+
+/// The mixed campaign used by the identity tests below.
+fn campaign() -> Vec<SimJob<(String, KernelStats)>> {
+    let mut jobs = Vec::new();
+    for seed in 0..6u64 {
+        for mode in [EvalMode::Exhaustive, EvalMode::EventDriven] {
+            jobs.push(SimJob::new(format!("pipe {seed} {mode:?}"), move || {
+                pipeline_digest(0xC0FFEE ^ seed, mode)
+            }));
+        }
+    }
+    for threads in [2usize, 4, 8] {
+        jobs.push(SimJob::new(format!("md5 {threads}t"), move || {
+            md5_digest(threads)
+        }));
+    }
+    jobs
+}
+
+fn digests(results: &[(String, KernelStats)]) -> Vec<&str> {
+    results.iter().map(|(d, _)| d.as_str()).collect()
+}
+
+/// The whole point of the harness: parallel execution is byte-identical
+/// to serial execution — same digests, in submission order, and the
+/// aggregated kernel counters match because aggregation is commutative.
+#[test]
+fn parallel_campaign_is_byte_identical_to_serial() {
+    let serial = run_sweep_on(campaign(), 1);
+    let serial_kernel = serial.kernel;
+    let serial_results = serial.unwrap_all();
+    for workers in [2, 4, available_workers().max(2)] {
+        let par = run_sweep_on(campaign(), workers);
+        assert_eq!(
+            par.kernel, serial_kernel,
+            "{workers} workers: kernel aggregate diverged"
+        );
+        let par_results = par.unwrap_all();
+        assert_eq!(
+            digests(&par_results),
+            digests(&serial_results),
+            "{workers} workers: digests diverged"
+        );
+    }
+}
+
+/// `run_sweep` (auto worker count) gives the same answer as the explicit
+/// serial baseline.
+#[test]
+fn auto_worker_count_matches_serial() {
+    let serial = run_sweep_on(campaign(), 1).unwrap_all();
+    let auto = run_sweep(campaign()).unwrap_all();
+    assert_eq!(digests(&auto), digests(&serial));
+}
+
+/// A failing job — simulation error or outright panic — must not take
+/// down the sweep or disturb its neighbours' results.
+#[test]
+fn failures_stay_isolated_to_their_job() {
+    let mut jobs: Vec<SimJob<(String, KernelStats)>> = vec![SimJob::new("ok-a", || {
+        pipeline_digest(1, EvalMode::EventDriven)
+    })];
+    jobs.push(SimJob::new("deadlocked", || {
+        // A pipeline whose sink never becomes ready trips the watchdog.
+        let cfg = PipelineConfig::free_flowing(2, 2, MebKind::Reduced, 8)
+            .with_sink_policy(0, ReadyPolicy::Never)
+            .with_sink_policy(1, ReadyPolicy::Never);
+        let mut h = PipelineHarness::build(cfg);
+        h.circuit.set_deadlock_watchdog(Some(64));
+        h.circuit.run(2_000)?;
+        Ok(("unreachable".to_string(), KernelStats::default()))
+    }));
+    jobs.push(SimJob::new("panicking", || panic!("job blew up")));
+    jobs.push(SimJob::new("ok-b", || {
+        pipeline_digest(2, EvalMode::EventDriven)
+    }));
+
+    let report = run_sweep_on(jobs, 2);
+    assert_eq!(report.ok_count(), 2);
+    let failures = report.failures();
+    assert_eq!(failures.len(), 2);
+    assert!(matches!(
+        failures[0],
+        ("deadlocked", JobError::Sim(SimError::Deadlock { .. }))
+    ));
+    assert!(matches!(failures[1], ("panicking", JobError::Panic(msg)) if msg.contains("blew up")));
+    // The deadlock error carries the blocked-channel diagnosis end to end.
+    let rendered = failures[0].1.to_string();
+    assert!(rendered.contains("blocked:"), "diagnosis lost: {rendered}");
+    // Healthy neighbours are untouched.
+    assert!(report.jobs[0].outcome.is_ok());
+    assert!(report.jobs[3].outcome.is_ok());
+}
+
+/// On hosts with ≥ 4 cores the replicated campaign must scale: 4 workers
+/// at least 2× faster than 1. Skipped (trivially green) on smaller
+/// hosts, where there is nothing to measure — `BENCH_parallel_sweep.json`
+/// records the curve for whichever host ran `kernel_ablation --parallel`.
+#[test]
+fn four_workers_give_at_least_2x_on_a_4_core_host() {
+    if available_workers() < 4 {
+        eprintln!(
+            "skipping speedup assertion: only {} core(s) available",
+            available_workers()
+        );
+        return;
+    }
+    let heavy = || -> Vec<SimJob<(String, KernelStats)>> {
+        (0..16u64)
+            .map(|seed| {
+                SimJob::new(format!("heavy {seed}"), move || {
+                    pipeline_digest(0xBEEF ^ (seed << 4), EvalMode::Exhaustive)
+                })
+            })
+            .collect()
+    };
+    // Warm up, then take the best of 3 to shake scheduler noise.
+    run_sweep_on(heavy(), 4);
+    let best = |workers: usize| {
+        (0..3)
+            .map(|_| run_sweep_on(heavy(), workers).wall)
+            .min()
+            .expect("three timed runs")
+    };
+    let serial = best(1);
+    let parallel = best(4);
+    let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 2.0,
+        "expected ≥2x speedup on {} cores, measured {speedup:.2}x",
+        available_workers()
+    );
+}
