@@ -4,10 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use elastic_core::{ArbiterKind, MebKind, PipelineConfig, PipelineHarness};
+use elastic_sim::ThreadMask;
 
 fn bench_choose(c: &mut Criterion) {
     let mut group = c.benchmark_group("arbiter_choose");
-    let requests: Vec<bool> = (0..64).map(|i| i % 3 != 0).collect();
+    let bits: Vec<bool> = (0..64).map(|i| i % 3 != 0).collect();
+    let requests = ThreadMask::from_bools(&bits);
     for kind in ArbiterKind::all() {
         let mut arb = kind.build();
         // Exercise some state so LeastRecent has history.

@@ -1,0 +1,65 @@
+//! Criterion bench: the packed-handshake settle-loop fast path.
+//!
+//! Measures the simulation kernel's inner settle loop on backpressured
+//! MEB pipelines (the workload behind `BENCH_packed_handshake.json`) and
+//! the raw cost of the `ThreadMask` operations the loop is built from.
+//! Random sink readiness keeps every channel's valid/ready masks churning,
+//! so the loop cannot quiesce early — this is the worst case the packed
+//! refactor targets. See `docs/perf.md` for the full methodology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elastic_core::{MebKind, PipelineConfig, PipelineHarness};
+use elastic_sim::{ReadyPolicy, ThreadMask};
+
+const CYCLES: u64 = 1_000;
+
+fn run_backpressured(threads: usize, stages: usize) -> u64 {
+    let mut cfg = PipelineConfig::free_flowing(threads, stages, MebKind::Reduced, CYCLES);
+    for t in 0..threads {
+        cfg = cfg.with_sink_policy(
+            t,
+            ReadyPolicy::Random {
+                p: 0.6,
+                seed: 0xC0FF_EE00 ^ t as u64,
+            },
+        );
+    }
+    let mut h = PipelineHarness::build(cfg);
+    h.circuit.run(CYCLES).expect("pipeline runs clean");
+    h.sink().consumed_total()
+}
+
+fn bench_settle_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("settle_hot_path");
+    group.throughput(Throughput::Elements(CYCLES));
+    for threads in [8usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("backpressured", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_backpressured(threads, 4)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_mask_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thread_mask");
+    for threads in [8usize, 64, 65] {
+        let bits: Vec<bool> = (0..threads).map(|i| i % 3 == 0).collect();
+        let mask = ThreadMask::from_bools(&bits);
+        group.bench_with_input(
+            BenchmarkId::new("iter_ones_sum", threads),
+            &threads,
+            |b, _| b.iter(|| std::hint::black_box(&mask).iter_ones().sum::<usize>()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("next_one_wrapping", threads),
+            &threads,
+            |b, _| b.iter(|| std::hint::black_box(&mask).next_one_wrapping(threads / 2)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_settle_loop, bench_mask_ops);
+criterion_main!(benches);

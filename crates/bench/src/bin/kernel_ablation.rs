@@ -18,8 +18,13 @@
 //! curve of a replicated campaign in `BENCH_parallel_sweep.json`.
 //!
 //! ```text
-//! cargo run --release --bin kernel_ablation [-- --parallel]
+//! cargo run --release --bin kernel_ablation [-- --parallel] [--workers N]
 //! ```
+//!
+//! `--workers N` overrides the pool width (by default the host's
+//! available parallelism). On single-core hosts the scaling curve is
+//! still recorded, but the JSON is annotated `"scaling_valid": false` —
+//! wall-clock speedups measured there say nothing about the pool.
 
 use std::time::Duration;
 
@@ -180,8 +185,17 @@ fn scaling_jobs() -> Vec<SimJob<RunResult>> {
     jobs
 }
 
-fn scaling_curve() {
-    let available = available_workers();
+fn scaling_curve(width: usize) {
+    let available = width;
+    let host = available_workers();
+    let scaling_valid = host > 1;
+    if !scaling_valid {
+        eprintln!(
+            "warning: available_parallelism() == 1 — the scaling curve below \
+             measures pool overhead only, not parallel speedup \
+             (annotating BENCH_parallel_sweep.json with scaling_valid: false)"
+        );
+    }
     // Always cross the 1→2→4 worker boundary (even on small hosts, so
     // the byte-identity assertion below exercises real threads), then
     // continue to the host's full width.
@@ -241,9 +255,11 @@ fn scaling_curve() {
         "{{\n  \"bench\": \"kernel_ablation parallel sweep\",\n  \
          \"campaign\": \"stalled 4t/4s pipeline, 12 seeds x 2 kernels\",\n  \
          \"jobs\": {},\n  \"available_parallelism\": {},\n  \
+         \"scaling_valid\": {},\n  \
          \"digests_identical\": true,\n  \"points\": [\n{}\n  ]\n}}\n",
         scaling_jobs().len(),
-        available,
+        host,
+        scaling_valid,
         json_points.join(",\n")
     );
     std::fs::write("BENCH_parallel_sweep.json", json).expect("write BENCH_parallel_sweep.json");
@@ -251,13 +267,21 @@ fn scaling_curve() {
 }
 
 fn main() {
-    let parallel = std::env::args().any(|a| a == "--parallel");
+    let args: Vec<String> = std::env::args().collect();
+    let parallel = args.iter().any(|a| a == "--parallel");
+    let workers_override: Option<usize> = args.iter().position(|a| a == "--workers").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .expect("--workers takes a positive integer")
+    });
+    let width = workers_override.unwrap_or_else(available_workers);
     let (meta, jobs) = campaign();
 
     // The table itself: run the campaign on the pool (all cores when
     // --parallel, serial baseline otherwise) — results always arrive in
     // submission order, so the table layout is identical either way.
-    let workers = if parallel { available_workers() } else { 1 };
+    let workers = if parallel { width } else { 1 };
     let report = run_sweep_on(jobs, workers);
     let results = report.unwrap_all();
 
@@ -289,6 +313,6 @@ fn main() {
             "parallel ablation campaign diverged from the serial baseline"
         );
         println!("serial and parallel campaign digests are byte-identical.\n");
-        scaling_curve();
+        scaling_curve(width);
     }
 }

@@ -1,0 +1,280 @@
+//! Settle-loop hot-path campaign for the packed-handshake layout.
+//!
+//! Times the full simulation loop (settle + clock edge) on pipelines at
+//! S = 8 / 16 / 64 plus the Sec. V-A MD5 circuit, and records a digest
+//! of every sink capture so a data-layout change can prove itself
+//! observationally equivalent: the packed `ThreadMask` path must produce
+//! byte-identical captures to the `Vec<bool>` reference it replaced.
+//!
+//! Two-step protocol (see `docs/perf.md`):
+//!
+//! ```text
+//! # on the pre-refactor commit
+//! cargo run --release --bin packed_handshake -- --record before.json
+//! # on the post-refactor commit
+//! cargo run --release --bin packed_handshake -- --baseline before.json
+//! ```
+//!
+//! The second invocation merges the recorded baseline, asserts digest
+//! identity per workload, and writes `BENCH_packed_handshake.json` with
+//! the before/after wall times and speedups.
+
+use std::time::{Duration, Instant};
+
+use elastic_core::{MebKind, PipelineConfig, PipelineHarness};
+use elastic_md5::{Md5Error, Md5Hasher};
+use elastic_sim::{run_sweep_on, ReadyPolicy, SimError, SimJob};
+
+/// One workload of the campaign.
+#[derive(Clone, Copy)]
+struct Case {
+    name: &'static str,
+    threads: usize,
+    stages: usize,
+    tokens: u64,
+    cycles: u64,
+    seed: u64,
+}
+
+const CASES: [Case; 3] = [
+    Case {
+        name: "pipeline S=8",
+        threads: 8,
+        stages: 4,
+        tokens: 96,
+        cycles: 2_000,
+        seed: 0x0805,
+    },
+    Case {
+        name: "pipeline S=16",
+        threads: 16,
+        stages: 4,
+        tokens: 48,
+        cycles: 2_000,
+        seed: 0x1605,
+    },
+    Case {
+        name: "pipeline S=64",
+        threads: 64,
+        stages: 3,
+        tokens: 12,
+        cycles: 2_000,
+        seed: 0x6405,
+    },
+];
+
+/// FNV-1a over the capture dump: a short stable digest for identity
+/// checks across code versions.
+fn fnv1a(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Runs one pipeline case once and digests its sink captures.
+fn run_pipeline(case: Case) -> Result<String, SimError> {
+    let mut cfg =
+        PipelineConfig::free_flowing(case.threads, case.stages, MebKind::Reduced, case.tokens);
+    for t in 0..case.threads {
+        cfg.sink_policies[t] = ReadyPolicy::Random {
+            p: 0.6,
+            seed: case.seed ^ t as u64,
+        };
+    }
+    let mut h = PipelineHarness::build(cfg);
+    h.circuit.run(case.cycles)?;
+    let captures: Vec<Vec<(u64, u64)>> = (0..case.threads)
+        .map(|t| {
+            h.sink()
+                .captured(t)
+                .iter()
+                .map(|(c, tok)| (*c, tok.seq))
+                .collect()
+        })
+        .collect();
+    Ok(fnv1a(format!("{captures:?}").as_bytes()))
+}
+
+/// The Sec. V-A MD5 circuit: 8 threads, one message each.
+fn run_md5() -> Result<String, SimError> {
+    let msgs: Vec<Vec<u8>> = (0..8)
+        .map(|i| format!("packed handshake message {i}").into_bytes())
+        .collect();
+    let refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+    let (digests, cycles, _) = Md5Hasher::new(8, MebKind::Reduced)
+        .hash_messages_instrumented(&refs)
+        .map_err(|e| match e {
+            Md5Error::Sim(s) => s,
+            other => panic!("md5 harness misconfigured: {other}"),
+        })?;
+    Ok(fnv1a(format!("{digests:?} in {cycles} cycles").as_bytes()))
+}
+
+/// Measurement of one workload: best-of-`reps` wall time plus digest.
+type Measure = (String, Duration, String);
+
+/// Times `f` `reps` times (after one warm-up), keeping the best run and
+/// checking the digest is stable across repetitions.
+fn time_best(
+    name: &str,
+    reps: u32,
+    f: impl Fn() -> Result<String, SimError>,
+) -> Result<Measure, SimError> {
+    let digest = f()?;
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let d = f()?;
+        let wall = start.elapsed();
+        assert_eq!(d, digest, "{name}: digest unstable across repetitions");
+        best = best.min(wall);
+    }
+    Ok((name.to_string(), best, digest))
+}
+
+/// The whole campaign, run as jobs on the serial sweep pool (submission
+/// order = report order; one worker so the timings do not contend).
+fn campaign(reps: u32) -> Vec<Measure> {
+    let mut jobs: Vec<SimJob<Measure>> = Vec::new();
+    for case in CASES {
+        jobs.push(SimJob::new(case.name, move || {
+            time_best(case.name, reps, move || run_pipeline(case))
+        }));
+    }
+    jobs.push(SimJob::new("md5 8t", move || {
+        time_best("md5 8t", reps, run_md5)
+    }));
+    run_sweep_on(jobs, 1).unwrap_all()
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Renders a measurement list as the recordable JSON document.
+fn record_json(results: &[Measure], reps: u32) -> String {
+    let rows: Vec<String> = results
+        .iter()
+        .map(|(name, wall, digest)| {
+            format!(
+                "    {{\"workload\": \"{name}\", \"wall_ms\": {:.3}, \"digest\": \"{digest}\"}}",
+                ms(*wall)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"packed_handshake settle hot path\",\n  \
+         \"reps\": {reps},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    )
+}
+
+/// Pulls `"key": value` scalars out of one JSON object line (the files
+/// this binary writes are line-structured, one workload per line).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Parses a `--record` file back into (workload, wall_ms, digest) rows.
+fn parse_baseline(text: &str) -> Vec<(String, f64, String)> {
+    text.lines()
+        .filter(|l| l.contains("\"workload\""))
+        .map(|l| {
+            let name = field(l, "workload").expect("workload field").to_string();
+            let wall: f64 = field(l, "wall_ms")
+                .expect("wall_ms field")
+                .parse()
+                .expect("wall_ms parses");
+            let digest = field(l, "digest").expect("digest field").to_string();
+            (name, wall, digest)
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let reps: u32 = get("--reps").map_or(7, |r| r.parse().expect("--reps N"));
+
+    println!("packed_handshake campaign ({reps} reps, best-of)\n");
+    let results = campaign(reps);
+    println!("{:<16} {:>10} {:>18}", "workload", "wall ms", "digest");
+    println!("{}", "-".repeat(46));
+    for (name, wall, digest) in &results {
+        println!("{name:<16} {:>10.3} {digest:>18}", ms(*wall));
+    }
+
+    if let Some(path) = get("--record") {
+        std::fs::write(&path, record_json(&results, reps)).expect("write record file");
+        println!("\nrecorded baseline → {path}");
+        return;
+    }
+
+    let out = get("--out").unwrap_or_else(|| "BENCH_packed_handshake.json".into());
+    let Some(baseline_path) = get("--baseline") else {
+        std::fs::write(&out, record_json(&results, reps)).expect("write output file");
+        println!("\nno --baseline given; wrote standalone measurements → {out}");
+        return;
+    };
+    let baseline_text = std::fs::read_to_string(&baseline_path).expect("read baseline file");
+    let baseline = parse_baseline(&baseline_text);
+    assert_eq!(
+        baseline.len(),
+        results.len(),
+        "baseline workload list does not match this binary's campaign"
+    );
+
+    println!();
+    println!(
+        "{:<16} {:>10} {:>10} {:>9} {:>7}",
+        "workload", "before ms", "after ms", "speedup", "digest"
+    );
+    println!("{}", "-".repeat(56));
+    let mut rows = Vec::new();
+    let mut s8_speedup = None;
+    for ((name, wall, digest), (bname, bwall, bdigest)) in results.iter().zip(&baseline) {
+        assert_eq!(name, bname, "workload order diverged from baseline");
+        assert_eq!(
+            digest, bdigest,
+            "{name}: captures diverged from the reference path — the packed \
+             layout is not observationally equivalent"
+        );
+        let after = ms(*wall);
+        let speedup = bwall / after.max(1e-9);
+        if *name == "pipeline S=8" {
+            s8_speedup = Some(speedup);
+        }
+        println!(
+            "{name:<16} {bwall:>10.3} {after:>10.3} {speedup:>8.2}x {:>7}",
+            "ok"
+        );
+        rows.push(format!(
+            "    {{\"workload\": \"{name}\", \"before_ms\": {bwall:.3}, \
+             \"after_ms\": {after:.3}, \"speedup\": {speedup:.3}, \
+             \"digest\": \"{digest}\", \"digests_identical\": true}}"
+        ));
+    }
+    let s8 = s8_speedup.expect("campaign includes the S=8 pipeline");
+    let json = format!(
+        "{{\n  \"bench\": \"packed_handshake settle hot path\",\n  \
+         \"reps\": {reps},\n  \"speedup_s8\": {s8:.3},\n  \
+         \"digests_identical\": true,\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out, json).expect("write output file");
+    println!("\nwrote {out} (S=8 speedup {s8:.2}x)");
+    if s8 < 1.5 {
+        eprintln!("warning: S=8 speedup {s8:.2}x below the 1.5x target");
+    }
+}

@@ -13,12 +13,15 @@
 
 use std::fmt;
 
+use elastic_sim::ThreadMask;
+
 /// A thread-selection policy.
 pub trait Arbiter: Send + fmt::Debug {
-    /// Picks one of the requesting threads (`requests[t] == true`), or
-    /// `None` when nothing is requested. Must be deterministic and must
-    /// not mutate policy state.
-    fn choose(&self, requests: &[bool]) -> Option<usize>;
+    /// Picks one of the requesting threads (`requests.get(t) == true`),
+    /// or `None` when nothing is requested. Must be deterministic and
+    /// must not mutate policy state. The request set arrives as a packed
+    /// [`ThreadMask`], so policies scan words, not heap slices.
+    fn choose(&self, requests: &ThreadMask) -> Option<usize>;
 
     /// Records that `granted`'s transfer fired, advancing the policy
     /// (e.g. rotating a round-robin pointer).
@@ -48,8 +51,8 @@ impl FixedPriority {
 }
 
 impl Arbiter for FixedPriority {
-    fn choose(&self, requests: &[bool]) -> Option<usize> {
-        requests.iter().position(|&r| r)
+    fn choose(&self, requests: &ThreadMask) -> Option<usize> {
+        requests.first_one()
     }
 
     fn commit(&mut self, _granted: usize) {}
@@ -77,14 +80,8 @@ impl RoundRobin {
 }
 
 impl Arbiter for RoundRobin {
-    fn choose(&self, requests: &[bool]) -> Option<usize> {
-        let n = requests.len();
-        if n == 0 {
-            return None;
-        }
-        (0..n)
-            .map(|off| (self.next + off) % n)
-            .find(|&t| requests[t])
+    fn choose(&self, requests: &ThreadMask) -> Option<usize> {
+        requests.next_one_wrapping(self.next)
     }
 
     fn commit(&mut self, granted: usize) {
@@ -112,13 +109,10 @@ impl LeastRecent {
 }
 
 impl Arbiter for LeastRecent {
-    fn choose(&self, requests: &[bool]) -> Option<usize> {
+    fn choose(&self, requests: &ThreadMask) -> Option<usize> {
         requests
-            .iter()
-            .enumerate()
-            .filter(|(_, &r)| r)
-            .min_by_key(|(t, _)| self.last_grant.get(*t).copied().unwrap_or(0))
-            .map(|(t, _)| t)
+            .iter_ones()
+            .min_by_key(|&t| self.last_grant.get(t).copied().unwrap_or(0))
     }
 
     fn commit(&mut self, granted: usize) {
@@ -173,18 +167,18 @@ impl CoarseGrained {
 }
 
 impl Arbiter for CoarseGrained {
-    fn choose(&self, requests: &[bool]) -> Option<usize> {
-        let n = requests.len();
+    fn choose(&self, requests: &ThreadMask) -> Option<usize> {
+        let n = requests.threads();
         if n == 0 {
             return None;
         }
         // Keep the owner while it requests and has quantum left.
-        if self.current < n && requests[self.current] && self.used < self.quantum {
+        if self.current < n && requests.get(self.current) && self.used < self.quantum {
             return Some(self.current);
         }
-        (1..=n)
-            .map(|off| (self.current + off) % n)
-            .find(|&t| requests[t])
+        // Rotate starting one past the owner (the owner itself is the
+        // last candidate, matching the old `(1..=n)` offset scan).
+        requests.next_one_wrapping(self.current + 1)
     }
 
     fn commit(&mut self, granted: usize) {
@@ -256,17 +250,21 @@ impl fmt::Display for ArbiterKind {
 mod tests {
     use super::*;
 
+    fn req(bits: &[bool]) -> ThreadMask {
+        ThreadMask::from_bools(bits)
+    }
+
     #[test]
     fn fixed_priority_prefers_lowest() {
         let a = FixedPriority::new();
-        assert_eq!(a.choose(&[false, true, true]), Some(1));
-        assert_eq!(a.choose(&[false, false, false]), None);
+        assert_eq!(a.choose(&req(&[false, true, true])), Some(1));
+        assert_eq!(a.choose(&req(&[false, false, false])), None);
     }
 
     #[test]
     fn round_robin_rotates_on_commit() {
         let mut a = RoundRobin::new();
-        let req = [true, true, true];
+        let req = req(&[true, true, true]);
         assert_eq!(a.choose(&req), Some(0));
         a.commit(0);
         assert_eq!(a.choose(&req), Some(1));
@@ -280,14 +278,14 @@ mod tests {
     fn round_robin_skips_idle_threads() {
         let mut a = RoundRobin::new();
         a.commit(0); // pointer at 1
-        assert_eq!(a.choose(&[true, false, false]), Some(0));
-        assert_eq!(a.choose(&[false, false, true]), Some(2));
+        assert_eq!(a.choose(&req(&[true, false, false])), Some(0));
+        assert_eq!(a.choose(&req(&[false, false, true])), Some(2));
     }
 
     #[test]
     fn round_robin_choose_is_pure() {
         let a = RoundRobin::new();
-        let req = [true, true];
+        let req = req(&[true, true]);
         assert_eq!(a.choose(&req), a.choose(&req));
     }
 
@@ -297,17 +295,17 @@ mod tests {
         a.commit(0);
         a.commit(1);
         // Thread 2 never granted: wins over 0 and 1.
-        assert_eq!(a.choose(&[true, true, true]), Some(2));
+        assert_eq!(a.choose(&req(&[true, true, true])), Some(2));
         a.commit(2);
         // Now thread 0 is the least recent.
-        assert_eq!(a.choose(&[true, true, true]), Some(0));
+        assert_eq!(a.choose(&req(&[true, true, true])), Some(0));
     }
 
     #[test]
     fn kind_builds_matching_policy() {
         for kind in ArbiterKind::all() {
             let a = kind.build();
-            assert_eq!(a.choose(&[true]), Some(0));
+            assert_eq!(a.choose(&req(&[true])), Some(0));
         }
         assert_eq!(ArbiterKind::RoundRobin.to_string(), "round-robin");
         assert_eq!(ArbiterKind::Coarse { quantum: 4 }.to_string(), "coarse(4)");
@@ -316,7 +314,7 @@ mod tests {
     #[test]
     fn coarse_grained_holds_for_its_quantum() {
         let mut a = CoarseGrained::new(3);
-        let req = [true, true];
+        let req = req(&[true, true]);
         for _ in 0..3 {
             assert_eq!(a.choose(&req), Some(0));
             a.commit(0);
@@ -331,10 +329,10 @@ mod tests {
     fn coarse_grained_yields_early_when_owner_goes_idle() {
         let mut a = CoarseGrained::new(8);
         a.commit(0);
-        assert_eq!(a.choose(&[false, true, true]), Some(1));
+        assert_eq!(a.choose(&req(&[false, true, true])), Some(1));
         a.commit(1);
         // Ownership moved to thread 1 with a fresh quantum.
-        assert_eq!(a.choose(&[true, true, true]), Some(1));
+        assert_eq!(a.choose(&req(&[true, true, true])), Some(1));
     }
 
     #[test]
@@ -348,6 +346,6 @@ mod tests {
         let mut a: Box<dyn Arbiter> = Box::new(RoundRobin::new());
         a.commit(0);
         let b = a.clone();
-        assert_eq!(b.choose(&[true, true]), Some(1));
+        assert_eq!(b.choose(&req(&[true, true])), Some(1));
     }
 }

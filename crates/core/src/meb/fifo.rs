@@ -10,8 +10,8 @@
 use std::collections::VecDeque;
 
 use elastic_sim::{
-    impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, ProtocolError, SlotView, TickCtx,
-    Token,
+    impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, ProtocolError, SlotView,
+    ThreadMask, TickCtx, Token,
 };
 
 use crate::arbiter::Arbiter;
@@ -27,6 +27,8 @@ pub struct FifoMeb<T: Token> {
     queues: Vec<VecDeque<T>>,
     arbiter: Box<dyn Arbiter>,
     select: SelectState,
+    /// Persistent "thread has data" mask, rebuilt in place each eval.
+    has: ThreadMask,
 }
 
 impl<T: Token> FifoMeb<T> {
@@ -56,6 +58,7 @@ impl<T: Token> FifoMeb<T> {
                 .collect(),
             arbiter,
             select: SelectState::new(),
+            has: ThreadMask::new(threads),
         }
     }
 
@@ -119,11 +122,11 @@ impl<T: Token> Component<T> for FifoMeb<T> {
     fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {
         for t in 0..self.threads {
             ctx.set_ready(self.inp, t, self.queues[t].len() < self.depth);
+            self.has.set(t, !self.queues[t].is_empty());
         }
-        let has: Vec<bool> = self.queues.iter().map(|q| !q.is_empty()).collect();
         match self
             .select
-            .select(ctx, self.out, self.arbiter.as_ref(), &has)
+            .select(ctx, self.out, self.arbiter.as_ref(), &self.has)
         {
             Some(t) => {
                 let head = self.queues[t].front().cloned().expect("non-empty queue");

@@ -8,8 +8,8 @@
 //! which the reduced MEB eliminates.
 
 use elastic_sim::{
-    impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, ProtocolError, SlotView, TickCtx,
-    Token,
+    impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, ProtocolError, SlotView,
+    ThreadMask, TickCtx, Token,
 };
 
 use crate::arbiter::Arbiter;
@@ -51,6 +51,8 @@ pub struct FullMeb<T: Token> {
     aux: Vec<Option<T>>,
     arbiter: Box<dyn Arbiter>,
     select: SelectState,
+    /// Persistent "thread has data" mask, rebuilt in place each eval.
+    has: ThreadMask,
 }
 
 impl<T: Token> FullMeb<T> {
@@ -76,6 +78,7 @@ impl<T: Token> FullMeb<T> {
             aux: vec![None; threads],
             arbiter,
             select: SelectState::new(),
+            has: ThreadMask::new(threads),
         }
     }
 
@@ -138,12 +141,12 @@ impl<T: Token> Component<T> for FullMeb<T> {
         // Upstream ready: private per-thread capacity check (registered).
         for t in 0..self.threads {
             ctx.set_ready(self.inp, t, self.occupancy(t) < 2);
+            self.has.set(t, self.main[t].is_some());
         }
         // Downstream valid: arbiter over threads with data.
-        let has: Vec<bool> = (0..self.threads).map(|t| self.main[t].is_some()).collect();
         match self
             .select
-            .select(ctx, self.out, self.arbiter.as_ref(), &has)
+            .select(ctx, self.out, self.arbiter.as_ref(), &self.has)
         {
             Some(t) => {
                 let head = self.main[t]

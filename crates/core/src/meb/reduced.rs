@@ -19,8 +19,8 @@
 //! thread sees only one slot per stage and tops out at 50 % throughput.
 
 use elastic_sim::{
-    impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, ProtocolError, SlotView, TickCtx,
-    Token,
+    impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, ProtocolError, SlotView,
+    ThreadMask, TickCtx, Token,
 };
 
 use crate::arbiter::Arbiter;
@@ -65,6 +65,8 @@ pub struct ReducedMeb<T: Token> {
     shared: Option<(usize, T)>,
     arbiter: Box<dyn Arbiter>,
     select: SelectState,
+    /// Persistent "thread has data" mask, rebuilt in place each eval.
+    has: ThreadMask,
 }
 
 impl<T: Token> ReducedMeb<T> {
@@ -91,6 +93,7 @@ impl<T: Token> ReducedMeb<T> {
             shared: None,
             arbiter,
             select: SelectState::new(),
+            has: ThreadMask::new(threads),
         }
     }
 
@@ -203,13 +206,13 @@ impl<T: Token> Component<T> for ReducedMeb<T> {
                 EbState::Full => false,
             };
             ctx.set_ready(self.inp, t, ready);
+            self.has.set(t, self.state[t] != EbState::Empty);
         }
         // Downstream valid: arbiter over non-empty threads; head is always
         // the main register.
-        let has: Vec<bool> = self.state.iter().map(|&s| s != EbState::Empty).collect();
         match self
             .select
-            .select(ctx, self.out, self.arbiter.as_ref(), &has)
+            .select(ctx, self.out, self.arbiter.as_ref(), &self.has)
         {
             Some(t) => {
                 let head = self.main[t].clone().expect("non-empty thread has a head");

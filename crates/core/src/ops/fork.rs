@@ -13,7 +13,9 @@
 //! The multithreaded M-Fork is the per-thread replication of the baseline
 //! fork; the `done` state is therefore indexed by thread as well.
 
-use elastic_sim::{impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, TickCtx, Token};
+use elastic_sim::{
+    impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, ThreadMask, TickCtx, Token,
+};
 
 /// Per-token output-routing function (see [`Fork::with_route`]).
 type RouteFn<T> = Box<dyn Fn(&T) -> Vec<bool> + Send>;
@@ -60,9 +62,9 @@ pub struct Fork<T: Token> {
     outputs: Vec<ChannelId>,
     threads: usize,
     mode: ForkMode,
-    /// `done[o][t]`: output `o` has already received thread `t`'s current
-    /// token (eager mode only).
-    done: Vec<Vec<bool>>,
+    /// `done[o]` bit `t`: output `o` has already received thread `t`'s
+    /// current token (eager mode only).
+    done: Vec<ThreadMask>,
     /// Optional per-token routing: outputs whose mask entry is `false` do
     /// not receive the token (they are treated as already done).
     route: Option<RouteFn<T>>,
@@ -90,7 +92,7 @@ impl<T: Token> Fork<T> {
             outputs,
             threads,
             mode,
-            done: vec![vec![false; threads]; n],
+            done: vec![ThreadMask::new(threads); n],
             route: None,
             _marker: std::marker::PhantomData,
         }
@@ -118,20 +120,16 @@ impl<T: Token> Fork<T> {
         self.mode
     }
 
-    /// Output mask for the current token (defaults to all outputs).
-    fn mask_for(&self, token: Option<&T>) -> Vec<bool> {
-        match (&self.route, token) {
-            (Some(f), Some(tok)) => {
-                let mask = f(tok);
-                assert_eq!(mask.len(), self.outputs.len(), "route mask length mismatch");
-                assert!(
-                    mask.iter().any(|&m| m),
-                    "route mask must select at least one output"
-                );
-                mask
-            }
-            _ => vec![true; self.outputs.len()],
-        }
+    /// Routing mask for the current token; `None` means "all outputs"
+    /// (the common non-routing case, which allocates nothing).
+    fn route_mask(&self, token: Option<&T>) -> Option<Vec<bool>> {
+        let mask = self.route.as_ref()?(token?);
+        assert_eq!(mask.len(), self.outputs.len(), "route mask length mismatch");
+        assert!(
+            mask.iter().any(|&m| m),
+            "route mask must select at least one output"
+        );
+        Some(mask)
     }
 }
 
@@ -164,12 +162,13 @@ impl<T: Token> Component<T> for Fork<T> {
                 }
             }
             ForkMode::Eager => {
-                let mask = self.mask_for(data.as_ref());
-                let offered = (0..self.threads).find(|&t| ctx.valid(self.inp, t));
+                let mask = self.route_mask(data.as_ref());
+                let routed = |o: usize| mask.as_ref().is_none_or(|m| m[o]);
+                let offered = ctx.valid_mask(self.inp).first_one();
                 for t in 0..self.threads {
                     let vin = ctx.valid(self.inp, t);
                     for (o, &out) in self.outputs.iter().enumerate() {
-                        ctx.set_valid(out, t, vin && mask[o] && !self.done[o][t]);
+                        ctx.set_valid(out, t, vin && routed(o) && !self.done[o].get(t));
                     }
                     // Input consumed once every (routed) output is done or
                     // accepting. The mask belongs to the *offered* token;
@@ -180,7 +179,9 @@ impl<T: Token> Component<T> for Fork<T> {
                     // upstream selection from chasing a false ready.
                     let use_mask = offered == Some(t);
                     let all_served = (0..self.outputs.len()).all(|o| {
-                        (use_mask && !mask[o]) || self.done[o][t] || ctx.ready(self.outputs[o], t)
+                        (use_mask && !routed(o))
+                            || self.done[o].get(t)
+                            || ctx.ready(self.outputs[o], t)
                     });
                     ctx.set_ready(self.inp, t, all_served);
                 }
@@ -198,14 +199,14 @@ impl<T: Token> Component<T> for Fork<T> {
         for t in 0..self.threads {
             if ctx.fired(self.inp, t) {
                 // Token fully delivered: clear this thread's done bits.
-                for o in 0..self.outputs.len() {
-                    self.done[o][t] = false;
+                for d in &mut self.done {
+                    d.set(t, false);
                 }
             } else if ctx.valid(self.inp, t) {
                 // Partial delivery: latch which outputs took it.
                 for (o, &out) in self.outputs.iter().enumerate() {
                     if ctx.fired(out, t) {
-                        self.done[o][t] = true;
+                        self.done[o].set(t, true);
                     }
                 }
             }

@@ -47,7 +47,6 @@ pub struct Merge<T: Token> {
     name: String,
     inputs: Vec<ChannelId>,
     out: ChannelId,
-    threads: usize,
     /// Rotating preference among inputs (committed on fire).
     prefer: usize,
     _marker: std::marker::PhantomData<T>,
@@ -63,50 +62,40 @@ impl<T: Token> Merge<T> {
         name: impl Into<String>,
         inputs: Vec<ChannelId>,
         out: ChannelId,
-        threads: usize,
+        _threads: usize,
     ) -> Self {
         assert!(inputs.len() >= 2, "a merge needs at least two inputs");
         Self {
             name: name.into(),
             inputs,
             out,
-            threads,
             prefer: 0,
             _marker: std::marker::PhantomData,
         }
     }
 
-    /// Candidate `(input index, thread)` pairs this settle iteration.
-    fn candidates<'c>(&self, ctx: &EvalCtx<'c, T>) -> Vec<(usize, usize)> {
-        let mut out = Vec::new();
-        for (i, &ch) in self.inputs.iter().enumerate() {
-            for t in 0..self.threads {
-                if ctx.valid(ch, t) {
-                    out.push((i, t));
+    /// Chooses the `(input index, thread)` to forward this settle
+    /// iteration. Scans inputs in rotating-preference order over their
+    /// packed valid masks — no candidate list is materialised.
+    fn choose(&self, ctx: &EvalCtx<'_, T>) -> Option<(usize, usize)> {
+        let n = self.inputs.len();
+        // Ready-first, rotating among inputs.
+        for k in 0..n {
+            let i = (self.prefer + k) % n;
+            for t in ctx.valid_mask(self.inputs[i]).iter_ones() {
+                if ctx.ready(self.out, t) {
+                    return Some((i, t));
                 }
             }
         }
-        out
-    }
-
-    fn choose(&self, ctx: &EvalCtx<'_, T>) -> Option<(usize, usize)> {
-        let cands = self.candidates(ctx);
-        if cands.is_empty() {
-            return None;
+        // Stalled offer: first asserted thread of the preferred input.
+        for k in 0..n {
+            let i = (self.prefer + k) % n;
+            if let Some(t) = ctx.valid_mask(self.inputs[i]).first_one() {
+                return Some((i, t));
+            }
         }
-        let n = self.inputs.len();
-        let rot = |i: usize| (i + n - self.prefer) % n;
-
-        // Ready-first, rotating among inputs.
-        if let Some(&c) = cands
-            .iter()
-            .filter(|&&(_, t)| ctx.ready(self.out, t))
-            .min_by_key(|&&(i, _)| rot(i))
-        {
-            return Some(c);
-        }
-        // Stalled offer.
-        cands.into_iter().min_by_key(|&(i, _)| rot(i))
+        None
     }
 }
 
@@ -124,14 +113,14 @@ impl<T: Token> Component<T> for Merge<T> {
         match chosen {
             Some((i, t)) => {
                 let data = ctx.data(self.inputs[i]).cloned();
-                for tt in 0..self.threads {
-                    ctx.set_valid(self.out, tt, tt == t);
-                }
+                ctx.set_valid_only(self.out, t);
                 ctx.set_data(self.out, data);
+                let pass = ctx.ready(self.out, t);
                 for (j, &ch) in self.inputs.iter().enumerate() {
-                    for tt in 0..self.threads {
-                        let pass = j == i && tt == t && ctx.ready(self.out, t);
-                        ctx.set_ready(ch, tt, pass);
+                    if j == i && pass {
+                        ctx.set_ready_only(ch, t);
+                    } else {
+                        ctx.drive_unready(ch);
                     }
                 }
             }
@@ -147,7 +136,7 @@ impl<T: Token> Component<T> for Merge<T> {
     fn tick(&mut self, ctx: &TickCtx<'_, T>) {
         // Rotate on every offered cycle (fired or stalled) so that neither
         // input nor any thread can be starved while the output is blocked.
-        let offered = (0..self.threads).any(|t| ctx.valid(self.out, t));
+        let offered = ctx.valid_mask(self.out).any();
         if offered {
             self.prefer = (self.prefer + 1) % self.inputs.len();
         }

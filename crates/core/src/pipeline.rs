@@ -227,6 +227,33 @@ mod tests {
         assert_eq!(run(EvalMode::EventDriven), run(EvalMode::Exhaustive));
     }
 
+    /// 65 threads straddle the packed mask's `u64` word boundary: thread
+    /// 64 lives in the spillover word. Both kernel modes must agree
+    /// bit-exactly even with stalls landing on threads in either word.
+    #[test]
+    fn eval_modes_agree_across_the_mask_word_boundary() {
+        let threads = 65;
+        let run = |mode: EvalMode| {
+            let cfg = PipelineConfig::free_flowing(threads, 2, MebKind::Reduced, 3)
+                .with_sink_policy(0, ReadyPolicy::StallWindow { from: 2, to: 30 })
+                .with_sink_policy(63, ReadyPolicy::Random { p: 0.5, seed: 7 })
+                .with_sink_policy(64, ReadyPolicy::StallWindow { from: 5, to: 40 })
+                .with_eval_mode(mode);
+            let mut h = PipelineHarness::build(cfg);
+            h.circuit.run(2_000).expect("clean");
+            (0..threads)
+                .map(|t| h.sink().captured(t).to_vec())
+                .collect::<Vec<_>>()
+        };
+        let event = run(EvalMode::EventDriven);
+        let oracle = run(EvalMode::Exhaustive);
+        assert_eq!(event, oracle);
+        // Every thread — both words of the mask — completed its tokens.
+        for (t, caps) in oracle.iter().enumerate() {
+            assert_eq!(caps.len(), 3, "thread {t} lost tokens");
+        }
+    }
+
     #[test]
     fn full_and_reduced_agree_when_nothing_stalls() {
         // Without stalls the two microarchitectures are observationally

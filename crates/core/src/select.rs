@@ -26,16 +26,18 @@
 //!
 //! [`Barrier`]: crate::Barrier
 
-use elastic_sim::{ChannelId, EvalCtx, TickCtx, Token};
+use elastic_sim::{ChannelId, EvalCtx, ThreadMask, TickCtx, Token};
 
 use crate::arbiter::Arbiter;
 
 /// Chooses which thread should drive `out` this settle iteration.
 ///
-/// `has_data[t]` must be true iff thread `t` has a token available at the
-/// module's head. `stall_start` is the rotating start index for stalled
-/// offers (see [`advance_stall_pointer`]). Returns `None` when no thread
-/// has data.
+/// `has_data.get(t)` must be true iff thread `t` has a token available at
+/// the module's head, and `ready_requests` must be `has_data ∩ ready(out)`
+/// — callers keep it in a persistent scratch mask (see
+/// [`SelectState::select`]) so no per-evaluation allocation happens.
+/// `stall_start` is the rotating start index for stalled offers (see
+/// [`advance_stall_pointer`]). Returns `None` when no thread has data.
 ///
 /// The caller is responsible for calling [`Arbiter::commit`] at the clock
 /// edge if (and only if) the selected transfer fired.
@@ -43,20 +45,18 @@ pub fn select_output_thread<T: Token>(
     ctx: &EvalCtx<'_, T>,
     out: ChannelId,
     arbiter: &dyn Arbiter,
-    has_data: &[bool],
+    has_data: &ThreadMask,
+    ready_requests: &ThreadMask,
     stall_start: usize,
     fresh: bool,
 ) -> Option<usize> {
-    let threads = has_data.len();
+    let threads = has_data.threads();
     debug_assert_eq!(threads, ctx.threads(out));
+    debug_assert_eq!(ready_requests.threads(), threads);
 
-    let ready_requests: Vec<bool> = (0..threads)
-        .map(|t| has_data[t] && ctx.ready(out, t))
-        .collect();
-
-    if ready_requests.iter().any(|&r| r) {
+    if ready_requests.any() {
         let pick = arbiter
-            .choose(&ready_requests)
+            .choose(ready_requests)
             .expect("non-empty request set");
         // Anti-swap guard — settle-phase damping only (`fresh == false`):
         // when this module is already offering a thread that still has
@@ -69,13 +69,13 @@ pub fn select_output_thread<T: Token>(
         // On the first evaluation of a cycle the decision is fresh — the
         // previous cycle's (possibly stalled) offer holds no claim.
         if !fresh {
-            let current = (0..threads).find(|&t| ctx.valid(out, t));
+            let current = ctx.valid_mask(out).first_one();
             if let Some(c) = current {
-                if has_data[c] && !ctx.ready(out, c) {
+                if has_data.get(c) && !ctx.ready(out, c) {
                     let rank =
                         |t: usize| (t + threads - (ctx.cycle() as usize % threads)) % threads;
-                    let best = (0..threads)
-                        .filter(|&t| ready_requests[t])
+                    let best = ready_requests
+                        .iter_ones()
                         .min_by_key(|&t| rank(t))
                         .expect("non-empty request set");
                     return if rank(best) < rank(c) {
@@ -90,9 +90,7 @@ pub fn select_output_thread<T: Token>(
     }
 
     // No thread is ready: rotating stalled offer.
-    (0..threads)
-        .map(|off| (stall_start + off) % threads)
-        .find(|&t| has_data[t])
+    has_data.next_one_wrapping(stall_start)
 }
 
 /// Stateful wrapper around [`select_output_thread`] /
@@ -107,6 +105,9 @@ pub fn select_output_thread<T: Token>(
 pub struct SelectState {
     stall: usize,
     last_cycle: Option<u64>,
+    /// Scratch for `has_data ∩ ready`, sized lazily on first use and
+    /// reused every evaluation thereafter (zero steady-state allocation).
+    requests: ThreadMask,
 }
 
 impl SelectState {
@@ -121,11 +122,24 @@ impl SelectState {
         ctx: &EvalCtx<'_, T>,
         out: ChannelId,
         arbiter: &dyn Arbiter,
-        has_data: &[bool],
+        has_data: &ThreadMask,
     ) -> Option<usize> {
         let fresh = self.last_cycle != Some(ctx.cycle());
         self.last_cycle = Some(ctx.cycle());
-        select_output_thread(ctx, out, arbiter, has_data, self.stall, fresh)
+        if self.requests.threads() != has_data.threads() {
+            self.requests = ThreadMask::new(has_data.threads());
+        }
+        self.requests.copy_from(has_data);
+        self.requests.and_with(ctx.ready_mask(out));
+        select_output_thread(
+            ctx,
+            out,
+            arbiter,
+            has_data,
+            &self.requests,
+            self.stall,
+            fresh,
+        )
     }
 
     /// Clock-edge bookkeeping: rotates the stalled-offer pointer.
@@ -146,7 +160,7 @@ impl SelectState {
 /// [`Barrier`]: crate::Barrier
 pub fn advance_stall_pointer<T: Token>(ctx: &TickCtx<'_, T>, out: ChannelId, stall: &mut usize) {
     let threads = ctx.threads(out);
-    if let Some(t) = (0..threads).find(|&t| ctx.valid(out, t)) {
+    if let Some(t) = ctx.valid_mask(out).first_one() {
         if !ctx.fired(out, t) {
             *stall = (t + 1) % threads;
         }
@@ -163,16 +177,16 @@ mod tests {
     /// for a fixed `has_data` mask, against a scripted sink.
     struct Probe {
         out: ChannelId,
-        has: Vec<bool>,
+        has: ThreadMask,
         arb: RoundRobin,
         select: SelectState,
     }
 
     impl Probe {
-        fn new(out: ChannelId, has: Vec<bool>) -> Self {
+        fn new(out: ChannelId, has: &[bool]) -> Self {
             Self {
                 out,
-                has,
+                has: ThreadMask::from_bools(has),
                 arb: RoundRobin::new(),
                 select: SelectState::new(),
             }
@@ -187,14 +201,13 @@ mod tests {
             Ports::new([], [self.out])
         }
         fn eval(&mut self, ctx: &mut EvalCtx<'_, u64>) {
-            let has = self.has.clone();
-            match self.select.select(ctx, self.out, &self.arb, &has) {
+            match self.select.select(ctx, self.out, &self.arb, &self.has) {
                 Some(t) => ctx.drive_token(self.out, t, t as u64),
                 None => ctx.drive_idle(self.out),
             }
         }
         fn tick(&mut self, ctx: &TickCtx<'_, u64>) {
-            for t in 0..self.has.len() {
+            for t in 0..self.has.threads() {
                 if ctx.fired(self.out, t) {
                     self.arb.commit(t);
                 }
@@ -210,7 +223,7 @@ mod tests {
         // thread 1 — selection must route around the blocked thread.
         let mut b = CircuitBuilder::<u64>::new();
         let ch = b.channel("c", 2);
-        b.add(Probe::new(ch, vec![true, true]));
+        b.add(Probe::new(ch, &[true, true]));
         let mut sink = Sink::with_capture("snk", ch, 2, ReadyPolicy::Never);
         sink.set_policy(1, ReadyPolicy::Always);
         b.add(sink);
@@ -226,7 +239,7 @@ mod tests {
     fn no_data_drives_idle() {
         let mut b = CircuitBuilder::<u64>::new();
         let ch = b.channel("c", 2);
-        b.add(Probe::new(ch, vec![false, false]));
+        b.add(Probe::new(ch, &[false, false]));
         b.add(Sink::new("snk", ch, 2, ReadyPolicy::Always));
         let mut circuit = b.build().expect("valid");
         circuit.run(5).expect("clean");
@@ -238,7 +251,7 @@ mod tests {
     fn alternates_threads_when_both_ready() {
         let mut b = CircuitBuilder::<u64>::new();
         let ch = b.channel("c", 2);
-        b.add(Probe::new(ch, vec![true, true]));
+        b.add(Probe::new(ch, &[true, true]));
         b.add(Sink::new("snk", ch, 2, ReadyPolicy::Always));
         let mut circuit = b.build().expect("valid");
         circuit.run(10).expect("clean");

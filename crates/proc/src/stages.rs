@@ -13,7 +13,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use elastic_core::{Arbiter, RoundRobin, SelectState};
-use elastic_sim::{impl_as_any, ChannelId, Component, EvalCtx, Ports, SlotView, TickCtx};
+use elastic_sim::{
+    impl_as_any, ChannelId, Component, EvalCtx, Ports, SlotView, ThreadMask, TickCtx,
+};
 
 use crate::isa::{Instr, NUM_REGS};
 use crate::token::ProcToken;
@@ -102,6 +104,8 @@ pub struct Fetcher {
     imem: Arc<Vec<u32>>,
     arbiter: RoundRobin,
     select: SelectState,
+    /// Scratch request mask rebuilt each eval (which threads can fetch).
+    has: ThreadMask,
     fetched: Vec<u64>,
     /// Predict-not-taken speculation for conditional branches; direct
     /// jumps are taken at predecode; `jr` still stalls.
@@ -137,6 +141,7 @@ impl Fetcher {
             imem,
             arbiter: RoundRobin::new(),
             select: SelectState::new(),
+            has: ThreadMask::new(threads),
             fetched: vec![0; threads],
             speculate: false,
             spec: None,
@@ -201,8 +206,11 @@ impl Component<ProcToken> for Fetcher {
         for t in 0..self.threads {
             ctx.set_ready(self.redirect, t, true);
         }
-        let has: Vec<bool> = (0..self.threads).map(|t| self.runnable(t)).collect();
-        match self.select.select(ctx, self.out, &self.arbiter, &has) {
+        for t in 0..self.threads {
+            let runnable = self.runnable(t);
+            self.has.set(t, runnable);
+        }
+        match self.select.select(ctx, self.out, &self.arbiter, &self.has) {
             Some(t) => {
                 let pc = self.pcs[t];
                 let word = self.imem[pc as usize];
@@ -658,6 +666,9 @@ pub struct MemUnit {
     rng: StdRng,
     arbiter: RoundRobin,
     select: SelectState,
+    /// Scratch request mask rebuilt each eval (threads with a completed
+    /// head entry).
+    has: ThreadMask,
     /// Squash state (absent when not speculating): wrong-path loads and
     /// stores must not touch memory.
     spec: Option<Arc<SpecState>>,
@@ -695,6 +706,7 @@ impl MemUnit {
             rng: StdRng::seed_from_u64(seed ^ 0xD3E),
             arbiter: RoundRobin::new(),
             select: SelectState::new(),
+            has: ThreadMask::new(threads),
             spec: None,
         }
     }
@@ -722,17 +734,16 @@ impl MemUnit {
         self.mem.len()
     }
 
-    /// Oldest completed entry per thread.
-    fn heads(&self, cycle: u64) -> Vec<bool> {
-        let mut seen = vec![false; self.threads];
-        let mut ready = vec![false; self.threads];
+    /// Rebuilds `has` with the oldest completed entry per thread.
+    fn rebuild_heads(&mut self, cycle: u64) {
+        let mut seen = ThreadMask::new(self.threads);
+        self.has.clear();
         for (t, _, done) in &self.entries {
-            if !seen[*t] {
-                seen[*t] = true;
-                ready[*t] = *done <= cycle;
+            if !seen.get(*t) {
+                seen.set(*t, true);
+                self.has.set(*t, *done <= cycle);
             }
         }
-        ready
     }
 
     fn head_token(&self, t: usize) -> &ProcToken {
@@ -759,8 +770,8 @@ impl Component<ProcToken> for MemUnit {
         for t in 0..self.threads {
             ctx.set_ready(self.inp, t, free);
         }
-        let has = self.heads(ctx.cycle());
-        match self.select.select(ctx, self.out, &self.arbiter, &has) {
+        self.rebuild_heads(ctx.cycle());
+        match self.select.select(ctx, self.out, &self.arbiter, &self.has) {
             Some(t) => {
                 let tok = self.head_token(t).clone();
                 ctx.drive_token(self.out, t, tok);

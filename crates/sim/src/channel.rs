@@ -3,8 +3,11 @@
 //! A channel carries the data of **one thread per cycle** plus one
 //! `valid(i)/ready(i)` handshake pair per thread (paper, Sec. III). A
 //! single-thread channel (`threads == 1`) degenerates to the baseline
-//! elastic channel of Sec. II.
+//! elastic channel of Sec. II. The handshake bits live in packed
+//! [`ThreadMask`] words (see `mask.rs`), so popcounts, invariant checks
+//! and change detection are word-level operations.
 
+use crate::mask::ThreadMask;
 use crate::token::Token;
 
 /// Opaque handle to a channel inside a circuit.
@@ -38,9 +41,9 @@ pub struct ChannelSpec {
 pub(crate) struct ChannelState<T: Token> {
     pub spec: ChannelSpec,
     /// Per-thread `valid` bits, driven by the producer.
-    pub valid: Vec<bool>,
+    pub valid: ThreadMask,
     /// Per-thread `ready` bits, driven by the consumer.
-    pub ready: Vec<bool>,
+    pub ready: ThreadMask,
     /// The (single) data word, driven by the producer.
     pub data: Option<T>,
 }
@@ -50,38 +53,27 @@ impl<T: Token> ChannelState<T> {
         let threads = spec.threads;
         Self {
             spec,
-            valid: vec![false; threads],
-            ready: vec![false; threads],
+            valid: ThreadMask::new(threads),
+            ready: ThreadMask::new(threads),
             data: None,
         }
     }
 
     /// Returns the indices of all threads whose valid bit is high.
+    #[deprecated(note = "allocates a Vec per call; iterate `valid.iter_ones()` instead")]
+    #[allow(dead_code)]
     pub fn asserted_threads(&self) -> Vec<usize> {
-        self.valid
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &v)| v.then_some(i))
-            .collect()
+        self.valid.iter_ones().collect()
     }
 
     /// Returns `Some(thread)` if exactly the one thread `thread` is valid.
     pub fn single_valid(&self) -> Option<usize> {
-        let mut found = None;
-        for (i, &v) in self.valid.iter().enumerate() {
-            if v {
-                if found.is_some() {
-                    return None;
-                }
-                found = Some(i);
-            }
-        }
-        found
+        self.valid.single()
     }
 
     /// True when thread `t`'s transfer fires this cycle (`valid && ready`).
     pub fn fires(&self, t: usize) -> bool {
-        self.valid[t] && self.ready[t]
+        self.valid.get(t) && self.ready.get(t)
     }
 }
 
@@ -99,8 +91,8 @@ mod tests {
     #[test]
     fn new_channel_starts_idle() {
         let c = ch();
-        assert!(c.valid.iter().all(|&v| !v));
-        assert!(c.ready.iter().all(|&r| !r));
+        assert!(!c.valid.any());
+        assert!(!c.ready.any());
         assert_eq!(c.data, None);
     }
 
@@ -108,19 +100,24 @@ mod tests {
     fn single_valid_detects_exactly_one() {
         let mut c = ch();
         assert_eq!(c.single_valid(), None);
-        c.valid[2] = true;
+        c.valid.set(2, true);
         assert_eq!(c.single_valid(), Some(2));
-        c.valid[0] = true;
+        c.valid.set(0, true);
         assert_eq!(c.single_valid(), None);
-        assert_eq!(c.asserted_threads(), vec![0, 2]);
+        assert_eq!(c.valid.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+        // The deprecated Vec-returning form stays equivalent until it is
+        // removed.
+        #[allow(deprecated)]
+        let asserted = c.asserted_threads();
+        assert_eq!(asserted, vec![0, 2]);
     }
 
     #[test]
     fn fires_requires_both_valid_and_ready() {
         let mut c = ch();
-        c.valid[0] = true;
+        c.valid.set(0, true);
         assert!(!c.fires(0));
-        c.ready[0] = true;
+        c.ready.set(0, true);
         assert!(c.fires(0));
         assert!(!c.fires(1));
     }

@@ -21,12 +21,19 @@
 //! goes straight to the clock edge, and a *quiescent* network (no token
 //! offered anywhere) can be fast-forwarded across empty cycles to the next
 //! self-scheduled component event ([`Component::next_event`]).
+//!
+//! The hot loop is allocation-free (see `docs/perf.md`): handshake bits
+//! live in packed [`ThreadMask`] words, the dirty set is itself a mask
+//! over components, change detection happens word-level inside the
+//! signal setters, and the batch drivers [`Circuit::run`] /
+//! [`Circuit::run_until`] skip transfer-record collection entirely.
 
 use std::collections::BTreeMap;
 
 use crate::channel::{ChannelId, ChannelState};
 use crate::component::{Component, NextEvent};
 use crate::error::SimError;
+use crate::mask::ThreadMask;
 use crate::stats::Stats;
 use crate::token::Token;
 use crate::trace::{ChannelTrace, CycleTrace, TraceRecorder};
@@ -52,12 +59,14 @@ pub enum EvalMode {
 /// only on its output channels and `ready` only on its input channels.
 /// Every effective change is recorded in the kernel's dirty set — a
 /// `valid`/`data` change wakes the channel's reader, a `ready` change
-/// wakes its driver.
+/// wakes its driver. Change detection is word-level: the packed masks
+/// report whether a write flipped anything, so the kernel never clones
+/// channel state to diff it.
 pub struct EvalCtx<'a, T: Token> {
     pub(crate) channels: &'a mut [ChannelState<T>],
     /// Per-component wake flags: set when a signal a component depends on
     /// changes, consumed by the settle loop's worklist rounds.
-    pub(crate) woke: &'a mut [bool],
+    pub(crate) woke: &'a mut ThreadMask,
     /// Whether any signal changed during the current settle round.
     pub(crate) changed: &'a mut bool,
     pub(crate) current: usize,
@@ -79,12 +88,22 @@ impl<'a, T: Token> EvalCtx<'a, T> {
 
     /// Current `valid(thread)` on `ch`.
     pub fn valid(&self, ch: ChannelId, thread: usize) -> bool {
-        self.channels[ch.0].valid[thread]
+        self.channels[ch.0].valid.get(thread)
     }
 
     /// Current `ready(thread)` on `ch`.
     pub fn ready(&self, ch: ChannelId, thread: usize) -> bool {
-        self.channels[ch.0].ready[thread]
+        self.channels[ch.0].ready.get(thread)
+    }
+
+    /// The packed `valid` mask of `ch` (all threads at once).
+    pub fn valid_mask(&self, ch: ChannelId) -> &ThreadMask {
+        &self.channels[ch.0].valid
+    }
+
+    /// The packed `ready` mask of `ch` (all threads at once).
+    pub fn ready_mask(&self, ch: ChannelId) -> &ThreadMask {
+        &self.channels[ch.0].ready
     }
 
     /// Current data word on `ch` (driven by the producer).
@@ -100,6 +119,43 @@ impl<'a, T: Token> EvalCtx<'a, T> {
         st.data.as_ref().map(|d| (t, d))
     }
 
+    /// Marks the channel's reader (and the current component) dirty.
+    #[inline]
+    fn wake_reader(&mut self, ch: usize) {
+        *self.changed = true;
+        self.woke.set(self.reader[ch], true);
+        // Self-wake: selection logic (arbiters, anti-swap guards) reads
+        // the component's own driven signals, so its eval must re-run
+        // until it is a no-op — the oracle's convergence condition.
+        self.woke.set(self.current, true);
+    }
+
+    /// Marks the channel's driver (and the current component) dirty.
+    #[inline]
+    fn wake_driver(&mut self, ch: usize) {
+        *self.changed = true;
+        self.woke.set(self.driver[ch], true);
+        self.woke.set(self.current, true);
+    }
+
+    #[inline]
+    fn assert_drives(&self, ch: ChannelId, signal: &str) {
+        assert_eq!(
+            self.driver[ch.0], self.current,
+            "component tried to drive {signal} on channel `{}` it does not own",
+            self.channels[ch.0].spec.name
+        );
+    }
+
+    #[inline]
+    fn assert_reads(&self, ch: ChannelId) {
+        assert_eq!(
+            self.reader[ch.0], self.current,
+            "component tried to drive ready on channel `{}` it does not read",
+            self.channels[ch.0].spec.name
+        );
+    }
+
     /// Drives `valid(thread)` on an output channel.
     ///
     /// # Panics
@@ -107,20 +163,23 @@ impl<'a, T: Token> EvalCtx<'a, T> {
     /// Panics if the calling component is not the registered driver of
     /// `ch` — this is a component-implementation bug.
     pub fn set_valid(&mut self, ch: ChannelId, thread: usize, value: bool) {
-        assert_eq!(
-            self.driver[ch.0], self.current,
-            "component tried to drive valid on channel `{}` it does not own",
-            self.channels[ch.0].spec.name
-        );
-        let slot = &mut self.channels[ch.0].valid[thread];
-        if *slot != value {
-            *slot = value;
-            *self.changed = true;
-            self.woke[self.reader[ch.0]] = true;
-            // Self-wake: selection logic (arbiters, anti-swap guards) reads
-            // the component's own driven signals, so its eval must re-run
-            // until it is a no-op — the oracle's convergence condition.
-            self.woke[self.current] = true;
+        self.assert_drives(ch, "valid");
+        if self.channels[ch.0].valid.set(thread, value) {
+            self.wake_reader(ch.0);
+        }
+    }
+
+    /// Drives `valid(thread)` high and every other thread's valid low in
+    /// one word-level pass (the MT channel invariant: at most one valid
+    /// thread per cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling component is not the registered driver of `ch`.
+    pub fn set_valid_only(&mut self, ch: ChannelId, thread: usize) {
+        self.assert_drives(ch, "valid");
+        if self.channels[ch.0].valid.set_only(thread) {
+            self.wake_reader(ch.0);
         }
     }
 
@@ -130,17 +189,11 @@ impl<'a, T: Token> EvalCtx<'a, T> {
     ///
     /// Panics if the calling component is not the registered driver of `ch`.
     pub fn set_data(&mut self, ch: ChannelId, value: Option<T>) {
-        assert_eq!(
-            self.driver[ch.0], self.current,
-            "component tried to drive data on channel `{}` it does not own",
-            self.channels[ch.0].spec.name
-        );
+        self.assert_drives(ch, "data");
         let slot = &mut self.channels[ch.0].data;
         if *slot != value {
             *slot = value;
-            *self.changed = true;
-            self.woke[self.reader[ch.0]] = true;
-            self.woke[self.current] = true;
+            self.wake_reader(ch.0);
         }
     }
 
@@ -150,25 +203,32 @@ impl<'a, T: Token> EvalCtx<'a, T> {
     ///
     /// Panics if the calling component is not the registered reader of `ch`.
     pub fn set_ready(&mut self, ch: ChannelId, thread: usize, value: bool) {
-        assert_eq!(
-            self.reader[ch.0], self.current,
-            "component tried to drive ready on channel `{}` it does not read",
-            self.channels[ch.0].spec.name
-        );
-        let slot = &mut self.channels[ch.0].ready[thread];
-        if *slot != value {
-            *slot = value;
-            *self.changed = true;
-            self.woke[self.driver[ch.0]] = true;
-            self.woke[self.current] = true;
+        self.assert_reads(ch);
+        if self.channels[ch.0].ready.set(thread, value) {
+            self.wake_driver(ch.0);
+        }
+    }
+
+    /// Drives `ready(thread)` high and every other thread's ready low in
+    /// one word-level pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling component is not the registered reader of `ch`.
+    pub fn set_ready_only(&mut self, ch: ChannelId, thread: usize) {
+        self.assert_reads(ch);
+        if self.channels[ch.0].ready.set_only(thread) {
+            self.wake_driver(ch.0);
         }
     }
 
     /// Convenience: drives all `valid` bits low and clears data on an
-    /// output channel (an idle producer).
+    /// output channel (an idle producer). Word-level: one clear per mask
+    /// word instead of a per-thread loop.
     pub fn drive_idle(&mut self, ch: ChannelId) {
-        for t in 0..self.threads(ch) {
-            self.set_valid(ch, t, false);
+        self.assert_drives(ch, "valid");
+        if self.channels[ch.0].valid.clear() {
+            self.wake_reader(ch.0);
         }
         self.set_data(ch, None);
     }
@@ -176,16 +236,16 @@ impl<'a, T: Token> EvalCtx<'a, T> {
     /// Convenience: asserts `valid(thread)` with `data`, deasserting every
     /// other thread's valid bit (the MT channel invariant).
     pub fn drive_token(&mut self, ch: ChannelId, thread: usize, data: T) {
-        for t in 0..self.threads(ch) {
-            self.set_valid(ch, t, t == thread);
-        }
+        self.set_valid_only(ch, thread);
         self.set_data(ch, Some(data));
     }
 
     /// Convenience: drives every `ready` bit of an input channel low.
+    /// Word-level: one clear per mask word instead of a per-thread loop.
     pub fn drive_unready(&mut self, ch: ChannelId) {
-        for t in 0..self.threads(ch) {
-            self.set_ready(ch, t, false);
+        self.assert_reads(ch);
+        if self.channels[ch.0].ready.clear() {
+            self.wake_driver(ch.0);
         }
     }
 }
@@ -211,12 +271,22 @@ impl<'a, T: Token> TickCtx<'a, T> {
 
     /// Settled `valid(thread)`.
     pub fn valid(&self, ch: ChannelId, thread: usize) -> bool {
-        self.channels[ch.0].valid[thread]
+        self.channels[ch.0].valid.get(thread)
     }
 
     /// Settled `ready(thread)`.
     pub fn ready(&self, ch: ChannelId, thread: usize) -> bool {
-        self.channels[ch.0].ready[thread]
+        self.channels[ch.0].ready.get(thread)
+    }
+
+    /// The settled packed `valid` mask of `ch`.
+    pub fn valid_mask(&self, ch: ChannelId) -> &ThreadMask {
+        &self.channels[ch.0].valid
+    }
+
+    /// The settled packed `ready` mask of `ch`.
+    pub fn ready_mask(&self, ch: ChannelId) -> &ThreadMask {
+        &self.channels[ch.0].ready
     }
 
     /// Settled data word.
@@ -233,7 +303,7 @@ impl<'a, T: Token> TickCtx<'a, T> {
     pub fn fired_any(&self, ch: ChannelId) -> Option<(usize, &T)> {
         let st = &self.channels[ch.0];
         let t = st.single_valid()?;
-        if st.ready[t] {
+        if st.ready.get(t) {
             st.data.as_ref().map(|d| (t, d))
         } else {
             None
@@ -242,16 +312,17 @@ impl<'a, T: Token> TickCtx<'a, T> {
 }
 
 /// One fired transfer, as reported by [`Circuit::step`].
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Carries only the interned [`ChannelId`] and thread index; resolve the
+/// channel name at render time via
+/// [`Circuit::channel_name`](Circuit::channel_name) instead of cloning a
+/// `String` per transfer on the hot path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Transfer {
     /// Channel on which the transfer fired.
     pub channel: ChannelId,
-    /// Name of that channel.
-    pub channel_name: String,
     /// Thread that moved.
     pub thread: usize,
-    /// Label of the token that moved.
-    pub label: String,
 }
 
 /// Summary of one simulated cycle.
@@ -282,8 +353,8 @@ pub struct Circuit<T: Token> {
     /// wake map of the event-driven kernel.
     pub(crate) reader: Vec<usize>,
     mode: EvalMode,
-    /// Scratch wake flags, one per component (the dirty set).
-    woke: Vec<bool>,
+    /// Scratch wake flags, one bit per component (the dirty set).
+    woke: ThreadMask,
     /// Whether the last stepped cycle ended with no token anywhere.
     quiescent: bool,
     cycle: u64,
@@ -307,7 +378,7 @@ impl<T: Token> Circuit<T> {
                 .iter()
                 .map(|c| (c.spec.name.clone(), c.spec.threads)),
         );
-        let woke = vec![false; components.len()];
+        let woke = ThreadMask::new(components.len());
         Self {
             components,
             channels,
@@ -448,6 +519,16 @@ impl<T: Token> Circuit<T> {
     ///   the clock edge;
     /// * [`SimError::Deadlock`] — the watchdog fired (if armed).
     pub fn step(&mut self) -> Result<CycleReport, SimError> {
+        self.step_collect(true)
+    }
+
+    /// The cycle loop body. `collect` controls whether fired transfers
+    /// are materialised into the report — the batch drivers
+    /// ([`run`](Circuit::run), [`run_until`](Circuit::run_until)) pass
+    /// `false` and skip the per-transfer record pushes entirely, since
+    /// they discard the report anyway. Statistics, traces, invariant
+    /// checks and the watchdog behave identically either way.
+    fn step_collect(&mut self, collect: bool) -> Result<CycleReport, SimError> {
         // Phase 1: combinational fixed point. Signals are *warm-started*
         // from the previous cycle's settled values: every component
         // re-drives all signals it owns whenever it is evaluated (the
@@ -472,15 +553,15 @@ impl<T: Token> Circuit<T> {
         let mut rounds = 0usize;
         let mut evals = 0usize;
         let mut stable = false;
-        self.woke.iter_mut().for_each(|w| *w = false);
+        self.woke.clear();
         while rounds < max_rounds {
             let full = exhaustive || rounds == 0;
             let mut changed = false;
             for i in 0..n {
-                if !full && !self.woke[i] {
+                if !full && !self.woke.get(i) {
                     continue;
                 }
-                self.woke[i] = false;
+                self.woke.set(i, false);
                 let mut ctx = EvalCtx {
                     channels: &mut self.channels,
                     woke: &mut self.woke,
@@ -498,16 +579,7 @@ impl<T: Token> Circuit<T> {
                 let dump: Vec<String> = self
                     .channels
                     .iter()
-                    .map(|ch| {
-                        format!(
-                            "{}:v{:?}r{:?}",
-                            ch.spec.name,
-                            ch.asserted_threads(),
-                            (0..ch.spec.threads)
-                                .filter(|&t| ch.ready[t])
-                                .collect::<Vec<_>>()
-                        )
-                    })
+                    .map(|ch| format!("{}:v{:?}r{:?}", ch.spec.name, ch.valid, ch.ready))
                     .collect();
                 eprintln!("settle round {rounds}: {}", dump.join(" "));
             }
@@ -519,7 +591,7 @@ impl<T: Token> Circuit<T> {
             let converged = if exhaustive {
                 !changed
             } else {
-                !self.woke.iter().any(|&w| w)
+                !self.woke.any()
             };
             if converged {
                 stable = true;
@@ -541,17 +613,20 @@ impl<T: Token> Circuit<T> {
             kernel.single_sweep_cycles += 1;
         }
 
-        // Phase 2: protocol invariant checks.
+        // Phase 2: protocol invariant checks — word-level popcounts; the
+        // per-thread index list is materialised only on the error path.
         for ch in &self.channels {
-            let asserted = ch.asserted_threads();
-            if asserted.len() > 1 {
-                return Err(SimError::ChannelInvariant {
-                    cycle: self.cycle,
-                    channel: ch.spec.name.clone(),
-                    threads: asserted,
-                });
+            match ch.valid.count_ones() {
+                0 | 1 => {}
+                _ => {
+                    return Err(SimError::ChannelInvariant {
+                        cycle: self.cycle,
+                        channel: ch.spec.name.clone(),
+                        threads: ch.valid.iter_ones().collect(),
+                    });
+                }
             }
-            if let Some(&t) = asserted.first() {
+            if let Some(t) = ch.valid.first_one() {
                 if ch.data.is_none() {
                     return Err(SimError::MissingData {
                         cycle: self.cycle,
@@ -562,23 +637,29 @@ impl<T: Token> Circuit<T> {
             }
         }
 
-        // Phase 3: collect transfers, statistics, trace.
+        // Phase 3: collect transfers, statistics, trace. After phase 2,
+        // `valid.any()` implies exactly one asserted thread.
         let mut transfers = Vec::new();
+        let mut fired = 0usize;
+        let mut any_valid = false;
         for (ci, ch) in self.channels.iter().enumerate() {
+            let Some(t) = ch.valid.first_one() else {
+                continue;
+            };
+            any_valid = true;
             let cs = self.stats.channel_mut(ChannelId(ci));
-            if let Some(t) = ch.single_valid() {
-                cs.busy_cycles += 1;
-                if ch.ready[t] {
-                    cs.transfers[t] += 1;
+            cs.busy_cycles += 1;
+            if ch.ready.get(t) {
+                cs.transfers[t] += 1;
+                fired += 1;
+                if collect {
                     transfers.push(Transfer {
                         channel: ChannelId(ci),
-                        channel_name: ch.spec.name.clone(),
                         thread: t,
-                        label: ch.data.as_ref().map(|d| d.label()).unwrap_or_default(),
                     });
-                } else {
-                    cs.stall_cycles[t] += 1;
                 }
+            } else {
+                cs.stall_cycles[t] += 1;
             }
         }
         self.stats.record_cycle();
@@ -592,7 +673,7 @@ impl<T: Token> Circuit<T> {
                     ChannelTrace {
                         valid_thread: t,
                         label: ch.data.as_ref().map(|d| d.label()),
-                        fired: t.is_some_and(|t| ch.ready[t]),
+                        fired: t.is_some_and(|t| ch.ready.get(t)),
                     }
                 })
                 .collect();
@@ -614,12 +695,11 @@ impl<T: Token> Circuit<T> {
         // Watchdog: a cycle counts as "stuck" only when some token is
         // offered (a valid is asserted) yet nothing moves. A circuit with
         // no valid tokens at all is quiescent, not deadlocked.
-        let any_valid = self.channels.iter().any(|ch| ch.valid.iter().any(|&v| v));
-        self.quiescent = transfers.is_empty() && !any_valid;
-        if !transfers.is_empty() {
+        self.quiescent = fired == 0 && !any_valid;
+        if fired > 0 {
             self.last_progress = Some(self.cycle);
         }
-        if transfers.is_empty() && any_valid {
+        if fired == 0 && any_valid {
             self.idle_cycles += 1;
         } else {
             self.idle_cycles = 0;
@@ -633,11 +713,10 @@ impl<T: Token> Circuit<T> {
                     .channels
                     .iter()
                     .flat_map(|ch| {
-                        ch.asserted_threads()
-                            .into_iter()
-                            .filter(|&t| !ch.ready[t])
+                        ch.valid
+                            .iter_ones()
+                            .filter(|&t| !ch.ready.get(t))
                             .map(|t| (ch.spec.name.clone(), t))
-                            .collect::<Vec<_>>()
                     })
                     .collect();
                 return Err(SimError::Deadlock {
@@ -738,7 +817,9 @@ impl<T: Token> Circuit<T> {
     /// Quiescent stretches (no token anywhere) are fast-forwarded to the
     /// next scheduled component event when tracing is off; the skipped
     /// cycles still count toward the simulated total, so the observable
-    /// end state matches stepping cycle by cycle.
+    /// end state matches stepping cycle by cycle. Unlike
+    /// [`step`](Circuit::step), no per-transfer records are collected —
+    /// the batch loop allocates nothing per cycle.
     ///
     /// # Errors
     ///
@@ -746,7 +827,7 @@ impl<T: Token> Circuit<T> {
     pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
         let end = self.cycle.saturating_add(cycles);
         while self.cycle < end {
-            self.step()?;
+            self.step_collect(false)?;
             if self.quiescent {
                 self.fast_forward(end);
             }
@@ -775,7 +856,7 @@ impl<T: Token> Circuit<T> {
             if pred(self) {
                 return Ok(true);
             }
-            self.step()?;
+            self.step_collect(false)?;
             if self.quiescent {
                 self.fast_forward(end);
             }

@@ -63,6 +63,7 @@ mod circuit;
 mod component;
 mod error;
 mod latency;
+mod mask;
 mod netlist;
 mod occupancy;
 mod par;
@@ -79,6 +80,7 @@ pub use circuit::{Circuit, CycleReport, EvalCtx, EvalMode, TickCtx, Transfer};
 pub use component::{Component, NextEvent, Ports, SlotView};
 pub use error::{BuildError, ProtocolError, SimError};
 pub use latency::{token_latencies, LatencySummary, TokenLatencies};
+pub use mask::{Ones, ThreadMask};
 pub use netlist::{NetlistEdge, NetlistGraph};
 pub use occupancy::{occupancy_stats, OccupancyStats};
 pub use par::{

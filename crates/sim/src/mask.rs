@@ -1,0 +1,451 @@
+//! Packed per-thread handshake masks.
+//!
+//! The MT-elastic protocol (Sec. III of the paper) is per-thread
+//! `valid(i)/ready(i)` *bit pairs* — in hardware these are S parallel
+//! wires, not a heap structure. [`ThreadMask`] packs one such bit set
+//! into machine words: a single inline `u64` covers the common S ≤ 64
+//! case with zero heap traffic, and a boxed spillover slice extends the
+//! same API to arbitrary thread counts. All operations (set, clear,
+//! popcount, rotation search, diff-against-previous) are O(words), so
+//! the settle loop's change detection and the arbiter rotations cost a
+//! handful of ALU ops instead of allocator round-trips.
+
+/// A packed set of per-thread handshake bits.
+///
+/// Bit `t` corresponds to thread `t`. Bits at or above
+/// [`ThreadMask::threads`] are always zero, which keeps `PartialEq`,
+/// popcounts and word-level diffs exact without masking at every use
+/// site.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ThreadMask {
+    /// Number of valid thread slots (bits beyond this stay zero).
+    threads: usize,
+    /// Bits 0..64 — the fast path; the only storage when `threads <= 64`.
+    head: u64,
+    /// Bits 64.. for S > 64, one `u64` per 64 threads.
+    rest: Option<Box<[u64]>>,
+}
+
+impl Default for ThreadMask {
+    /// A zero-width mask — the useful default for lazily-sized scratch
+    /// fields (resize on first use by comparing [`ThreadMask::threads`]).
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl std::fmt::Debug for ThreadMask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Render as the thread-index set, matching how the old
+        // `Vec<bool>` state read in assertions and debug dumps.
+        f.debug_set().entries(self.iter_ones()).finish()
+    }
+}
+
+impl ThreadMask {
+    /// An all-zero mask with `threads` slots.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let rest = if threads > 64 {
+            Some(vec![0u64; threads.div_ceil(64) - 1].into_boxed_slice())
+        } else {
+            None
+        };
+        Self {
+            threads,
+            head: 0,
+            rest,
+        }
+    }
+
+    /// Builds a mask from a `Vec<bool>`-style slice (tests, migration).
+    #[must_use]
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut m = Self::new(bits.len());
+        for (t, &b) in bits.iter().enumerate() {
+            if b {
+                m.set(t, true);
+            }
+        }
+        m
+    }
+
+    /// Number of thread slots.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    #[inline]
+    fn word(&self, idx: usize) -> u64 {
+        if idx == 0 {
+            self.head
+        } else {
+            self.rest.as_ref().map_or(0, |r| r[idx - 1])
+        }
+    }
+
+    #[inline]
+    fn word_mut(&mut self, idx: usize) -> &mut u64 {
+        if idx == 0 {
+            &mut self.head
+        } else {
+            &mut self.rest.as_mut().expect("spillover words exist")[idx - 1]
+        }
+    }
+
+    #[inline]
+    fn word_count(&self) -> usize {
+        1 + self.rest.as_ref().map_or(0, |r| r.len())
+    }
+
+    /// Reads bit `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range (mirrors slice indexing).
+    #[inline]
+    #[must_use]
+    pub fn get(&self, t: usize) -> bool {
+        assert!(t < self.threads, "thread {t} out of range {}", self.threads);
+        self.word(t / 64) >> (t % 64) & 1 != 0
+    }
+
+    /// Writes bit `t`; returns `true` iff the bit changed.
+    #[inline]
+    pub fn set(&mut self, t: usize, value: bool) -> bool {
+        assert!(t < self.threads, "thread {t} out of range {}", self.threads);
+        let w = self.word_mut(t / 64);
+        let bit = 1u64 << (t % 64);
+        let old = *w;
+        if value {
+            *w |= bit;
+        } else {
+            *w &= !bit;
+        }
+        *w != old
+    }
+
+    /// Clears every bit; returns `true` iff any bit was set.
+    pub fn clear(&mut self) -> bool {
+        let had = self.any();
+        self.head = 0;
+        if let Some(r) = self.rest.as_mut() {
+            r.fill(0);
+        }
+        had
+    }
+
+    /// Sets bit `t` and clears every other bit in one word-level pass;
+    /// returns `true` iff the mask changed. This is the "drive exactly
+    /// one thread's valid" idiom of the settle loop.
+    pub fn set_only(&mut self, t: usize) -> bool {
+        assert!(t < self.threads, "thread {t} out of range {}", self.threads);
+        let target_word = t / 64;
+        let target = 1u64 << (t % 64);
+        let mut changed = false;
+        for idx in 0..self.word_count() {
+            let want = if idx == target_word { target } else { 0 };
+            let w = self.word_mut(idx);
+            if *w != want {
+                *w = want;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// `true` iff any bit is set.
+    #[inline]
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.head != 0
+            || self
+                .rest
+                .as_ref()
+                .is_some_and(|r| r.iter().any(|&w| w != 0))
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        let mut n = self.head.count_ones() as usize;
+        if let Some(r) = self.rest.as_ref() {
+            n += r.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+        }
+        n
+    }
+
+    /// If exactly one bit is set, its index; otherwise `None`. This is
+    /// the protocol invariant probe ("at most one valid thread").
+    #[must_use]
+    pub fn single(&self) -> Option<usize> {
+        if self.count_ones() == 1 {
+            self.first_one()
+        } else {
+            None
+        }
+    }
+
+    /// Index of the lowest set bit, if any.
+    #[must_use]
+    pub fn first_one(&self) -> Option<usize> {
+        for idx in 0..self.word_count() {
+            let w = self.word(idx);
+            if w != 0 {
+                return Some(idx * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// First set bit at index ≥ `start`, wrapping past the end — the
+    /// round-robin rotation search shared by arbiters and stall
+    /// pointers. `start` may equal `threads` (treated as 0).
+    #[must_use]
+    pub fn next_one_wrapping(&self, start: usize) -> Option<usize> {
+        if self.threads == 0 {
+            return None;
+        }
+        let start = start % self.threads;
+        // Scan [start, end) word-by-word, masking off bits below
+        // `start` in the first word, then wrap to [0, start).
+        let first_word = start / 64;
+        for step in 0..=self.word_count() {
+            let idx = (first_word + step) % self.word_count();
+            let mut w = self.word(idx);
+            if step == 0 {
+                w &= !0u64 << (start % 64);
+            } else if step == self.word_count() {
+                // Wrapped fully around: only bits below `start` remain.
+                if start.is_multiple_of(64) {
+                    break;
+                }
+                w &= !(!0u64 << (start % 64));
+            }
+            if w != 0 {
+                return Some(idx * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Copies `other`'s bits into `self` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks have different thread counts.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.threads, other.threads, "mask width mismatch");
+        self.head = other.head;
+        if let (Some(dst), Some(src)) = (self.rest.as_mut(), other.rest.as_ref()) {
+            dst.copy_from_slice(src);
+        }
+    }
+
+    /// Intersects `self` with `other` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks have different thread counts.
+    pub fn and_with(&mut self, other: &Self) {
+        assert_eq!(self.threads, other.threads, "mask width mismatch");
+        self.head &= other.head;
+        if let (Some(dst), Some(src)) = (self.rest.as_mut(), other.rest.as_ref()) {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d &= *s;
+            }
+        }
+    }
+
+    /// Allocation-free iterator over the set bit indices, ascending.
+    #[must_use]
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones {
+            mask: self,
+            word_idx: 0,
+            current: self.head,
+        }
+    }
+}
+
+/// Iterator over the set bits of a [`ThreadMask`], lowest first.
+///
+/// Returned by [`ThreadMask::iter_ones`]; holds no heap state.
+pub struct Ones<'a> {
+    mask: &'a ThreadMask,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            if self.word_idx + 1 >= self.mask.word_count() {
+                return None;
+            }
+            self.word_idx += 1;
+            self.current = self.mask.word(self.word_idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference model: the `Vec<bool>` representation the mask replaced.
+    fn ref_next_one_wrapping(bits: &[bool], start: usize) -> Option<usize> {
+        let n = bits.len();
+        if n == 0 {
+            return None;
+        }
+        (0..n).map(|off| (start + off) % n).find(|&t| bits[t])
+    }
+
+    #[test]
+    fn empty_mask_has_no_bits() {
+        for s in [0, 1, 63, 64, 65, 130] {
+            let m = ThreadMask::new(s);
+            assert!(!m.any());
+            assert_eq!(m.count_ones(), 0);
+            assert_eq!(m.first_one(), None);
+            assert_eq!(m.single(), None);
+            assert_eq!(m.iter_ones().count(), 0);
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_the_word_boundary() {
+        let mut m = ThreadMask::new(65);
+        assert!(m.set(64, true), "setting a clear bit reports a change");
+        assert!(!m.set(64, true), "re-setting is idempotent");
+        assert!(m.get(64));
+        assert!(!m.get(63));
+        assert_eq!(m.first_one(), Some(64));
+        assert_eq!(m.single(), Some(64));
+        assert!(m.set(3, true));
+        assert_eq!(m.single(), None);
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![3, 64]);
+        assert!(m.set(64, false));
+        assert_eq!(m.single(), Some(3));
+    }
+
+    #[test]
+    fn set_only_is_a_word_level_replace() {
+        let mut m = ThreadMask::from_bools(&[true, false, true, false]);
+        assert!(m.set_only(3), "mask changed");
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![3]);
+        assert!(!m.set_only(3), "already exactly this bit");
+        let mut big = ThreadMask::new(130);
+        big.set(0, true);
+        big.set(129, true);
+        assert!(big.set_only(70));
+        assert_eq!(big.iter_ones().collect::<Vec<_>>(), vec![70]);
+    }
+
+    #[test]
+    fn next_one_wrapping_matches_rotation_scan() {
+        let m = ThreadMask::from_bools(&[false, true, false, true]);
+        assert_eq!(m.next_one_wrapping(0), Some(1));
+        assert_eq!(m.next_one_wrapping(1), Some(1));
+        assert_eq!(m.next_one_wrapping(2), Some(3));
+        assert_eq!(m.next_one_wrapping(4), Some(1), "start == threads wraps");
+        let empty = ThreadMask::new(4);
+        assert_eq!(empty.next_one_wrapping(2), None);
+        assert_eq!(ThreadMask::new(0).next_one_wrapping(0), None);
+    }
+
+    #[test]
+    fn clear_reports_whether_bits_were_set() {
+        let mut m = ThreadMask::from_bools(&[false, true]);
+        assert!(m.clear());
+        assert!(!m.clear());
+        let mut big = ThreadMask::new(100);
+        big.set(99, true);
+        assert!(big.clear());
+        assert!(!big.any());
+    }
+
+    #[test]
+    fn copy_and_intersect_cover_spillover_words() {
+        let a = ThreadMask::from_bools(&(0..130).map(|t| t % 3 == 0).collect::<Vec<_>>());
+        let b = ThreadMask::from_bools(&(0..130).map(|t| t % 2 == 0).collect::<Vec<_>>());
+        let mut c = ThreadMask::new(130);
+        c.copy_from(&a);
+        assert_eq!(c, a);
+        c.and_with(&b);
+        let expect: Vec<usize> = (0..130).filter(|t| t % 6 == 0).collect();
+        assert_eq!(c.iter_ones().collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn debug_renders_the_index_set() {
+        let m = ThreadMask::from_bools(&[true, false, true]);
+        assert_eq!(format!("{m:?}"), "{0, 2}");
+    }
+
+    // Satellite: the S = 64/65 word-boundary equivalence campaign. Every
+    // mask operation is checked against the Vec<bool> reference model at
+    // widths straddling the inline-word limit.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn mask_ops_match_vec_bool_reference(
+            width in 0usize..4,
+            seed in any::<u64>(),
+            start in 0usize..66,
+        ) {
+            let s = [63usize, 64, 65, 100][width];
+            let bits: Vec<bool> = (0..s).map(|t| (seed >> (t % 64)) & 1 != 0 && t % 7 != 3).collect();
+            let m = ThreadMask::from_bools(&bits);
+
+            // Point reads and aggregates.
+            for (t, &b) in bits.iter().enumerate() {
+                prop_assert_eq!(m.get(t), b);
+            }
+            prop_assert_eq!(m.any(), bits.iter().any(|&b| b));
+            prop_assert_eq!(m.count_ones(), bits.iter().filter(|&&b| b).count());
+            prop_assert_eq!(m.first_one(), bits.iter().position(|&b| b));
+            let expect_single = if bits.iter().filter(|&&b| b).count() == 1 {
+                bits.iter().position(|&b| b)
+            } else {
+                None
+            };
+            prop_assert_eq!(m.single(), expect_single);
+            prop_assert_eq!(
+                m.iter_ones().collect::<Vec<_>>(),
+                bits.iter().enumerate().filter(|(_, &b)| b).map(|(t, _)| t).collect::<Vec<_>>()
+            );
+
+            // Rotation search from an arbitrary start point.
+            let start = start % (s + 1);
+            prop_assert_eq!(m.next_one_wrapping(start), ref_next_one_wrapping(&bits, start));
+
+            // Mutation: set_only at a seed-derived position.
+            let t = (seed as usize).wrapping_mul(31) % s;
+            let mut only = m.clone();
+            only.set_only(t);
+            let mut ref_only = vec![false; s];
+            ref_only[t] = true;
+            prop_assert_eq!(only, ThreadMask::from_bools(&ref_only));
+
+            // Intersection against a shifted copy of the same pattern.
+            let other_bits: Vec<bool> = (0..s).map(|i| bits[(i + 1) % s]).collect();
+            let mut anded = m.clone();
+            anded.and_with(&ThreadMask::from_bools(&other_bits));
+            let ref_and: Vec<bool> =
+                bits.iter().zip(&other_bits).map(|(&a, &b)| a && b).collect();
+            prop_assert_eq!(anded, ThreadMask::from_bools(&ref_and));
+        }
+    }
+}

@@ -468,7 +468,7 @@ mod tests {
         })];
         let driver = vec![0usize];
         let reader = vec![0usize];
-        let mut woke = vec![false];
+        let mut woke = crate::ThreadMask::new(1);
         let mut sweep = |src: &mut Source<u64>, channels: &mut Vec<ChannelState<u64>>| {
             let mut changed = false;
             let mut ctx = EvalCtx {
@@ -500,7 +500,7 @@ mod tests {
         );
 
         // Downstream becomes ready for thread 2 only: again stable.
-        channels[0].ready = vec![false, false, true];
+        channels[0].ready = crate::ThreadMask::from_bools(&[false, false, true]);
         sweep(&mut src, &mut channels);
         let first = (channels[0].valid.clone(), channels[0].data);
         let changed = sweep(&mut src, &mut channels);

@@ -16,6 +16,7 @@ use rand::{Rng, SeedableRng};
 use crate::channel::ChannelId;
 use crate::circuit::{EvalCtx, TickCtx};
 use crate::component::{Component, NextEvent, Ports, SlotView};
+use crate::mask::ThreadMask;
 use crate::token::Token;
 
 /// Per-token latency function (see [`LatencyModel::PerToken`]).
@@ -157,11 +158,11 @@ impl<T: Token> VarLatency<T> {
     fn completed_heads(&self, cycle: u64) -> Vec<(usize, usize)> {
         // (thread, entry index); entries is globally FIFO so the first
         // entry found per thread is that thread's oldest.
-        let mut seen = vec![false; self.threads];
+        let mut seen = ThreadMask::new(self.threads);
         let mut out = Vec::new();
         for (i, e) in self.entries.iter().enumerate() {
-            if !seen[e.thread] {
-                seen[e.thread] = true;
+            if !seen.get(e.thread) {
+                seen.set(e.thread, true);
                 if e.done_at <= cycle {
                     out.push((e.thread, i));
                 }
@@ -188,7 +189,7 @@ impl<T: Token> VarLatency<T> {
         };
         if let Some(ready_pick) = pick(&|t| ctx.ready(self.out, t)) {
             if !fresh {
-                let current = (0..self.threads).find(|&t| ctx.valid(self.out, t));
+                let current = ctx.valid_mask(self.out).first_one();
                 if let Some(c) = current {
                     let c_head = heads.iter().find(|(ht, _)| *ht == c).copied();
                     if let Some(ch) = c_head {
@@ -257,7 +258,7 @@ impl<T: Token> Component<T> for VarLatency<T> {
                 self.entries.remove(pos);
             }
             self.rr = (t + 1) % self.threads;
-        } else if let Some(t) = (0..self.threads).find(|&t| ctx.valid(self.out, t)) {
+        } else if let Some(t) = ctx.valid_mask(self.out).first_one() {
             // Stalled offer: rotate to avoid starving other done threads.
             self.rr = (t + 1) % self.threads;
         }
@@ -284,11 +285,11 @@ impl<T: Token> Component<T> for VarLatency<T> {
         // The unit acts spontaneously when an in-flight token completes:
         // the earliest per-thread head deadline is the next event. A head
         // already complete means valid is (or should be) asserted.
-        let mut seen = vec![false; self.threads];
+        let mut seen = ThreadMask::new(self.threads);
         let mut earliest: Option<u64> = None;
         for e in &self.entries {
-            if !seen[e.thread] {
-                seen[e.thread] = true;
+            if !seen.get(e.thread) {
+                seen.set(e.thread, true);
                 if e.done_at <= now {
                     return NextEvent::EveryCycle;
                 }
