@@ -146,7 +146,7 @@ mod tests {
         let trace = h.circuit.trace().expect("traced");
         // During the stall, some MEB's shared slot must hold a B token.
         let some_shared_b = trace.records().iter().any(|r| {
-            r.slots.values().any(|slots| {
+            r.slots.iter().map(|(_, slots)| slots).any(|slots| {
                 slots.iter().any(|s| {
                     s.name == "shared" && s.occupant.as_ref().is_some_and(|(t, _)| *t == 1)
                 })

@@ -15,7 +15,8 @@
 //! realized in elastic handshake logic.
 
 use elastic_sim::{
-    impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, SlotView, TickCtx, Token,
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NextEvent, Ports, SlotView, TickCtx,
+    Token,
 };
 
 /// Per-thread barrier FSM state (paper, Fig. 8).
@@ -163,6 +164,22 @@ impl<T: Token> Component<T> for Barrier<T> {
 
     fn ports(&self) -> Ports {
         Ports::new([self.inp], [self.out])
+    }
+
+    fn comb_paths(&self) -> Vec<CombPath> {
+        // Gated pass-through: valid forwards when the (registered) FSM is
+        // open, ready flows back likewise. The gate itself is registered
+        // state, so only the through paths are combinational.
+        vec![
+            CombPath::ValidToValid {
+                from: self.inp,
+                to: self.out,
+            },
+            CombPath::ReadyToReady {
+                from: self.out,
+                to: self.inp,
+            },
+        ]
     }
 
     fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {

@@ -7,7 +7,8 @@
 //! the paper's Fig. 6: EMPTY, HALF (one item) and FULL (two items).
 
 use elastic_sim::{
-    impl_as_any, ChannelId, Component, EvalCtx, Ports, ProtocolError, SlotView, TickCtx, Token,
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, Ports, ProtocolError, SlotView, TickCtx,
+    Token,
 };
 
 /// Occupancy state of a (per-thread) elastic buffer control FSM.
@@ -134,6 +135,13 @@ impl<T: Token> Component<T> for ElasticBuffer<T> {
 
     fn ports(&self) -> Ports {
         Ports::new([self.inp], [self.out])
+    }
+
+    fn comb_paths(&self) -> Vec<CombPath> {
+        // Valid and ready are both functions of registered state alone —
+        // the EB is a full combinational cut, which is exactly what makes
+        // it a legal loop breaker for the rank schedule.
+        Vec::new()
     }
 
     fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {

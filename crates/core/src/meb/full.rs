@@ -8,8 +8,8 @@
 //! which the reduced MEB eliminates.
 
 use elastic_sim::{
-    impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, ProtocolError, SlotView,
-    ThreadMask, TickCtx, Token,
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NextEvent, Ports, ProtocolError,
+    SlotView, ThreadMask, TickCtx, Token,
 };
 
 use crate::arbiter::Arbiter;
@@ -135,6 +135,18 @@ impl<T: Token> Component<T> for FullMeb<T> {
 
     fn ports(&self) -> Ports {
         Ports::new([self.inp], [self.out])
+    }
+
+    fn comb_paths(&self) -> Vec<CombPath> {
+        // Upstream ready and the stored data are registered (the MEB cuts
+        // every input→output path, like the EB); the only combinational
+        // dependence is the arbiter reading ready(out) to select which
+        // thread's valid(out) to assert — damped by the anti-swap guard.
+        vec![CombPath::ReadyToValid {
+            from: self.out,
+            to: self.out,
+            damped: true,
+        }]
     }
 
     fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {

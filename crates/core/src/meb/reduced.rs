@@ -19,8 +19,8 @@
 //! thread sees only one slot per stage and tops out at 50 % throughput.
 
 use elastic_sim::{
-    impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, ProtocolError, SlotView,
-    ThreadMask, TickCtx, Token,
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NextEvent, Ports, ProtocolError,
+    SlotView, ThreadMask, TickCtx, Token,
 };
 
 use crate::arbiter::Arbiter;
@@ -189,6 +189,17 @@ impl<T: Token> Component<T> for ReducedMeb<T> {
 
     fn ports(&self) -> Ports {
         Ports::new([self.inp], [self.out])
+    }
+
+    fn comb_paths(&self) -> Vec<CombPath> {
+        // Ready is a function of registered FSM/shared-register state; the
+        // arbiter's ready-aware selection is the only combinational input,
+        // damped by the anti-swap guard.
+        vec![CombPath::ReadyToValid {
+            from: self.out,
+            to: self.out,
+            damped: true,
+        }]
     }
 
     fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {

@@ -6,7 +6,9 @@
 //! corresponds" — here the condition is a pure function of the token, so
 //! each thread's token self-selects its path.
 
-use elastic_sim::{impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, TickCtx, Token};
+use elastic_sim::{
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NextEvent, Ports, TickCtx, Token,
+};
 
 /// A two-way conditional router.
 ///
@@ -77,6 +79,35 @@ impl<T: Token> Component<T> for Branch<T> {
 
     fn ports(&self) -> Ports {
         Ports::new([self.inp], [self.out_true, self.out_false])
+    }
+
+    fn comb_paths(&self) -> Vec<CombPath> {
+        // The condition is computed from the input token (data travels
+        // with valid), steering valid to one output; ready(inp) reads the
+        // input's own valid (to know which path is selected) and the
+        // selected output's ready.
+        vec![
+            CombPath::ValidToValid {
+                from: self.inp,
+                to: self.out_true,
+            },
+            CombPath::ValidToValid {
+                from: self.inp,
+                to: self.out_false,
+            },
+            CombPath::ValidToReady {
+                from: self.inp,
+                to: self.inp,
+            },
+            CombPath::ReadyToReady {
+                from: self.out_true,
+                to: self.inp,
+            },
+            CombPath::ReadyToReady {
+                from: self.out_false,
+                to: self.inp,
+            },
+        ]
     }
 
     fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {

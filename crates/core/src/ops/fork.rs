@@ -14,7 +14,8 @@
 //! fork; the `done` state is therefore indexed by thread as well.
 
 use elastic_sim::{
-    impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, ThreadMask, TickCtx, Token,
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NextEvent, Ports, ThreadMask, TickCtx,
+    Token,
 };
 
 /// Per-token output-routing function (see [`Fork::with_route`]).
@@ -140,6 +141,55 @@ impl<T: Token> Component<T> for Fork<T> {
 
     fn ports(&self) -> Ports {
         Ports::new([self.inp], self.outputs.clone())
+    }
+
+    fn comb_paths(&self) -> Vec<CombPath> {
+        let mut paths = Vec::new();
+        match self.mode {
+            ForkMode::Lazy => {
+                // valid(out_o) = valid(inp) ∧ ready(every other output);
+                // ready(inp) = ready(every output).
+                for (o, &out) in self.outputs.iter().enumerate() {
+                    paths.push(CombPath::ValidToValid {
+                        from: self.inp,
+                        to: out,
+                    });
+                    for (p, &other) in self.outputs.iter().enumerate() {
+                        if p != o {
+                            paths.push(CombPath::ReadyToValid {
+                                from: other,
+                                to: out,
+                                damped: false,
+                            });
+                        }
+                    }
+                    paths.push(CombPath::ReadyToReady {
+                        from: out,
+                        to: self.inp,
+                    });
+                }
+            }
+            ForkMode::Eager => {
+                // valid(out_o) = valid(inp) ∧ ¬done; ready(inp) reads the
+                // offered thread (valid(inp) itself, for routing) plus
+                // every output's ready.
+                for &out in &self.outputs {
+                    paths.push(CombPath::ValidToValid {
+                        from: self.inp,
+                        to: out,
+                    });
+                    paths.push(CombPath::ReadyToReady {
+                        from: out,
+                        to: self.inp,
+                    });
+                }
+                paths.push(CombPath::ValidToReady {
+                    from: self.inp,
+                    to: self.inp,
+                });
+            }
+        }
+        paths
     }
 
     fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {

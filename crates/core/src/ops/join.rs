@@ -7,7 +7,9 @@
 //! replicated per thread — here expressed directly by evaluating the join
 //! condition thread-wise over multithreaded channels.
 
-use elastic_sim::{impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, TickCtx, Token};
+use elastic_sim::{
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NextEvent, Ports, TickCtx, Token,
+};
 
 /// An N-input join with a combine function.
 ///
@@ -87,6 +89,32 @@ impl<T: Token> Component<T> for Join<T> {
 
     fn ports(&self) -> Ports {
         Ports::new(self.inputs.clone(), [self.out])
+    }
+
+    fn comb_paths(&self) -> Vec<CombPath> {
+        // valid(out) = ∧ valid(in_i); ready(in_i) = ready(out) ∧ every
+        // *other* input's valid (never its own — that self-loop is what
+        // the SELF join control avoids).
+        let mut paths = Vec::new();
+        for (i, &ch) in self.inputs.iter().enumerate() {
+            paths.push(CombPath::ValidToValid {
+                from: ch,
+                to: self.out,
+            });
+            paths.push(CombPath::ReadyToReady {
+                from: self.out,
+                to: ch,
+            });
+            for (j, &other) in self.inputs.iter().enumerate() {
+                if j != i {
+                    paths.push(CombPath::ValidToReady {
+                        from: other,
+                        to: ch,
+                    });
+                }
+            }
+        }
+        paths
     }
 
     fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {

@@ -12,7 +12,9 @@
 //! input simply sees `ready` low and retries — no token is lost.
 //! This clarification is recorded in `DESIGN.md`.
 
-use elastic_sim::{impl_as_any, ChannelId, Component, EvalCtx, NextEvent, Ports, TickCtx, Token};
+use elastic_sim::{
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NextEvent, Ports, TickCtx, Token,
+};
 
 /// An N-input merge onto one channel.
 ///
@@ -106,6 +108,38 @@ impl<T: Token> Component<T> for Merge<T> {
 
     fn ports(&self) -> Ports {
         Ports::new(self.inputs.clone(), [self.out])
+    }
+
+    fn comb_paths(&self) -> Vec<CombPath> {
+        // The selector reads every input's valid mask and the output's
+        // ready mask; its choice determines both valid(out) and every
+        // input's ready. The ready(out)→valid(out) path is *strict*: the
+        // merge has no anti-swap damping, so it must not sit on an
+        // unregistered cycle (loops through a merge need an EB/MEB cut).
+        let mut paths = vec![CombPath::ReadyToValid {
+            from: self.out,
+            to: self.out,
+            damped: false,
+        }];
+        for &ch in &self.inputs {
+            paths.push(CombPath::ValidToValid {
+                from: ch,
+                to: self.out,
+            });
+            paths.push(CombPath::ReadyToReady {
+                from: self.out,
+                to: ch,
+            });
+            for &other in &self.inputs {
+                // Which input wins depends on every input's valid bits,
+                // including its own (i == j).
+                paths.push(CombPath::ValidToReady {
+                    from: other,
+                    to: ch,
+                });
+            }
+        }
+        paths
     }
 
     fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {

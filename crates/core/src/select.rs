@@ -58,17 +58,22 @@ pub fn select_output_thread<T: Token>(
         let pick = arbiter
             .choose(ready_requests)
             .expect("non-empty request set");
-        // Anti-swap guard — settle-phase damping only (`fresh == false`):
-        // when this module is already offering a thread that still has
-        // data but is not ready, it may abandon that offer for a ready
-        // thread only in the direction of the global rotating priority.
-        // Two modules feeding an M-Join otherwise chase each other's
-        // offers forever (each one's downstream ready(i) is the other's
-        // valid(i)); the shared priority makes exactly one of them yield,
-        // so the pairing converges within a bounded number of switches.
-        // On the first evaluation of a cycle the decision is fresh — the
-        // previous cycle's (possibly stalled) offer holds no claim.
-        if !fresh {
+        // Anti-swap guard — settle-phase damping only (`fresh == false`),
+        // and only on feedback channels: when this module is already
+        // offering a thread that still has data but is not ready, it may
+        // abandon that offer for a ready thread only in the direction of
+        // the global rotating priority. Two modules feeding an M-Join
+        // otherwise chase each other's offers forever (each one's
+        // downstream ready(i) is the other's valid(i)); the shared
+        // priority makes exactly one of them yield, so the pairing
+        // converges within a bounded number of switches. On the first
+        // evaluation of a cycle the decision is fresh — the previous
+        // cycle's (possibly stalled) offer holds no claim. Off feedback
+        // cycles the rank schedule evaluates the consumer first, so the
+        // first evaluation already sees final ready bits and the pure
+        // ready-first pick is kept: selection stays a function of the
+        // inputs alone, independent of evaluation order.
+        if !fresh && ctx.in_feedback(out) {
             let current = ctx.valid_mask(out).first_one();
             if let Some(c) = current {
                 if has_data.get(c) && !ctx.ready(out, c) {
@@ -199,6 +204,15 @@ mod tests {
         }
         fn ports(&self) -> Ports {
             Ports::new([], [self.out])
+        }
+        fn comb_paths(&self) -> Vec<elastic_sim::CombPath> {
+            // Selection reads ready(out) to pick the offered thread; the
+            // anti-swap guard damps it.
+            vec![elastic_sim::CombPath::ReadyToValid {
+                from: self.out,
+                to: self.out,
+                damped: true,
+            }]
         }
         fn eval(&mut self, ctx: &mut EvalCtx<'_, u64>) {
             match self.select.select(ctx, self.out, &self.arb, &self.has) {

@@ -124,8 +124,19 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let run = run_meb(MebKind::Reduced, threads, tokens, p_ready, seed, 300);
-        for record in run.circuit.trace().expect("traced").records() {
-            let slots = record.slots.get("meb").expect("meb snapshots present");
+        let rec = run.circuit.trace().expect("traced");
+        let meb_idx = rec
+            .component_names()
+            .iter()
+            .position(|n| n == "meb")
+            .expect("meb in name table");
+        for record in rec.records() {
+            let slots = record
+                .slots
+                .iter()
+                .find(|(i, _)| *i == meb_idx)
+                .map(|(_, s)| s)
+                .expect("meb snapshots present");
             let shared_owner = slots
                 .iter()
                 .find(|s| s.name == "shared")
@@ -158,8 +169,19 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let run = run_meb(MebKind::Full, threads, tokens, p_ready, seed, 300);
-        for record in run.circuit.trace().expect("traced").records() {
-            let slots = record.slots.get("meb").expect("meb snapshots present");
+        let rec = run.circuit.trace().expect("traced");
+        let meb_idx = rec
+            .component_names()
+            .iter()
+            .position(|n| n == "meb")
+            .expect("meb in name table");
+        for record in rec.records() {
+            let slots = record
+                .slots
+                .iter()
+                .find(|(i, _)| *i == meb_idx)
+                .map(|(_, s)| s)
+                .expect("meb snapshots present");
             for t in 0..threads {
                 let main = slots.iter().find(|s| s.name == format!("main[{t}]"));
                 let aux = slots.iter().find(|s| s.name == format!("aux[{t}]"));

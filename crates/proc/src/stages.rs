@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 
 use elastic_core::{Arbiter, RoundRobin, SelectState};
 use elastic_sim::{
-    impl_as_any, ChannelId, Component, EvalCtx, Ports, SlotView, ThreadMask, TickCtx,
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, Ports, SlotView, ThreadMask, TickCtx,
 };
 
 use crate::isa::{Instr, NUM_REGS};
@@ -199,6 +199,20 @@ impl Component<ProcToken> for Fetcher {
 
     fn ports(&self) -> Ports {
         Ports::new([self.redirect], [self.out])
+    }
+
+    fn comb_paths(&self) -> Vec<CombPath> {
+        // Redirect ready is constant; fetch selection depends only on
+        // registered PC/status state plus downstream ready (the arbiter's
+        // ready-first pick), damped by the anti-swap guard. Crucially, no
+        // combinational path runs from the redirect input to the fetch
+        // output — that is what makes the processor's control-flow
+        // feedback loop legal.
+        vec![CombPath::ReadyToValid {
+            from: self.out,
+            to: self.out,
+            damped: true,
+        }]
     }
 
     fn eval(&mut self, ctx: &mut EvalCtx<'_, ProcToken>) {
@@ -467,6 +481,26 @@ impl Component<ProcToken> for RegUnit {
 
     fn ports(&self) -> Ports {
         Ports::new([self.id_in, self.wb_in], [self.id_out])
+    }
+
+    fn comb_paths(&self) -> Vec<CombPath> {
+        // Writeback ready is constant (no paths from wb_in). Issue is a
+        // gated pass-through: the hazard gate inspects the *offered*
+        // instruction (valid/data of id_in) and the next stage's ready.
+        vec![
+            CombPath::ValidToValid {
+                from: self.id_in,
+                to: self.id_out,
+            },
+            CombPath::ValidToReady {
+                from: self.id_in,
+                to: self.id_in,
+            },
+            CombPath::ReadyToReady {
+                from: self.id_out,
+                to: self.id_in,
+            },
+        ]
     }
 
     fn eval(&mut self, ctx: &mut EvalCtx<'_, ProcToken>) {
@@ -763,6 +797,17 @@ impl Component<ProcToken> for MemUnit {
 
     fn ports(&self) -> Ports {
         Ports::new([self.inp], [self.out])
+    }
+
+    fn comb_paths(&self) -> Vec<CombPath> {
+        // Like VarLatency: ready is registered occupancy, the output
+        // arbiter reads downstream ready (damped), and no combinational
+        // path crosses from input to output.
+        vec![CombPath::ReadyToValid {
+            from: self.out,
+            to: self.out,
+            damped: true,
+        }]
     }
 
     fn eval(&mut self, ctx: &mut EvalCtx<'_, ProcToken>) {

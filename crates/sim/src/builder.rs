@@ -6,6 +6,7 @@ use crate::channel::{ChannelId, ChannelSpec, ChannelState};
 use crate::circuit::Circuit;
 use crate::component::Component;
 use crate::error::BuildError;
+use crate::rank::{compute_schedule, ScheduleMode};
 use crate::token::Token;
 
 /// Incrementally wires channels and components into a [`Circuit`].
@@ -34,6 +35,7 @@ use crate::token::Token;
 pub struct CircuitBuilder<T: Token> {
     specs: Vec<ChannelSpec>,
     components: Vec<Box<dyn Component<T>>>,
+    schedule: ScheduleMode,
 }
 
 impl<T: Token> Default for CircuitBuilder<T> {
@@ -48,7 +50,22 @@ impl<T: Token> CircuitBuilder<T> {
         Self {
             specs: Vec::new(),
             components: Vec::new(),
+            schedule: ScheduleMode::default(),
         }
+    }
+
+    /// Selects the evaluation-order schedule [`build`](CircuitBuilder::build)
+    /// will produce (default [`ScheduleMode::Ranked`]). Loop rejection and
+    /// wake-map analysis are identical in every mode; only the component
+    /// permutation changes, so the non-ranked modes exist for ablation.
+    pub fn set_schedule(&mut self, mode: ScheduleMode) {
+        self.schedule = mode;
+    }
+
+    /// Chainable form of [`set_schedule`](CircuitBuilder::set_schedule).
+    pub fn with_schedule(mut self, mode: ScheduleMode) -> Self {
+        self.schedule = mode;
+        self
     }
 
     /// Declares a channel supporting `threads` concurrent threads.
@@ -87,13 +104,22 @@ impl<T: Token> CircuitBuilder<T> {
         self.components.len() - 1
     }
 
-    /// Validates the netlist and produces a runnable [`Circuit`].
+    /// Validates the netlist, compiles the rank schedule and produces a
+    /// runnable [`Circuit`].
+    ///
+    /// Components are permuted into levelized rank order (see
+    /// [`ScheduleMode`]): every component evaluates after everything it
+    /// combinationally depends on, as declared through
+    /// [`Component::comb_paths`], so an acyclic net settles in one sweep.
     ///
     /// # Errors
     ///
     /// Returns a [`BuildError`] when a channel is undriven/unread, driven
     /// or read more than once, a component references an unknown channel,
-    /// or the circuit is empty.
+    /// a combinational-path declaration is malformed, the declared paths
+    /// form an undamped combinational cycle
+    /// ([`BuildError::CombinationalLoop`], naming the components on the
+    /// cycle), or the circuit is empty.
     pub fn build(self) -> Result<Circuit<T>, BuildError> {
         if self.components.is_empty() {
             return Err(BuildError::Empty);
@@ -162,12 +188,36 @@ impl<T: Token> CircuitBuilder<T> {
             }
         }
 
+        let schedule = compute_schedule(
+            &self.components,
+            &self.specs,
+            &driver,
+            &reader,
+            self.schedule,
+        )?;
+
+        // Permute components into schedule order and remap the wake
+        // tables: driver/reader values are component indices, so they are
+        // rewritten through the inverse permutation. Channel ids are
+        // untouched.
+        let n = self.components.len();
+        let mut inv = vec![0usize; n];
+        for (k, &old) in schedule.order.iter().enumerate() {
+            inv[old] = k;
+        }
+        let mut slots: Vec<Option<Box<dyn Component<T>>>> =
+            self.components.into_iter().map(Some).collect();
+        let components: Vec<Box<dyn Component<T>>> = schedule
+            .order
+            .iter()
+            .map(|&old| slots[old].take().expect("order is a permutation"))
+            .collect();
+        let driver: Vec<usize> = driver.into_iter().map(|d| inv[d]).collect();
+        let reader: Vec<usize> = reader.into_iter().map(|r| inv[r]).collect();
+
         let channels = self.specs.into_iter().map(ChannelState::new).collect();
         Ok(Circuit::from_parts(
-            self.components,
-            channels,
-            driver,
-            reader,
+            components, channels, driver, reader, schedule,
         ))
     }
 }
@@ -189,6 +239,12 @@ mod tests {
         }
         fn ports(&self) -> Ports {
             self.ports.clone()
+        }
+        // The stub's eval reads nothing, so the conservative default
+        // (which would see every stub pair as a strict cycle) is wrong
+        // here: declare no combinational paths.
+        fn comb_paths(&self) -> Vec<crate::component::CombPath> {
+            Vec::new()
         }
         fn eval(&mut self, _ctx: &mut EvalCtx<'_, u64>) {}
         fn tick(&mut self, _ctx: &TickCtx<'_, u64>) {}

@@ -3,15 +3,22 @@
 //! Each cycle proceeds in two phases, mirroring synchronous hardware:
 //!
 //! 1. **Combinational settle** — components' [`eval`](crate::Component::eval)
-//!    run until no signal changes (fixed point). The default
-//!    [`EvalMode::EventDriven`] kernel performs one full sweep and then
-//!    re-evaluates only *dirty* components: when a channel's `valid`/`data`
-//!    changes its reader is woken, when its `ready` changes its driver is
-//!    woken (the wake map comes from the builder's driver/reader tables).
-//!    A network whose handshakes form a zero-latency cycle never settles
-//!    and is reported as a [`SimError::CombinationalLoop`] — exactly the
-//!    class of circuit that is illegal in elastic design unless cut by an
-//!    elastic buffer.
+//!    run until no signal changes (fixed point). Components are evaluated
+//!    in the *rank order* the builder compiled from their declared
+//!    combinational paths ([`Component::comb_paths`](crate::Component::comb_paths)):
+//!    every component comes after everything it depends on, so on an
+//!    acyclic net the single full sweep of round 1 *is* the fixed point.
+//!    The default [`EvalMode::EventDriven`] kernel then re-evaluates only
+//!    *dirty* components: when a channel's `valid`/`data` changes its
+//!    reader is woken **iff it declared a path triggered by that signal**,
+//!    likewise the driver on a `ready` change; residual rounds fire only
+//!    for hysteretic arbiters on feedback channels. Zero-latency handshake
+//!    cycles are rejected at `build()` time
+//!    ([`BuildError::CombinationalLoop`](crate::BuildError::CombinationalLoop))
+//!    — exactly the class of circuit that is illegal in elastic design
+//!    unless cut by an elastic buffer; the runtime
+//!    [`SimError::CombinationalLoop`] cap survives only as a safety net
+//!    for damped feedback loops.
 //! 2. **Clock edge** — the settled signals determine which transfers fire
 //!    (`valid(i) && ready(i)`); every component's
 //!    [`tick`](crate::Component::tick) then updates its registers.
@@ -28,12 +35,11 @@
 //! signal setters, and the batch drivers [`Circuit::run`] /
 //! [`Circuit::run_until`] skip transfer-record collection entirely.
 
-use std::collections::BTreeMap;
-
 use crate::channel::{ChannelId, ChannelState};
 use crate::component::{Component, NextEvent};
 use crate::error::SimError;
 use crate::mask::ThreadMask;
+use crate::rank::Schedule;
 use crate::stats::Stats;
 use crate::token::Token;
 use crate::trace::{ChannelTrace, CycleTrace, TraceRecorder};
@@ -72,6 +78,13 @@ pub struct EvalCtx<'a, T: Token> {
     pub(crate) current: usize,
     pub(crate) driver: &'a [usize],
     pub(crate) reader: &'a [usize],
+    /// Per-channel: the reader declared a combinational path triggered by
+    /// this channel's `valid`/`data` (see [`Component::comb_paths`]).
+    pub(crate) listen_valid: &'a [bool],
+    /// Per-channel: the driver declared a path triggered by `ready`.
+    pub(crate) listen_ready: &'a [bool],
+    /// Per-channel: `valid` and `ready` share a combinational SCC.
+    pub(crate) feedback: &'a [bool],
     pub(crate) cycle: u64,
 }
 
@@ -79,6 +92,21 @@ impl<'a, T: Token> EvalCtx<'a, T> {
     /// Index of the cycle currently being evaluated (0-based).
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// True when channel `ch` takes part in a combinational feedback
+    /// cycle (its `valid` and `ready` belong to one SCC of the declared
+    /// path graph — necessarily through a damped hysteretic path, or the
+    /// netlist would have been rejected at build time).
+    ///
+    /// Ready-aware arbiters use this to decide whether their anti-swap
+    /// settle guard is needed: on a feedback channel the downstream
+    /// `ready` can combinationally depend on the arbiter's own `valid`,
+    /// so the selection must be damped to converge; on a DAG channel the
+    /// guard is unnecessary and disabling it keeps the evaluation a pure
+    /// function of its inputs (hence order-independent).
+    pub fn in_feedback(&self, ch: ChannelId) -> bool {
+        self.feedback[ch.0]
     }
 
     /// Thread count of channel `ch`.
@@ -119,23 +147,35 @@ impl<'a, T: Token> EvalCtx<'a, T> {
         st.data.as_ref().map(|d| (t, d))
     }
 
-    /// Marks the channel's reader (and the current component) dirty.
+    /// Marks the channel's reader dirty — but only if it declared a path
+    /// triggered by this channel's `valid`/`data`; an unlistened signal
+    /// provably cannot change the reader's eval. On a feedback channel
+    /// the current component also self-wakes: hysteretic selection reads
+    /// its own driven signals, so its eval must re-run until it is a
+    /// no-op — the oracle's convergence condition. On DAG channels the
+    /// guards are disabled and evals are pure, so no self-wake is needed.
     #[inline]
     fn wake_reader(&mut self, ch: usize) {
         *self.changed = true;
-        self.woke.set(self.reader[ch], true);
-        // Self-wake: selection logic (arbiters, anti-swap guards) reads
-        // the component's own driven signals, so its eval must re-run
-        // until it is a no-op — the oracle's convergence condition.
-        self.woke.set(self.current, true);
+        if self.listen_valid[ch] {
+            self.woke.set(self.reader[ch], true);
+        }
+        if self.feedback[ch] {
+            self.woke.set(self.current, true);
+        }
     }
 
-    /// Marks the channel's driver (and the current component) dirty.
+    /// Marks the channel's driver dirty (same filtering as
+    /// [`wake_reader`](Self::wake_reader), for `ready` changes).
     #[inline]
     fn wake_driver(&mut self, ch: usize) {
         *self.changed = true;
-        self.woke.set(self.driver[ch], true);
-        self.woke.set(self.current, true);
+        if self.listen_ready[ch] {
+            self.woke.set(self.driver[ch], true);
+        }
+        if self.feedback[ch] {
+            self.woke.set(self.current, true);
+        }
     }
 
     #[inline]
@@ -352,6 +392,14 @@ pub struct Circuit<T: Token> {
     /// Per-channel reading component — doubles as the `valid`/`data`
     /// wake map of the event-driven kernel.
     pub(crate) reader: Vec<usize>,
+    /// Per-channel wake filter: reader listens to `valid`/`data` changes.
+    listen_valid: Vec<bool>,
+    /// Per-channel wake filter: driver listens to `ready` changes.
+    listen_ready: Vec<bool>,
+    /// Per-channel: part of a (damped) combinational feedback cycle.
+    feedback: Vec<bool>,
+    /// Widest rank level of the compiled schedule.
+    rank_width: u64,
     mode: EvalMode,
     /// Scratch wake flags, one bit per component (the dirty set).
     woke: ThreadMask,
@@ -372,6 +420,7 @@ impl<T: Token> Circuit<T> {
         channels: Vec<ChannelState<T>>,
         driver: Vec<usize>,
         reader: Vec<usize>,
+        schedule: Schedule,
     ) -> Self {
         let stats = Stats::new(
             channels
@@ -384,6 +433,10 @@ impl<T: Token> Circuit<T> {
             channels,
             driver,
             reader,
+            listen_valid: schedule.listen_valid,
+            listen_ready: schedule.listen_ready,
+            feedback: schedule.feedback,
+            rank_width: schedule.rank_width,
             mode: EvalMode::default(),
             woke,
             quiescent: false,
@@ -426,12 +479,16 @@ impl<T: Token> Circuit<T> {
 
     /// Starts recording cycle traces (unbounded).
     pub fn enable_trace(&mut self) {
-        self.recorder = Some(TraceRecorder::new());
+        let mut r = TraceRecorder::new();
+        r.set_names(self.component_names());
+        self.recorder = Some(r);
     }
 
     /// Starts recording cycle traces, keeping at most `limit` cycles.
     pub fn enable_trace_limited(&mut self, limit: usize) {
-        self.recorder = Some(TraceRecorder::with_limit(limit));
+        let mut r = TraceRecorder::with_limit(limit);
+        r.set_names(self.component_names());
+        self.recorder = Some(r);
     }
 
     /// The recorded trace, if tracing was enabled.
@@ -511,7 +568,9 @@ impl<T: Token> Circuit<T> {
     /// # Errors
     ///
     /// * [`SimError::CombinationalLoop`] — the handshake network did not
-    ///   settle (a zero-latency cycle not cut by a buffer);
+    ///   settle within the iteration cap (only reachable through a damped
+    ///   feedback loop whose hysteresis guarantee is broken; all-strict
+    ///   cycles are already rejected at build time);
     /// * [`SimError::ChannelInvariant`] — two threads asserted valid on the
     ///   same channel in the same cycle;
     /// * [`SimError::MissingData`] — a producer asserted valid without data;
@@ -569,6 +628,9 @@ impl<T: Token> Circuit<T> {
                     current: i,
                     driver: &self.driver,
                     reader: &self.reader,
+                    listen_valid: &self.listen_valid,
+                    listen_ready: &self.listen_ready,
+                    feedback: &self.feedback,
                     cycle: self.cycle,
                 };
                 self.components[i].eval(&mut ctx);
@@ -612,6 +674,10 @@ impl<T: Token> Circuit<T> {
         if rounds == 1 {
             kernel.single_sweep_cycles += 1;
         }
+        // Re-stamped every cycle (rather than once at construction) so it
+        // survives `reset_stats` after a warm-up window.
+        kernel.rank_width = kernel.rank_width.max(self.rank_width);
+        kernel.settle_round_hist[rounds.min(8) - 1] += 1;
 
         // Phase 2: protocol invariant checks — word-level popcounts; the
         // per-thread index list is materialised only on the error path.
@@ -677,11 +743,14 @@ impl<T: Token> Circuit<T> {
                     }
                 })
                 .collect();
-            let mut slots = BTreeMap::new();
-            for c in &self.components {
+            // Slots are keyed by component index — the recorder's name
+            // table resolves them at render time, so the hot path never
+            // clones a component name.
+            let mut slots = Vec::new();
+            for (i, c) in self.components.iter().enumerate() {
                 let s = c.slots();
                 if !s.is_empty() {
-                    slots.insert(c.name().to_string(), s);
+                    slots.push((i, s));
                 }
             }
             let record = CycleTrace {

@@ -73,6 +73,109 @@ impl Ports {
     }
 }
 
+/// One declared combinational path through a component, reported by
+/// [`Component::comb_paths`].
+///
+/// Each variant names the *trigger* signal (`from`) whose same-cycle value
+/// the component's [`eval`](Component::eval) reads, and the signal (`to`)
+/// it combinationally drives from that value. Channel `valid` and `data`
+/// are treated as one forward signal (they are always driven together);
+/// `ready` is the backward signal. The build-time scheduler assembles
+/// these declarations into a signal-level dependency graph: it rejects
+/// all-combinational cycles, derives the rank order that lets the settle
+/// loop converge in a single sweep, and narrows the event-driven kernel's
+/// wake map to the signals a component actually listens to.
+///
+/// **Completeness contract:** the declarations must cover *every* channel
+/// signal `eval` reads. An undeclared read means the component is never
+/// re-evaluated when that signal changes, silently corrupting the fixed
+/// point. When in doubt, keep the conservative default (every input
+/// combinationally reaches every output in both directions) — it is always
+/// safe, merely less schedulable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CombPath {
+    /// `valid`/`data` of input `from` combinationally drives `valid`/`data`
+    /// of output `to` (a pass-through datapath, e.g. a zero-latency
+    /// transform or a join).
+    ValidToValid {
+        /// Input channel whose valid/data is read.
+        from: ChannelId,
+        /// Output channel whose valid/data is driven.
+        to: ChannelId,
+    },
+    /// `valid`/`data` of input `from` combinationally drives the `ready`
+    /// the component asserts on input `to` (e.g. a join: each input is
+    /// ready only when the *other* inputs are valid). `from == to` is
+    /// legal and means ready depends on the same channel's own valid.
+    ValidToReady {
+        /// Input channel whose valid/data is read.
+        from: ChannelId,
+        /// Input channel whose ready is driven.
+        to: ChannelId,
+    },
+    /// `ready` of output `from` combinationally drives `valid`/`data` of
+    /// output `to` (ready-aware selection: an arbiter that offers only a
+    /// downstream-ready thread). `from == to` is the common self-referential
+    /// form.
+    ///
+    /// `damped: true` marks a *hysteretic* path: the component guards the
+    /// selection so that re-evaluation with unchanged inputs keeps the
+    /// previous choice (monotone within a cycle). Cycles through a damped
+    /// path converge under the kernel's iteration cap and are therefore
+    /// legal; cycles whose every edge is strict are rejected at build time.
+    ReadyToValid {
+        /// Output channel whose ready is read.
+        from: ChannelId,
+        /// Output channel whose valid/data is driven.
+        to: ChannelId,
+        /// Whether the path is hysteretically damped (see above).
+        damped: bool,
+    },
+    /// `ready` of output `from` combinationally drives the `ready` the
+    /// component asserts on input `to` (classic elastic backpressure
+    /// pass-through).
+    ReadyToReady {
+        /// Output channel whose ready is read.
+        from: ChannelId,
+        /// Input channel whose ready is driven.
+        to: ChannelId,
+    },
+}
+
+/// The conservative all-paths declaration for a port set: every input's
+/// valid reaches every output's valid and every input's ready (including
+/// its own), and every output's ready reaches every output's valid
+/// (strict) and every input's ready.
+///
+/// This is the default returned by [`Component::comb_paths`]; it is always
+/// safe (it can only over-approximate the true sensitivity), at the cost
+/// of forcing the scheduler to assume the worst — a component using it
+/// inside a feedback loop is rejected as a combinational cycle.
+pub fn conservative_paths(ports: &Ports) -> Vec<CombPath> {
+    let mut paths = Vec::new();
+    for &i in &ports.inputs {
+        for &o in &ports.outputs {
+            paths.push(CombPath::ValidToValid { from: i, to: o });
+        }
+        for &j in &ports.inputs {
+            paths.push(CombPath::ValidToReady { from: i, to: j });
+        }
+    }
+    for &o in &ports.outputs {
+        for &p in &ports.outputs {
+            paths.push(CombPath::ReadyToValid {
+                from: o,
+                to: p,
+                damped: false,
+            });
+        }
+        for &i in &ports.inputs {
+            paths.push(CombPath::ReadyToReady { from: o, to: i });
+        }
+    }
+    paths
+}
+
 /// A snapshot of one storage slot inside a component, for trace rendering.
 ///
 /// The Figure 5 reproduction prints, per cycle, the occupant of every MEB
@@ -116,6 +219,26 @@ pub trait Component<T: Token>: Send {
     /// Combinational evaluation: drive `valid`/`data` on outputs and
     /// `ready` on inputs from registered state and current signals.
     fn eval(&mut self, ctx: &mut EvalCtx<'_, T>);
+
+    /// The combinational paths through this component — which same-cycle
+    /// channel signals [`eval`](Component::eval) reads, and which signals
+    /// it drives from them (see [`CombPath`]).
+    ///
+    /// The build-time scheduler uses the declarations to (a) reject true
+    /// combinational handshake cycles at [`build`](crate::CircuitBuilder::build)
+    /// time, (b) levelize the acyclic remainder into a rank order that
+    /// settles in one sweep, and (c) wake a component only when a signal it
+    /// declared actually changes.
+    ///
+    /// The default is [`conservative_paths`] — all paths combinational in
+    /// both directions. Register-cut primitives (an elastic buffer cuts
+    /// *every* handshake path; a MEB's `ready` comes from registered
+    /// occupancy) should override this to declare exactly the paths their
+    /// `eval` implements. The declarations must be *complete*: every
+    /// channel signal `eval` reads must appear as a `from` in some path.
+    fn comb_paths(&self) -> Vec<CombPath> {
+        conservative_paths(&self.ports())
+    }
 
     /// Rising clock edge: observe the settled handshakes and update
     /// internal registers.
@@ -205,5 +328,31 @@ mod tests {
         let p = Ports::new([ChannelId(0)], [ChannelId(1), ChannelId(2)]);
         assert_eq!(p.inputs.len(), 1);
         assert_eq!(p.outputs.len(), 2);
+    }
+
+    #[test]
+    fn conservative_paths_cover_all_directions() {
+        let p = Ports::new([ChannelId(0)], [ChannelId(1), ChannelId(2)]);
+        let paths = conservative_paths(&p);
+        // 1 input x 2 outputs V->V, 1x1 V->R, 2x2 R->V, 2x1 R->R.
+        assert_eq!(paths.len(), 2 + 1 + 4 + 2);
+        assert!(paths.contains(&CombPath::ValidToValid {
+            from: ChannelId(0),
+            to: ChannelId(2),
+        }));
+        assert!(paths.contains(&CombPath::ValidToReady {
+            from: ChannelId(0),
+            to: ChannelId(0),
+        }));
+        // Conservative ready->valid paths are strict, never damped.
+        assert!(paths.contains(&CombPath::ReadyToValid {
+            from: ChannelId(1),
+            to: ChannelId(1),
+            damped: false,
+        }));
+        assert!(paths.contains(&CombPath::ReadyToReady {
+            from: ChannelId(2),
+            to: ChannelId(0),
+        }));
     }
 }

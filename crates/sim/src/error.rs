@@ -36,6 +36,28 @@ pub enum BuildError {
         /// Name of the offending component.
         component: String,
     },
+    /// A component declared a combinational path
+    /// ([`Component::comb_paths`](crate::Component::comb_paths)) over a
+    /// channel that is not in the matching port list (a `ValidToValid`
+    /// `from` must be one of its inputs, a `ReadyToReady` `to` likewise,
+    /// and so on).
+    InvalidCombPath {
+        /// Name of the offending component.
+        component: String,
+        /// Name of the mis-declared channel.
+        channel: String,
+    },
+    /// The handshake network contains a combinational cycle in which no
+    /// edge is registered or hysteretically damped: the settle loop could
+    /// never converge, so the netlist is rejected before it runs. This is
+    /// exactly the class of circuit elastic design forbids — cut the cycle
+    /// with an elastic buffer (the EB registers both handshake
+    /// directions).
+    CombinationalLoop {
+        /// Names of the components whose declared paths form the cycle,
+        /// in insertion order.
+        components: Vec<String>,
+    },
     /// The circuit contains no components.
     Empty,
 }
@@ -59,6 +81,26 @@ impl fmt::Display for BuildError {
                 write!(
                     f,
                     "component `{component}` references an unknown channel id"
+                )
+            }
+            BuildError::InvalidCombPath { component, channel } => {
+                write!(
+                    f,
+                    "component `{component}` declared a combinational path over \
+                     channel `{channel}` outside the matching port list"
+                )
+            }
+            BuildError::CombinationalLoop { components } => {
+                write!(
+                    f,
+                    "combinational loop through components [{}]: every handshake \
+                     path in the cycle is zero-latency (insert an elastic buffer \
+                     to cut the cycle)",
+                    components
+                        .iter()
+                        .map(|c| format!("`{c}`"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )
             }
             BuildError::Empty => write!(f, "circuit contains no components"),
@@ -115,9 +157,12 @@ impl Error for ProtocolError {}
 /// Errors raised while stepping a [`Circuit`](crate::Circuit).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SimError {
-    /// The combinational fixed-point did not converge: the handshake network
-    /// contains a zero-latency cycle that is not cut by a state-holding
-    /// element (elastic buffer).
+    /// The combinational fixed-point did not converge within the iteration
+    /// cap. All-strict combinational cycles are rejected at build time
+    /// ([`BuildError::CombinationalLoop`]); this runtime variant remains
+    /// only as a safety net for cycles through *damped* hysteretic paths
+    /// (whose convergence relies on the declaring components honouring
+    /// their damping guarantee) — it is unreachable for acyclic nets.
     CombinationalLoop {
         /// Cycle at which the divergence was detected.
         cycle: u64,
@@ -258,6 +303,24 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("bus"));
         assert!(msg.contains("[0, 2]"));
+    }
+
+    #[test]
+    fn combinational_loop_build_error_names_components() {
+        let e = BuildError::CombinationalLoop {
+            components: vec!["not".into(), "wire".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("`not`"), "{msg}");
+        assert!(msg.contains("`wire`"), "{msg}");
+        assert!(msg.contains("elastic buffer"), "{msg}");
+
+        let e = BuildError::InvalidCombPath {
+            component: "fork0".into(),
+            channel: "bus".into(),
+        };
+        assert!(e.to_string().contains("`fork0`"));
+        assert!(e.to_string().contains("`bus`"));
     }
 
     #[test]

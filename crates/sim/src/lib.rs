@@ -26,12 +26,18 @@
 //!
 //! The settle phase is **event-driven** by default ([`EvalMode`]): after
 //! one full sweep per cycle, only components woken by a signal change on a
-//! channel they touch are re-evaluated, idle stretches are fast-forwarded
-//! to the next scheduled component event ([`NextEvent`]), and the saved
-//! work is reported through [`KernelStats`]. The exhaustive sweep of the
-//! original kernel is kept as an equivalence oracle
-//! ([`EvalMode::Exhaustive`]); `docs/kernel.md` documents both and the
-//! argument for why they reach identical fixed points.
+//! channel they declared sensitivity to ([`Component::comb_paths`]) are
+//! re-evaluated, idle stretches are fast-forwarded to the next scheduled
+//! component event ([`NextEvent`]), and the saved work is reported through
+//! [`KernelStats`]. The builder additionally compiles the declarations
+//! into a **levelized rank schedule** ([`ScheduleMode`]): components are
+//! permuted so each evaluates after everything it combinationally depends
+//! on, making the round-1 sweep the fixed point on acyclic nets, and
+//! genuine zero-latency handshake cycles are rejected at build time with
+//! the offending component names ([`BuildError::CombinationalLoop`]). The
+//! exhaustive sweep of the original kernel is kept as an equivalence
+//! oracle ([`EvalMode::Exhaustive`]); `docs/kernel.md` documents both and
+//! the argument for why they reach identical fixed points.
 //!
 //! # Example
 //!
@@ -67,6 +73,7 @@ mod mask;
 mod netlist;
 mod occupancy;
 mod par;
+mod rank;
 mod schedule;
 mod stats;
 mod token;
@@ -77,7 +84,7 @@ mod vcd;
 pub use builder::CircuitBuilder;
 pub use channel::{ChannelId, ChannelSpec};
 pub use circuit::{Circuit, CycleReport, EvalCtx, EvalMode, TickCtx, Transfer};
-pub use component::{Component, NextEvent, Ports, SlotView};
+pub use component::{conservative_paths, CombPath, Component, NextEvent, Ports, SlotView};
 pub use error::{BuildError, ProtocolError, SimError};
 pub use latency::{token_latencies, LatencySummary, TokenLatencies};
 pub use mask::{Ones, ThreadMask};
@@ -86,6 +93,7 @@ pub use occupancy::{occupancy_stats, OccupancyStats};
 pub use par::{
     available_workers, run_sweep, run_sweep_on, JobError, JobReport, SimJob, SweepReport,
 };
+pub use rank::ScheduleMode;
 pub use schedule::{ReadyPolicy, Sink, Source};
 pub use stats::{ChannelStats, KernelStats, Stats};
 pub use token::{thread_letter, Tagged, Token};

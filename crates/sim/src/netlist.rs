@@ -229,30 +229,35 @@ mod tests {
         let g = pipeline().netlist();
         assert_eq!(g.component_count(), 3);
         assert_eq!(g.channel_count(), 2);
-        assert_eq!(g.components, vec!["src", "double", "snk"]);
-        assert_eq!(g.fan_out(0), 1);
-        assert_eq!(g.fan_in(2), 1);
+        // Rank order, not insertion order: the sink has no combinational
+        // paths so it evaluates first; src and the pass-through transform
+        // form one SCC (src's damped ready→valid closes their loop) and
+        // keep their relative insertion order at the next level.
+        assert_eq!(g.components, vec!["snk", "src", "double"]);
+        assert_eq!(g.fan_out(1), 1, "src drives one channel");
+        assert_eq!(g.fan_in(0), 1, "snk reads one channel");
         let (sources, sinks) = g.endpoints();
-        assert_eq!(sources, vec![0]);
-        assert_eq!(sinks, vec![2]);
+        assert_eq!(sources, vec![1]);
+        assert_eq!(sinks, vec![0]);
         assert!(!g.has_cycle());
     }
 
     #[test]
     fn wake_set_is_the_channel_neighbourhood() {
         let g = pipeline().netlist();
-        // src's only neighbour is the transform (reader of `a`); the
-        // transform is woken by both endpoints.
-        assert_eq!(g.wake_set(0), vec![1]);
-        assert_eq!(g.wake_set(1), vec![0, 2]);
-        assert_eq!(g.wake_set(2), vec![1]);
+        // Indices follow rank order: 0 = snk, 1 = src, 2 = double. src's
+        // only neighbour is the transform (reader of `a`); the transform
+        // is woken by both endpoints.
+        assert_eq!(g.wake_set(1), vec![2]);
+        assert_eq!(g.wake_set(2), vec![0, 1]);
+        assert_eq!(g.wake_set(0), vec![2]);
     }
 
     #[test]
     fn dot_output_is_wellformed() {
         let dot = pipeline().netlist().to_dot();
         assert!(dot.starts_with("digraph elastic {"));
-        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n1 -> n2"), "src feeds the transform:\n{dot}");
         assert!(dot.contains("(2t)"), "{dot}");
         assert!(dot.trim_end().ends_with('}'));
     }

@@ -53,15 +53,18 @@ impl std::fmt::Display for OccupancyStats {
 }
 
 /// Computes occupancy statistics for every component that reported slots
-/// during the trace, keyed by component name.
+/// during the trace, keyed by component name (resolved through the
+/// recorder's name table; components absent from the table are keyed
+/// `#<index>`).
 pub fn occupancy_stats(recorder: &TraceRecorder) -> BTreeMap<String, OccupancyStats> {
     // (cycles, per-slot (name, occupied-count), total-occupied, max)
     type Acc = (usize, Vec<(String, usize)>, usize, usize);
-    let mut acc: BTreeMap<String, Acc> = BTreeMap::new();
+    let names = recorder.component_names();
+    let mut acc: BTreeMap<usize, Acc> = BTreeMap::new();
     for record in recorder.records() {
         for (comp, slots) in &record.slots {
             let entry = acc
-                .entry(comp.clone())
+                .entry(*comp)
                 .or_insert_with(|| (0, slots.iter().map(|s| (s.name.clone(), 0)).collect(), 0, 0));
             entry.0 += 1;
             let mut occupied = 0;
@@ -78,7 +81,8 @@ pub fn occupancy_stats(recorder: &TraceRecorder) -> BTreeMap<String, OccupancySt
         }
     }
     acc.into_iter()
-        .map(|(name, (cycles, per, total, max))| {
+        .map(|(idx, (cycles, per, total, max))| {
+            let name = names.get(idx).cloned().unwrap_or_else(|| format!("#{idx}"));
             let slots = per.len();
             let stats = OccupancyStats {
                 slots,
@@ -122,8 +126,8 @@ mod tests {
                 label: None,
                 fired: false,
             }],
-            slots: BTreeMap::from([(
-                "buf".to_string(),
+            slots: vec![(
+                1,
                 occupied
                     .iter()
                     .enumerate()
@@ -135,13 +139,14 @@ mod tests {
                         }
                     })
                     .collect(),
-            )]),
+            )],
         }
     }
 
     #[test]
     fn aggregates_mean_max_and_per_slot() {
         let mut rec = TraceRecorder::new();
+        rec.set_names(vec!["src".into(), "buf".into(), "snk".into()]);
         rec.push(record(0, &[true, false]));
         rec.push(record(1, &[true, true]));
         rec.push(record(2, &[false, false]));

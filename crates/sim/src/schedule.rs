@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use crate::channel::ChannelId;
 use crate::circuit::{EvalCtx, TickCtx};
-use crate::component::{Component, NextEvent, Ports};
+use crate::component::{CombPath, Component, NextEvent, Ports};
 use crate::token::Token;
 
 /// Deterministic 64-bit mix (splitmix64 finalizer). Used to derive
@@ -179,6 +179,19 @@ impl<T: Token> Component<T> for Source<T> {
         Ports::new([], [self.out])
     }
 
+    fn comb_paths(&self) -> Vec<CombPath> {
+        // The arbiter reads `ready(out)` to pick which thread to offer, so
+        // downstream ready feeds into `valid(out)`. The offer is re-derived
+        // deterministically from the ready mask each sweep (ready request
+        // wins, else round-robin fallback), so settle iteration converges
+        // even when the channel sits on a ready→valid cycle: damped.
+        vec![CombPath::ReadyToValid {
+            from: self.out,
+            to: self.out,
+            damped: true,
+        }]
+    }
+
     fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {
         let cycle = ctx.cycle();
         // Requests: token available and downstream ready (the paper's MEB
@@ -326,6 +339,14 @@ impl<T: Token> Component<T> for Sink<T> {
         Ports::new([self.inp], [])
     }
 
+    fn comb_paths(&self) -> Vec<CombPath> {
+        // Ready is a pure function of the cycle number and the policy —
+        // it never looks at `valid(inp)`, so there is no valid→ready path
+        // (the conservative default would wrongly declare one and drag the
+        // sink into a feedback cycle with its source).
+        Vec::new()
+    }
+
     fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {
         let cycle = ctx.cycle();
         for (t, policy) in self.policies.iter().enumerate() {
@@ -468,6 +489,9 @@ mod tests {
         })];
         let driver = vec![0usize];
         let reader = vec![0usize];
+        let listen_valid = vec![false];
+        let listen_ready = vec![true];
+        let feedback = vec![false];
         let mut woke = crate::ThreadMask::new(1);
         let mut sweep = |src: &mut Source<u64>, channels: &mut Vec<ChannelState<u64>>| {
             let mut changed = false;
@@ -478,6 +502,9 @@ mod tests {
                 current: 0,
                 driver: &driver,
                 reader: &reader,
+                listen_valid: &listen_valid,
+                listen_ready: &listen_ready,
+                feedback: &feedback,
                 cycle: 4,
             };
             src.eval(&mut ctx);

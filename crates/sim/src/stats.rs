@@ -67,6 +67,14 @@ pub struct KernelStats {
     pub quiesced_cycles: u64,
     /// Cycles actually stepped through the settle loop.
     pub stepped_cycles: u64,
+    /// Widest rank of the build-time levelized schedule: the largest
+    /// number of components sharing one dependency level (1 for a pure
+    /// chain; merged across jobs by `max`).
+    pub rank_width: u64,
+    /// Histogram of settle rounds per stepped cycle: bucket `i` counts
+    /// cycles that settled in `i + 1` rounds; the last bucket collects
+    /// everything at `8` rounds or more.
+    pub settle_round_hist: [u64; 8],
 }
 
 impl KernelStats {
@@ -100,6 +108,16 @@ impl KernelStats {
         self.single_sweep_cycles += other.single_sweep_cycles;
         self.quiesced_cycles += other.quiesced_cycles;
         self.stepped_cycles += other.stepped_cycles;
+        // Rank width is a property of each circuit, not a tally: the
+        // aggregate reports the widest schedule seen across the jobs.
+        self.rank_width = self.rank_width.max(other.rank_width);
+        for (h, o) in self
+            .settle_round_hist
+            .iter_mut()
+            .zip(other.settle_round_hist)
+        {
+            *h += o;
+        }
     }
 }
 
@@ -329,6 +347,8 @@ mod tests {
             single_sweep_cycles: 2,
             quiesced_cycles: 1,
             stepped_cycles: 3,
+            rank_width: 2,
+            settle_round_hist: [2, 1, 0, 0, 0, 0, 0, 0],
         };
         let b = KernelStats {
             component_evals: 5,
@@ -337,6 +357,8 @@ mod tests {
             single_sweep_cycles: 1,
             quiesced_cycles: 9,
             stepped_cycles: 2,
+            rank_width: 5,
+            settle_round_hist: [1, 0, 1, 0, 0, 0, 0, 0],
         };
         a.merge(&b);
         assert_eq!(a.component_evals, 15);
@@ -345,6 +367,9 @@ mod tests {
         assert_eq!(a.single_sweep_cycles, 3);
         assert_eq!(a.quiesced_cycles, 10);
         assert_eq!(a.stepped_cycles, 5);
+        // Histogram buckets add; rank width takes the max, not the sum.
+        assert_eq!(a.settle_round_hist, [3, 1, 1, 0, 0, 0, 0, 0]);
+        assert_eq!(a.rank_width, 5);
         // Merging a default is the identity.
         let before = a;
         a.merge(&KernelStats::default());

@@ -12,7 +12,6 @@
 //! * [`GridTrace`] — a table with one column per cycle and one row per
 //!   channel or slot, in the style of the paper's Figure 5.
 
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::channel::ChannelId;
@@ -36,8 +35,12 @@ pub struct CycleTrace {
     pub cycle: u64,
     /// Per-channel state, indexed by [`ChannelId::index`].
     pub channels: Vec<ChannelTrace>,
-    /// Per-component slot occupancy: component name → slots.
-    pub slots: BTreeMap<String, Vec<SlotView>>,
+    /// Per-component slot occupancy as `(component index, slots)` pairs,
+    /// sorted by index; only components with non-empty slots appear. The
+    /// index resolves to a name through the recorder's
+    /// [name table](TraceRecorder::component_names) at render time, so
+    /// the per-cycle snapshot allocates no keys and builds no map.
+    pub slots: Vec<(usize, Vec<SlotView>)>,
 }
 
 /// Accumulates [`CycleTrace`] records while the circuit runs.
@@ -48,6 +51,9 @@ pub struct CycleTrace {
 pub struct TraceRecorder {
     records: Vec<CycleTrace>,
     limit: Option<usize>,
+    /// Component names in evaluation order — the table that resolves the
+    /// index-keyed [`CycleTrace::slots`] entries at render time.
+    names: Vec<String>,
 }
 
 impl TraceRecorder {
@@ -62,7 +68,19 @@ impl TraceRecorder {
         Self {
             records: Vec::new(),
             limit: Some(limit),
+            names: Vec::new(),
         }
+    }
+
+    /// Installs the component-name table (evaluation order). Set once by
+    /// [`Circuit::enable_trace`](crate::Circuit::enable_trace).
+    pub fn set_names(&mut self, names: Vec<String>) {
+        self.names = names;
+    }
+
+    /// The component-name table, in evaluation order.
+    pub fn component_names(&self) -> &[String] {
+        &self.names
     }
 
     pub(crate) fn push(&mut self, record: CycleTrace) {
@@ -163,7 +181,7 @@ impl GridTrace {
         Self { rows }
     }
 
-    fn cell(&self, row: &RowSpec, rec: &CycleTrace) -> String {
+    fn cell(&self, row: &RowSpec, rec: &CycleTrace, names: &[String]) -> String {
         match row {
             RowSpec::Channel { id, .. } => {
                 let c = &rec.channels[id.index()];
@@ -175,13 +193,20 @@ impl GridTrace {
             }
             RowSpec::Slot {
                 component, slot, ..
-            } => rec
-                .slots
-                .get(component)
-                .and_then(|slots| slots.iter().find(|s| &s.name == slot))
-                .and_then(|s| s.occupant.as_ref())
-                .map(|(_, l)| l.clone())
-                .unwrap_or_default(),
+            } => {
+                // Resolve the row's component name through the name table
+                // once per cell — render time only, never on the hot path.
+                let idx = names.iter().position(|n| n == component);
+                idx.and_then(|idx| {
+                    rec.slots
+                        .iter()
+                        .find(|(i, _)| *i == idx)
+                        .and_then(|(_, slots)| slots.iter().find(|s| &s.name == slot))
+                        .and_then(|s| s.occupant.as_ref())
+                        .map(|(_, l)| l.clone())
+                })
+                .unwrap_or_default()
+            }
         }
     }
 
@@ -211,7 +236,12 @@ impl GridTrace {
         // Pre-compute cells to size columns.
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(self.rows.len());
         for row in &self.rows {
-            cells.push(records.iter().map(|r| self.cell(row, r)).collect());
+            cells.push(
+                records
+                    .iter()
+                    .map(|r| self.cell(row, r, recorder.component_names()))
+                    .collect(),
+            );
         }
         let mut col_w: Vec<usize> = records.iter().map(|r| r.cycle.to_string().len()).collect();
         for row_cells in &cells {
@@ -325,11 +355,15 @@ mod tests {
                 label: label.map(str::to_string),
                 fired,
             }],
-            slots: BTreeMap::from([(
-                "buf".to_string(),
-                vec![SlotView::full("main[0]", 0, format!("S{cycle}"))],
-            )]),
+            // Component index 1 ("buf" in the test name table).
+            slots: vec![(1, vec![SlotView::full("main[0]", 0, format!("S{cycle}"))])],
         }
+    }
+
+    fn recorder_with_names() -> TraceRecorder {
+        let mut rec = TraceRecorder::new();
+        rec.set_names(vec!["src".into(), "buf".into(), "snk".into()]);
+        rec
     }
 
     #[test]
@@ -353,7 +387,7 @@ mod tests {
 
     #[test]
     fn grid_renders_stall_marker_and_slots() {
-        let mut rec = TraceRecorder::new();
+        let mut rec = recorder_with_names();
         rec.push(record(0, Some("A0"), true));
         rec.push(record(1, Some("A1"), false));
         let grid = GridTrace::new(vec![
@@ -365,6 +399,16 @@ mod tests {
         assert!(s.contains("A1*"), "{s}");
         assert!(s.contains("S0"), "{s}");
         assert!(s.contains("S1"), "{s}");
+    }
+
+    #[test]
+    fn grid_slot_row_for_unknown_component_is_blank() {
+        let mut rec = recorder_with_names();
+        rec.push(record(0, Some("A0"), true));
+        let grid = GridTrace::new(vec![RowSpec::slot("nope", "main[0]", "ghost")]);
+        let s = grid.render(&rec, 0, 0);
+        assert!(s.contains("ghost"), "{s}");
+        assert!(!s.contains("S0"), "{s}");
     }
 
     #[test]

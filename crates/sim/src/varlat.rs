@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::channel::ChannelId;
 use crate::circuit::{EvalCtx, TickCtx};
-use crate::component::{Component, NextEvent, Ports, SlotView};
+use crate::component::{CombPath, Component, NextEvent, Ports, SlotView};
 use crate::mask::ThreadMask;
 use crate::token::Token;
 
@@ -188,7 +188,12 @@ impl<T: Token> VarLatency<T> {
                 .find_map(|t| heads.iter().find(|(ht, _)| *ht == t && pred(t)).copied())
         };
         if let Some(ready_pick) = pick(&|t| ctx.ready(self.out, t)) {
-            if !fresh {
+            // The anti-swap guard only matters when downstream ready can
+            // change *between* settle passes, i.e. when `out` sits on a
+            // feedback cycle. On a DAG the rank schedule evaluates the
+            // consumer first, so the first pass already sees final ready
+            // and the pure ready-first pick keeps eval order-independent.
+            if !fresh && ctx.in_feedback(self.out) {
                 let current = ctx.valid_mask(self.out).first_one();
                 if let Some(c) = current {
                     let c_head = heads.iter().find(|(ht, _)| *ht == c).copied();
@@ -222,6 +227,18 @@ impl<T: Token> Component<T> for VarLatency<T> {
 
     fn ports(&self) -> Ports {
         Ports::new([self.inp], [self.out])
+    }
+
+    fn comb_paths(&self) -> Vec<CombPath> {
+        // Upstream ready depends only on registered occupancy; output
+        // valid depends only on registered entries plus downstream ready
+        // (the arbiter's ready-first pick), which is damped by the
+        // anti-swap guard. There is no input→output combinational path.
+        vec![CombPath::ReadyToValid {
+            from: self.out,
+            to: self.out,
+            damped: true,
+        }]
     }
 
     fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {
@@ -344,6 +361,21 @@ impl<T: Token> Component<T> for Transform<T> {
 
     fn ports(&self) -> Ports {
         Ports::new([self.inp], [self.out])
+    }
+
+    fn comb_paths(&self) -> Vec<CombPath> {
+        // Pure pass-through: valid and data flow forward, ready flows
+        // backward, both zero-latency.
+        vec![
+            CombPath::ValidToValid {
+                from: self.inp,
+                to: self.out,
+            },
+            CombPath::ReadyToReady {
+                from: self.out,
+                to: self.inp,
+            },
+        ]
     }
 
     fn eval(&mut self, ctx: &mut EvalCtx<'_, T>) {

@@ -252,11 +252,12 @@ fn unknown_ports_are_reported_with_alternatives() {
     }
 }
 
-/// Manual buffer policy on a loop with no explicit buffers: the kernel's
-/// combinational-loop detection reports the illegal circuit instead of
-/// simulating garbage.
+/// Manual buffer policy on a loop with no explicit buffers: the build-time
+/// rank schedule rejects the illegal circuit (naming the components on the
+/// strict cycle) instead of simulating garbage — the error now surfaces at
+/// elaboration, before a single cycle runs.
 #[test]
-fn unbuffered_loop_is_detected_at_runtime() {
+fn unbuffered_loop_is_detected_at_elaboration() {
     let mut g = DataflowBuilder::<(u64, u64)>::new(1);
     let fresh = g.input("pairs");
     let looped = g.input("loop");
@@ -271,20 +272,17 @@ fn unbuffered_loop_is_detected_at_runtime() {
         }
     });
     g.loopback("loop", step).expect("loop closes");
-    let mut s = g
+    let err = g
         .elaborate(SynthConfig {
             buffers: BufferPolicy::Manual,
             ..SynthConfig::default()
         })
-        .expect("elaborates structurally");
-    s.push("pairs", 0, (6, 4)).expect("push");
-    let err = s.run_until_outputs("gcd", 1, 100).unwrap_err();
-    match err {
-        RunError::Sim(e) => {
-            assert!(e.to_string().contains("combinational loop"), "{e}");
-        }
-        other => panic!("expected a combinational-loop report, got {other}"),
-    }
+        .expect_err("unbuffered loop must be rejected at elaboration");
+    let text = err.to_string();
+    assert!(text.contains("combinational loop"), "{text}");
+    // The offending components are named in the report.
+    assert!(text.contains("entry"), "{text}");
+    assert!(text.contains("step"), "{text}");
 }
 
 /// The same loop with one *explicit* buffer under manual policy is legal.

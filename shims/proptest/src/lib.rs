@@ -260,7 +260,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use std::ops::{Range, RangeInclusive};
 
-        /// Length specification for [`vec`]: a fixed size or a range.
+        /// Length specification for [`vec()`]: a fixed size or a range.
         pub trait IntoSizeRange {
             /// Lower and inclusive upper length bound.
             fn bounds(&self) -> (usize, usize);

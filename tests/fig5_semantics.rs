@@ -115,7 +115,7 @@ fn traces_show_where_the_stalled_tokens_live() {
     let h = fig5_harness(&setup);
     let trace = h.circuit.trace().expect("traced");
     let b_in_aux = trace.records().iter().any(|r| {
-        r.slots.values().any(|slots| {
+        r.slots.iter().map(|(_, slots)| slots).any(|slots| {
             slots
                 .iter()
                 .any(|s| s.name == "aux[1]" && s.occupant.as_ref().is_some_and(|(t, _)| *t == 1))

@@ -2,8 +2,8 @@
 //! circuits must be *reported*, not mis-simulated.
 
 use mt_elastic::sim::{
-    impl_as_any, ChannelId, CircuitBuilder, Component, EvalCtx, Ports, ProtocolError, ReadyPolicy,
-    SimError, Sink, Source, TickCtx, Transform,
+    impl_as_any, BuildError, ChannelId, CircuitBuilder, Component, EvalCtx, Ports, ProtocolError,
+    ReadyPolicy, SimError, Sink, Source, TickCtx, Transform,
 };
 
 /// A misbehaving producer that asserts two valids at once.
@@ -82,7 +82,8 @@ fn valid_without_data_is_reported() {
 
 /// Two combinational transforms wired in a loop: structurally legal (one
 /// driver/reader per channel) but has no settling fixed point — the
-/// circuit class elastic design forbids without a buffer.
+/// circuit class elastic design forbids without a buffer. The rank
+/// schedule rejects it at build time, naming the offending components.
 #[test]
 fn unbuffered_combinational_loop_is_detected() {
     struct Gate {
@@ -123,11 +124,19 @@ fn unbuffered_combinational_loop_is_detected() {
         inp: y,
         out: x,
     });
-    let mut circuit = b.build().expect("structurally valid");
-    let err = circuit
-        .step()
-        .expect_err("combinational loop must be detected");
-    assert!(matches!(err, SimError::CombinationalLoop { .. }), "{err}");
+    let err = b
+        .build()
+        .expect_err("combinational loop must be rejected at build()");
+    match err {
+        BuildError::CombinationalLoop { components } => {
+            assert_eq!(
+                components,
+                vec!["not".to_string(), "wire".to_string()],
+                "both gates on the cycle must be named"
+            );
+        }
+        other => panic!("expected CombinationalLoop, got {other}"),
+    }
 }
 
 /// A component driving a channel it does not own is a programming error

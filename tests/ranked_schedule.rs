@@ -1,0 +1,256 @@
+//! Property tests for the build-time levelized rank schedule.
+//!
+//! Two equivalence bars, in decreasing strength:
+//!
+//! 1. **Kernel soundness** — for *every* schedule (ranked, insertion,
+//!    reversed) and every shuffled builder insertion order, the
+//!    event-driven dirty-set kernel must match the exhaustive oracle
+//!    byte for byte. Holds unconditionally.
+//! 2. **Schedule independence** — on *signal-acyclic* nets every eval is
+//!    a pure function of the handshake state, the cycle's fixed point is
+//!    unique, and the captures are identical across schedules and
+//!    insertion orders (the purity argument of `docs/kernel.md`).
+//!    The fork/join diamond is deliberately *excluded* from this bar:
+//!    the Join's valid→ready coupling closes a (damped) signal cycle
+//!    through the two variable-latency arms, and on feedback channels
+//!    the anti-swap hysteresis legitimately picks an order-dependent —
+//!    but individually valid — fixed point. There the weaker guarantee
+//!    is token conservation per thread.
+
+use mt_elastic::core::{ArbiterKind, Fork, ForkMode, Join, MebKind};
+use mt_elastic::sim::{
+    CircuitBuilder, Component, EvalMode, LatencyModel, ReadyPolicy, ScheduleMode, Sink, Source,
+    Tagged, VarLatency,
+};
+use proptest::prelude::*;
+
+fn meb_kind_strategy() -> impl Strategy<Value = MebKind> {
+    prop_oneof![
+        Just(MebKind::Full),
+        Just(MebKind::Reduced),
+        (2usize..4).prop_map(|depth| MebKind::Fifo { depth }),
+    ]
+}
+
+/// Deterministic Fisher–Yates (LCG-driven) over the builder insertion
+/// order, so the same `order_seed` always yields the same permutation.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// Randomized topology: source → MEB → (fork/join diamond over skewed
+/// variable-latency arms, or a single variable-latency unit) → a short
+/// MEB chain → randomly-stalling sink.
+#[derive(Clone, Debug)]
+struct NetParams {
+    threads: usize,
+    tokens: u64,
+    kind: MebKind,
+    diamond: bool,
+    tail_stages: usize,
+    p_ready: f64,
+    seed: u64,
+}
+
+/// Builds and runs the network, adding components in the permutation
+/// selected by `order_seed`, and returns the per-thread captures.
+fn run_net(
+    p: &NetParams,
+    mode: EvalMode,
+    schedule: ScheduleMode,
+    order_seed: u64,
+) -> Vec<Vec<(u64, u64)>> {
+    let mut b = CircuitBuilder::<Tagged>::new();
+    let src_ch = b.channel("src", p.threads);
+    let work = b.channel("work", p.threads);
+    let mid = b.channel("mid", p.threads);
+    let tail = b.channels("tail", p.threads, p.tail_stages + 1);
+
+    let mut comps: Vec<Box<dyn Component<Tagged>>> = Vec::new();
+    let mut src = Source::new("src", src_ch, p.threads);
+    for t in 0..p.threads {
+        src.extend(t, (0..p.tokens).map(|i| Tagged::new(t, i, i)));
+    }
+    comps.push(Box::new(src));
+    comps.push(p.kind.build_with::<Tagged>(
+        "head",
+        src_ch,
+        work,
+        p.threads,
+        ArbiterKind::RoundRobin,
+    ));
+    if p.diamond {
+        let arm_a = b.channel("arm_a", p.threads);
+        let arm_b = b.channel("arm_b", p.threads);
+        let done_a = b.channel("done_a", p.threads);
+        let done_b = b.channel("done_b", p.threads);
+        comps.push(Box::new(Fork::new(
+            "split",
+            work,
+            vec![arm_a, arm_b],
+            p.threads,
+            ForkMode::Eager,
+        )));
+        comps.push(Box::new(VarLatency::new(
+            "ua",
+            arm_a,
+            done_a,
+            p.threads,
+            2,
+            LatencyModel::Uniform {
+                min: 1,
+                max: 3,
+                seed: p.seed,
+            },
+        )));
+        comps.push(Box::new(VarLatency::new(
+            "ub",
+            arm_b,
+            done_b,
+            p.threads,
+            2,
+            LatencyModel::Uniform {
+                min: 1,
+                max: 2,
+                seed: p.seed ^ 7,
+            },
+        )));
+        comps.push(Box::new(Join::new(
+            "pair",
+            vec![done_a, done_b],
+            mid,
+            p.threads,
+            |ins: &[&Tagged]| ins[0].clone(),
+        )));
+    } else {
+        comps.push(Box::new(VarLatency::new(
+            "u",
+            work,
+            mid,
+            p.threads,
+            2,
+            LatencyModel::Uniform {
+                min: 1,
+                max: 3,
+                seed: p.seed,
+            },
+        )));
+    }
+    comps.push(p.kind.build_with::<Tagged>(
+        "bridge",
+        mid,
+        tail[0],
+        p.threads,
+        ArbiterKind::RoundRobin,
+    ));
+    for i in 0..p.tail_stages {
+        comps.push(p.kind.build_with::<Tagged>(
+            format!("tail{i}"),
+            tail[i],
+            tail[i + 1],
+            p.threads,
+            ArbiterKind::RoundRobin,
+        ));
+    }
+    let out = tail[p.tail_stages];
+    comps.push(Box::new(Sink::with_capture(
+        "snk",
+        out,
+        p.threads,
+        ReadyPolicy::Random {
+            p: p.p_ready,
+            seed: p.seed ^ 13,
+        },
+    )));
+
+    shuffle(&mut comps, order_seed);
+    for c in comps {
+        b.add_boxed(c);
+    }
+    b.set_schedule(schedule);
+    let mut circuit = b.build().expect("random acyclic net is well-formed");
+    circuit.set_eval_mode(mode);
+    circuit.set_deadlock_watchdog(Some(400));
+    let expected = p.tokens * p.threads as u64;
+    let budget = 400 + expected * 24;
+    let done = circuit.run_until(budget, move |c| c.stats().total_transfers(out) >= expected);
+    assert!(matches!(done, Ok(true)), "net did not drain: {done:?}");
+    let snk: &Sink<Tagged> = circuit.get("snk").expect("sink");
+    (0..p.threads)
+        .map(|t| {
+            snk.captured(t)
+                .iter()
+                .map(|(c, tok)| (*c, tok.seq))
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Both equivalence bars on random topologies, including shuffled
+    /// builder insertion orders.
+    #[test]
+    fn schedules_and_oracle_agree_on_random_topologies(
+        threads in 1usize..4,
+        tokens in 1u64..12,
+        kind in meb_kind_strategy(),
+        diamond in any::<bool>(),
+        tail_stages in 0usize..3,
+        p_ready in 0.3f64..1.0,
+        seed in any::<u64>(),
+        order_seed in any::<u64>(),
+    ) {
+        let p = NetParams { threads, tokens, kind, diamond, tail_stages, p_ready, seed };
+        let reference = run_net(&p, EvalMode::EventDriven, ScheduleMode::Ranked, order_seed);
+
+        // Bar 1: the dirty-set kernel matches the exhaustive oracle
+        // under every static ordering, on every topology.
+        for schedule in [ScheduleMode::Ranked, ScheduleMode::Insertion, ScheduleMode::Reversed] {
+            let fast = run_net(&p, EvalMode::EventDriven, schedule, order_seed);
+            let oracle = run_net(&p, EvalMode::Exhaustive, schedule, order_seed);
+            prop_assert_eq!(
+                &fast, &oracle,
+                "{:?}: event-driven kernel diverged from the exhaustive oracle", schedule
+            );
+            if diamond {
+                // Feedback (damped) signal cycle through the join: the
+                // schedules may settle on different — individually valid
+                // — arbitration orders, but never lose or forge tokens.
+                for (t, caps) in fast.iter().enumerate() {
+                    let mut seqs: Vec<u64> = caps.iter().map(|&(_, s)| s).collect();
+                    seqs.sort_unstable();
+                    prop_assert_eq!(&seqs, &(0..tokens).collect::<Vec<_>>(), "thread {}", t);
+                }
+            } else {
+                // Bar 2: signal-acyclic net — the fixed point is unique,
+                // so the schedule is behaviourally invisible.
+                prop_assert_eq!(
+                    &reference, &fast,
+                    "{:?} schedule diverged from ranked on an acyclic net", schedule
+                );
+            }
+        }
+
+        // A different builder insertion order must not change behaviour
+        // on acyclic nets either — the rank schedule (and the fixed
+        // point itself) is a property of the netlist, not of
+        // construction order.
+        if !diamond {
+            let reshuffled = run_net(
+                &p, EvalMode::EventDriven, ScheduleMode::Ranked, order_seed ^ 0xDEAD_BEEF,
+            );
+            prop_assert_eq!(
+                &reference, &reshuffled,
+                "builder insertion order leaked into behaviour"
+            );
+        }
+    }
+}
