@@ -1,0 +1,114 @@
+//! Static design checks over the structural IR of every example design —
+//! the CI gate that runs *before* any simulation: protocol lint (thread
+//! widths, arities, single driver/reader per channel), cycle-cover lint
+//! (every loop cut by an EB/MEB/latency unit), and a golden-file check on
+//! the GCD circuit's DOT rendering.
+//!
+//! ```text
+//! cargo run --release -p elastic-bench --bin design_lint            # check
+//! cargo run --release -p elastic-bench --bin design_lint -- --write # regenerate golden
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use elastic_md5::Md5Circuit;
+use elastic_proc::Cpu;
+use elastic_sim::Token;
+use elastic_synth::{DataflowBuilder, ElasticIr, OpLatency, PassManager, PassReport, SynthConfig};
+
+/// Repo-relative path of the committed golden DOT file.
+const GOLDEN: &str = "golden/gcd_circuit.dot";
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../{GOLDEN}"))
+}
+
+/// The GCD loop of `examples/gcd_synthesis.rs`, stopped at the IR stage.
+fn gcd_ir(threads: usize) -> ElasticIr<(u64, u64)> {
+    let mut g = DataflowBuilder::<(u64, u64)>::new(threads);
+    let fresh = g.input("pairs");
+    let looped = g.input("loop");
+    let head = g.merge("entry", &[fresh, looped]);
+    let (done, cont) = g.branch("done?", head, |&(a, b)| a == b);
+    g.output("gcd", done);
+    let step = g.op1("step", OpLatency::Fixed(1), cont, |&(a, b)| {
+        if a > b {
+            (a - b, b)
+        } else {
+            (a, b - a)
+        }
+    });
+    g.loopback("loop", step).expect("loop closes");
+    g.build_ir(SynthConfig::default())
+        .expect("gcd graph builds")
+        .ir
+}
+
+fn render(design: &str, reports: &[PassReport]) {
+    for r in reports {
+        println!(
+            "  {design:<10} {:<14} checked {:>3} entities, rewrote {:>2} nodes",
+            r.pass, r.checked, r.changed
+        );
+    }
+}
+
+fn lint<T: Token>(design: &str, ir: &mut ElasticIr<T>) -> bool {
+    match PassManager::lint_suite().run(ir) {
+        Ok(reports) => {
+            render(design, &reports);
+            true
+        }
+        Err(e) => {
+            eprintln!("  {design:<10} FAILED: {e}");
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let write = std::env::args().any(|a| a == "--write");
+    let mut ok = true;
+
+    println!("design lints (protocol + cycle cover):");
+    let mut gcd = gcd_ir(4);
+    ok &= lint("gcd", &mut gcd);
+    let mut md5 = Md5Circuit::ir(8, 8, 1);
+    ok &= lint("md5", &mut md5.ir);
+    let mut md5_piped = Md5Circuit::ir(8, 8, 4);
+    ok &= lint("md5x4", &mut md5_piped.ir);
+    let mut cpu = Cpu::cost_ir(8);
+    ok &= lint("processor", &mut cpu.ir);
+
+    let dot = gcd.to_dot();
+    let path = golden_path();
+    if write {
+        std::fs::write(&path, &dot).expect("golden file is writable");
+        println!("wrote {GOLDEN} ({} bytes)", dot.len());
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(golden) if golden == dot => {
+                println!("golden DOT check: {GOLDEN} matches ({} bytes)", dot.len());
+            }
+            Ok(_) => {
+                eprintln!(
+                    "golden DOT check FAILED: {GOLDEN} is stale — rerun with --write \
+                     and commit the diff"
+                );
+                ok = false;
+            }
+            Err(e) => {
+                eprintln!("golden DOT check FAILED: cannot read {GOLDEN}: {e}");
+                ok = false;
+            }
+        }
+    }
+
+    if ok {
+        println!("all design checks passed");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

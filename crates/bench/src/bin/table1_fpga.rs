@@ -15,11 +15,15 @@
 //! cargo run --release --bin table1_fpga [--inventory]
 //! ```
 
+use elastic_core::MebKind;
 use elastic_cost::{
     frequency_mhz, gcd_design, md5_design, processor_design, render, render_header, render_section,
-    BufferKind,
+    BufferKind, Inventory,
 };
+use elastic_md5::Md5Circuit;
+use elastic_proc::Cpu;
 use elastic_sim::{run_sweep, SimJob};
+use elastic_synth::{MebSubstitution, Pass};
 
 const THREAD_COUNTS: [usize; 2] = [8, 16];
 
@@ -51,6 +55,37 @@ fn main() {
             area,
             frequency_mhz(gcd.logic_levels, area)
         );
+    }
+    println!();
+
+    // Cross-check: the same totals, derived structurally from each
+    // design's elastic IR instead of the hand-written spec. One circuit
+    // description feeds simulation, DOT *and* cost.
+    println!("IR cross-check (Inventory::from_ir vs hand-written spec):");
+    for s in THREAD_COUNTS {
+        for (meb, kind) in [
+            (MebKind::Full, BufferKind::Full),
+            (MebKind::Reduced, BufferKind::Reduced),
+        ] {
+            let mut md5 = Md5Circuit::ir(s, s, 1);
+            MebSubstitution::all(meb)
+                .run(&mut md5.ir)
+                .expect("rewrites");
+            let md5_ir = Inventory::from_ir(&md5.ir).total_les();
+            assert_eq!(md5_ir, md5_design().area_les(kind, s));
+
+            let mut cpu = Cpu::cost_ir(s);
+            MebSubstitution::all(meb)
+                .run(&mut cpu.ir)
+                .expect("rewrites");
+            let cpu_ir = Inventory::from_ir(&cpu.ir).total_les();
+            assert_eq!(cpu_ir, processor_design().area_les(kind, s));
+
+            println!(
+                "  S={s:<2} {:<12} md5 {md5_ir:>6} LEs, processor {cpu_ir:>6} LEs — both match",
+                kind.to_string()
+            );
+        }
     }
     println!();
 

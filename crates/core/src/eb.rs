@@ -7,8 +7,8 @@
 //! the paper's Fig. 6: EMPTY, HALF (one item) and FULL (two items).
 
 use elastic_sim::{
-    impl_as_any, ChannelId, CombPath, Component, EvalCtx, Ports, ProtocolError, SlotView, TickCtx,
-    Token,
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NetlistNodeKind, Ports, ProtocolError,
+    SlotView, TickCtx, Token,
 };
 
 /// Occupancy state of a (per-thread) elastic buffer control FSM.
@@ -129,6 +129,10 @@ impl<T: Token> ElasticBuffer<T> {
 }
 
 impl<T: Token> Component<T> for ElasticBuffer<T> {
+    fn netlist_kind(&self) -> NetlistNodeKind {
+        NetlistNodeKind::Buffer
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

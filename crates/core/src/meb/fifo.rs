@@ -10,8 +10,8 @@
 use std::collections::VecDeque;
 
 use elastic_sim::{
-    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NextEvent, Ports, ProtocolError,
-    SlotView, ThreadMask, TickCtx, Token,
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NetlistNodeKind, NextEvent, Ports,
+    ProtocolError, SlotView, ThreadMask, TickCtx, Token,
 };
 
 use crate::arbiter::Arbiter;
@@ -111,6 +111,10 @@ impl<T: Token> FifoMeb<T> {
 }
 
 impl<T: Token> Component<T> for FifoMeb<T> {
+    fn netlist_kind(&self) -> NetlistNodeKind {
+        NetlistNodeKind::Buffer
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

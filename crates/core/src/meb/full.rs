@@ -8,8 +8,8 @@
 //! which the reduced MEB eliminates.
 
 use elastic_sim::{
-    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NextEvent, Ports, ProtocolError,
-    SlotView, ThreadMask, TickCtx, Token,
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NetlistNodeKind, NextEvent, Ports,
+    ProtocolError, SlotView, ThreadMask, TickCtx, Token,
 };
 
 use crate::arbiter::Arbiter;
@@ -129,6 +129,10 @@ impl<T: Token> FullMeb<T> {
 }
 
 impl<T: Token> Component<T> for FullMeb<T> {
+    fn netlist_kind(&self) -> NetlistNodeKind {
+        NetlistNodeKind::Buffer
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -19,8 +19,8 @@
 //! thread sees only one slot per stage and tops out at 50 % throughput.
 
 use elastic_sim::{
-    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NextEvent, Ports, ProtocolError,
-    SlotView, ThreadMask, TickCtx, Token,
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NetlistNodeKind, NextEvent, Ports,
+    ProtocolError, SlotView, ThreadMask, TickCtx, Token,
 };
 
 use crate::arbiter::Arbiter;
@@ -183,6 +183,10 @@ impl<T: Token> ReducedMeb<T> {
 }
 
 impl<T: Token> Component<T> for ReducedMeb<T> {
+    fn netlist_kind(&self) -> NetlistNodeKind {
+        NetlistNodeKind::Buffer
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

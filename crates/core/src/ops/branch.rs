@@ -7,7 +7,8 @@
 //! each thread's token self-selects its path.
 
 use elastic_sim::{
-    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NextEvent, Ports, TickCtx, Token,
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NetlistNodeKind, NextEvent, Ports,
+    TickCtx, Token,
 };
 
 /// A two-way conditional router.
@@ -73,6 +74,10 @@ impl<T: Token> Branch<T> {
 }
 
 impl<T: Token> Component<T> for Branch<T> {
+    fn netlist_kind(&self) -> NetlistNodeKind {
+        NetlistNodeKind::Route
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -14,8 +14,8 @@
 //! fork; the `done` state is therefore indexed by thread as well.
 
 use elastic_sim::{
-    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NextEvent, Ports, ThreadMask, TickCtx,
-    Token,
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NetlistNodeKind, NextEvent, Ports,
+    ThreadMask, TickCtx, Token,
 };
 
 /// Per-token output-routing function (see [`Fork::with_route`]).
@@ -135,6 +135,10 @@ impl<T: Token> Fork<T> {
 }
 
 impl<T: Token> Component<T> for Fork<T> {
+    fn netlist_kind(&self) -> NetlistNodeKind {
+        NetlistNodeKind::Route
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

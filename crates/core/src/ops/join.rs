@@ -8,7 +8,8 @@
 //! condition thread-wise over multithreaded channels.
 
 use elastic_sim::{
-    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NextEvent, Ports, TickCtx, Token,
+    impl_as_any, ChannelId, CombPath, Component, EvalCtx, NetlistNodeKind, NextEvent, Ports,
+    TickCtx, Token,
 };
 
 /// An N-input join with a combine function.
@@ -83,6 +84,10 @@ impl<T: Token> Join<T> {
 }
 
 impl<T: Token> Component<T> for Join<T> {
+    fn netlist_kind(&self) -> NetlistNodeKind {
+        NetlistNodeKind::Route
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -1,0 +1,195 @@
+//! Deriving an area inventory from a structural [`ElasticIr`] netlist.
+//!
+//! [`Inventory::from_ir`] walks the same circuit description that feeds
+//! the simulator and the DOT renderer, so the cost model no longer needs
+//! a hand-maintained parallel description: every MEB (and EB, and
+//! barrier) is costed from its node and the width annotation of its
+//! channels, and the combinational payload the structure cannot see
+//! (ALUs, unrolled hash steps, decoders) comes from the
+//! [`CostHint`](elastic_synth::CostHint)s attached to the nodes.
+//!
+//! The hand-written [`DesignSpec`](crate::DesignSpec) inventories remain
+//! as the calibration reference; `tests/cost_consistency.rs` (repo root)
+//! asserts the two agree LE-for-LE on every Table I configuration.
+
+use crate::design::{meb_inventory, BufferKind};
+use crate::primitives::{barrier, eb_control, register, Inventory};
+use elastic_core::MebKind;
+use elastic_sim::Token;
+use elastic_synth::{ElasticIr, IrNodeTag};
+
+/// Itemized area of a `width`-bit, `threads`-thread FIFO-MEB ablation
+/// (`depth` slots per thread). Not a Table I configuration — costed as
+/// `S·depth` registers plus the shared output mux, per-thread control and
+/// arbiter, i.e. the full-MEB structure with resized storage.
+pub fn fifo_meb_inventory(depth: usize, threads: usize, width: usize) -> Inventory {
+    let s = threads;
+    let mut inv = Inventory::new();
+    inv.push("fifo registers", s * depth, register(width));
+    inv.push("output mux", 1, crate::primitives::mux(width, s));
+    inv.push("EB control FSMs", s, eb_control());
+    inv.push("arbiter", 1, crate::primitives::arbiter(s));
+    inv
+}
+
+impl Inventory {
+    /// Derives the itemized area inventory of an IR netlist.
+    ///
+    /// Structural rows:
+    ///
+    /// * every [`Meb`](IrNodeTag::Meb) node costs
+    ///   [`meb_inventory`] (or [`fifo_meb_inventory`] for the FIFO
+    ///   ablation) at the node's thread count and channel width;
+    /// * every [`Eb`](IrNodeTag::Eb) node costs two registers plus one
+    ///   EB control FSM (the baseline two-slot buffer of paper Sec. II);
+    /// * every [`Barrier`](IrNodeTag::Barrier) node costs
+    ///   [`barrier`]`(S)`.
+    ///
+    /// All other node kinds contribute only their attached cost hints
+    /// (forks/joins/branches/merges are handshake gating folded into the
+    /// designs' control constants, sources/sinks are testbench artifacts,
+    /// and transform/latency payloads are design logic the hints
+    /// describe).
+    ///
+    /// A node's width comes from its first width-annotated channel
+    /// (outputs first, then inputs); an unannotated buffer costs its
+    /// control but zero datapath bits, so annotate widths on every
+    /// MEB-adjacent channel you want accounted.
+    pub fn from_ir<T: Token>(ir: &ElasticIr<T>) -> Inventory {
+        let mut inv = Inventory::new();
+        for (i, node) in ir.nodes().enumerate() {
+            let id = ir.node_named(node.name()).filter(|n| n.index() == i);
+            // Unique names are the norm; fall back to positional lookup
+            // via the iteration index when a name repeats.
+            let (width, threads) = match id {
+                Some(id) => (ir.node_width(id), ir.node_threads(id)),
+                None => {
+                    let first = node.outputs().iter().chain(node.inputs()).copied().next();
+                    let width = node
+                        .outputs()
+                        .iter()
+                        .chain(node.inputs())
+                        .find_map(|&ch| ir.channel_info(ch).width)
+                        .unwrap_or(0);
+                    let threads = first.map(|ch| ir.channel_info(ch).threads).unwrap_or(1);
+                    (width, threads)
+                }
+            };
+            match node.tag() {
+                IrNodeTag::Meb(kind) => {
+                    let (sub, label) = match kind {
+                        MebKind::Full => (
+                            meb_inventory(BufferKind::Full, threads, width),
+                            format!("MEB `{}` ({width}b, {})", node.name(), BufferKind::Full),
+                        ),
+                        MebKind::Reduced => (
+                            meb_inventory(BufferKind::Reduced, threads, width),
+                            format!("MEB `{}` ({width}b, {})", node.name(), BufferKind::Reduced),
+                        ),
+                        MebKind::Fifo { depth } => (
+                            fifo_meb_inventory(depth, threads, width),
+                            format!("MEB `{}` ({width}b, FIFO x{depth})", node.name()),
+                        ),
+                    };
+                    inv.push(label, 1, sub.total_les());
+                }
+                IrNodeTag::Eb => {
+                    inv.push(
+                        format!("EB `{}` ({width}b)", node.name()),
+                        1,
+                        2 * register(width) + eb_control(),
+                    );
+                }
+                IrNodeTag::Barrier => {
+                    inv.push(format!("barrier `{}`", node.name()), 1, barrier(threads));
+                }
+                _ => {}
+            }
+            for hint in node.cost_hints() {
+                inv.push(hint.name.clone(), hint.count, hint.les_each);
+            }
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastic_core::ArbiterKind;
+    use elastic_sim::ReadyPolicy;
+    use elastic_synth::IrNodeKind;
+
+    fn pipeline_ir(kind: MebKind) -> ElasticIr<u64> {
+        let mut ir = ElasticIr::<u64>::new();
+        let a = ir.channel("a", 4);
+        let b = ir.channel_with_width("b", 4, 32);
+        let c = ir.channel_with_width("c", 4, 32);
+        ir.add("src", IrNodeKind::Source, vec![], vec![a]);
+        ir.add(
+            "buf",
+            IrNodeKind::Meb {
+                kind,
+                arbiter: ArbiterKind::RoundRobin,
+                initial: Vec::new(),
+                auto: false,
+            },
+            vec![a],
+            vec![b],
+        );
+        let bar = ir.add(
+            "sync",
+            IrNodeKind::Barrier {
+                participants: None,
+                on_release: None,
+            },
+            vec![b],
+            vec![c],
+        );
+        ir.add_cost_hint(bar, "control glue", 1, 10);
+        ir.add(
+            "snk",
+            IrNodeKind::Sink {
+                capture: false,
+                policy: ReadyPolicy::Always,
+            },
+            vec![c],
+            vec![],
+        );
+        ir
+    }
+
+    #[test]
+    fn meb_rows_match_the_hand_formula() {
+        for (kind, bk) in [
+            (MebKind::Full, BufferKind::Full),
+            (MebKind::Reduced, BufferKind::Reduced),
+        ] {
+            let inv = Inventory::from_ir(&pipeline_ir(kind));
+            let meb_row = inv
+                .items
+                .iter()
+                .find(|i| i.name.contains("MEB `buf`"))
+                .expect("meb row");
+            assert_eq!(meb_row.total(), meb_inventory(bk, 4, 32).total_les());
+        }
+    }
+
+    #[test]
+    fn barrier_and_hints_are_counted() {
+        let inv = Inventory::from_ir(&pipeline_ir(MebKind::Reduced));
+        assert!(inv.items.iter().any(|i| i.name == "barrier `sync`"));
+        let hint = inv.items.iter().find(|i| i.name == "control glue").unwrap();
+        assert_eq!(hint.total(), 10);
+        let expected = meb_inventory(BufferKind::Reduced, 4, 32).total_les() + barrier(4) + 10;
+        assert_eq!(inv.total_les(), expected);
+    }
+
+    #[test]
+    fn fifo_ablation_scales_with_depth() {
+        let d2 = fifo_meb_inventory(2, 4, 32).total_les();
+        let d8 = fifo_meb_inventory(8, 4, 32).total_les();
+        assert!(d8 > d2);
+        assert_eq!(d8 - d2, (8 - 2) * 4 * register(32));
+    }
+}

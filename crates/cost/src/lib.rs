@@ -25,12 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod design;
+pub mod from_ir;
 pub mod primitives;
 pub mod table1;
 
 pub use design::{
     frequency_mhz, gcd_design, md5_design, meb_inventory, processor_design, BufferKind, DesignSpec,
 };
+pub use from_ir::fifo_meb_inventory;
 pub use primitives::{CostItem, Inventory};
 pub use table1::{
     average_savings, paper_reference, render, render_header, render_section, savings_fraction,

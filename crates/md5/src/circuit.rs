@@ -23,10 +23,13 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use elastic_core::{ArbiterKind, Barrier, Branch, MebKind, Merge};
+use elastic_core::{ArbiterKind, MebKind};
+use elastic_cost::primitives::{adder, lut_layer, mux};
 use elastic_sim::{
-    ChannelId, Circuit, CircuitBuilder, EvalMode, KernelStats, ReadyPolicy, SimError, Sink, Source,
-    Token, Transform,
+    ChannelId, Circuit, EvalMode, KernelStats, ReadyPolicy, SimError, Sink, Source, Token,
+};
+use elastic_synth::{
+    CycleCoverLint, ElasticIr, IrChannelId, IrNodeKind, MebSubstitution, PassManager, ProtocolLint,
 };
 
 use crate::algo::{apply_steps, digest_bytes, pad_blocks, MD5_IV};
@@ -140,6 +143,37 @@ pub struct Md5Channels {
     pub done: ChannelId,
 }
 
+/// The structural IR of the MD5 loop, before a buffer microarchitecture
+/// is chosen — the one description behind simulation, cost and DOT (see
+/// [`Md5Circuit::ir`]).
+pub struct Md5Ir {
+    /// The netlist. MEB nodes carry the placeholder `Reduced` kind until
+    /// a [`MebSubstitution`] pass retargets them.
+    pub ir: ElasticIr<Md5Token>,
+    /// The global round-configuration counter wired into the stage
+    /// assertions and the barrier's release action.
+    pub round_counter: Arc<AtomicUsize>,
+    /// Hardware thread count.
+    pub threads: usize,
+    /// Participating thread count.
+    pub participants: usize,
+    /// feeder → merge (fresh blocks).
+    pub fresh: IrChannelId,
+    /// branch → merge (blocks with rounds remaining).
+    pub loopback: IrChannelId,
+    /// merge → input MEB.
+    pub into_buf: IrChannelId,
+    /// input MEB → stage 0, …, last stage → output MEB (length
+    /// `stages + 1`).
+    pub stages: Vec<IrChannelId>,
+    /// output MEB → barrier.
+    pub obuf: IrChannelId,
+    /// barrier → branch.
+    pub released: IrChannelId,
+    /// branch (finished) → sink.
+    pub done: IrChannelId,
+}
+
 /// The assembled MD5 circuit plus its global round counter.
 pub struct Md5Circuit {
     /// The simulated netlist.
@@ -165,17 +199,20 @@ impl Md5Circuit {
         Self::with_stages(threads, participants, kind, 1)
     }
 
-    /// Builds the loop with the round unit *pipelined* into `stages`
-    /// MEB-separated stages of `16/stages` steps each — the variant the
-    /// paper sketches ("they could have been pipelined with minimum
-    /// changes due to elasticity"). `stages = 1` is the paper's
-    /// single-cycle round.
+    /// Builds the structural IR of the loop — *one* circuit description
+    /// that feeds simulation ([`Md5Ir::ir`] → elaborate), the cost model
+    /// (`Inventory::from_ir`) and DOT rendering (`ir.to_dot()`).
+    ///
+    /// Every MEB is emitted with the placeholder `Reduced`
+    /// microarchitecture; [`with_stages`](Self::with_stages) retargets
+    /// them with a [`MebSubstitution`] pass, and cost studies can do the
+    /// same before calling `Inventory::from_ir`.
     ///
     /// # Panics
     ///
     /// Panics if `participants == 0`, `participants > threads`, or
     /// `stages` does not divide 16.
-    pub fn with_stages(threads: usize, participants: usize, kind: MebKind, stages: usize) -> Self {
+    pub fn ir(threads: usize, participants: usize, stages: usize) -> Md5Ir {
         assert!(
             participants > 0 && participants <= threads,
             "invalid participant count"
@@ -185,29 +222,35 @@ impl Md5Circuit {
             "round stages must divide the 16 steps of a round"
         );
         let steps_per_stage = 16 / stages;
-        let mut b = CircuitBuilder::<Md5Token>::new();
-        let fresh = b.channel("fresh", threads);
-        let loopback = b.channel("loop", threads);
-        let into_buf = b.channel("in", threads);
-        let stage_chs = b.channels("st", threads, stages + 1);
-        let obuf = b.channel("obuf", threads);
-        let released = b.channel("rel", threads);
-        let done = b.channel("done", threads);
+        let meb = |auto| IrNodeKind::Meb {
+            kind: MebKind::Reduced,
+            arbiter: ArbiterKind::RoundRobin,
+            initial: Vec::new(),
+            auto,
+        };
+        // The MEBs carry the 128-bit working-state token (the block itself
+        // lives in embedded memory, mirroring the paper's accounting).
+        const TOKEN_BITS: usize = 128;
 
-        b.add(Source::<Md5Token>::new("feeder", fresh, threads));
-        b.add(Merge::new(
+        let mut ir = ElasticIr::<Md5Token>::new();
+        let fresh = ir.channel("fresh", threads);
+        let loopback = ir.channel("loop", threads);
+        let into_buf = ir.channel("in", threads);
+        let stage_chs: Vec<IrChannelId> = (0..=stages)
+            .map(|i| ir.channel_with_width(format!("st{i}"), threads, TOKEN_BITS))
+            .collect();
+        let obuf = ir.channel_with_width("obuf", threads, TOKEN_BITS);
+        let released = ir.channel("rel", threads);
+        let done = ir.channel("done", threads);
+
+        ir.add("feeder", IrNodeKind::Source, vec![], vec![fresh]);
+        ir.add(
             "entry",
+            IrNodeKind::Merge,
             vec![loopback, fresh],
-            into_buf,
-            threads,
-        ));
-        b.add_boxed(kind.build_with::<Md5Token>(
-            "meb_in",
-            into_buf,
-            stage_chs[0],
-            threads,
-            ArbiterKind::RoundRobin,
-        ));
+            vec![into_buf],
+        );
+        ir.add("meb_in", meb(false), vec![into_buf], vec![stage_chs[0]]);
 
         let round_counter = Arc::new(AtomicUsize::new(0));
         // One combinational stage per `steps_per_stage` steps, each pair
@@ -218,86 +261,150 @@ impl Md5Circuit {
                 // Last stage drives the output buffer's input directly.
                 stage_chs[stages]
             } else {
-                let mid = b.channel(format!("stx{k}"), threads);
-                mid
+                ir.channel(format!("stx{k}"), threads)
             };
-            b.add(Transform::new(
+            let stage = ir.add(
                 format!("round_stage{k}"),
-                stage_chs[k],
-                stage_out,
-                threads,
-                move |tok: &Md5Token| {
-                    let round = rc.load(Ordering::SeqCst) % 4;
-                    let expect_steps = round * 16 + k * steps_per_stage;
-                    assert_eq!(
-                        usize::from(tok.steps_done) % 64,
-                        expect_steps,
-                        "token {} reached round stage {k} out of phase with the \
-                         global configuration — the barrier failed its job",
-                        tok.label()
-                    );
-                    let mut out = tok.clone();
-                    out.work = apply_steps(out.work, &out.block, expect_steps, steps_per_stage);
-                    out.steps_done += steps_per_stage as u8;
-                    out
+                IrNodeKind::Transform {
+                    f: Box::new(move |tok: &Md5Token| {
+                        let round = rc.load(Ordering::SeqCst) % 4;
+                        let expect_steps = round * 16 + k * steps_per_stage;
+                        assert_eq!(
+                            usize::from(tok.steps_done) % 64,
+                            expect_steps,
+                            "token {} reached round stage {k} out of phase with the \
+                             global configuration — the barrier failed its job",
+                            tok.label()
+                        );
+                        let mut out = tok.clone();
+                        out.work = apply_steps(out.work, &out.block, expect_steps, steps_per_stage);
+                        out.steps_done += steps_per_stage as u8;
+                        out
+                    }),
                 },
-            ));
+                vec![stage_chs[k]],
+                vec![stage_out],
+            );
+            // The stage's share of the unrolled 16-step round datapath:
+            // each step is four 32-bit adders, the 2-level boolean
+            // function F/G/H/I and the 3-level message-word select.
+            ir.add_cost_hint(
+                stage,
+                "unrolled step (4 adders + F + word select)",
+                steps_per_stage,
+                4 * adder(32) + 2 * lut_layer(32) + 3 * lut_layer(32),
+            );
+            if k == 0 {
+                ir.add_cost_hint(stage, "round configuration mux", 1, mux(32, 3));
+                ir.add_cost_hint(stage, "round counter + misc control", 1, 20);
+            }
             if k < stages - 1 {
-                b.add_boxed(kind.build_with::<Md5Token>(
+                ir.add(
                     format!("meb_stage{k}"),
-                    stage_out,
-                    stage_chs[k + 1],
-                    threads,
-                    ArbiterKind::RoundRobin,
-                ));
+                    meb(false),
+                    vec![stage_out],
+                    vec![stage_chs[k + 1]],
+                );
             }
         }
 
-        b.add_boxed(kind.build_with::<Md5Token>(
-            "meb_out",
-            stage_chs[stages],
-            obuf,
-            threads,
-            ArbiterKind::RoundRobin,
-        ));
+        ir.add("meb_out", meb(false), vec![stage_chs[stages]], vec![obuf]);
 
         let rc = Arc::clone(&round_counter);
         let mask: Vec<bool> = (0..threads).map(|t| t < participants).collect();
-        b.add(
-            Barrier::new("barrier", obuf, released, threads)
-                .with_participants(mask)
-                .with_release_action(move |_| {
+        ir.add(
+            "barrier",
+            IrNodeKind::Barrier {
+                participants: Some(mask),
+                on_release: Some(Box::new(move |_| {
                     rc.fetch_add(1, Ordering::SeqCst);
-                }),
+                })),
+            },
+            vec![obuf],
+            vec![released],
         );
 
-        b.add(Branch::new(
+        ir.add(
             "exit",
+            IrNodeKind::Branch {
+                cond: Box::new(|tok: &Md5Token| tok.steps_done >= 64),
+            },
+            vec![released],
+            vec![done, loopback],
+        );
+        ir.add(
+            "out",
+            IrNodeKind::Sink {
+                capture: true,
+                policy: ReadyPolicy::Always,
+            },
+            vec![done],
+            vec![],
+        );
+
+        Md5Ir {
+            ir,
+            round_counter,
+            threads,
+            participants,
+            fresh,
+            loopback,
+            into_buf,
+            stages: stage_chs,
+            obuf,
             released,
             done,
-            loopback,
-            threads,
-            |tok: &Md5Token| tok.steps_done >= 64,
-        ));
-        b.add(Sink::with_capture(
-            "out",
-            done,
-            threads,
-            ReadyPolicy::Always,
-        ));
+        }
+    }
 
-        let circuit = b.build().expect("md5 netlist is well-formed");
+    /// Builds the loop with the round unit *pipelined* into `stages`
+    /// MEB-separated stages of `16/stages` steps each — the variant the
+    /// paper sketches ("they could have been pipelined with minimum
+    /// changes due to elasticity"). `stages = 1` is the paper's
+    /// single-cycle round.
+    ///
+    /// Construction is the IR pipeline end to end: [`ir`](Self::ir) →
+    /// [`MebSubstitution::all`]`(kind)` → protocol + cycle-cover lints →
+    /// elaboration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants == 0`, `participants > threads`, or
+    /// `stages` does not divide 16.
+    pub fn with_stages(threads: usize, participants: usize, kind: MebKind, stages: usize) -> Self {
+        let built = Self::ir(threads, participants, stages);
+        let Md5Ir {
+            mut ir,
+            round_counter,
+            threads,
+            participants,
+            fresh,
+            loopback,
+            into_buf,
+            stages: stage_chs,
+            obuf,
+            released,
+            done,
+        } = built;
+        PassManager::new()
+            .with(MebSubstitution::all(kind))
+            .with(ProtocolLint)
+            .with(CycleCoverLint)
+            .run(&mut ir)
+            .expect("md5 netlist passes lints");
+        let e = ir.elaborate().expect("md5 netlist is well-formed");
+        let channels = Md5Channels {
+            fresh: e.channel(fresh),
+            loopback: e.channel(loopback),
+            into_buf: e.channel(into_buf),
+            stages: stage_chs.iter().map(|&c| e.channel(c)).collect(),
+            obuf: e.channel(obuf),
+            released: e.channel(released),
+            done: e.channel(done),
+        };
         Self {
-            circuit,
-            channels: Md5Channels {
-                fresh,
-                loopback,
-                into_buf,
-                stages: stage_chs,
-                obuf,
-                released,
-                done,
-            },
+            circuit: e.circuit,
+            channels,
             round_counter,
             threads,
             participants,

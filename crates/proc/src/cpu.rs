@@ -16,8 +16,12 @@
 
 use std::sync::Arc;
 
-use elastic_core::{ArbiterKind, Fork, ForkMode, MebKind};
-use elastic_sim::{ChannelId, Circuit, CircuitBuilder, LatencyModel, SimError, VarLatency};
+use elastic_core::{ArbiterKind, ForkMode, MebKind};
+use elastic_cost::primitives::{adder, lut_layer, mux, register};
+use elastic_sim::{ChannelId, Circuit, Component, LatencyModel, SimError};
+use elastic_synth::{
+    CycleCoverLint, ElasticIr, IrChannelId, IrNodeKind, MebSubstitution, PassManager, ProtocolLint,
+};
 
 use crate::isa::Instr;
 use crate::stages::{execute, Fetcher, MemUnit, RegUnit, SpecState};
@@ -187,6 +191,48 @@ impl From<SimError> for CpuError {
     }
 }
 
+/// IR-level channel handles of the processor pipeline (same wires as
+/// [`CpuChannels`], before elaboration).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CpuIrChannels {
+    /// Fetcher → icache.
+    pub fetch: IrChannelId,
+    /// icache → IF/ID MEB.
+    pub fetched: IrChannelId,
+    /// IF/ID MEB → decode.
+    pub decode_in: IrChannelId,
+    /// decode → ID/EX MEB.
+    pub issued: IrChannelId,
+    /// ID/EX MEB → execute.
+    pub ex_in: IrChannelId,
+    /// execute → EX/MEM MEB.
+    pub ex_out: IrChannelId,
+    /// EX/MEM MEB → router.
+    pub route_in: IrChannelId,
+    /// router → memory unit.
+    pub mem_in: IrChannelId,
+    /// memory unit → MEM/WB MEB.
+    pub mem_out: IrChannelId,
+    /// MEM/WB MEB → writeback.
+    pub wb: IrChannelId,
+    /// router → redirect MEB.
+    pub redirect_raw: IrChannelId,
+    /// redirect MEB → fetcher.
+    pub redirect: IrChannelId,
+}
+
+/// The structural IR of the processor pipeline — the one description
+/// behind simulation ([`Cpu::new`] elaborates it), the cost model
+/// (`Inventory::from_ir`) and DOT rendering (`ir.to_dot()`).
+pub struct CpuIr {
+    /// The netlist. The five pipeline-register MEBs are emitted as
+    /// `auto` nodes with the placeholder `Reduced` kind; [`Cpu::new`]
+    /// retargets them with [`MebSubstitution::auto`].
+    pub ir: ElasticIr<ProcToken>,
+    /// Channel handles.
+    pub channels: CpuIrChannels,
+}
+
 /// The multithreaded elastic processor.
 pub struct Cpu {
     /// The simulated pipeline netlist.
@@ -197,141 +243,190 @@ pub struct Cpu {
 }
 
 impl Cpu {
-    /// Builds the processor with `program` loaded into instruction memory
-    /// and every thread starting at `entry_pcs[thread]`.
+    /// Builds the structural IR of the pipeline, with `program` loaded
+    /// into instruction memory and every thread starting at
+    /// `entry_pcs[thread]`.
+    ///
+    /// The design-specific stages (fetcher, register unit, data memory)
+    /// are [`IrNodeKind::Custom`] nodes whose factories capture the
+    /// program and configuration; the generic stages (latency units, the
+    /// router fork, the MEB pipeline registers) are ordinary primitive
+    /// nodes, so passes can retarget the buffers and the lints can check
+    /// the wiring. Channel widths carry the per-stage token widths of the
+    /// cost model, and cost hints describe the combinational payload
+    /// (ALU, decoder, PCs, …).
     ///
     /// # Panics
     ///
     /// Panics if `entry_pcs.len() != config.threads` or the program is
     /// empty.
-    pub fn new(config: CpuConfig, program: Vec<u32>, entry_pcs: Vec<u32>) -> Self {
+    pub fn ir(config: &CpuConfig, program: Vec<u32>, entry_pcs: Vec<u32>) -> CpuIr {
         assert!(
             !program.is_empty(),
             "program must contain at least one instruction"
         );
         assert_eq!(entry_pcs.len(), config.threads, "one entry PC per thread");
         let s = config.threads;
-        let mut b = CircuitBuilder::<ProcToken>::new();
+        let mut ir = ElasticIr::<ProcToken>::new();
 
-        let fetch = b.channel("fetch", s);
-        let fetched = b.channel("fetched", s);
-        let decode_in = b.channel("decode_in", s);
-        let issued = b.channel("issued", s);
-        let ex_in = b.channel("ex_in", s);
-        let ex_out = b.channel("ex_out", s);
-        let route_in = b.channel("route_in", s);
-        let mem_in = b.channel("mem_in", s);
-        let mem_out = b.channel("mem_out", s);
-        let wb = b.channel("wb", s);
-        let redirect_raw = b.channel("redirect_raw", s);
-        let redirect = b.channel("redirect", s);
+        let fetch = ir.channel("fetch", s);
+        let fetched = ir.channel("fetched", s);
+        let decode_in = ir.channel_with_width("decode_in", s, 36);
+        let issued = ir.channel("issued", s);
+        let ex_in = ir.channel_with_width("ex_in", s, 52);
+        let ex_out = ir.channel("ex_out", s);
+        let route_in = ir.channel_with_width("route_in", s, 44);
+        let mem_in = ir.channel("mem_in", s);
+        let mem_out = ir.channel("mem_out", s);
+        let wb = ir.channel_with_width("wb", s, 30);
+        let redirect_raw = ir.channel("redirect_raw", s);
+        let redirect = ir.channel_with_width("redirect", s, 18);
+
+        let meb = || IrNodeKind::Meb {
+            kind: MebKind::Reduced,
+            arbiter: config.arbiter,
+            initial: Vec::new(),
+            auto: true,
+        };
 
         let imem = Arc::new(program);
         let spec = SpecState::new(s);
-        let mut fetcher = Fetcher::new("fetch", fetch, redirect, s, imem, entry_pcs);
-        if config.speculate {
-            fetcher = fetcher.with_speculation(Arc::clone(&spec));
-        }
-        b.add(fetcher);
-        b.add(VarLatency::new(
-            "icache",
-            fetch,
-            fetched,
-            s,
-            s.max(2),
-            LatencyModel::Uniform {
-                min: config.imem_latency.0,
-                max: config.imem_latency.1,
-                seed: config.seed ^ 0x1CAC4E,
+        let speculate = config.speculate;
+
+        let fetch_spec = Arc::clone(&spec);
+        let fetcher_node = ir.add(
+            "fetch",
+            IrNodeKind::Custom {
+                build: Box::new(move |ins: &[ChannelId], outs: &[ChannelId]| {
+                    let mut fetcher = Fetcher::new("fetch", outs[0], ins[0], s, imem, entry_pcs);
+                    if speculate {
+                        fetcher = fetcher.with_speculation(fetch_spec);
+                    }
+                    Box::new(fetcher) as Box<dyn Component<ProcToken>>
+                }),
+                // The PC registers drive fetch, but the redirect path
+                // gates `valid` combinationally — not a loop cut.
+                cuts: false,
             },
-        ));
-        b.add_boxed(config.meb.build_with::<ProcToken>(
-            "meb_if",
-            fetched,
-            decode_in,
-            s,
-            config.arbiter,
-        ));
-        let mut regs = RegUnit::new("regs", decode_in, wb, issued, s);
-        if config.speculate {
-            regs = regs.with_speculation(Arc::clone(&spec));
-        }
-        b.add(regs);
-        b.add_boxed(
-            config
-                .meb
-                .build_with::<ProcToken>("meb_id", issued, ex_in, s, config.arbiter),
+            vec![redirect],
+            vec![fetch],
         );
+        ir.add_cost_hint(fetcher_node, "program counters", s, register(16));
+        ir.add_cost_hint(fetcher_node, "fetch thread-select", 1, 8 * s);
+
+        ir.add(
+            "icache",
+            IrNodeKind::VarLatency {
+                servers: s.max(2),
+                model: LatencyModel::Uniform {
+                    min: config.imem_latency.0,
+                    max: config.imem_latency.1,
+                    seed: config.seed ^ 0x1CAC4E,
+                },
+                transform: None,
+            },
+            vec![fetch],
+            vec![fetched],
+        );
+        ir.add("meb_if", meb(), vec![fetched], vec![decode_in]);
+
+        let regs_spec = Arc::clone(&spec);
+        let regs_node = ir.add(
+            "regs",
+            IrNodeKind::Custom {
+                build: Box::new(move |ins: &[ChannelId], outs: &[ChannelId]| {
+                    let mut regs = RegUnit::new("regs", ins[0], ins[1], outs[0], s);
+                    if speculate {
+                        regs = regs.with_speculation(regs_spec);
+                    }
+                    Box::new(regs) as Box<dyn Component<ProcToken>>
+                }),
+                cuts: false,
+            },
+            vec![decode_in, wb],
+            vec![issued],
+        );
+        ir.add_cost_hint(regs_node, "instruction decoder", 1, 120);
+        ir.add_cost_hint(regs_node, "scoreboard (pending bits)", s, 32);
+        ir.add_cost_hint(regs_node, "hazard/forward control", 1, 124);
+
+        ir.add("meb_id", meb(), vec![issued], vec![ex_in]);
+
         let mul_latency = config.mul_latency;
-        b.add(
-            VarLatency::new(
-                "exec",
-                ex_in,
-                ex_out,
-                s,
-                s.max(2),
-                LatencyModel::PerToken(Box::new(move |tok: &ProcToken| match tok {
+        let exec_node = ir.add(
+            "exec",
+            IrNodeKind::VarLatency {
+                servers: s.max(2),
+                model: LatencyModel::PerToken(Box::new(move |tok: &ProcToken| match tok {
                     ProcToken::Decoded { instr, .. } if instr.is_mul() => mul_latency,
                     _ => 1,
                 })),
-            )
-            .with_transform(execute),
+                transform: Some(Box::new(execute)),
+            },
+            vec![ex_in],
+            vec![ex_out],
         );
-        b.add_boxed(config.meb.build_with::<ProcToken>(
-            "meb_ex",
-            ex_out,
-            route_in,
-            s,
-            config.arbiter,
-        ));
-        b.add(
-            Fork::new(
-                "router",
-                route_in,
-                vec![mem_in, redirect_raw],
-                s,
-                ForkMode::Eager,
-            )
-            .with_route(|tok: &ProcToken| {
-                let ProcToken::Executed { instr, .. } = tok else {
-                    panic!("router received a non-executed token");
-                };
-                let to_wb = !instr.is_control_flow() || matches!(instr, Instr::Jal { .. });
-                let to_redirect = instr.is_control_flow();
-                vec![to_wb, to_redirect]
-            }),
+        ir.add_cost_hint(
+            exec_node,
+            "ALU (adder + logic + shifter + result mux)",
+            1,
+            adder(32) + 2 * lut_layer(32) + 3 * lut_layer(32) + 2 * mux(32, 2),
         );
-        let mut dmem = MemUnit::new(
-            "dmem",
-            mem_in,
-            mem_out,
-            s,
-            s.max(2),
-            config.dmem_words,
-            config.dmem_latency,
-            config.seed ^ 0xD3EA,
-        );
-        if config.speculate {
-            dmem = dmem.with_speculation(Arc::clone(&spec));
-        }
-        b.add(dmem);
-        b.add_boxed(
-            config
-                .meb
-                .build_with::<ProcToken>("meb_wb", mem_out, wb, s, config.arbiter),
-        );
-        b.add_boxed(config.meb.build_with::<ProcToken>(
-            "meb_rd",
-            redirect_raw,
-            redirect,
-            s,
-            config.arbiter,
-        ));
+        ir.add_cost_hint(exec_node, "multiplier glue (DSP excluded)", 1, 40);
 
-        let circuit = b.build().expect("cpu netlist is well-formed");
-        Self {
-            circuit,
-            channels: CpuChannels {
+        ir.add("meb_ex", meb(), vec![ex_out], vec![route_in]);
+        ir.add(
+            "router",
+            IrNodeKind::Fork {
+                mode: ForkMode::Eager,
+                route: Some(Box::new(|tok: &ProcToken| {
+                    let ProcToken::Executed { instr, .. } = tok else {
+                        panic!("router received a non-executed token");
+                    };
+                    let to_wb = !instr.is_control_flow() || matches!(instr, Instr::Jal { .. });
+                    let to_redirect = instr.is_control_flow();
+                    vec![to_wb, to_redirect]
+                })),
+            },
+            vec![route_in],
+            vec![mem_in, redirect_raw],
+        );
+
+        let dmem_words = config.dmem_words;
+        let dmem_latency = config.dmem_latency;
+        let dmem_seed = config.seed ^ 0xD3EA;
+        ir.add(
+            "dmem",
+            IrNodeKind::Custom {
+                build: Box::new(move |ins: &[ChannelId], outs: &[ChannelId]| {
+                    let mut dmem = MemUnit::new(
+                        "dmem",
+                        ins[0],
+                        outs[0],
+                        s,
+                        s.max(2),
+                        dmem_words,
+                        dmem_latency,
+                        dmem_seed,
+                    );
+                    if speculate {
+                        dmem = dmem.with_speculation(spec);
+                    }
+                    Box::new(dmem) as Box<dyn Component<ProcToken>>
+                }),
+                // A variable-latency memory: every handshake path is
+                // registered, so it legally cuts feedback cycles.
+                cuts: true,
+            },
+            vec![mem_in],
+            vec![mem_out],
+        );
+        ir.add("meb_wb", meb(), vec![mem_out], vec![wb]);
+        ir.add("meb_rd", meb(), vec![redirect_raw], vec![redirect]);
+
+        CpuIr {
+            ir,
+            channels: CpuIrChannels {
                 fetch,
                 fetched,
                 decode_in,
@@ -345,6 +440,53 @@ impl Cpu {
                 redirect_raw,
                 redirect,
             },
+        }
+    }
+
+    /// Builds an IR for *cost and rendering only* (a trivial one-word
+    /// program): what `Inventory::from_ir` and the design-lint tooling
+    /// consume when no real workload is at hand.
+    pub fn cost_ir(threads: usize) -> CpuIr {
+        Self::ir(&CpuConfig::new(threads), vec![0], vec![0; threads])
+    }
+
+    /// Builds the processor with `program` loaded into instruction memory
+    /// and every thread starting at `entry_pcs[thread]`.
+    ///
+    /// Construction is the IR pipeline end to end: [`ir`](Self::ir) →
+    /// [`MebSubstitution::auto`]`(config.meb)` → protocol + cycle-cover
+    /// lints → elaboration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_pcs.len() != config.threads` or the program is
+    /// empty.
+    pub fn new(config: CpuConfig, program: Vec<u32>, entry_pcs: Vec<u32>) -> Self {
+        let CpuIr { mut ir, channels } = Self::ir(&config, program, entry_pcs);
+        PassManager::new()
+            .with(MebSubstitution::auto(config.meb).with_arbiter(config.arbiter))
+            .with(ProtocolLint)
+            .with(CycleCoverLint)
+            .run(&mut ir)
+            .expect("cpu netlist passes lints");
+        let e = ir.elaborate().expect("cpu netlist is well-formed");
+        let channels = CpuChannels {
+            fetch: e.channel(channels.fetch),
+            fetched: e.channel(channels.fetched),
+            decode_in: e.channel(channels.decode_in),
+            issued: e.channel(channels.issued),
+            ex_in: e.channel(channels.ex_in),
+            ex_out: e.channel(channels.ex_out),
+            route_in: e.channel(channels.route_in),
+            mem_in: e.channel(channels.mem_in),
+            mem_out: e.channel(channels.mem_out),
+            wb: e.channel(channels.wb),
+            redirect_raw: e.channel(channels.redirect_raw),
+            redirect: e.channel(channels.redirect),
+        };
+        Self {
+            circuit: e.circuit,
+            channels,
             config,
         }
     }

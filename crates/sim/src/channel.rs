@@ -59,13 +59,6 @@ impl<T: Token> ChannelState<T> {
         }
     }
 
-    /// Returns the indices of all threads whose valid bit is high.
-    #[deprecated(note = "allocates a Vec per call; iterate `valid.iter_ones()` instead")]
-    #[allow(dead_code)]
-    pub fn asserted_threads(&self) -> Vec<usize> {
-        self.valid.iter_ones().collect()
-    }
-
     /// Returns `Some(thread)` if exactly the one thread `thread` is valid.
     pub fn single_valid(&self) -> Option<usize> {
         self.valid.single()
@@ -105,11 +98,6 @@ mod tests {
         c.valid.set(0, true);
         assert_eq!(c.single_valid(), None);
         assert_eq!(c.valid.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
-        // The deprecated Vec-returning form stays equivalent until it is
-        // removed.
-        #[allow(deprecated)]
-        let asserted = c.asserted_threads();
-        assert_eq!(asserted, vec![0, 2]);
     }
 
     #[test]

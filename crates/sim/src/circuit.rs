@@ -538,6 +538,12 @@ impl<T: Token> Circuit<T> {
             .collect()
     }
 
+    /// Structural class of every component, in evaluation order (see
+    /// [`Component::netlist_kind`]).
+    pub fn component_kinds(&self) -> Vec<crate::netlist::NetlistNodeKind> {
+        self.components.iter().map(|c| c.netlist_kind()).collect()
+    }
+
     /// Name of channel `ch`.
     pub fn channel_name(&self, ch: ChannelId) -> &str {
         &self.channels[ch.0].spec.name

@@ -270,6 +270,15 @@ pub trait Component<T: Token>: Send {
         None
     }
 
+    /// Structural class for netlist extraction and DOT rendering (see
+    /// [`NetlistNodeKind`](crate::netlist::NetlistNodeKind)). The default
+    /// is the unclassified box shape; primitives override this so an
+    /// extracted graph draws buffers as cylinders, routing as diamonds,
+    /// barriers as octagons and endpoints as ellipses.
+    fn netlist_kind(&self) -> crate::netlist::NetlistNodeKind {
+        crate::netlist::NetlistNodeKind::default()
+    }
+
     /// Upcast for typed access via [`Circuit::get`](crate::Circuit::get).
     ///
     /// Implement as `fn as_any(&self) -> &dyn Any { self }` (the

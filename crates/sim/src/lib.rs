@@ -88,7 +88,7 @@ pub use component::{conservative_paths, CombPath, Component, NextEvent, Ports, S
 pub use error::{BuildError, ProtocolError, SimError};
 pub use latency::{token_latencies, LatencySummary, TokenLatencies};
 pub use mask::{Ones, ThreadMask};
-pub use netlist::{NetlistEdge, NetlistGraph};
+pub use netlist::{NetlistEdge, NetlistGraph, NetlistNodeKind};
 pub use occupancy::{occupancy_stats, OccupancyStats};
 pub use par::{
     available_workers, run_sweep, run_sweep_on, JobError, JobReport, SimJob, SweepReport,

@@ -10,6 +10,46 @@ use std::fmt::Write as _;
 use crate::circuit::Circuit;
 use crate::token::Token;
 
+/// Coarse structural class of a netlist node, used to pick a Graphviz
+/// shape: storage draws as a cylinder, routing as a diamond,
+/// synchronization as an octagon, testbench endpoints as ellipses and
+/// everything else as a box.
+///
+/// Components report their class through
+/// [`Component::netlist_kind`](crate::Component::netlist_kind); graphs
+/// extracted from an IR (`elastic-synth`) carry the same classification
+/// so both render identically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum NetlistNodeKind {
+    /// Token entry/exit (sources and sinks).
+    Endpoint,
+    /// Elastic storage (EBs and MEBs) — a legal cut point for feedback
+    /// loops.
+    Buffer,
+    /// Token routing (fork, join, branch, merge).
+    Route,
+    /// Thread synchronization (barrier).
+    Sync,
+    /// Functional/latency unit (transform, variable-latency server).
+    Unit,
+    /// Unclassified component.
+    #[default]
+    Other,
+}
+
+impl NetlistNodeKind {
+    /// The Graphviz shape this class renders with.
+    pub fn dot_shape(self) -> &'static str {
+        match self {
+            NetlistNodeKind::Endpoint => "ellipse",
+            NetlistNodeKind::Buffer => "cylinder",
+            NetlistNodeKind::Route => "diamond",
+            NetlistNodeKind::Sync => "octagon",
+            NetlistNodeKind::Unit | NetlistNodeKind::Other => "box",
+        }
+    }
+}
+
 /// One channel edge of the netlist.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct NetlistEdge {
@@ -28,6 +68,9 @@ pub struct NetlistEdge {
 pub struct NetlistGraph {
     /// Component instance names, in evaluation order.
     pub components: Vec<String>,
+    /// Structural class of each component (same order as
+    /// [`components`](NetlistGraph::components)).
+    pub kinds: Vec<NetlistNodeKind>,
     /// Channel edges.
     pub edges: Vec<NetlistEdge>,
 }
@@ -136,13 +179,25 @@ impl NetlistGraph {
     }
 
     /// Renders the graph in Graphviz DOT syntax. Multithreaded channels
-    /// are labelled with their thread count.
+    /// are labelled with their thread count; node shapes follow
+    /// [`NetlistNodeKind::dot_shape`] (buffers as cylinders, routing as
+    /// diamonds, barriers as octagons, endpoints as ellipses).
     pub fn to_dot(&self) -> String {
         let mut out = String::from(
             "digraph elastic {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n",
         );
         for (i, name) in self.components.iter().enumerate() {
-            let _ = writeln!(out, "  n{i} [label=\"{}\"];", name.replace('"', "'"));
+            let kind = self.kinds.get(i).copied().unwrap_or_default();
+            let shape = kind.dot_shape();
+            if shape == "box" {
+                let _ = writeln!(out, "  n{i} [label=\"{}\"];", name.replace('"', "'"));
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  n{i} [label=\"{}\", shape={shape}];",
+                    name.replace('"', "'")
+                );
+            }
         }
         for e in &self.edges {
             let label = if e.threads > 1 {
@@ -191,6 +246,7 @@ impl<T: Token> Circuit<T> {
     /// Extracts the structural netlist of this circuit.
     pub fn netlist(&self) -> NetlistGraph {
         let components = self.component_names();
+        let kinds = self.component_kinds();
         let edges = self
             .channel_ids()
             .into_iter()
@@ -201,7 +257,11 @@ impl<T: Token> Circuit<T> {
                 to: self.channel_reader(ch),
             })
             .collect();
-        NetlistGraph { components, edges }
+        NetlistGraph {
+            components,
+            kinds,
+            edges,
+        }
     }
 }
 
@@ -259,7 +319,23 @@ mod tests {
         assert!(dot.starts_with("digraph elastic {"));
         assert!(dot.contains("n1 -> n2"), "src feeds the transform:\n{dot}");
         assert!(dot.contains("(2t)"), "{dot}");
+        // Endpoints (src/snk) render as ellipses via their declared kind.
+        assert!(dot.contains("shape=ellipse"), "{dot}");
         assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn netlist_kinds_follow_component_declarations() {
+        let g = pipeline().netlist();
+        // Rank order: 0 = snk, 1 = src, 2 = double.
+        assert_eq!(
+            g.kinds,
+            vec![
+                NetlistNodeKind::Endpoint,
+                NetlistNodeKind::Endpoint,
+                NetlistNodeKind::Unit
+            ]
+        );
     }
 
     #[test]
@@ -267,6 +343,7 @@ mod tests {
         // Manually constructed graph with a loop.
         let g = NetlistGraph {
             components: vec!["a".into(), "b".into(), "c".into()],
+            kinds: vec![NetlistNodeKind::Other; 3],
             edges: vec![
                 NetlistEdge {
                     channel: "x".into(),

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use crate::channel::ChannelId;
 use crate::circuit::{EvalCtx, TickCtx};
 use crate::component::{CombPath, Component, NextEvent, Ports};
+use crate::netlist::NetlistNodeKind;
 use crate::token::Token;
 
 /// Deterministic 64-bit mix (splitmix64 finalizer). Used to derive
@@ -171,6 +172,10 @@ impl<T: Token> Source<T> {
 }
 
 impl<T: Token> Component<T> for Source<T> {
+    fn netlist_kind(&self) -> NetlistNodeKind {
+        NetlistNodeKind::Endpoint
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -331,6 +336,10 @@ impl<T: Token> Sink<T> {
 }
 
 impl<T: Token> Component<T> for Sink<T> {
+    fn netlist_kind(&self) -> NetlistNodeKind {
+        NetlistNodeKind::Endpoint
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

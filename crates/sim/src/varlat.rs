@@ -17,6 +17,7 @@ use crate::channel::ChannelId;
 use crate::circuit::{EvalCtx, TickCtx};
 use crate::component::{CombPath, Component, NextEvent, Ports, SlotView};
 use crate::mask::ThreadMask;
+use crate::netlist::NetlistNodeKind;
 use crate::token::Token;
 
 /// Per-token latency function (see [`LatencyModel::PerToken`]).
@@ -221,6 +222,10 @@ impl<T: Token> VarLatency<T> {
 }
 
 impl<T: Token> Component<T> for VarLatency<T> {
+    fn netlist_kind(&self) -> NetlistNodeKind {
+        NetlistNodeKind::Unit
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -355,6 +360,10 @@ impl<T: Token> Transform<T> {
 }
 
 impl<T: Token> Component<T> for Transform<T> {
+    fn netlist_kind(&self) -> NetlistNodeKind {
+        NetlistNodeKind::Unit
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

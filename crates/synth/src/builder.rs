@@ -2,14 +2,13 @@
 
 use std::collections::BTreeMap;
 
-use elastic_core::{ArbiterKind, Barrier, Branch, Fork, ForkMode, Join, MebKind, Merge};
-use elastic_sim::{
-    ChannelId, CircuitBuilder, LatencyModel, ReadyPolicy, Sink, Source, Token, Transform,
-    VarLatency,
-};
+use elastic_core::{ArbiterKind, ForkMode, MebKind};
+use elastic_sim::{ChannelId, LatencyModel, ReadyPolicy, Token};
 
 use crate::circuit::SynthCircuit;
 use crate::graph::{BufferPolicy, Node, OpLatency, SynthError, Wire};
+use crate::ir::{ElasticIr, IrChannelId, IrNodeKind};
+use crate::passes::{CycleCoverLint, MebSubstitution, PassManager, ProtocolLint};
 
 /// Elaboration options.
 #[derive(Clone, Copy, Debug)]
@@ -394,24 +393,37 @@ impl<T: Token> DataflowBuilder<T> {
         Ok(())
     }
 
-    /// Elaborates the graph into a runnable [`SynthCircuit`].
+    /// Lowers the graph into a structural [`ElasticIr`] netlist — stage
+    /// one of elaboration.
+    ///
+    /// The lowering maps dataflow nodes onto the paper's primitives (ops
+    /// become transforms/joins plus latency units, conditionals become
+    /// branches/merges, the buffer policy inserts auto-MEBs) and then
+    /// runs the standard pass pipeline: [`MebSubstitution::auto`]
+    /// retargets the inserted buffers to `config.meb`/`config.arbiter`,
+    /// and the protocol and cycle-cover lints verify the netlist — so a
+    /// feedback loop with no buffer on it is rejected *here*, as a typed
+    /// [`SynthError::Lint`], before any component is constructed.
+    ///
+    /// The returned [`SynthIr`] can be inspected (`ir.to_dot()`), costed
+    /// (`Inventory::from_ir`), rewritten with further passes, and finally
+    /// [`SynthIr::elaborate`]d into a runnable circuit.
     ///
     /// # Errors
     ///
     /// Returns a [`SynthError`] for dangling wires, invalid arities, an
-    /// empty graph, or (should the builder itself be buggy) an invalid
-    /// netlist.
-    pub fn elaborate(self, config: SynthConfig) -> Result<SynthCircuit<T>, SynthError> {
+    /// empty graph, or a lint rejection.
+    pub fn build_ir(self, config: SynthConfig) -> Result<SynthIr<T>, SynthError> {
         self.validate()?;
         let threads = self.threads;
-        let mut b = CircuitBuilder::<T>::new();
+        let mut ir = ElasticIr::<T>::new();
 
         // One channel per wire, plus an auto-buffer stage where the policy
         // asks for it. `wire_out[w]` is the channel the producer drives;
         // `wire_in[w]` is the channel the consumer reads.
         let n_wires = self.producer.len();
-        let mut wire_out: Vec<Option<ChannelId>> = vec![None; n_wires];
-        let mut wire_in: Vec<Option<ChannelId>> = vec![None; n_wires];
+        let mut wire_out: Vec<Option<IrChannelId>> = vec![None; n_wires];
+        let mut wire_in: Vec<Option<IrChannelId>> = vec![None; n_wires];
         for w in 0..n_wires {
             if self.dead_wires[w] {
                 continue;
@@ -420,16 +432,22 @@ impl<T: Token> DataflowBuilder<T> {
             let pname = self.nodes[pnode].name();
             let auto =
                 config.buffers == BufferPolicy::AfterOps && self.nodes[pnode].wants_auto_buffer();
-            let ch = b.channel(format!("w{w}:{pname}.{pport}"), threads);
+            let ch = ir.channel(format!("w{w}:{pname}.{pport}"), threads);
             if auto {
-                let buffered = b.channel(format!("w{w}:{pname}.{pport}:buf"), threads);
-                b.add_boxed(config.meb.build_with::<T>(
+                let buffered = ir.channel(format!("w{w}:{pname}.{pport}:buf"), threads);
+                // Placeholder microarchitecture; the meb-substitution pass
+                // below retargets every `auto` buffer to `config.meb`.
+                ir.add(
                     format!("autobuf:w{w}"),
-                    ch,
-                    buffered,
-                    threads,
-                    config.arbiter,
-                ));
+                    IrNodeKind::Meb {
+                        kind: MebKind::Reduced,
+                        arbiter: config.arbiter,
+                        initial: Vec::new(),
+                        auto: true,
+                    },
+                    vec![ch],
+                    vec![buffered],
+                );
                 wire_out[w] = Some(ch);
                 wire_in[w] = Some(buffered);
             } else {
@@ -441,7 +459,7 @@ impl<T: Token> DataflowBuilder<T> {
         let inc = |w: Wire| wire_in[w.0].expect("channel assigned");
 
         let mut inputs: BTreeMap<String, String> = BTreeMap::new();
-        let mut outputs: BTreeMap<String, (String, ChannelId)> = BTreeMap::new();
+        let mut outputs: BTreeMap<String, (String, IrChannelId)> = BTreeMap::new();
 
         for (idx, node) in self.nodes.into_iter().enumerate() {
             if self.dead_nodes[idx] {
@@ -456,18 +474,26 @@ impl<T: Token> DataflowBuilder<T> {
             match node {
                 Node::Input { name } => {
                     let comp = format!("in:{name}");
-                    b.add(Source::<T>::new(comp.clone(), outc(outs[0]), threads));
+                    ir.add(
+                        comp.clone(),
+                        IrNodeKind::Source,
+                        vec![],
+                        vec![outc(outs[0])],
+                    );
                     inputs.insert(name, comp);
                 }
                 Node::Output { name } => {
                     let comp = format!("out:{name}");
                     let ch = inc(ins[0]);
-                    b.add(Sink::<T>::with_capture(
+                    ir.add(
                         comp.clone(),
-                        ch,
-                        threads,
-                        ReadyPolicy::Always,
-                    ));
+                        IrNodeKind::Sink {
+                            capture: true,
+                            policy: ReadyPolicy::Always,
+                        },
+                        vec![ch],
+                        vec![],
+                    );
                     outputs.insert(name, (comp, ch));
                 }
                 Node::Op {
@@ -482,28 +508,27 @@ impl<T: Token> DataflowBuilder<T> {
                     let (combine_target, delay_src) = match latency {
                         OpLatency::Combinational => (out_ch, None),
                         _ => {
-                            let mid = b.channel(format!("{name}:joined"), threads);
+                            let mid = ir.channel(format!("{name}:joined"), threads);
                             (mid, Some(mid))
                         }
                     };
                     if arity == 1 {
-                        let ch = inc(ins[0]);
-                        b.add(Transform::new(
+                        ir.add(
                             format!("{name}:fn"),
-                            ch,
-                            combine_target,
-                            threads,
-                            move |t: &T| f(&[t]),
-                        ));
+                            IrNodeKind::Transform {
+                                f: Box::new(move |t: &T| f(&[t])),
+                            },
+                            vec![inc(ins[0])],
+                            vec![combine_target],
+                        );
                     } else {
-                        let chans: Vec<ChannelId> = ins.iter().map(|&w| inc(w)).collect();
-                        b.add(Join::new(
+                        let chans: Vec<IrChannelId> = ins.iter().map(|&w| inc(w)).collect();
+                        ir.add(
                             format!("{name}:join"),
+                            IrNodeKind::Join { combine: f },
                             chans,
-                            combine_target,
-                            threads,
-                            move |items: &[&T]| f(items),
-                        ));
+                            vec![combine_target],
+                        );
                     }
                     if let Some(src) = delay_src {
                         let model = match latency {
@@ -513,65 +538,162 @@ impl<T: Token> DataflowBuilder<T> {
                             }
                             OpLatency::Combinational => unreachable!("handled above"),
                         };
-                        b.add(VarLatency::new(
+                        ir.add(
                             format!("{name}:unit"),
-                            src,
-                            out_ch,
-                            threads,
-                            threads.max(2),
-                            model,
-                        ));
+                            IrNodeKind::VarLatency {
+                                servers: threads.max(2),
+                                model,
+                                transform: None,
+                            },
+                            vec![src],
+                            vec![out_ch],
+                        );
                     }
                 }
                 Node::Branch { name, cond } => {
-                    b.add(Branch::new(
+                    ir.add(
                         name,
-                        inc(ins[0]),
-                        outc(outs[0]),
-                        outc(outs[1]),
-                        threads,
-                        move |t: &T| cond(t),
-                    ));
+                        IrNodeKind::Branch { cond },
+                        vec![inc(ins[0])],
+                        vec![outc(outs[0]), outc(outs[1])],
+                    );
                 }
                 Node::Merge { name, .. } => {
-                    let chans: Vec<ChannelId> = ins.iter().map(|&w| inc(w)).collect();
-                    b.add(Merge::new(name, chans, outc(outs[0]), threads));
+                    let chans: Vec<IrChannelId> = ins.iter().map(|&w| inc(w)).collect();
+                    ir.add(name, IrNodeKind::Merge, chans, vec![outc(outs[0])]);
                 }
                 Node::Fork { name, .. } => {
-                    let chans: Vec<ChannelId> = outs.iter().map(|&w| outc(w)).collect();
-                    b.add(Fork::new(
+                    let chans: Vec<IrChannelId> = outs.iter().map(|&w| outc(w)).collect();
+                    ir.add(
                         name,
-                        inc(ins[0]),
+                        IrNodeKind::Fork {
+                            mode: ForkMode::Eager,
+                            route: None,
+                        },
+                        vec![inc(ins[0])],
                         chans,
-                        threads,
-                        ForkMode::Eager,
-                    ));
+                    );
                 }
                 Node::Buffer {
                     name,
                     kind,
                     initial,
                 } => {
-                    let meb = kind
-                        .build_initial::<T>(
-                            name,
-                            inc(ins[0]),
-                            outc(outs[0]),
-                            threads,
-                            config.arbiter.build(),
+                    ir.add(
+                        name,
+                        IrNodeKind::Meb {
+                            kind,
+                            arbiter: config.arbiter,
                             initial,
-                        )
-                        .map_err(|e| SynthError::Build(e.to_string()))?;
-                    b.add_boxed(meb);
+                            auto: false,
+                        },
+                        vec![inc(ins[0])],
+                        vec![outc(outs[0])],
+                    );
                 }
                 Node::Barrier { name } => {
-                    b.add(Barrier::new(name, inc(ins[0]), outc(outs[0]), threads));
+                    ir.add(
+                        name,
+                        IrNodeKind::Barrier {
+                            participants: None,
+                            on_release: None,
+                        },
+                        vec![inc(ins[0])],
+                        vec![outc(outs[0])],
+                    );
                 }
             }
         }
 
-        let circuit = b.build().map_err(|e| SynthError::Build(e.to_string()))?;
-        Ok(SynthCircuit::new(circuit, threads, inputs, outputs))
+        PassManager::new()
+            .with(MebSubstitution::auto(config.meb))
+            .with(ProtocolLint)
+            .with(CycleCoverLint)
+            .run(&mut ir)
+            .map_err(SynthError::Lint)?;
+
+        Ok(SynthIr {
+            ir,
+            inputs,
+            outputs,
+            threads,
+        })
+    }
+
+    /// Elaborates the graph into a runnable [`SynthCircuit`] — both
+    /// stages at once: [`build_ir`](Self::build_ir) followed by
+    /// [`SynthIr::elaborate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SynthError`] for dangling wires, invalid arities, an
+    /// empty graph, a lint rejection (e.g. an unbuffered feedback loop),
+    /// or (should the builder itself be buggy) an invalid netlist.
+    pub fn elaborate(self, config: SynthConfig) -> Result<SynthCircuit<T>, SynthError> {
+        self.build_ir(config)?.elaborate()
+    }
+}
+
+/// Stage-one output of synthesis: the structural [`ElasticIr`] netlist
+/// plus the external port bookkeeping needed to wrap the elaborated
+/// circuit in a [`SynthCircuit`].
+///
+/// The IR is public — inspect it, render it (`synth.ir.to_dot()`), cost
+/// it (`Inventory::from_ir(&synth.ir)`), or rewrite it with further
+/// passes (e.g. [`MebSubstitution::named`] to retarget one buffer) before
+/// elaborating.
+pub struct SynthIr<T: Token> {
+    /// The lowered netlist.
+    pub ir: ElasticIr<T>,
+    /// External input port → source component name.
+    inputs: BTreeMap<String, String>,
+    /// External output port → (sink component name, sink input channel).
+    outputs: BTreeMap<String, (String, IrChannelId)>,
+    threads: usize,
+}
+
+impl<T: Token> SynthIr<T> {
+    /// Thread count of every channel in the netlist.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Elaborates the IR into a runnable [`SynthCircuit`] — stage two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthError::Build`] when the netlist fails construction
+    /// (ill-fitting ports, initial-token overflow, or circuit-builder
+    /// rejection) — all conditions the lint passes in
+    /// [`build_ir`](DataflowBuilder::build_ir) catch earlier with typed
+    /// errors.
+    pub fn elaborate(self) -> Result<SynthCircuit<T>, SynthError> {
+        let elaborated = self
+            .ir
+            .elaborate()
+            .map_err(|e| SynthError::Build(e.to_string()))?;
+        let outputs: BTreeMap<String, (String, ChannelId)> = self
+            .outputs
+            .into_iter()
+            .map(|(port, (comp, ch))| (port, (comp, elaborated.channel(ch))))
+            .collect();
+        Ok(SynthCircuit::new(
+            elaborated.circuit,
+            self.threads,
+            self.inputs,
+            outputs,
+        ))
+    }
+}
+
+impl<T: Token> std::fmt::Debug for SynthIr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SynthIr")
+            .field("threads", &self.threads)
+            .field("ir", &self.ir)
+            .field("inputs", &self.inputs.keys().collect::<Vec<_>>())
+            .field("outputs", &self.outputs.keys().collect::<Vec<_>>())
+            .finish()
     }
 }
 

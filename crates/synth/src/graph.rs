@@ -227,6 +227,10 @@ pub enum SynthError {
     /// Elaboration produced an invalid netlist (a builder bug — please
     /// report it).
     Build(String),
+    /// An IR lint rejected the lowered netlist (see
+    /// [`PassError`](crate::passes::PassError)) — e.g. a feedback loop
+    /// with no elastic buffer on it.
+    Lint(crate::passes::PassError),
 }
 
 impl std::fmt::Display for SynthError {
@@ -240,6 +244,7 @@ impl std::fmt::Display for SynthError {
                 write!(f, "node `{node}` has invalid arity {arity}")
             }
             SynthError::Build(msg) => write!(f, "elaboration produced an invalid netlist: {msg}"),
+            SynthError::Lint(e) => write!(f, "lint rejected the netlist: {e}"),
         }
     }
 }

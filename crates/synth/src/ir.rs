@@ -1,0 +1,887 @@
+//! The structural elastic netlist IR.
+//!
+//! [`ElasticIr`] is one description of an elastic circuit that feeds
+//! three consumers:
+//!
+//! * **simulation** — [`ElasticIr::elaborate`] lowers the IR onto
+//!   [`elastic_core`] primitives and builds a runnable
+//!   [`elastic_sim::Circuit`];
+//! * **cost** — the `elastic-cost` crate walks the same nodes (via
+//!   [`IrNodeTag`], channel widths and [`CostHint`]s) to produce a
+//!   Table I area inventory;
+//! * **DOT** — [`ElasticIr::to_netlist`]/[`ElasticIr::to_dot`] render the
+//!   graph *before* elaboration, with the same shapes as
+//!   [`elastic_sim::NetlistGraph`] extraction from a built
+//!   circuit.
+//!
+//! Nodes are the paper's primitive set (EB, MEB, fork, join, branch,
+//! merge, barrier, source, sink, variable-latency server, combinational
+//! transform) plus an escape hatch ([`IrNodeKind::Custom`]) for
+//! design-specific stages such as the processor's fetcher. Channels are
+//! annotated with a thread count and an optional datapath width (bits) —
+//! the width drives the cost model, which is why MEB-adjacent channels
+//! should carry one.
+//!
+//! Structural invariants (one driver and one reader per channel, uniform
+//! thread counts across a node's ports, primitive arities, and an
+//! EB/MEB/latency-unit cut on every feedback cycle) are *not* enforced at
+//! construction time; run the lint passes in [`crate::passes`] before
+//! elaboration to get typed errors instead of build-time failures.
+
+use elastic_core::{
+    ArbiterKind, Barrier, Branch, ElasticBuffer, Fork, ForkMode, Join, MebKind, Merge,
+};
+use elastic_sim::{
+    BuildError, ChannelId, Circuit, CircuitBuilder, Component, LatencyModel, NetlistEdge,
+    NetlistGraph, NetlistNodeKind, ProtocolError, ReadyPolicy, ScheduleMode, Sink, Source, Token,
+    Transform, VarLatency,
+};
+
+/// Handle to a channel of an [`ElasticIr`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct IrChannelId(pub(crate) usize);
+
+impl IrChannelId {
+    /// Raw index (also the index into
+    /// [`Elaborated::channel_ids`]).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a node of an [`ElasticIr`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct IrNodeId(pub(crate) usize);
+
+pub(crate) fn node_id(index: usize) -> IrNodeId {
+    IrNodeId(index)
+}
+
+impl IrNodeId {
+    /// Raw index into the IR's node list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A point-to-point elastic channel of the IR.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IrChannel {
+    /// Channel name (becomes the simulated channel's name verbatim).
+    pub name: String,
+    /// Thread count `S` of the channel's valid/ready handshake.
+    pub threads: usize,
+    /// Datapath width in bits, if known. Drives the cost model
+    /// (`Inventory::from_ir` sizes a MEB by its port width); `None` means
+    /// "not accounted" and costs as zero bits.
+    pub width: Option<usize>,
+}
+
+/// One itemized non-structural cost contribution attached to a node —
+/// the combinational logic the structural walk cannot see (an ALU, an
+/// unrolled hash step, a decoder). Same shape as a
+/// `CostItem` row: `count` instances of `les_each` logic elements.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CostHint {
+    /// Row label in the rendered inventory.
+    pub name: String,
+    /// Instance count.
+    pub count: usize,
+    /// Logic elements per instance.
+    pub les_each: usize,
+}
+
+/// Routing predicate of a [`IrNodeKind::Fork`] (which outputs receive
+/// each token).
+pub type RouteFn<T> = Box<dyn Fn(&T) -> Vec<bool> + Send>;
+/// N-ary combine function of a [`IrNodeKind::Join`].
+pub type CombineFn<T> = Box<dyn Fn(&[&T]) -> T + Send>;
+/// Branch predicate of a [`IrNodeKind::Branch`].
+pub type CondFn<T> = Box<dyn Fn(&T) -> bool + Send>;
+/// Unary token map of a [`IrNodeKind::Transform`] or a variable-latency
+/// server's transform.
+pub type MapFn<T> = Box<dyn Fn(&T) -> T + Send>;
+/// Barrier release action (receives the 1-based release count).
+pub type ReleaseFn = Box<dyn FnMut(u64) + Send>;
+/// Factory of a [`IrNodeKind::Custom`] component: receives the
+/// elaborated input and output [`ChannelId`]s (in port order) and returns
+/// the built component.
+pub type BuildFn<T> = Box<dyn FnOnce(&[ChannelId], &[ChannelId]) -> Box<dyn Component<T>> + Send>;
+
+/// The typed node set of the IR — the paper's primitives plus testbench
+/// endpoints and a custom escape hatch.
+pub enum IrNodeKind<T: Token> {
+    /// Token entry ([`Source`]). No inputs, one output.
+    Source,
+    /// Token exit ([`Sink`]). One input, no outputs.
+    Sink {
+        /// Record consumed tokens for inspection.
+        capture: bool,
+        /// Backpressure behaviour.
+        policy: ReadyPolicy,
+    },
+    /// Single-thread elastic buffer (paper Sec. II). One input, one
+    /// output; the protocol lint requires a 1-thread channel.
+    Eb,
+    /// Multithreaded elastic buffer (paper Sec. III). One input, one
+    /// output.
+    Meb {
+        /// Microarchitecture (full / reduced / FIFO ablation). The
+        /// meb-substitution pass rewrites this field.
+        kind: MebKind,
+        /// Output arbitration policy.
+        arbiter: ArbiterKind,
+        /// `(thread, token)` pairs present before the first cycle.
+        initial: Vec<(usize, T)>,
+        /// `true` when inserted by a buffer policy rather than the
+        /// designer — the scope of
+        /// [`MebTarget::Auto`](crate::passes::MebTarget::Auto).
+        auto: bool,
+    },
+    /// M-Fork: replicate one input to N outputs. One input, ≥ 2 outputs.
+    Fork {
+        /// Control discipline (eager by default in synthesized designs).
+        mode: ForkMode,
+        /// Optional per-token routing mask (a routing fork).
+        route: Option<RouteFn<T>>,
+    },
+    /// M-Join: combine N inputs into one output. ≥ 2 inputs, one output.
+    Join {
+        /// Combine function (one token per input, in port order).
+        combine: CombineFn<T>,
+    },
+    /// M-Branch: conditional two-way routing. One input; output 0 is
+    /// taken, output 1 is not-taken.
+    Branch {
+        /// Routing predicate.
+        cond: CondFn<T>,
+    },
+    /// M-Merge: N-way reconvergence. ≥ 2 inputs, one output.
+    Merge,
+    /// Sense-reversing thread barrier. One input, one output.
+    Barrier {
+        /// Participation mask (`None` = every thread).
+        participants: Option<Vec<bool>>,
+        /// Invoked at the clock edge of every release.
+        on_release: Option<ReleaseFn>,
+    },
+    /// Variable-latency server. One input, one output.
+    VarLatency {
+        /// Concurrent in-flight tokens.
+        servers: usize,
+        /// Latency distribution.
+        model: LatencyModel<T>,
+        /// Optional result transform applied on completion.
+        transform: Option<MapFn<T>>,
+    },
+    /// Pure combinational unit. One input, one output.
+    Transform {
+        /// The computed function.
+        f: MapFn<T>,
+    },
+    /// A design-specific component (e.g. the processor's fetcher). Port
+    /// arities are whatever the factory expects; the protocol lint checks
+    /// thread-count consistency only.
+    Custom {
+        /// Component factory, consumed at elaboration.
+        build: BuildFn<T>,
+        /// Whether the component registers every handshake path — i.e.
+        /// whether it is a legal cut point for the cycle-cover lint (a
+        /// variable-latency memory unit is; a combinational decode stage
+        /// is not).
+        cuts: bool,
+    },
+}
+
+/// Payload-free classification of a node, for passes and cost/DOT
+/// consumers that do not need the closures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IrNodeTag {
+    /// [`IrNodeKind::Source`].
+    Source,
+    /// [`IrNodeKind::Sink`].
+    Sink,
+    /// [`IrNodeKind::Eb`].
+    Eb,
+    /// [`IrNodeKind::Meb`], carrying its current microarchitecture.
+    Meb(MebKind),
+    /// [`IrNodeKind::Fork`].
+    Fork,
+    /// [`IrNodeKind::Join`].
+    Join,
+    /// [`IrNodeKind::Branch`].
+    Branch,
+    /// [`IrNodeKind::Merge`].
+    Merge,
+    /// [`IrNodeKind::Barrier`].
+    Barrier,
+    /// [`IrNodeKind::VarLatency`].
+    VarLatency,
+    /// [`IrNodeKind::Transform`].
+    Transform,
+    /// [`IrNodeKind::Custom`], carrying its cut-point declaration.
+    Custom {
+        /// Whether the component cuts combinational cycles.
+        cuts: bool,
+    },
+}
+
+impl IrNodeTag {
+    /// Whether this node registers every handshake path and therefore
+    /// legally cuts a feedback cycle (the EB/MEB cut of paper Fig. 3;
+    /// variable-latency servers also register their handshake).
+    pub fn cuts_cycles(self) -> bool {
+        matches!(
+            self,
+            IrNodeTag::Eb
+                | IrNodeTag::Meb(_)
+                | IrNodeTag::VarLatency
+                | IrNodeTag::Custom { cuts: true }
+        )
+    }
+
+    /// The structural class this node renders as in DOT.
+    pub fn netlist_kind(self) -> NetlistNodeKind {
+        match self {
+            IrNodeTag::Source | IrNodeTag::Sink => NetlistNodeKind::Endpoint,
+            IrNodeTag::Eb | IrNodeTag::Meb(_) => NetlistNodeKind::Buffer,
+            IrNodeTag::Fork | IrNodeTag::Join | IrNodeTag::Branch | IrNodeTag::Merge => {
+                NetlistNodeKind::Route
+            }
+            IrNodeTag::Barrier => NetlistNodeKind::Sync,
+            IrNodeTag::VarLatency | IrNodeTag::Transform => NetlistNodeKind::Unit,
+            IrNodeTag::Custom { .. } => NetlistNodeKind::Other,
+        }
+    }
+}
+
+/// A node of the IR: a named primitive instance wired to channels, with
+/// optional cost hints for its combinational payload.
+pub struct IrNode<T: Token> {
+    name: String,
+    kind: IrNodeKind<T>,
+    inputs: Vec<IrChannelId>,
+    outputs: Vec<IrChannelId>,
+    cost_hints: Vec<CostHint>,
+}
+
+impl<T: Token> IrNode<T> {
+    /// Instance name (unique names make lints and traces readable).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's kind, with payload.
+    pub fn kind(&self) -> &IrNodeKind<T> {
+        &self.kind
+    }
+
+    pub(crate) fn kind_mut(&mut self) -> &mut IrNodeKind<T> {
+        &mut self.kind
+    }
+
+    /// Payload-free classification.
+    pub fn tag(&self) -> IrNodeTag {
+        match &self.kind {
+            IrNodeKind::Source => IrNodeTag::Source,
+            IrNodeKind::Sink { .. } => IrNodeTag::Sink,
+            IrNodeKind::Eb => IrNodeTag::Eb,
+            IrNodeKind::Meb { kind, .. } => IrNodeTag::Meb(*kind),
+            IrNodeKind::Fork { .. } => IrNodeTag::Fork,
+            IrNodeKind::Join { .. } => IrNodeTag::Join,
+            IrNodeKind::Branch { .. } => IrNodeTag::Branch,
+            IrNodeKind::Merge => IrNodeTag::Merge,
+            IrNodeKind::Barrier { .. } => IrNodeTag::Barrier,
+            IrNodeKind::VarLatency { .. } => IrNodeTag::VarLatency,
+            IrNodeKind::Transform { .. } => IrNodeTag::Transform,
+            IrNodeKind::Custom { cuts, .. } => IrNodeTag::Custom { cuts: *cuts },
+        }
+    }
+
+    /// Input channels, in port order.
+    pub fn inputs(&self) -> &[IrChannelId] {
+        &self.inputs
+    }
+
+    /// Output channels, in port order.
+    pub fn outputs(&self) -> &[IrChannelId] {
+        &self.outputs
+    }
+
+    /// Cost hints attached to this node.
+    pub fn cost_hints(&self) -> &[CostHint] {
+        &self.cost_hints
+    }
+}
+
+/// Errors raised while lowering an IR onto the simulator.
+///
+/// The lint passes catch the structural problems *before* elaboration;
+/// these errors are what remains: a node wired to an impossible port
+/// count, excess initial tokens in a MEB, or a netlist the
+/// [`CircuitBuilder`] rejects.
+#[derive(Debug)]
+pub enum IrError {
+    /// A node's port count does not match its kind (e.g. a branch with
+    /// one output). The protocol lint reports this as a typed
+    /// [`PassError`](crate::passes::PassError) if run first.
+    BadPorts {
+        /// Offending node.
+        node: String,
+        /// Declared input count.
+        inputs: usize,
+        /// Declared output count.
+        outputs: usize,
+    },
+    /// A MEB's initial tokens exceed its per-thread capacity.
+    Protocol(ProtocolError),
+    /// The lowered netlist failed structural validation or rank
+    /// scheduling (see [`BuildError`]).
+    Build(BuildError),
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::BadPorts {
+                node,
+                inputs,
+                outputs,
+            } => write!(
+                f,
+                "node `{node}` is wired to {inputs} input(s) and {outputs} output(s), \
+                 which its kind does not support"
+            ),
+            IrError::Protocol(e) => write!(f, "{e}"),
+            IrError::Build(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IrError::Protocol(e) => Some(e),
+            IrError::Build(e) => Some(e),
+            IrError::BadPorts { .. } => None,
+        }
+    }
+}
+
+/// The result of [`ElasticIr::elaborate`]: the runnable circuit plus the
+/// mapping from IR channels to simulator channels.
+pub struct Elaborated<T: Token> {
+    /// The built circuit.
+    pub circuit: Circuit<T>,
+    /// `channel_ids[i]` is the simulator channel elaborated from the IR
+    /// channel with [`IrChannelId::index`] `i`. (Simulator [`ChannelId`]s
+    /// are not constructible by hand, so this vector is the only bridge.)
+    pub channel_ids: Vec<ChannelId>,
+}
+
+impl<T: Token> Elaborated<T> {
+    /// The simulator channel elaborated from IR channel `ch`.
+    pub fn channel(&self, ch: IrChannelId) -> ChannelId {
+        self.channel_ids[ch.0]
+    }
+}
+
+/// A structural elastic netlist: typed nodes connected by
+/// thread/width-annotated channels. See the [module docs](self).
+pub struct ElasticIr<T: Token> {
+    channels: Vec<IrChannel>,
+    nodes: Vec<IrNode<T>>,
+    schedule: ScheduleMode,
+}
+
+impl<T: Token> Default for ElasticIr<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Token> ElasticIr<T> {
+    /// An empty IR.
+    pub fn new() -> Self {
+        Self {
+            channels: Vec::new(),
+            nodes: Vec::new(),
+            schedule: ScheduleMode::default(),
+        }
+    }
+
+    /// Selects the evaluation-order schedule passed through to
+    /// [`CircuitBuilder::set_schedule`] at elaboration.
+    pub fn set_schedule(&mut self, mode: ScheduleMode) {
+        self.schedule = mode;
+    }
+
+    /// Declares a channel supporting `threads` threads, with no width
+    /// annotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn channel(&mut self, name: impl Into<String>, threads: usize) -> IrChannelId {
+        assert!(threads > 0, "a channel must support at least one thread");
+        let id = IrChannelId(self.channels.len());
+        self.channels.push(IrChannel {
+            name: name.into(),
+            threads,
+            width: None,
+        });
+        id
+    }
+
+    /// Declares a channel with a datapath width annotation (bits).
+    pub fn channel_with_width(
+        &mut self,
+        name: impl Into<String>,
+        threads: usize,
+        width: usize,
+    ) -> IrChannelId {
+        let id = self.channel(name, threads);
+        self.channels[id.0].width = Some(width);
+        id
+    }
+
+    /// Annotates (or re-annotates) a channel's datapath width.
+    pub fn set_width(&mut self, ch: IrChannelId, width: usize) {
+        self.channels[ch.0].width = Some(width);
+    }
+
+    /// Adds a node wired to the given channels (port order preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any channel handle is out of range (belongs to another
+    /// IR).
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        kind: IrNodeKind<T>,
+        inputs: Vec<IrChannelId>,
+        outputs: Vec<IrChannelId>,
+    ) -> IrNodeId {
+        for ch in inputs.iter().chain(outputs.iter()) {
+            assert!(ch.0 < self.channels.len(), "channel belongs to another IR");
+        }
+        let id = IrNodeId(self.nodes.len());
+        self.nodes.push(IrNode {
+            name: name.into(),
+            kind,
+            inputs,
+            outputs,
+            cost_hints: Vec::new(),
+        });
+        id
+    }
+
+    /// Attaches a cost hint to a node (see [`CostHint`]).
+    pub fn add_cost_hint(
+        &mut self,
+        node: IrNodeId,
+        name: impl Into<String>,
+        count: usize,
+        les_each: usize,
+    ) {
+        self.nodes[node.0].cost_hints.push(CostHint {
+            name: name.into(),
+            count,
+            les_each,
+        });
+    }
+
+    /// Number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A channel's annotation record.
+    pub fn channel_info(&self, ch: IrChannelId) -> &IrChannel {
+        &self.channels[ch.0]
+    }
+
+    /// Iterates over all channels (index order = [`IrChannelId::index`]).
+    pub fn channels(&self) -> impl Iterator<Item = &IrChannel> {
+        self.channels.iter()
+    }
+
+    /// A node by handle.
+    pub fn node(&self, id: IrNodeId) -> &IrNode<T> {
+        &self.nodes[id.0]
+    }
+
+    pub(crate) fn node_mut(&mut self, id: IrNodeId) -> &mut IrNode<T> {
+        &mut self.nodes[id.0]
+    }
+
+    /// Iterates over all nodes (index order = [`IrNodeId::index`]).
+    pub fn nodes(&self) -> impl Iterator<Item = &IrNode<T>> {
+        self.nodes.iter()
+    }
+
+    /// Finds a node by instance name.
+    pub fn node_named(&self, name: &str) -> Option<IrNodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(IrNodeId)
+    }
+
+    /// The effective datapath width of a node: the first width annotation
+    /// among its output channels, then its input channels; `0` when
+    /// nothing is annotated.
+    pub fn node_width(&self, id: IrNodeId) -> usize {
+        let node = &self.nodes[id.0];
+        node.outputs
+            .iter()
+            .chain(node.inputs.iter())
+            .find_map(|&ch| self.channels[ch.0].width)
+            .unwrap_or(0)
+    }
+
+    /// The thread count a node operates on: its first output's (for
+    /// sources) or first input's channel threads. Returns 1 for a node
+    /// with no ports (which the protocol lint rejects).
+    pub fn node_threads(&self, id: IrNodeId) -> usize {
+        let node = &self.nodes[id.0];
+        node.inputs
+            .iter()
+            .chain(node.outputs.iter())
+            .map(|&ch| self.channels[ch.0].threads)
+            .next()
+            .unwrap_or(1)
+    }
+
+    /// Extracts the structural graph of the IR — same shape as
+    /// [`Circuit::netlist`](elastic_sim::Circuit::netlist) extraction
+    /// from a built circuit, but available *before* (or instead of)
+    /// elaboration. Channels missing a driver or reader are skipped
+    /// (the protocol lint reports them).
+    pub fn to_netlist(&self) -> NetlistGraph {
+        let mut driver: Vec<Option<usize>> = vec![None; self.channels.len()];
+        let mut reader: Vec<Option<usize>> = vec![None; self.channels.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for ch in &node.outputs {
+                driver[ch.0].get_or_insert(i);
+            }
+            for ch in &node.inputs {
+                reader[ch.0].get_or_insert(i);
+            }
+        }
+        let components = self.nodes.iter().map(|n| n.name.clone()).collect();
+        let kinds = self.nodes.iter().map(|n| n.tag().netlist_kind()).collect();
+        let edges = self
+            .channels
+            .iter()
+            .enumerate()
+            .filter_map(|(ci, spec)| match (driver[ci], reader[ci]) {
+                (Some(from), Some(to)) => Some(NetlistEdge {
+                    channel: spec.name.clone(),
+                    threads: spec.threads,
+                    from,
+                    to,
+                }),
+                _ => None,
+            })
+            .collect();
+        NetlistGraph {
+            components,
+            kinds,
+            edges,
+        }
+    }
+
+    /// Renders the IR in Graphviz DOT syntax (see
+    /// [`NetlistGraph::to_dot`]).
+    pub fn to_dot(&self) -> String {
+        self.to_netlist().to_dot()
+    }
+
+    /// Lowers the IR onto [`elastic_core`] primitives and builds the
+    /// runnable circuit.
+    ///
+    /// Channels are created in IR order (so
+    /// [`Elaborated::channel_ids`] is index-aligned), then components in
+    /// node order; [`CircuitBuilder::build`] then validates and compiles
+    /// the rank schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`IrError::BadPorts`] when a node's wiring does not fit its kind,
+    /// [`IrError::Protocol`] when a MEB's initial tokens overflow, and
+    /// [`IrError::Build`] for anything the circuit builder rejects
+    /// (missing drivers/readers, combinational loops, …). Run the lint
+    /// passes first for friendlier, earlier diagnostics.
+    pub fn elaborate(self) -> Result<Elaborated<T>, IrError> {
+        let mut b = CircuitBuilder::<T>::new().with_schedule(self.schedule);
+        let channel_ids: Vec<ChannelId> = self
+            .channels
+            .iter()
+            .map(|c| b.channel(c.name.clone(), c.threads))
+            .collect();
+        let threads_of = |ports: &[IrChannelId]| self.channels[ports[0].0].threads;
+
+        for node in self.nodes {
+            let name = node.name;
+            let ins: Vec<ChannelId> = node.inputs.iter().map(|c| channel_ids[c.0]).collect();
+            let outs: Vec<ChannelId> = node.outputs.iter().map(|c| channel_ids[c.0]).collect();
+            let bad = |_: &()| IrError::BadPorts {
+                node: name.clone(),
+                inputs: ins.len(),
+                outputs: outs.len(),
+            };
+            let ok = |cond: bool| if cond { Ok(()) } else { Err(bad(&())) };
+            match node.kind {
+                IrNodeKind::Source => {
+                    ok(ins.is_empty() && outs.len() == 1)?;
+                    b.add(Source::<T>::new(name, outs[0], threads_of(&node.outputs)));
+                }
+                IrNodeKind::Sink { capture, policy } => {
+                    ok(ins.len() == 1 && outs.is_empty())?;
+                    let threads = threads_of(&node.inputs);
+                    if capture {
+                        b.add(Sink::<T>::with_capture(name, ins[0], threads, policy));
+                    } else {
+                        b.add(Sink::<T>::new(name, ins[0], threads, policy));
+                    }
+                }
+                IrNodeKind::Eb => {
+                    ok(ins.len() == 1 && outs.len() == 1)?;
+                    b.add(ElasticBuffer::<T>::new(name, ins[0], outs[0]));
+                }
+                IrNodeKind::Meb {
+                    kind,
+                    arbiter,
+                    initial,
+                    ..
+                } => {
+                    ok(ins.len() == 1 && outs.len() == 1)?;
+                    let threads = threads_of(&node.inputs);
+                    let meb = kind
+                        .build_initial::<T>(
+                            name,
+                            ins[0],
+                            outs[0],
+                            threads,
+                            arbiter.build(),
+                            initial,
+                        )
+                        .map_err(IrError::Protocol)?;
+                    b.add_boxed(meb);
+                }
+                IrNodeKind::Fork { mode, route } => {
+                    ok(ins.len() == 1 && outs.len() >= 2)?;
+                    let threads = threads_of(&node.inputs);
+                    let mut fork = Fork::new(name, ins[0], outs, threads, mode);
+                    if let Some(f) = route {
+                        fork = fork.with_route(f);
+                    }
+                    b.add(fork);
+                }
+                IrNodeKind::Join { combine } => {
+                    ok(ins.len() >= 2 && outs.len() == 1)?;
+                    let threads = threads_of(&node.inputs);
+                    b.add(Join::new(name, ins, outs[0], threads, combine));
+                }
+                IrNodeKind::Branch { cond } => {
+                    ok(ins.len() == 1 && outs.len() == 2)?;
+                    let threads = threads_of(&node.inputs);
+                    b.add(Branch::new(name, ins[0], outs[0], outs[1], threads, cond));
+                }
+                IrNodeKind::Merge => {
+                    ok(ins.len() >= 2 && outs.len() == 1)?;
+                    let threads = threads_of(&node.inputs);
+                    b.add(Merge::new(name, ins, outs[0], threads));
+                }
+                IrNodeKind::Barrier {
+                    participants,
+                    on_release,
+                } => {
+                    ok(ins.len() == 1 && outs.len() == 1)?;
+                    let threads = threads_of(&node.inputs);
+                    let mut bar = Barrier::new(name, ins[0], outs[0], threads);
+                    if let Some(mask) = participants {
+                        bar = bar.with_participants(mask);
+                    }
+                    if let Some(f) = on_release {
+                        bar = bar.with_release_action(f);
+                    }
+                    b.add(bar);
+                }
+                IrNodeKind::VarLatency {
+                    servers,
+                    model,
+                    transform,
+                } => {
+                    ok(ins.len() == 1 && outs.len() == 1)?;
+                    let threads = threads_of(&node.inputs);
+                    let mut unit = VarLatency::new(name, ins[0], outs[0], threads, servers, model);
+                    if let Some(f) = transform {
+                        unit = unit.with_transform(f);
+                    }
+                    b.add(unit);
+                }
+                IrNodeKind::Transform { f } => {
+                    ok(ins.len() == 1 && outs.len() == 1)?;
+                    let threads = threads_of(&node.inputs);
+                    b.add(Transform::new(name, ins[0], outs[0], threads, f));
+                }
+                IrNodeKind::Custom { build, .. } => {
+                    b.add_boxed(build(&ins, &outs));
+                }
+            }
+        }
+
+        let circuit = b.build().map_err(IrError::Build)?;
+        Ok(Elaborated {
+            circuit,
+            channel_ids,
+        })
+    }
+}
+
+impl<T: Token> std::fmt::Debug for ElasticIr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElasticIr")
+            .field("channels", &self.channels.len())
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastic_sim::EvalMode;
+
+    /// src → EB → capturing sink: the 1-thread baseline pipeline through
+    /// the IR path.
+    #[test]
+    fn eb_pipeline_elaborates_and_runs() {
+        let mut ir = ElasticIr::<u64>::new();
+        let a = ir.channel("a", 1);
+        let b = ir.channel("b", 1);
+        ir.add("src", IrNodeKind::Source, vec![], vec![a]);
+        ir.add("eb", IrNodeKind::Eb, vec![a], vec![b]);
+        ir.add(
+            "snk",
+            IrNodeKind::Sink {
+                capture: true,
+                policy: ReadyPolicy::Always,
+            },
+            vec![b],
+            vec![],
+        );
+        let mut e = ir.elaborate().expect("elaborates");
+        e.circuit.set_eval_mode(EvalMode::Exhaustive);
+        let src: &mut Source<u64> = e.circuit.get_mut("src").expect("src");
+        src.extend(0, [7, 8, 9]);
+        e.circuit.run(10).expect("runs");
+        let snk: &Sink<u64> = e.circuit.get("snk").expect("snk");
+        assert_eq!(
+            snk.captured(0).iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn bad_ports_are_reported_at_elaboration() {
+        let mut ir = ElasticIr::<u64>::new();
+        let a = ir.channel("a", 2);
+        // A branch with only one output is ill-formed.
+        ir.add(
+            "br",
+            IrNodeKind::Branch {
+                cond: Box::new(|_| true),
+            },
+            vec![a],
+            vec![],
+        );
+        match ir.elaborate() {
+            Err(IrError::BadPorts { node, .. }) => assert_eq!(node, "br"),
+            other => panic!("unexpected: {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn to_netlist_matches_elaborated_structure() {
+        let mut ir = ElasticIr::<u64>::new();
+        let a = ir.channel("a", 2);
+        let b = ir.channel_with_width("b", 2, 64);
+        ir.add("src", IrNodeKind::Source, vec![], vec![a]);
+        ir.add(
+            "buf",
+            IrNodeKind::Meb {
+                kind: MebKind::Reduced,
+                arbiter: ArbiterKind::RoundRobin,
+                initial: Vec::new(),
+                auto: false,
+            },
+            vec![a],
+            vec![b],
+        );
+        ir.add(
+            "snk",
+            IrNodeKind::Sink {
+                capture: false,
+                policy: ReadyPolicy::Always,
+            },
+            vec![b],
+            vec![],
+        );
+        let pre = ir.to_netlist();
+        assert_eq!(pre.components, vec!["src", "buf", "snk"]);
+        assert_eq!(
+            pre.kinds,
+            vec![
+                NetlistNodeKind::Endpoint,
+                NetlistNodeKind::Buffer,
+                NetlistNodeKind::Endpoint
+            ]
+        );
+        assert_eq!(pre.channel_count(), 2);
+        let dot = ir.to_dot();
+        assert!(dot.contains("shape=cylinder"), "{dot}");
+
+        // The same nodes and edges survive elaboration (the built circuit
+        // permutes components into rank order, so compare as sets).
+        let e = ir.elaborate().expect("elaborates");
+        let post = e.circuit.netlist();
+        let mut pre_names = pre.components.clone();
+        let mut post_names = post.components.clone();
+        pre_names.sort();
+        post_names.sort();
+        assert_eq!(pre_names, post_names);
+        assert_eq!(pre.channel_count(), post.channel_count());
+    }
+
+    #[test]
+    fn width_annotations_resolve_per_node() {
+        let mut ir = ElasticIr::<u64>::new();
+        let a = ir.channel("a", 2);
+        let b = ir.channel("b", 2);
+        ir.add("src", IrNodeKind::Source, vec![], vec![a]);
+        let buf = ir.add(
+            "buf",
+            IrNodeKind::Meb {
+                kind: MebKind::Full,
+                arbiter: ArbiterKind::RoundRobin,
+                initial: Vec::new(),
+                auto: false,
+            },
+            vec![a],
+            vec![b],
+        );
+        assert_eq!(ir.node_width(buf), 0);
+        ir.set_width(b, 32);
+        assert_eq!(ir.node_width(buf), 32);
+        assert_eq!(ir.node_threads(buf), 2);
+        assert_eq!(ir.node(buf).tag(), IrNodeTag::Meb(MebKind::Full));
+        assert!(ir.node(buf).tag().cuts_cycles());
+        assert!(!IrNodeTag::Merge.cuts_cycles());
+    }
+}

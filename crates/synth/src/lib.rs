@@ -52,7 +52,17 @@
 mod builder;
 mod circuit;
 mod graph;
+pub mod ir;
+pub mod passes;
 
-pub use builder::{DataflowBuilder, SynthConfig};
+pub use builder::{DataflowBuilder, SynthConfig, SynthIr};
 pub use circuit::{RunError, SynthCircuit, UnknownPortError};
 pub use graph::{BufferPolicy, Node, OpLatency, SynthError, Wire};
+pub use ir::{
+    BuildFn, CostHint, Elaborated, ElasticIr, IrChannel, IrChannelId, IrError, IrNode, IrNodeId,
+    IrNodeKind, IrNodeTag,
+};
+pub use passes::{
+    CycleCoverLint, MebSubstitution, MebTarget, Pass, PassError, PassManager, PassReport,
+    ProtocolLint,
+};

@@ -1,14 +1,17 @@
 //! Automated synthesis demo (the paper's conclusion: the primitives
 //! "enable the automated synthesis of complex algorithms to their
 //! multithreaded elastic equivalent circuits"): describe Euclid's GCD as
-//! a dataflow graph, elaborate it into an elastic circuit, and let four
-//! hardware threads time-multiplex the single iterative datapath.
+//! a dataflow graph, lower it to the structural elastic IR, and let that
+//! ONE description feed all three consumers — the Graphviz netlist, the
+//! Table I cost model, and the simulated circuit that four hardware
+//! threads time-multiplex.
 //!
 //! ```text
 //! cargo run --example gcd_synthesis
 //! ```
 
-use mt_elastic::synth::{DataflowBuilder, OpLatency, SynthConfig};
+use mt_elastic::cost::Inventory;
+use mt_elastic::synth::{DataflowBuilder, OpLatency, PassManager, SynthConfig};
 
 fn software_gcd(mut a: u64, mut b: u64) -> u64 {
     while a != b {
@@ -44,9 +47,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     g.loopback("loop", step)?;
 
-    // Elaborate: merges/ops get reduced MEBs automatically, so the loop is
-    // legal elastic hardware and inherently multithreaded.
-    let mut s = g.elaborate(SynthConfig::default())?;
+    // Stage 1 — lower to the structural IR: merges/ops get reduced MEBs
+    // automatically, so the loop is legal elastic hardware and inherently
+    // multithreaded. The IR is the single source of truth for everything
+    // that follows.
+    let mut synth_ir = g.build_ir(SynthConfig::default())?;
+
+    // Consumer 1: static checks + the Graphviz netlist (no simulation).
+    PassManager::lint_suite().run(&mut synth_ir.ir)?;
+    println!(
+        "netlist (render with `dot -Tsvg`):\n{}",
+        synth_ir.ir.to_dot()
+    );
+
+    // Consumer 2: the structural cost model, from the same description.
+    // Annotate the token width first — a (u64, u64) problem pair — so the
+    // model can size the inserted MEBs' register banks.
+    let every_channel: Vec<_> = synth_ir
+        .ir
+        .nodes()
+        .flat_map(|n| n.inputs().iter().chain(n.outputs()).copied())
+        .collect();
+    for ch in every_channel {
+        synth_ir.ir.set_width(ch, 128);
+    }
+    let inv = Inventory::from_ir(&synth_ir.ir);
+    println!(
+        "buffer inventory from the IR ({} LEs total):\n{}",
+        inv.total_les(),
+        inv.render()
+    );
+
+    // Consumer 3: the simulated circuit.
+    let mut s = synth_ir.elaborate()?;
     println!(
         "synthesized components: {:?}\n",
         s.circuit.component_names()
