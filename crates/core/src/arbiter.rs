@@ -27,6 +27,12 @@ pub trait Arbiter: Send + fmt::Debug {
     /// (e.g. rotating a round-robin pointer).
     fn commit(&mut self, granted: usize);
 
+    /// Rewinds the policy to its freshly constructed state (pointer at
+    /// thread 0, grant history cleared) — part of the
+    /// [`Component::reset`](elastic_sim::Component::reset) contract of the
+    /// modules embedding an arbiter. Stateless policies need not override.
+    fn reset(&mut self) {}
+
     /// Clones the policy behind the trait object.
     fn box_clone(&self) -> Box<dyn Arbiter>;
 }
@@ -88,6 +94,10 @@ impl Arbiter for RoundRobin {
         self.next = granted + 1;
     }
 
+    fn reset(&mut self) {
+        self.next = 0;
+    }
+
     fn box_clone(&self) -> Box<dyn Arbiter> {
         Box::new(*self)
     }
@@ -121,6 +131,11 @@ impl Arbiter for LeastRecent {
         }
         self.clock += 1;
         self.last_grant[granted] = self.clock;
+    }
+
+    fn reset(&mut self) {
+        self.last_grant.clear();
+        self.clock = 0;
     }
 
     fn box_clone(&self) -> Box<dyn Arbiter> {
@@ -188,6 +203,11 @@ impl Arbiter for CoarseGrained {
             self.current = granted;
             self.used = 1;
         }
+    }
+
+    fn reset(&mut self) {
+        self.current = 0;
+        self.used = 0;
     }
 
     fn box_clone(&self) -> Box<dyn Arbiter> {

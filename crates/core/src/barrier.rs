@@ -264,6 +264,17 @@ impl<T: Token> Component<T> for Barrier<T> {
         NextEvent::Idle
     }
 
+    fn reset(&mut self) -> bool {
+        // Participation and the release callback are configuration; the
+        // per-thread FSMs and release history rewind.
+        self.state.iter_mut().for_each(|s| *s = BarrierState::Idle);
+        self.lgo.iter_mut().for_each(|b| *b = false);
+        self.go = false;
+        self.count = 0;
+        self.releases = 0;
+        true
+    }
+
     impl_as_any!();
 }
 

@@ -194,6 +194,14 @@ impl<T: Token> Component<T> for ElasticBuffer<T> {
         self.fault.take()
     }
 
+    fn reset(&mut self) -> bool {
+        self.state = EbState::Empty;
+        self.main = None;
+        self.aux = None;
+        self.fault = None;
+        true
+    }
+
     fn next_event(&self, _now: u64) -> elastic_sim::NextEvent {
         elastic_sim::NextEvent::Idle
     }

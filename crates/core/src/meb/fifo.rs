@@ -180,6 +180,16 @@ impl<T: Token> Component<T> for FifoMeb<T> {
         NextEvent::Idle
     }
 
+    fn reset(&mut self) -> bool {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.arbiter.reset();
+        self.select.reset();
+        self.has.clear();
+        true
+    }
+
     impl_as_any!();
 }
 

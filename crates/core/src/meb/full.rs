@@ -208,6 +208,15 @@ impl<T: Token> Component<T> for FullMeb<T> {
         NextEvent::Idle
     }
 
+    fn reset(&mut self) -> bool {
+        self.main.iter_mut().for_each(|s| *s = None);
+        self.aux.iter_mut().for_each(|s| *s = None);
+        self.arbiter.reset();
+        self.select.reset();
+        self.has.clear();
+        true
+    }
+
     impl_as_any!();
 }
 

@@ -312,6 +312,16 @@ impl<T: Token> Component<T> for ReducedMeb<T> {
         NextEvent::Idle
     }
 
+    fn reset(&mut self) -> bool {
+        self.state.iter_mut().for_each(|s| *s = EbState::Empty);
+        self.main.iter_mut().for_each(|s| *s = None);
+        self.shared = None;
+        self.arbiter.reset();
+        self.select.reset();
+        self.has.clear();
+        true
+    }
+
     impl_as_any!();
 }
 

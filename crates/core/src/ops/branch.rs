@@ -146,6 +146,10 @@ impl<T: Token> Component<T> for Branch<T> {
         NextEvent::Idle
     }
 
+    fn reset(&mut self) -> bool {
+        true // stateless
+    }
+
     impl_as_any!();
 }
 

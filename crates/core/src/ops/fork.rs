@@ -271,6 +271,13 @@ impl<T: Token> Component<T> for Fork<T> {
         NextEvent::Idle
     }
 
+    fn reset(&mut self) -> bool {
+        for d in &mut self.done {
+            d.clear();
+        }
+        true
+    }
+
     impl_as_any!();
 }
 

@@ -152,6 +152,10 @@ impl<T: Token> Component<T> for Join<T> {
         NextEvent::Idle
     }
 
+    fn reset(&mut self) -> bool {
+        true // stateless
+    }
+
     impl_as_any!();
 }
 

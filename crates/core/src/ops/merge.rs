@@ -185,6 +185,11 @@ impl<T: Token> Component<T> for Merge<T> {
         NextEvent::Idle
     }
 
+    fn reset(&mut self) -> bool {
+        self.prefer = 0;
+        true
+    }
+
     impl_as_any!();
 }
 

@@ -151,6 +151,14 @@ impl SelectState {
     pub fn on_tick<T: Token>(&mut self, ctx: &TickCtx<'_, T>, out: ChannelId) {
         advance_stall_pointer(ctx, out, &mut self.stall);
     }
+
+    /// Rewinds to the freshly constructed state (stall pointer at thread
+    /// 0, no cycle seen). The scratch request mask is kept — it is sized
+    /// storage, not state.
+    pub fn reset(&mut self) {
+        self.stall = 0;
+        self.last_cycle = None;
+    }
 }
 
 /// Advances a module's stalled-offer pointer at the clock edge: if the

@@ -477,6 +477,47 @@ impl<T: Token> Circuit<T> {
         self.stats.reset();
     }
 
+    /// Rewinds the circuit to its freshly built state **without
+    /// re-running elaboration**: every component is reset to empty
+    /// ([`Component::reset`]), all channel signals are cleared, and the
+    /// clock, statistics, dirty set and watchdog bookkeeping start over.
+    ///
+    /// This is what lets the parallel sweep pool reuse one elaborated
+    /// circuit per worker across many sweep points
+    /// ([`SimJob::on_circuit`](crate::SimJob::on_circuit)) instead of
+    /// paying `build()` per job. The structure (components, channels,
+    /// compiled rank schedule), the eval mode and any armed watchdog
+    /// persist; recorded traces are dropped and tracing is switched off
+    /// (call [`enable_trace`](Circuit::enable_trace) again if needed).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ResetUnsupported`] if any component keeps the
+    /// conservative default `reset` (the circuit is left partially reset
+    /// and must be rebuilt). All shipped primitives support reset.
+    pub fn reset(&mut self) -> Result<(), SimError> {
+        for c in &mut self.components {
+            if !c.reset() {
+                return Err(SimError::ResetUnsupported {
+                    component: c.name().to_string(),
+                });
+            }
+        }
+        for ch in &mut self.channels {
+            ch.valid.clear();
+            ch.ready.clear();
+            ch.data = None;
+        }
+        self.woke.clear();
+        self.quiescent = false;
+        self.cycle = 0;
+        self.stats.reset();
+        self.recorder = None;
+        self.idle_cycles = 0;
+        self.last_progress = None;
+        Ok(())
+    }
+
     /// Starts recording cycle traces (unbounded).
     pub fn enable_trace(&mut self) {
         let mut r = TraceRecorder::new();

@@ -244,6 +244,24 @@ pub trait Component<T: Token>: Send {
     /// internal registers.
     fn tick(&mut self, ctx: &TickCtx<'_, T>);
 
+    /// Rewinds the component to its freshly built *empty* state so an
+    /// elaborated circuit can be reused for another run
+    /// ([`Circuit::reset`](crate::Circuit::reset)).
+    ///
+    /// Returns `true` when the component supports resetting; the default
+    /// `false` makes [`Circuit::reset`](crate::Circuit::reset) fail with
+    /// [`SimError::ResetUnsupported`](crate::SimError::ResetUnsupported)
+    /// naming this component, so custom components that never opted in
+    /// stay safe. Implementations rewind occupancy and policy state —
+    /// stored tokens, FSMs, arbiter/rotation pointers, RNG streams —
+    /// while configuration (ports, names, ready policies, latency models,
+    /// transforms) persists. Tokens pre-loaded through `with_initial`-style
+    /// constructors are **not** restored: reset means *empty*, and sweep
+    /// jobs re-seed their own tokens.
+    fn reset(&mut self) -> bool {
+        false
+    }
+
     /// Optional view of internal storage for trace rendering.
     fn slots(&self) -> Vec<SlotView> {
         Vec::new()

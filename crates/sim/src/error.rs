@@ -220,6 +220,15 @@ pub enum SimError {
         /// `ready` low.
         stalled: Vec<(String, usize)>,
     },
+    /// [`Circuit::reset`](crate::Circuit::reset) was asked to rewind a
+    /// circuit containing a component whose
+    /// [`Component::reset`](crate::Component::reset) reports no support
+    /// (the conservative default). Reuse such a circuit by rebuilding it
+    /// instead, or implement `reset` for the named component.
+    ResetUnsupported {
+        /// Name of the component that cannot rewind.
+        component: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -278,6 +287,11 @@ impl fmt::Display for SimError {
                 }
                 Ok(())
             }
+            SimError::ResetUnsupported { component } => write!(
+                f,
+                "component `{component}` does not support reset \
+                 (rebuild the circuit instead of reusing it)"
+            ),
         }
     }
 }

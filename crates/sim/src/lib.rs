@@ -76,6 +76,7 @@ mod par;
 mod rank;
 mod schedule;
 mod stats;
+mod sweep;
 mod token;
 mod trace;
 mod varlat;
@@ -91,11 +92,13 @@ pub use mask::{Ones, ThreadMask};
 pub use netlist::{NetlistEdge, NetlistGraph, NetlistNodeKind};
 pub use occupancy::{occupancy_stats, OccupancyStats};
 pub use par::{
-    available_workers, run_sweep, run_sweep_on, JobError, JobReport, SimJob, SweepReport,
+    available_workers, run_sweep, run_sweep_on, JobError, JobReport, SharedCircuit, SimJob,
+    SweepReport,
 };
 pub use rank::ScheduleMode;
 pub use schedule::{ReadyPolicy, Sink, Source};
 pub use stats::{ChannelStats, KernelStats, Stats};
+pub use sweep::{campaign_key, SweepService};
 pub use token::{thread_letter, Tagged, Token};
 pub use trace::{render_waveform, ChannelTrace, CycleTrace, GridTrace, RowSpec, TraceRecorder};
 pub use varlat::{LatencyModel, Transform, VarLatency};

@@ -8,22 +8,39 @@
 //! embarrassingly parallel: jobs share nothing, so they can be spread
 //! across all cores while remaining bit-deterministic.
 //!
-//! [`run_sweep`] executes a vector of [`SimJob`]s on a pure-`std` worker
-//! pool:
+//! [`run_sweep`] executes a vector of [`SimJob`]s on a pure-`std`
+//! **work-stealing** worker pool:
 //!
 //! * **Worker model** — [`std::thread::scope`] spawns
-//!   `available_parallelism()` workers (or the requested count); jobs are
-//!   pulled from a shared [`mpsc`] queue, so a long job never blocks the
-//!   others (work stealing by contention, not by static partitioning).
+//!   `available_parallelism()` workers (or the requested count). Each
+//!   worker owns a deque seeded with a contiguous chunk of the
+//!   submission order; it pops its own jobs from the front and, when its
+//!   deque runs dry, steals from the *back* of a neighbour's. Workers
+//!   therefore run uncontended on their own chunk in the common case and
+//!   only touch a shared lock to rebalance stragglers — the earlier
+//!   design funneled every single job through one `Mutex<Receiver>`
+//!   handoff, which cost more than it saved on short jobs.
+//! * **Circuit reuse** — jobs built with [`SimJob::on_circuit`] share one
+//!   elaborated [`Circuit`] *per worker*: the first such job on a worker
+//!   builds it, later jobs [`Circuit::reset`] and re-drive it, so a
+//!   thousand-point sweep elaborates the netlist `workers` times instead
+//!   of a thousand.
 //! * **Determinism** — each job is a self-contained deterministic
-//!   function; results are returned **in submission order**, so the
-//!   output of a parallel sweep is byte-identical to the serial
-//!   (`workers = 1`) path no matter how execution interleaves.
+//!   function ([`Circuit::reset`] rewinds to the freshly built state, so
+//!   reuse does not leak state between points); results are returned
+//!   **in submission order**, so the output of a parallel sweep is
+//!   byte-identical to the serial (`workers = 1`) path no matter how
+//!   execution interleaves or which worker ran which point.
 //! * **Isolation** — a job that returns [`SimError`] or panics produces a
 //!   per-job [`JobError`]; it does not poison the pool, and every other
-//!   job still completes and reports.
+//!   job still completes and reports. A panic inside a shared circuit
+//!   drops that worker's cached instance (its state is suspect), and the
+//!   panic location is captured so the report names `file:line`.
 //! * **Aggregation** — per-job [`KernelStats`] are merged into a
 //!   campaign-wide total ([`SweepReport::kernel`]).
+//!
+//! For memoized campaigns (resubmitting overlapping job sets) see
+//! [`SweepService`](crate::SweepService).
 //!
 //! [`Circuit`]: crate::Circuit
 //!
@@ -40,13 +57,86 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, Once};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use crate::circuit::Circuit;
 use crate::error::SimError;
 use crate::stats::KernelStats;
+use crate::token::Token;
+
+/// A circuit prototype shared by many sweep points: the build closure is
+/// elaborated **once per worker** and every subsequent
+/// [`SimJob::on_circuit`] job on that worker rewinds the instance with
+/// [`Circuit::reset`] instead of rebuilding it.
+///
+/// Cloning the handle is cheap (it shares the build closure); all clones
+/// refer to the same per-worker cache slot.
+pub struct SharedCircuit<T: Token> {
+    key: u64,
+    build: Arc<dyn Fn() -> Circuit<T> + Send + Sync>,
+}
+
+/// Process-unique keys for [`SharedCircuit`] cache slots.
+static NEXT_SHARED_KEY: AtomicU64 = AtomicU64::new(1);
+
+impl<T: Token> SharedCircuit<T> {
+    /// A prototype whose `build` closure elaborates the circuit. The
+    /// closure must be deterministic: a reset instance and a freshly
+    /// built one must be indistinguishable, or reuse would break the
+    /// sweep's bit-identity guarantee.
+    pub fn new(build: impl Fn() -> Circuit<T> + Send + Sync + 'static) -> Self {
+        Self {
+            key: NEXT_SHARED_KEY.fetch_add(1, Ordering::Relaxed),
+            build: Arc::new(build),
+        }
+    }
+
+    /// The process-unique cache key identifying this prototype.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+impl<T: Token> Clone for SharedCircuit<T> {
+    fn clone(&self) -> Self {
+        Self {
+            key: self.key,
+            build: Arc::clone(&self.build),
+        }
+    }
+}
+
+/// Per-worker cache of elaborated shared circuits, keyed by
+/// [`SharedCircuit::key`]. Type-erased so one pool handles sweeps over
+/// any token type.
+type CircuitCache = HashMap<u64, Box<dyn Any + Send>>;
+
+/// How a job produces its result.
+enum JobKind<R> {
+    /// The closure owns everything it needs (including any circuit it
+    /// builds) and runs exactly once.
+    Owned(
+        #[allow(clippy::type_complexity)]
+        Box<dyn FnOnce() -> Result<(R, KernelStats), SimError> + Send>,
+    ),
+    /// The job drives a worker-cached [`SharedCircuit`] instance,
+    /// resetting it when it is reused.
+    Shared {
+        key: u64,
+        build: Arc<dyn Fn() -> Box<dyn Any + Send> + Send + Sync>,
+        #[allow(clippy::type_complexity)]
+        run: Box<
+            dyn FnOnce(&mut Box<dyn Any + Send>, bool) -> Result<(R, KernelStats), SimError> + Send,
+        >,
+    },
+}
 
 /// One independent simulation to execute on the sweep pool.
 ///
@@ -56,8 +146,8 @@ use crate::stats::KernelStats;
 /// under any worker count.
 pub struct SimJob<R> {
     label: String,
-    #[allow(clippy::type_complexity)]
-    run: Box<dyn FnOnce() -> Result<(R, KernelStats), SimError> + Send>,
+    cache_key: Option<u64>,
+    kind: JobKind<R>,
 }
 
 impl<R> SimJob<R> {
@@ -68,7 +158,8 @@ impl<R> SimJob<R> {
     ) -> Self {
         Self {
             label: label.into(),
-            run: Box::new(move || f().map(|r| (r, KernelStats::default()))),
+            cache_key: None,
+            kind: JobKind::Owned(Box::new(move || f().map(|r| (r, KernelStats::default())))),
         }
     }
 
@@ -80,13 +171,66 @@ impl<R> SimJob<R> {
     ) -> Self {
         Self {
             label: label.into(),
-            run: Box::new(f),
+            cache_key: None,
+            kind: JobKind::Owned(Box::new(f)),
         }
+    }
+
+    /// A job that drives a [`SharedCircuit`] instance cached on whichever
+    /// worker runs it: the first such job on a worker elaborates the
+    /// prototype, later jobs receive the same instance rewound by
+    /// [`Circuit::reset`]. The closure gets the circuit in its freshly
+    /// built (or equivalently, freshly reset) state and may configure,
+    /// run and inspect it at will.
+    ///
+    /// If the circuit contains a component that does not support reset,
+    /// every reused point fails with
+    /// [`SimError::ResetUnsupported`] — build such sweeps with
+    /// [`SimJob::instrumented`] instead.
+    pub fn on_circuit<T: Token>(
+        label: impl Into<String>,
+        shared: &SharedCircuit<T>,
+        f: impl FnOnce(&mut Circuit<T>) -> Result<(R, KernelStats), SimError> + Send + 'static,
+    ) -> Self {
+        let build = Arc::clone(&shared.build);
+        Self {
+            label: label.into(),
+            cache_key: None,
+            kind: JobKind::Shared {
+                key: shared.key,
+                build: Arc::new(move || Box::new(build()) as Box<dyn Any + Send>),
+                run: Box::new(move |slot, reused| {
+                    let circuit = slot
+                        .downcast_mut::<Circuit<T>>()
+                        .expect("shared-circuit cache slot holds the prototype's circuit type");
+                    if reused {
+                        circuit.reset()?;
+                    }
+                    f(circuit)
+                }),
+            },
+        }
+    }
+
+    /// Tags the job with a memoization key for
+    /// [`SweepService`](crate::SweepService): two jobs with the same key
+    /// must be interchangeable (same circuit, same config, same seed —
+    /// see [`campaign_key`](crate::campaign_key)). Untagged jobs are
+    /// never memoized.
+    pub fn with_cache_key(mut self, key: u64) -> Self {
+        self.cache_key = Some(key);
+        self
     }
 
     /// The job's display label.
     pub fn label(&self) -> &str {
         &self.label
+    }
+
+    /// The memoization key, if [`with_cache_key`](Self::with_cache_key)
+    /// tagged one.
+    pub fn cache_key(&self) -> Option<u64> {
+        self.cache_key
     }
 }
 
@@ -95,17 +239,31 @@ impl<R> SimJob<R> {
 pub enum JobError {
     /// The job's simulation reported a protocol error, deadlock, etc.
     Sim(SimError),
-    /// The job panicked; the payload message is preserved. The panic is
-    /// confined to the job — the worker and the rest of the sweep
-    /// continue.
-    Panic(String),
+    /// The job panicked; the payload message and (when the runtime
+    /// reports one) the `file:line:column` of the panic site are
+    /// preserved. The panic is confined to the job — the worker and the
+    /// rest of the sweep continue.
+    Panic {
+        /// The panic payload, stringified.
+        message: String,
+        /// `file:line:column` of the panic site, captured by a panic
+        /// hook on the worker that ran the job.
+        location: Option<String>,
+    },
 }
 
 impl std::fmt::Display for JobError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             JobError::Sim(e) => write!(f, "simulation error: {e}"),
-            JobError::Panic(msg) => write!(f, "job panicked: {msg}"),
+            JobError::Panic {
+                message,
+                location: Some(loc),
+            } => write!(f, "job panicked at {loc}: {message}"),
+            JobError::Panic {
+                message,
+                location: None,
+            } => write!(f, "job panicked: {message}"),
         }
     }
 }
@@ -114,7 +272,7 @@ impl std::error::Error for JobError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             JobError::Sim(e) => Some(e),
-            JobError::Panic(_) => None,
+            JobError::Panic { .. } => None,
         }
     }
 }
@@ -127,13 +285,19 @@ pub struct JobReport<R> {
     pub index: usize,
     /// Label given at construction.
     pub label: String,
+    /// Memoization key the job was tagged with, if any.
+    pub cache_key: Option<u64>,
     /// The job's value, or the isolated failure.
     pub outcome: Result<R, JobError>,
     /// Kernel counters reported by the job (zeroed for plain or failed
     /// jobs).
     pub kernel: KernelStats,
-    /// Wall-clock time the job spent executing.
+    /// Wall-clock time the job spent executing (zero for memoized hits).
     pub wall: Duration,
+    /// Whether the result came from a
+    /// [`SweepService`](crate::SweepService) campaign cache instead of a
+    /// fresh execution.
+    pub memoized: bool,
 }
 
 /// Everything a sweep produced: per-job reports in submission order plus
@@ -142,12 +306,17 @@ pub struct JobReport<R> {
 pub struct SweepReport<R> {
     /// Per-job outcomes, in submission order.
     pub jobs: Vec<JobReport<R>>,
-    /// Number of workers the pool actually used.
-    pub workers: usize,
+    /// Worker count the caller asked for, before clamping.
+    pub workers_requested: usize,
+    /// Worker count the pool actually ran (clamped to `1..=jobs`).
+    pub workers_used: usize,
     /// Wall-clock time of the whole sweep.
     pub wall: Duration,
     /// Kernel counters merged over all successful jobs.
     pub kernel: KernelStats,
+    /// Jobs answered from a [`SweepService`](crate::SweepService)
+    /// campaign cache (always 0 for the plain [`run_sweep_on`] path).
+    pub memoized_jobs: usize,
 }
 
 impl<R> SweepReport<R> {
@@ -198,36 +367,169 @@ pub fn run_sweep<R: Send>(jobs: Vec<SimJob<R>>) -> SweepReport<R> {
     run_sweep_on(jobs, workers)
 }
 
-fn execute<R>(job: SimJob<R>, index: usize) -> JobReport<R> {
-    let SimJob { label, run } = job;
+thread_local! {
+    /// `file:line:column` of the most recent panic on this thread,
+    /// recorded by the sweep panic hook (`catch_unwind` only hands the
+    /// payload to the catcher; the location exists only inside the hook).
+    static LAST_PANIC_LOCATION: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+static PANIC_HOOK: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that stashes the panic
+/// site in [`LAST_PANIC_LOCATION`] and then defers to the previous hook,
+/// so panics outside the sweep keep their normal reporting.
+fn install_panic_hook() {
+    PANIC_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let loc = info
+                .location()
+                .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()));
+            LAST_PANIC_LOCATION.with(|slot| *slot.borrow_mut() = loc);
+            previous(info);
+        }));
+    });
+}
+
+fn execute<R>(job: SimJob<R>, index: usize, circuits: &mut CircuitCache) -> JobReport<R> {
+    let SimJob {
+        label,
+        cache_key,
+        kind,
+    } = job;
+    install_panic_hook();
+    LAST_PANIC_LOCATION.with(|slot| slot.borrow_mut().take());
     let start = Instant::now();
-    let outcome = match catch_unwind(AssertUnwindSafe(run)) {
-        Ok(Ok((value, kernel))) => Ok((value, kernel)),
-        Ok(Err(e)) => Err(JobError::Sim(e)),
+    let raw = match kind {
+        JobKind::Owned(run) => catch_unwind(AssertUnwindSafe(run)),
+        JobKind::Shared { key, build, run } => {
+            let (mut circuit, reused) = match circuits.remove(&key) {
+                Some(c) => (c, true),
+                None => (build(), false),
+            };
+            match catch_unwind(AssertUnwindSafe(move || {
+                let out = run(&mut circuit, reused);
+                (out, circuit)
+            })) {
+                Ok((out, circuit)) => {
+                    // The instance stays coherent across Ok *and* SimError
+                    // outcomes (errors leave a resettable circuit); only a
+                    // panic poisons it, and then the unwound closure has
+                    // already dropped it.
+                    circuits.insert(key, circuit);
+                    Ok(out)
+                }
+                Err(payload) => Err(payload),
+            }
+        }
+    };
+    let wall = start.elapsed();
+    let (outcome, kernel) = match raw {
+        Ok(Ok((value, kernel))) => (Ok(value), kernel),
+        Ok(Err(e)) => (Err(JobError::Sim(e)), KernelStats::default()),
         Err(payload) => {
-            let msg = payload
+            let message = payload
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".to_string());
-            Err(JobError::Panic(msg))
+            let location = LAST_PANIC_LOCATION.with(|slot| slot.borrow_mut().take());
+            (
+                Err(JobError::Panic { message, location }),
+                KernelStats::default(),
+            )
         }
-    };
-    let wall = start.elapsed();
-    let (outcome, kernel) = match outcome {
-        Ok((value, kernel)) => (Ok(value), kernel),
-        Err(e) => (Err(e), KernelStats::default()),
     };
     JobReport {
         index,
         label,
+        cache_key,
         outcome,
         kernel,
         wall,
+        memoized: false,
     }
 }
 
-/// Runs `jobs` on a pool of `workers` scoped threads (clamped to
+/// One worker's deque of `(submission index, job)` pairs.
+type JobDeque<R> = Mutex<VecDeque<(usize, SimJob<R>)>>;
+
+/// Pops the next job for worker `me`: its own deque front first, then a
+/// steal from the *back* of the nearest non-empty neighbour (scanning
+/// `me+1, me+2, …` cyclically). Stealing from the opposite end keeps the
+/// victim's cache-warm front-of-chunk jobs with the victim.
+fn next_job<R>(deques: &[JobDeque<R>], me: usize) -> Option<(usize, SimJob<R>)> {
+    if let Some(pair) = deques[me].lock().expect("deque lock").pop_front() {
+        return Some(pair);
+    }
+    let n = deques.len();
+    for off in 1..n {
+        let victim = (me + off) % n;
+        if let Some(pair) = deques[victim].lock().expect("deque lock").pop_back() {
+            return Some(pair);
+        }
+    }
+    None
+}
+
+/// Runs indexed jobs on `workers` threads, handing each finished
+/// [`JobReport`] (in completion order, on the calling thread) to
+/// `on_report`. Returns the clamped worker count actually used.
+///
+/// This is the engine under both [`run_sweep_on`] and
+/// [`SweepService`](crate::SweepService).
+pub(crate) fn run_pool<R: Send>(
+    jobs: Vec<(usize, SimJob<R>)>,
+    workers: usize,
+    on_report: &mut dyn FnMut(JobReport<R>),
+) -> usize {
+    let n = jobs.len();
+    let workers_used = workers.clamp(1, n.max(1));
+
+    if workers_used <= 1 {
+        let mut circuits = CircuitCache::new();
+        for (index, job) in jobs {
+            on_report(execute(job, index, &mut circuits));
+        }
+        return workers_used;
+    }
+
+    // Seed each worker's deque with a contiguous chunk of the submission
+    // order: worker w starts on jobs [w·n/W, (w+1)·n/W). Contiguity is
+    // what makes per-worker circuit reuse pay off — neighbouring sweep
+    // points share a prototype, so a chunk usually elaborates once.
+    let deques: Vec<JobDeque<R>> = (0..workers_used)
+        .map(|_| Mutex::new(VecDeque::new()))
+        .collect();
+    for (pos, pair) in jobs.into_iter().enumerate() {
+        let w = pos * workers_used / n;
+        deques[w].lock().expect("deque lock").push_back(pair);
+    }
+    let deques = &deques;
+
+    let (result_tx, result_rx) = mpsc::channel::<JobReport<R>>();
+    thread::scope(|scope| {
+        for w in 0..workers_used {
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                let mut circuits = CircuitCache::new();
+                while let Some((index, job)) = next_job(deques, w) {
+                    // A send only fails when the collector hung up, which
+                    // cannot happen while this scope is alive.
+                    let _ = result_tx.send(execute(job, index, &mut circuits));
+                }
+            });
+        }
+        drop(result_tx);
+        for report in result_rx.iter() {
+            on_report(report);
+        }
+    });
+    workers_used
+}
+
+/// Runs `jobs` on a pool of `workers` work-stealing threads (clamped to
 /// `1..=jobs.len()`), returning per-job reports **in submission order**.
 ///
 /// `workers == 1` executes the jobs inline on the calling thread — the
@@ -236,50 +538,13 @@ fn execute<R>(job: SimJob<R>, index: usize) -> JobReport<R> {
 /// the pool always returns one report per submitted job.
 pub fn run_sweep_on<R: Send>(jobs: Vec<SimJob<R>>, workers: usize) -> SweepReport<R> {
     let n = jobs.len();
-    let workers = workers.clamp(1, n.max(1));
     let start = Instant::now();
     let mut slots: Vec<Option<JobReport<R>>> = (0..n).map(|_| None).collect();
-
-    if workers <= 1 {
-        for (index, job) in jobs.into_iter().enumerate() {
-            slots[index] = Some(execute(job, index));
-        }
-    } else {
-        // Shared work queue: a Mutex-guarded mpsc receiver hands each
-        // worker the next unclaimed job, so stragglers never serialize
-        // the rest of the queue behind a static partition.
-        let (job_tx, job_rx) = mpsc::channel::<(usize, SimJob<R>)>();
-        let (result_tx, result_rx) = mpsc::channel::<JobReport<R>>();
-        for pair in jobs.into_iter().enumerate() {
-            job_tx.send(pair).expect("queue open");
-        }
-        drop(job_tx); // workers drain until the queue is empty
-        let job_rx = Mutex::new(job_rx);
-
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                let job_rx = &job_rx;
-                let result_tx = result_tx.clone();
-                scope.spawn(move || loop {
-                    let next = job_rx.lock().expect("queue lock").recv();
-                    match next {
-                        Ok((index, job)) => {
-                            // A send only fails when the collector hung
-                            // up, which cannot happen while this scope is
-                            // alive.
-                            let _ = result_tx.send(execute(job, index));
-                        }
-                        Err(_) => break, // queue drained
-                    }
-                });
-            }
-            drop(result_tx);
-            for report in result_rx.iter() {
-                let index = report.index;
-                slots[index] = Some(report);
-            }
-        });
-    }
+    let indexed: Vec<(usize, SimJob<R>)> = jobs.into_iter().enumerate().collect();
+    let workers_used = run_pool(indexed, workers, &mut |report| {
+        let index = report.index;
+        slots[index] = Some(report);
+    });
 
     let jobs: Vec<JobReport<R>> = slots
         .into_iter()
@@ -291,9 +556,11 @@ pub fn run_sweep_on<R: Send>(jobs: Vec<SimJob<R>>, workers: usize) -> SweepRepor
     }
     SweepReport {
         jobs,
-        workers,
+        workers_requested: workers,
+        workers_used,
         wall: start.elapsed(),
         kernel,
+        memoized_jobs: 0,
     }
 }
 
@@ -340,6 +607,48 @@ mod tests {
             .collect()
     }
 
+    /// The same campaign expressed over one shared prototype: every
+    /// point reconfigures the sink seed on the reused circuit.
+    fn shared_campaign(mode: EvalMode) -> Vec<SimJob<Vec<(u64, u64)>>> {
+        let proto = SharedCircuit::new(|| {
+            let mut b = CircuitBuilder::<u64>::new();
+            let ch = b.channel("ch", 2);
+            b.add(Source::new("src", ch, 2));
+            b.add(Sink::with_capture(
+                "snk",
+                ch,
+                2,
+                ReadyPolicy::Random { p: 0.6, seed: 0 },
+            ));
+            b.build().expect("valid")
+        });
+        (0..12u64)
+            .map(|seed| {
+                SimJob::on_circuit(format!("pipeline seed {seed}"), &proto, move |c| {
+                    c.set_eval_mode(mode);
+                    {
+                        let src: &mut Source<u64> = c.get_mut("src").expect("source");
+                        src.extend(0, 0..20u64);
+                        src.extend(1, 100..120u64);
+                    }
+                    {
+                        let snk: &mut Sink<u64> = c.get_mut("snk").expect("sink");
+                        for t in 0..2 {
+                            snk.set_policy(t, ReadyPolicy::Random { p: 0.6, seed });
+                        }
+                    }
+                    c.run(200)?;
+                    let snk: &Sink<u64> = c.get("snk").expect("sink");
+                    let mut cap: Vec<(u64, u64)> = Vec::new();
+                    for t in 0..2 {
+                        cap.extend(snk.captured(t).iter().copied());
+                    }
+                    Ok((cap, *c.stats().kernel()))
+                })
+            })
+            .collect()
+    }
+
     #[test]
     fn results_come_back_in_submission_order() {
         let report = run_sweep_on(campaign(EvalMode::EventDriven), 4);
@@ -347,6 +656,7 @@ mod tests {
         for (i, j) in report.jobs.iter().enumerate() {
             assert_eq!(j.index, i);
             assert_eq!(j.label, format!("pipeline seed {i}"));
+            assert!(!j.memoized);
         }
     }
 
@@ -354,13 +664,25 @@ mod tests {
     fn parallel_matches_serial_bit_for_bit() {
         let serial = run_sweep_on(campaign(EvalMode::EventDriven), 1);
         let parallel = run_sweep_on(campaign(EvalMode::EventDriven), 4);
-        assert_eq!(serial.workers, 1);
+        assert_eq!(serial.workers_used, 1);
         let s: Vec<_> = serial.values().collect();
         let p: Vec<_> = parallel.values().collect();
         assert_eq!(s, p, "parallel sweep diverged from the serial baseline");
         // Kernel aggregation is order-independent, so it must agree too.
         assert_eq!(serial.kernel, parallel.kernel);
         assert!(serial.kernel.component_evals > 0);
+    }
+
+    #[test]
+    fn shared_circuit_matches_owned_jobs_bit_for_bit() {
+        let owned = run_sweep_on(campaign(EvalMode::EventDriven), 1);
+        for workers in [1, 2, 4] {
+            let shared = run_sweep_on(shared_campaign(EvalMode::EventDriven), workers);
+            let o: Vec<_> = owned.values().collect();
+            let s: Vec<_> = shared.values().collect();
+            assert_eq!(o, s, "circuit reuse diverged at {workers} workers");
+            assert_eq!(owned.kernel, shared.kernel);
+        }
     }
 
     #[test]
@@ -376,12 +698,71 @@ mod tests {
         assert_eq!(report.jobs[0].outcome.as_ref().ok(), Some(&1));
         assert_eq!(report.jobs[2].outcome.as_ref().ok(), Some(&3));
         match &report.jobs[1].outcome {
-            Err(JobError::Panic(msg)) => assert!(msg.contains("boom"), "{msg}"),
+            Err(JobError::Panic { message, location }) => {
+                assert!(message.contains("boom"), "{message}");
+                let loc = location.as_deref().expect("panic site captured");
+                assert!(loc.contains("par.rs"), "unexpected location {loc}");
+            }
             other => panic!("expected isolated panic, got {other:?}"),
         }
         let failures = report.failures();
         assert_eq!(failures.len(), 1);
         assert_eq!(failures[0].0, "explodes");
+        assert!(
+            failures[0].1.to_string().contains("par.rs"),
+            "display must name the panic site: {}",
+            failures[0].1
+        );
+    }
+
+    #[test]
+    fn shared_circuit_survives_a_panicking_job() {
+        let proto = SharedCircuit::new(|| {
+            let mut b = CircuitBuilder::<u64>::new();
+            let ch = b.channel("ch", 1);
+            b.add(Source::new("src", ch, 1));
+            b.add(Sink::with_capture("snk", ch, 1, ReadyPolicy::Always));
+            b.build().expect("valid")
+        });
+        let point = |label: &str, tokens: std::ops::Range<u64>| {
+            SimJob::on_circuit(label, &proto, move |c| {
+                {
+                    let src: &mut Source<u64> = c.get_mut("src").expect("source");
+                    src.extend(0, tokens.clone());
+                }
+                c.run(40)?;
+                let snk: &Sink<u64> = c.get("snk").expect("sink");
+                Ok((
+                    snk.captured(0).iter().map(|(_, t)| *t).collect::<Vec<_>>(),
+                    *c.stats().kernel(),
+                ))
+            })
+        };
+        let jobs = vec![
+            point("first", 0..5),
+            SimJob::on_circuit(
+                "explodes",
+                &proto,
+                |_c| -> Result<(Vec<u64>, KernelStats), SimError> { panic!("mid-sweep boom") },
+            ),
+            point("after panic", 5..10),
+        ];
+        // Serial: all three points hit the same worker cache, so the
+        // panicking job's instance must be discarded and rebuilt.
+        let report = run_sweep_on(jobs, 1);
+        assert_eq!(
+            report.jobs[0].outcome.as_ref().ok(),
+            Some(&(0..5).collect::<Vec<u64>>())
+        );
+        assert!(matches!(
+            report.jobs[1].outcome,
+            Err(JobError::Panic { .. })
+        ));
+        assert_eq!(
+            report.jobs[2].outcome.as_ref().ok(),
+            Some(&(5..10).collect::<Vec<u64>>()),
+            "worker must rebuild the poisoned circuit"
+        );
     }
 
     #[test]
@@ -410,10 +791,11 @@ mod tests {
     #[test]
     fn worker_count_is_clamped() {
         let report = run_sweep_on(campaign(EvalMode::EventDriven), 64);
-        assert_eq!(report.workers, 12, "workers clamp to the job count");
+        assert_eq!(report.workers_requested, 64, "requested count is recorded");
+        assert_eq!(report.workers_used, 12, "workers clamp to the job count");
         let report = run_sweep_on(Vec::<SimJob<u64>>::new(), 8);
         assert!(report.jobs.is_empty());
-        assert_eq!(report.workers, 1);
+        assert_eq!(report.workers_used, 1);
     }
 
     #[test]

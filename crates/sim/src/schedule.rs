@@ -246,6 +246,15 @@ impl<T: Token> Component<T> for Source<T> {
         }
     }
 
+    fn reset(&mut self) -> bool {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.rr = 0;
+        self.injected.iter_mut().for_each(|n| *n = 0);
+        true
+    }
+
     fn next_event(&self, now: u64) -> NextEvent {
         // An already-released head means the source is (or should be)
         // asserting valid — report the conservative answer. Otherwise the
@@ -370,6 +379,16 @@ impl<T: Token> Component<T> for Sink<T> {
                 self.captured[t].push((ctx.cycle(), data.clone()));
             }
         }
+    }
+
+    fn reset(&mut self) -> bool {
+        // Policies and the capture flag are configuration; only the
+        // recorded consumption rewinds.
+        for c in &mut self.captured {
+            c.clear();
+        }
+        self.counts.iter_mut().for_each(|n| *n = 0);
+        true
     }
 
     fn next_event(&self, _now: u64) -> NextEvent {

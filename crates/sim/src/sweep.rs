@@ -1,0 +1,261 @@
+//! Campaign front-end over the work-stealing sweep pool: submit
+//! thousands of [`SimJob`]s, stream [`JobReport`]s as they finish, and
+//! memoize keyed results across submissions.
+//!
+//! Experiment binaries often resubmit overlapping campaigns — the same
+//! `(circuit, config, seed)` points appear in a scaling curve, an
+//! ablation table *and* a regression gate. [`SweepService`] keeps a
+//! cache keyed by the job's [`SimJob::with_cache_key`] tag (conventionally
+//! produced by [`campaign_key`] from the structural IR hash, the run
+//! configuration and the seed), so a point simulates once per process and
+//! every later submission answers from memory with `memoized: true` and
+//! zero wall time.
+//!
+//! Untagged jobs always execute; tagged jobs hit the cache only on an
+//! exact key match. Failed jobs are never cached (a deadlock may be
+//! config-dependent and is cheap to rediscover), and the submission-order
+//! final report is indistinguishable from an uncached run apart from the
+//! `memoized` markers.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::par::{run_pool, JobReport, SimJob, SweepReport};
+use crate::stats::KernelStats;
+
+/// Memoization key for a sweep point: mixes the circuit's structural
+/// hash (e.g. `ElasticIr::structural_hash`), a hash of the run
+/// configuration (eval mode, cycle budget, policies…) and the seed into
+/// one 64-bit FNV-1a digest. Two points with equal keys must be
+/// interchangeable simulations.
+pub fn campaign_key(ir_hash: u64, config_hash: u64, seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in [ir_hash, config_hash, seed] {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// A memoizing sweep front-end: keyed jobs simulate once per process
+/// and repeat submissions answer from the campaign cache (see the
+/// module-level docs above).
+///
+/// The service is `Sync`: submissions from several threads share the
+/// campaign cache (each submission runs its own pool).
+pub struct SweepService<R> {
+    workers: usize,
+    cache: Mutex<HashMap<u64, (R, KernelStats)>>,
+}
+
+impl<R: Clone + Send> SweepService<R> {
+    /// A service whose submissions run on `workers` pool threads
+    /// (clamped per submission to the number of uncached jobs).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of memoized results currently held.
+    pub fn cached_results(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Drops every memoized result.
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache lock").clear();
+    }
+
+    /// Runs a campaign, returning the submission-ordered report.
+    pub fn run(&self, jobs: Vec<SimJob<R>>) -> SweepReport<R> {
+        self.run_streaming(jobs, |_| {})
+    }
+
+    /// Runs a campaign, invoking `on_report` for every job as it
+    /// finishes (cache hits first, then pool completions in completion
+    /// order, all on the calling thread) before returning the
+    /// submission-ordered report.
+    pub fn run_streaming(
+        &self,
+        jobs: Vec<SimJob<R>>,
+        mut on_report: impl FnMut(&JobReport<R>),
+    ) -> SweepReport<R> {
+        let n = jobs.len();
+        let start = Instant::now();
+        let mut slots: Vec<Option<JobReport<R>>> = (0..n).map(|_| None).collect();
+        let mut misses: Vec<(usize, SimJob<R>)> = Vec::new();
+        let mut memoized_jobs = 0usize;
+
+        {
+            let cache = self.cache.lock().expect("cache lock");
+            for (index, job) in jobs.into_iter().enumerate() {
+                let hit = job
+                    .cache_key()
+                    .and_then(|k| cache.get(&k).map(|(v, kernel)| (v.clone(), *kernel)));
+                match hit {
+                    Some((value, kernel)) => {
+                        let report = JobReport {
+                            index,
+                            label: job.label().to_string(),
+                            cache_key: job.cache_key(),
+                            outcome: Ok(value),
+                            kernel,
+                            wall: Duration::ZERO,
+                            memoized: true,
+                        };
+                        memoized_jobs += 1;
+                        on_report(&report);
+                        slots[index] = Some(report);
+                    }
+                    None => misses.push((index, job)),
+                }
+            }
+        }
+
+        let workers_used = if misses.is_empty() {
+            1
+        } else {
+            run_pool(misses, self.workers, &mut |report| {
+                if let (Some(key), Ok(value)) = (report.cache_key, &report.outcome) {
+                    self.cache
+                        .lock()
+                        .expect("cache lock")
+                        .insert(key, (value.clone(), report.kernel));
+                }
+                on_report(&report);
+                let index = report.index;
+                slots[index] = Some(report);
+            })
+        };
+
+        let jobs: Vec<JobReport<R>> = slots
+            .into_iter()
+            .map(|s| s.expect("one report per job"))
+            .collect();
+        let mut kernel = KernelStats::default();
+        for j in &jobs {
+            kernel.merge(&j.kernel);
+        }
+        SweepReport {
+            jobs,
+            workers_requested: self.workers,
+            workers_used,
+            wall: start.elapsed(),
+            kernel,
+            memoized_jobs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::error::SimError;
+    use crate::schedule::{ReadyPolicy, Sink, Source};
+
+    fn keyed_job(seed: u64) -> SimJob<Vec<u64>> {
+        SimJob::new(format!("point {seed}"), move || {
+            let mut b = CircuitBuilder::<u64>::new();
+            let ch = b.channel("ch", 1);
+            let mut src = Source::new("src", ch, 1);
+            src.extend(0, 0..10u64);
+            b.add(src);
+            b.add(Sink::with_capture(
+                "snk",
+                ch,
+                1,
+                ReadyPolicy::Random { p: 0.7, seed },
+            ));
+            let mut c = b.build().expect("valid");
+            c.run(100)?;
+            let snk: &Sink<u64> = c.get("snk").expect("sink");
+            Ok(snk.captured(0).iter().map(|(_, t)| *t).collect())
+        })
+        .with_cache_key(campaign_key(0x11, 0x22, seed))
+    }
+
+    #[test]
+    fn second_submission_is_fully_memoized() {
+        let service = SweepService::new(2);
+        let first = service.run((0..8).map(keyed_job).collect());
+        assert_eq!(first.memoized_jobs, 0);
+        assert_eq!(first.ok_count(), 8);
+        assert_eq!(service.cached_results(), 8);
+
+        let second = service.run((0..8).map(keyed_job).collect());
+        assert_eq!(second.memoized_jobs, 8);
+        assert!(second.jobs.iter().all(|j| j.memoized));
+        assert!(second.jobs.iter().all(|j| j.wall == Duration::ZERO));
+        let a: Vec<_> = first.values().collect();
+        let b: Vec<_> = second.values().collect();
+        assert_eq!(a, b, "memoized values must equal the originals");
+        // Kernel counters are replayed from the cache, so campaign
+        // aggregates stay comparable across cached and uncached runs.
+        assert_eq!(first.kernel, second.kernel);
+    }
+
+    #[test]
+    fn overlapping_campaigns_only_run_the_new_points() {
+        let service = SweepService::new(2);
+        service.run((0..4).map(keyed_job).collect());
+        let report = service.run((0..6).map(keyed_job).collect());
+        assert_eq!(report.memoized_jobs, 4);
+        assert_eq!(report.ok_count(), 6);
+        for j in &report.jobs {
+            assert_eq!(j.memoized, j.index < 4, "job {} memoization", j.index);
+        }
+        assert_eq!(service.cached_results(), 6);
+    }
+
+    #[test]
+    fn untagged_and_failed_jobs_are_never_cached() {
+        let service: SweepService<u64> = SweepService::new(1);
+        let jobs = || -> Vec<SimJob<u64>> {
+            vec![
+                SimJob::new("untagged", || Ok(7u64)),
+                SimJob::new("fails", || -> Result<u64, SimError> {
+                    Err(SimError::CombinationalLoop {
+                        cycle: 0,
+                        iterations: 1,
+                    })
+                })
+                .with_cache_key(0xDEAD),
+            ]
+        };
+        let first = service.run(jobs());
+        assert_eq!(first.memoized_jobs, 0);
+        assert_eq!(service.cached_results(), 0);
+        let second = service.run(jobs());
+        assert_eq!(second.memoized_jobs, 0, "nothing eligible was cached");
+    }
+
+    #[test]
+    fn streaming_reports_hits_before_misses() {
+        let service = SweepService::new(2);
+        service.run((0..2).map(keyed_job).collect());
+        let mut order: Vec<(usize, bool)> = Vec::new();
+        let report = service.run_streaming((0..4).map(keyed_job).collect(), |j| {
+            order.push((j.index, j.memoized));
+        });
+        assert_eq!(report.memoized_jobs, 2);
+        assert_eq!(order.len(), 4);
+        assert_eq!(&order[..2], &[(0, true), (1, true)]);
+        assert!(order[2..].iter().all(|&(i, m)| i >= 2 && !m));
+    }
+
+    #[test]
+    fn campaign_key_separates_components() {
+        let base = campaign_key(1, 2, 3);
+        assert_ne!(base, campaign_key(9, 2, 3));
+        assert_ne!(base, campaign_key(1, 9, 3));
+        assert_ne!(base, campaign_key(1, 2, 9));
+        // Argument order matters (ir/config/seed are distinct axes).
+        assert_ne!(campaign_key(1, 2, 3), campaign_key(3, 2, 1));
+    }
+}

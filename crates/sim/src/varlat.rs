@@ -294,6 +294,16 @@ impl<T: Token> Component<T> for VarLatency<T> {
         }
     }
 
+    fn reset(&mut self) -> bool {
+        self.entries.clear();
+        // Re-seed so a reset-then-rerun draws the same latency stream as a
+        // fresh build (byte-identical campaigns across reuse).
+        self.rng = StdRng::seed_from_u64(self.latency.seed() ^ 0xE1A5);
+        self.rr = 0;
+        self.last_eval_cycle = None;
+        true
+    }
+
     fn slots(&self) -> Vec<SlotView> {
         (0..self.capacity)
             .map(|i| match self.entries.get(i) {
@@ -399,6 +409,10 @@ impl<T: Token> Component<T> for Transform<T> {
     }
 
     fn tick(&mut self, _ctx: &TickCtx<'_, T>) {}
+
+    fn reset(&mut self) -> bool {
+        true // stateless
+    }
 
     fn next_event(&self, _now: u64) -> NextEvent {
         NextEvent::Idle

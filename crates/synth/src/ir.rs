@@ -492,6 +492,61 @@ impl<T: Token> ElasticIr<T> {
         });
     }
 
+    /// A stable 64-bit FNV-1a digest of the netlist *structure*: channel
+    /// names, thread counts and widths, plus node names, tags and port
+    /// connectivity, all in index order. Closures (sink policies, join
+    /// combiners) and cost hints do not participate — two IRs with equal
+    /// hashes elaborate structurally identical circuits.
+    ///
+    /// The digest is deliberately hand-rolled (not
+    /// [`std::hash::Hash`]-based) so it is stable across processes and
+    /// Rust versions, making it usable as the IR component of a
+    /// [`campaign_key`](elastic_sim::campaign_key) for memoized sweeps.
+    pub fn structural_hash(&self) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn eat(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 ^= u64::from(b);
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            fn word(&mut self, w: u64) {
+                self.eat(&w.to_le_bytes());
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.word(self.channels.len() as u64);
+        for ch in &self.channels {
+            h.eat(ch.name.as_bytes());
+            h.eat(&[0xFF]); // name terminator: ("ab","c") != ("a","bc")
+            h.word(ch.threads as u64);
+            h.word(ch.width.map_or(u64::MAX, |w| w as u64));
+        }
+        h.word(self.nodes.len() as u64);
+        for node in &self.nodes {
+            h.eat(node.name().as_bytes());
+            h.eat(&[0xFF]);
+            // Tag names are part of the public API; Debug is stable here.
+            h.eat(format!("{:?}", node.tag()).as_bytes());
+            h.eat(&[0xFF]);
+            h.word(node.inputs().len() as u64);
+            for inp in node.inputs() {
+                h.word(inp.index() as u64);
+            }
+            h.word(node.outputs().len() as u64);
+            for out in node.outputs() {
+                h.word(out.index() as u64);
+            }
+        }
+        h.word(match self.schedule {
+            ScheduleMode::Ranked => 0,
+            ScheduleMode::Insertion => 1,
+            ScheduleMode::Reversed => 2,
+        });
+        h.0
+    }
+
     /// Number of channels.
     pub fn channel_count(&self) -> usize {
         self.channels.len()
@@ -786,6 +841,45 @@ mod tests {
             snk.captured(0).iter().map(|(_, v)| *v).collect::<Vec<_>>(),
             vec![7, 8, 9]
         );
+    }
+
+    #[test]
+    fn structural_hash_tracks_structure_not_payload() {
+        let build = |sink_policy: ReadyPolicy| {
+            let mut ir = ElasticIr::<u64>::new();
+            let a = ir.channel("a", 2);
+            let b = ir.channel_with_width("b", 2, 64);
+            ir.add("src", IrNodeKind::Source, vec![], vec![a]);
+            ir.add("eb", IrNodeKind::Eb, vec![a], vec![b]);
+            ir.add(
+                "snk",
+                IrNodeKind::Sink {
+                    capture: true,
+                    policy: sink_policy,
+                },
+                vec![b],
+                vec![],
+            );
+            ir
+        };
+        let base = build(ReadyPolicy::Always).structural_hash();
+        // Rebuilding identically reproduces the digest (stable key).
+        assert_eq!(base, build(ReadyPolicy::Always).structural_hash());
+        // Payload closures/policies are not structure.
+        assert_eq!(
+            base,
+            build(ReadyPolicy::Random { p: 0.5, seed: 1 }).structural_hash()
+        );
+        // Structure changes move the digest.
+        let mut renamed = build(ReadyPolicy::Always);
+        renamed.set_width(IrChannelId(1), 32);
+        assert_ne!(base, renamed.structural_hash());
+        let mut extra = build(ReadyPolicy::Always);
+        extra.channel("c", 4);
+        assert_ne!(base, extra.structural_hash());
+        let mut resched = build(ReadyPolicy::Always);
+        resched.set_schedule(ScheduleMode::Insertion);
+        assert_ne!(base, resched.structural_hash());
     }
 
     #[test]

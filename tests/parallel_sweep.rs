@@ -1,15 +1,20 @@
-//! Integration coverage for the parallel sweep harness (`sim::par`):
-//! running a realistic simulation campaign — MEB pipelines plus the MD5
-//! design example — through the worker pool must be byte-identical to
-//! running it serially, failures must stay isolated to their job, and on
-//! hosts with real parallelism the wall-clock must actually scale.
+//! Integration coverage for the parallel sweep harness (`sim::par` +
+//! `sim::sweep`): running a realistic simulation campaign — MEB
+//! pipelines plus the MD5 design example — through the work-stealing
+//! pool must be byte-identical to running it serially (whatever the pool
+//! shape, job mix, or panic placement), per-worker circuit reuse via
+//! `Circuit::reset` must be indistinguishable from building fresh,
+//! failures must stay isolated to their job, the `SweepService` campaign
+//! cache must answer repeat submissions from memory, and on hosts with
+//! real parallelism the wall-clock must actually scale.
 
 use mt_elastic::core::{MebKind, PipelineConfig, PipelineHarness};
 use mt_elastic::md5::Md5Hasher;
 use mt_elastic::sim::{
-    available_workers, run_sweep, run_sweep_on, EvalMode, JobError, KernelStats, ReadyPolicy,
-    SimError, SimJob,
+    available_workers, campaign_key, run_sweep, run_sweep_on, Circuit, EvalMode, JobError,
+    KernelStats, ReadyPolicy, SharedCircuit, SimError, SimJob, Sink, Source, SweepService, Tagged,
 };
+use proptest::prelude::*;
 
 /// A deterministic stalled-pipeline run: digest of every capture.
 fn pipeline_digest(seed: u64, mode: EvalMode) -> Result<(String, KernelStats), SimError> {
@@ -133,7 +138,24 @@ fn failures_stay_isolated_to_their_job() {
         failures[0],
         ("deadlocked", JobError::Sim(SimError::Deadlock { .. }))
     ));
-    assert!(matches!(failures[1], ("panicking", JobError::Panic(msg)) if msg.contains("blew up")));
+    assert!(matches!(
+        failures[1],
+        ("panicking", JobError::Panic { message, .. }) if message.contains("blew up")
+    ));
+    // The panic hook captured where the panic was raised, so the report
+    // names this file rather than an anonymous unwind.
+    if let ("panicking", JobError::Panic { location, .. }) = failures[1] {
+        let loc = location.as_deref().expect("panic location captured");
+        assert!(
+            loc.contains("parallel_sweep.rs"),
+            "unexpected location {loc}"
+        );
+        let rendered = failures[1].1.to_string();
+        assert!(
+            rendered.contains("parallel_sweep.rs") && rendered.contains("blew up"),
+            "Display lost the location or message: {rendered}"
+        );
+    }
     // The deadlock error carries the blocked-channel diagnosis end to end.
     let rendered = failures[0].1.to_string();
     assert!(rendered.contains("blocked:"), "diagnosis lost: {rendered}");
@@ -180,4 +202,171 @@ fn four_workers_give_at_least_2x_on_a_4_core_host() {
         "expected ≥2x speedup on {} cores, measured {speedup:.2}x",
         available_workers()
     );
+}
+
+/// The zero-token prototype of the [`pipeline_digest`] workload: pool
+/// workers elaborate it once, `Circuit::reset` rewinds it between
+/// points, and each point injects its own tokens and stall seeds.
+fn shared_prototype() -> SharedCircuit<Tagged> {
+    SharedCircuit::new(|| {
+        PipelineHarness::build(PipelineConfig::free_flowing(3, 3, MebKind::Reduced, 0)).circuit
+    })
+}
+
+/// Drives one point on a (fresh or reset) prototype instance — the
+/// reused-circuit twin of [`pipeline_digest`].
+fn drive_shared(
+    c: &mut Circuit<Tagged>,
+    seed: u64,
+) -> Result<((String, KernelStats), KernelStats), SimError> {
+    const THREADS: usize = 3;
+    c.set_eval_mode(EvalMode::EventDriven);
+    {
+        let src: &mut Source<Tagged> = c.get_mut("src").expect("harness source");
+        for t in 0..THREADS {
+            src.extend(t, (0..24u64).map(|i| Tagged::new(t, i, i)));
+        }
+    }
+    {
+        let snk: &mut Sink<Tagged> = c.get_mut("snk").expect("harness sink");
+        for t in 0..THREADS {
+            snk.set_policy(
+                t,
+                ReadyPolicy::Random {
+                    p: 0.5,
+                    seed: seed ^ t as u64,
+                },
+            );
+        }
+    }
+    c.run(600)?;
+    let snk: &Sink<Tagged> = c.get("snk").expect("harness sink");
+    let captures: Vec<Vec<(u64, u64)>> = (0..THREADS)
+        .map(|t| {
+            snk.captured(t)
+                .iter()
+                .map(|(c, tok)| (*c, tok.seq))
+                .collect()
+        })
+        .collect();
+    let k = *c.stats().kernel();
+    Ok(((format!("{captures:?}"), k), k))
+}
+
+/// A mixed campaign: per seed one fresh-build job and one reset-reuse
+/// job on the shared prototype, with an optional panicking job spliced
+/// in at `panic_at`.
+fn mixed_jobs(seeds: &[u64], panic_at: Option<usize>) -> Vec<SimJob<(String, KernelStats)>> {
+    let proto = shared_prototype();
+    let mut jobs = Vec::new();
+    for (i, &seed) in seeds.iter().enumerate() {
+        if panic_at == Some(i) {
+            jobs.push(SimJob::new(format!("boom {i}"), || {
+                panic!("injected panic")
+            }));
+        }
+        jobs.push(SimJob::new(format!("owned {seed:#x}"), move || {
+            pipeline_digest(seed, EvalMode::EventDriven)
+        }));
+        jobs.push(SimJob::on_circuit(
+            format!("shared {seed:#x}"),
+            &proto,
+            move |c| drive_shared(c, seed),
+        ));
+    }
+    jobs
+}
+
+/// Renders every outcome (label, digest or error text) in submission
+/// order, so two reports can be compared byte for byte including their
+/// failures.
+fn rendered(report: &mt_elastic::sim::SweepReport<(String, KernelStats)>) -> Vec<String> {
+    report
+        .jobs
+        .iter()
+        .map(|j| match &j.outcome {
+            Ok((d, _)) => format!("ok {}: {d}", j.label),
+            Err(e) => format!("err {}: {e}", j.label),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Pool shape is behaviourally invisible: whatever the worker count
+    /// (and hence chunk seeding and steal pattern), however owned and
+    /// reset-reuse jobs interleave, and wherever a panicking job lands,
+    /// the submission-ordered outcomes — digests, errors *and* the
+    /// aggregated kernel counters — are byte-identical to `workers == 1`.
+    /// The per-seed owned/shared pairing additionally proves the
+    /// `Circuit::reset` contract: a rewound instance reproduces a fresh
+    /// build exactly.
+    #[test]
+    fn pool_shape_and_circuit_reuse_are_invisible(
+        workers in 2usize..7,
+        seeds in prop::collection::vec(any::<u64>(), 2..7),
+        panic_pick in any::<u64>(),
+    ) {
+        let panic_at = panic_pick
+            .is_multiple_of(3)
+            .then(|| (panic_pick / 3) as usize % seeds.len());
+        let serial = run_sweep_on(mixed_jobs(&seeds, panic_at), 1);
+        prop_assert_eq!(serial.workers_used, 1);
+        let par = run_sweep_on(mixed_jobs(&seeds, panic_at), workers);
+        prop_assert_eq!(par.workers_requested, workers);
+        prop_assert_eq!(
+            rendered(&par),
+            rendered(&serial),
+            "{} workers diverged from serial (panic at {:?})",
+            workers,
+            panic_at
+        );
+        prop_assert_eq!(par.kernel, serial.kernel, "kernel aggregate diverged");
+
+        // Reset-then-rerun == fresh build, point by point: within one
+        // report, each shared job's digest equals its owned twin's.
+        for pair in serial.jobs.chunks(2).filter(|p| p.len() == 2) {
+            if !pair[0].label.starts_with("owned") {
+                continue; // the spliced-in panic job offsets one chunk
+            }
+            let owned = pair[0].outcome.as_ref().expect("owned job runs clean");
+            let shared = pair[1].outcome.as_ref().expect("shared job runs clean");
+            prop_assert_eq!(&owned.0, &shared.0, "reset reuse diverged from fresh build");
+        }
+    }
+}
+
+/// The `SweepService` campaign cache: a second identical keyed campaign
+/// answers ≥ 90% (here: all) of its points from memory, byte-identically
+/// and with zero simulation work.
+#[test]
+fn sweep_service_memoizes_repeat_campaigns() {
+    let keyed = || -> Vec<SimJob<(String, KernelStats)>> {
+        (0..8u64)
+            .map(|seed| {
+                SimJob::new(format!("pt {seed}"), move || {
+                    pipeline_digest(seed, EvalMode::EventDriven)
+                })
+                .with_cache_key(campaign_key(0xF00D, 0x1, seed))
+            })
+            .collect()
+    };
+    let service = SweepService::new(2);
+    let first = service.run(keyed());
+    assert_eq!(first.memoized_jobs, 0, "cold cache must not memoize");
+    assert_eq!(first.ok_count(), 8);
+
+    let second = service.run(keyed());
+    assert!(
+        second.memoized_jobs * 10 >= second.jobs.len() * 9,
+        "second identical campaign memoized only {}/{} jobs",
+        second.memoized_jobs,
+        second.jobs.len()
+    );
+    assert_eq!(rendered(&second), rendered(&first));
+    assert!(second
+        .jobs
+        .iter()
+        .all(|j| j.memoized && j.wall == std::time::Duration::ZERO));
 }
