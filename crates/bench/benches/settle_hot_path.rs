@@ -9,12 +9,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use elastic_core::{MebKind, PipelineConfig, PipelineHarness};
-use elastic_sim::{ReadyPolicy, ThreadMask};
+use elastic_sim::{KernelBackend, ReadyPolicy, ThreadMask};
 
 const CYCLES: u64 = 1_000;
 
-fn run_backpressured(threads: usize, stages: usize) -> u64 {
-    let mut cfg = PipelineConfig::free_flowing(threads, stages, MebKind::Reduced, CYCLES);
+fn run_backpressured_on(threads: usize, stages: usize, backend: KernelBackend) -> u64 {
+    let fuser = match backend {
+        KernelBackend::Fused => Some(elastic_synth::fuse as _),
+        KernelBackend::Interpreted => None,
+    };
+    let mut cfg = PipelineConfig::free_flowing(threads, stages, MebKind::Reduced, CYCLES)
+        .with_backend(backend, fuser);
     for t in 0..threads {
         cfg = cfg.with_sink_policy(
             t,
@@ -29,6 +34,10 @@ fn run_backpressured(threads: usize, stages: usize) -> u64 {
     h.sink().consumed_total()
 }
 
+fn run_backpressured(threads: usize, stages: usize) -> u64 {
+    run_backpressured_on(threads, stages, KernelBackend::Interpreted)
+}
+
 fn bench_settle_loop(c: &mut Criterion) {
     let mut group = c.benchmark_group("settle_hot_path");
     group.throughput(Throughput::Elements(CYCLES));
@@ -38,6 +47,25 @@ fn bench_settle_loop(c: &mut Criterion) {
             &threads,
             |b, &threads| b.iter(|| run_backpressured(threads, 4)),
         );
+    }
+    group.finish();
+}
+
+/// The same backpressured workloads under both settle-kernel backends:
+/// the interpreted `Box<dyn Component>` reference vs the fused op table
+/// (`elastic_synth::fuse`). The pair behind `BENCH_fused_kernel.json`.
+fn bench_fused_vs_interpreted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_vs_interpreted");
+    group.throughput(Throughput::Elements(CYCLES));
+    for threads in [8usize, 16, 64] {
+        for (label, backend) in [
+            ("interpreted", KernelBackend::Interpreted),
+            ("fused", KernelBackend::Fused),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                b.iter(|| run_backpressured_on(threads, 4, backend))
+            });
+        }
     }
     group.finish();
 }
@@ -61,5 +89,10 @@ fn bench_mask_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_settle_loop, bench_mask_ops);
+criterion_group!(
+    benches,
+    bench_settle_loop,
+    bench_fused_vs_interpreted,
+    bench_mask_ops
+);
 criterion_main!(benches);

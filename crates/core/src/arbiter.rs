@@ -35,6 +35,19 @@ pub trait Arbiter: Send + fmt::Debug {
 
     /// Clones the policy behind the trait object.
     fn box_clone(&self) -> Box<dyn Arbiter>;
+
+    /// When the policy's [`choose`](Arbiter::choose) is exactly "first
+    /// requesting thread at or after a rotation point, wrapping",
+    /// returns that point. The contract:
+    /// `choose(req) == req.next_one_wrapping(hint)` for every request
+    /// set, as long as the policy state is unchanged. Fused settle-kernel
+    /// fast paths query this once per evaluation and run the packed word
+    /// scan inline instead of calling `choose` through the vtable;
+    /// policies with richer selection rules return `None` (the default)
+    /// and keep the generic path.
+    fn rotation_hint(&self) -> Option<usize> {
+        None
+    }
 }
 
 impl Clone for Box<dyn Arbiter> {
@@ -65,6 +78,11 @@ impl Arbiter for FixedPriority {
 
     fn box_clone(&self) -> Box<dyn Arbiter> {
         Box::new(*self)
+    }
+
+    fn rotation_hint(&self) -> Option<usize> {
+        // Lowest-index-first is a rotation scan anchored at thread 0.
+        Some(0)
     }
 }
 
@@ -100,6 +118,10 @@ impl Arbiter for RoundRobin {
 
     fn box_clone(&self) -> Box<dyn Arbiter> {
         Box::new(*self)
+    }
+
+    fn rotation_hint(&self) -> Option<usize> {
+        Some(self.next)
     }
 }
 
@@ -359,6 +381,35 @@ mod tests {
     #[should_panic(expected = "quantum must be at least 1")]
     fn coarse_grained_rejects_zero_quantum() {
         CoarseGrained::new(0);
+    }
+
+    #[test]
+    fn rotation_hint_honours_its_choose_contract() {
+        // Exhaustive over 4-thread request sets: whenever a policy
+        // advertises a hint, the inline wrapping scan must reproduce
+        // `choose` exactly — including after commits move the pointer.
+        let mut rr = RoundRobin::new();
+        for granted in [None, Some(1), Some(3)] {
+            if let Some(g) = granted {
+                rr.commit(g);
+            }
+            let policies: [&dyn Arbiter; 2] = [&FixedPriority, &rr];
+            for policy in policies {
+                let hint = policy.rotation_hint().expect("rotating policy");
+                for bits in 0u32..16 {
+                    let requests =
+                        req(&[bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0]);
+                    assert_eq!(
+                        policy.choose(&requests),
+                        requests.next_one_wrapping(hint),
+                        "{policy:?} diverges on {requests:?}"
+                    );
+                }
+            }
+        }
+        // Richer policies must decline the fast path.
+        assert_eq!(LeastRecent::new().rotation_hint(), None);
+        assert_eq!(CoarseGrained::new(4).rotation_hint(), None);
     }
 
     #[test]

@@ -65,8 +65,23 @@ pub struct ReducedMeb<T: Token> {
     shared: Option<(usize, T)>,
     arbiter: Box<dyn Arbiter>,
     select: SelectState,
-    /// Persistent "thread has data" mask, rebuilt in place each eval.
+    /// Packed "thread has data" mask (`state[t] != EMPTY`), maintained
+    /// incrementally at the clock edge: the only transitions that change
+    /// it are EMPTY → HALF (enqueue into an empty thread) and
+    /// HALF → EMPTY (dequeue without shared refill).
     has: ThreadMask,
+    /// Scratch ready word for [`ReducedMeb::eval_fused`], committed in one
+    /// word-level [`EvalCtx::set_ready_mask`] call.
+    fused_ready: ThreadMask,
+    /// Per-cycle cache of [`Arbiter::rotation_hint`]: the hint depends
+    /// only on arbiter state, which advances at the clock edge, so one
+    /// vtable call per cycle serves every settle re-evaluation.
+    fused_hint: Option<usize>,
+    /// Cycle-cache stamp for `fused_ready`/`has`: `cycle + 1` when they
+    /// were rebuilt this cycle, 0 = invalid. Both words are functions of
+    /// registered state only, which changes exclusively at the clock
+    /// edge, so one rebuild per cycle serves every settle re-evaluation.
+    fused_stamp: u64,
 }
 
 impl<T: Token> ReducedMeb<T> {
@@ -94,6 +109,63 @@ impl<T: Token> ReducedMeb<T> {
             arbiter,
             select: SelectState::new(),
             has: ThreadMask::new(threads),
+            fused_ready: ThreadMask::new(threads),
+            fused_hint: None,
+            fused_stamp: 0,
+        }
+    }
+
+    /// Fused-kernel evaluation: identical observable behaviour to
+    /// [`Component::eval`], but the upstream ready word is derived in
+    /// O(words) from the incrementally maintained occupancy mask — once
+    /// per cycle, since it depends on registered state only — and
+    /// committed with a single word-level [`EvalCtx::set_ready_mask`]
+    /// (one change test + one wake instead of `S`, and no per-thread FSM
+    /// scan at all).
+    pub fn eval_fused(&mut self, ctx: &mut EvalCtx<'_, T>) {
+        let cycle = ctx.cycle();
+        if self.fused_stamp != cycle + 1 {
+            // Upstream ready, derived word-level from the incrementally
+            // maintained `has` mask. With the shared register free no
+            // thread is FULL (the structural invariant), so EMPTY and
+            // HALF are both ready: all ones. With it occupied only EMPTY
+            // threads are ready: ¬has.
+            if self.shared.is_none() {
+                self.fused_ready.fill();
+            } else {
+                self.fused_ready.assign_not(&self.has);
+            }
+            self.fused_hint = self.arbiter.rotation_hint();
+            self.fused_stamp = cycle + 1;
+            // Commit once per cycle: this component is the only driver
+            // of `ready(inp)` and the word is a function of registered
+            // state, so settle re-evaluations would re-commit an
+            // identical word (a guaranteed no-op under the word-level
+            // change test) — skip the call entirely.
+            ctx.set_ready_mask(self.inp, &self.fused_ready);
+        }
+        // Output selection. On a DAG output channel the anti-swap damping
+        // inside `SelectState::select` is disabled anyway, so when the
+        // arbiter is a pure rotating scan the whole selection collapses to
+        // one fused word scan over `has ∩ ready(out)` (ready-first) with
+        // the stalled-offer rotation as fallback — no request-mask copy,
+        // no vtable call, bit-identical picks. Feedback channels and
+        // richer policies keep the generic path.
+        let picked = match self.fused_hint {
+            Some(hint) if !ctx.in_feedback(self.out) => self
+                .has
+                .next_one_wrapping_and(ctx.ready_mask(self.out), hint)
+                .or_else(|| self.has.next_one_wrapping(self.select.stall_start())),
+            _ => self
+                .select
+                .select(ctx, self.out, self.arbiter.as_ref(), &self.has),
+        };
+        match picked {
+            Some(t) => {
+                let head = self.main[t].clone().expect("non-empty thread has a head");
+                ctx.drive_token(self.out, t, head);
+            }
+            None => ctx.drive_idle(self.out),
         }
     }
 
@@ -124,6 +196,7 @@ impl<T: Token> ReducedMeb<T> {
             }
             self.main[t] = Some(tok);
             self.state[t] = EbState::Half;
+            self.has.set(t, true);
         }
         Ok(self)
     }
@@ -149,6 +222,12 @@ impl<T: Token> ReducedMeb<T> {
     }
 
     fn check_invariants(&self) {
+        // The body only feeds debug assertions, but the `full_threads`
+        // collect would still allocate every tick in release builds —
+        // skip it entirely there.
+        if !cfg!(debug_assertions) {
+            return;
+        }
         let full_threads: Vec<usize> = (0..self.threads)
             .filter(|&t| self.state[t] == EbState::Full)
             .collect();
@@ -176,6 +255,12 @@ impl<T: Token> ReducedMeb<T> {
                 self.state[t] != EbState::Empty,
                 self.main[t].is_some(),
                 "reduced MEB `{}`: thread {t} state/main mismatch",
+                self.name
+            );
+            debug_assert_eq!(
+                self.has.get(t),
+                self.state[t] != EbState::Empty,
+                "reduced MEB `{}`: thread {t} occupancy mask out of sync",
                 self.name
             );
         }
@@ -246,6 +331,7 @@ impl<T: Token> Component<T> for ReducedMeb<T> {
                 EbState::Half => {
                     self.main[g] = None;
                     self.state[g] = EbState::Empty;
+                    self.has.set(g, false);
                 }
                 EbState::Full => {
                     // Refill the main register from the shared buffer; its
@@ -268,6 +354,7 @@ impl<T: Token> Component<T> for ReducedMeb<T> {
                 EbState::Empty => {
                     self.main[t] = Some(data.clone());
                     self.state[t] = EbState::Half;
+                    self.has.set(t, true);
                 }
                 EbState::Half => {
                     // goFull: claim the shared register. The elastic thread
@@ -319,6 +406,7 @@ impl<T: Token> Component<T> for ReducedMeb<T> {
         self.arbiter.reset();
         self.select.reset();
         self.has.clear();
+        self.fused_stamp = 0;
         true
     }
 

@@ -3,8 +3,8 @@
 //! design examples (pipeline registers replaced by MEBs, Sec. V-B).
 
 use elastic_sim::{
-    ChannelId, Circuit, CircuitBuilder, EvalMode, ReadyPolicy, ScheduleMode, Sink, Source, Tagged,
-    Token,
+    ChannelId, Circuit, CircuitBuilder, EvalMode, FuseFn, KernelBackend, ReadyPolicy, ScheduleMode,
+    Sink, Source, Tagged, Token,
 };
 
 use crate::arbiter::ArbiterKind;
@@ -93,6 +93,14 @@ pub struct PipelineConfig {
     /// order by default; [`ScheduleMode::Insertion`] /
     /// [`ScheduleMode::Reversed`] for ablations).
     pub schedule: ScheduleMode,
+    /// Settle-kernel dispatch backend (interpreted vtable dispatch by
+    /// default; [`KernelBackend::Fused`] requires a [`fuser`](Self::fuser)
+    /// lowering, conventionally `elastic_synth::fuse`).
+    pub backend: KernelBackend,
+    /// Lowering installed when `backend` is [`KernelBackend::Fused`]
+    /// (without one the builder silently falls back to interpreted
+    /// dispatch).
+    pub fuser: Option<FuseFn<Tagged>>,
 }
 
 impl PipelineConfig {
@@ -108,6 +116,8 @@ impl PipelineConfig {
             sink_policies: vec![ReadyPolicy::Always; threads],
             eval_mode: EvalMode::default(),
             schedule: ScheduleMode::default(),
+            backend: KernelBackend::default(),
+            fuser: None,
         }
     }
 
@@ -129,6 +139,16 @@ impl PipelineConfig {
     #[must_use]
     pub fn with_schedule(mut self, schedule: ScheduleMode) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Selects the settle-kernel dispatch backend together with the
+    /// lowering that realizes it (pass `elastic_synth::fuse` for the
+    /// fused op-table kernel).
+    #[must_use]
+    pub fn with_backend(mut self, backend: KernelBackend, fuser: Option<FuseFn<Tagged>>) -> Self {
+        self.backend = backend;
+        self.fuser = fuser;
         self
     }
 }
@@ -164,6 +184,10 @@ impl PipelineHarness {
         }
         b.add(sink);
         b.set_schedule(config.schedule);
+        b.set_backend(config.backend);
+        if let Some(fuse) = config.fuser {
+            b.set_fuser(fuse);
+        }
         let mut circuit = b.build().expect("pipeline harness netlist is well-formed");
         circuit.set_eval_mode(config.eval_mode);
         Self { circuit, pipeline }

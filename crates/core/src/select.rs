@@ -147,6 +147,16 @@ impl SelectState {
         )
     }
 
+    /// The current stalled-offer rotation start (rule 2 of
+    /// [`select_output_thread`]). Fused fast paths that bypass
+    /// [`select`](SelectState::select) — possible on DAG channels, where
+    /// the anti-swap damping is disabled anyway — read the pointer here
+    /// and keep [`on_tick`](SelectState::on_tick) advancing it.
+    #[must_use]
+    pub fn stall_start(&self) -> usize {
+        self.stall
+    }
+
     /// Clock-edge bookkeeping: rotates the stalled-offer pointer.
     pub fn on_tick<T: Token>(&mut self, ctx: &TickCtx<'_, T>, out: ChannelId) {
         advance_stall_pointer(ctx, out, &mut self.stall);

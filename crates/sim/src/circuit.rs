@@ -38,6 +38,7 @@
 use crate::channel::{ChannelId, ChannelState};
 use crate::component::{Component, NextEvent};
 use crate::error::SimError;
+use crate::fused::{FusedOpKind, FusedTable, KernelBackend, SweepCtx};
 use crate::mask::ThreadMask;
 use crate::rank::Schedule;
 use crate::stats::Stats;
@@ -262,6 +263,39 @@ impl<'a, T: Token> EvalCtx<'a, T> {
         }
     }
 
+    /// Drives the whole packed `valid` mask of an output channel in one
+    /// word-level commit. Observably identical to calling
+    /// [`set_valid`](Self::set_valid) for every thread: the wake targets
+    /// of a `valid` change do not depend on *which* thread flipped, so a
+    /// single reader wake after a word-level diff ([`ThreadMask::assign`])
+    /// reaches exactly the same dirty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling component is not the registered driver of
+    /// `ch`, or if the mask width differs from the channel's.
+    pub fn set_valid_mask(&mut self, ch: ChannelId, mask: &ThreadMask) {
+        self.assert_drives(ch, "valid");
+        if self.channels[ch.0].valid.assign(mask) {
+            self.wake_reader(ch.0);
+        }
+    }
+
+    /// Drives the whole packed `ready` mask of an input channel in one
+    /// word-level commit (the `ready`-side counterpart of
+    /// [`set_valid_mask`](Self::set_valid_mask)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling component is not the registered reader of
+    /// `ch`, or if the mask width differs from the channel's.
+    pub fn set_ready_mask(&mut self, ch: ChannelId, mask: &ThreadMask) {
+        self.assert_reads(ch);
+        if self.channels[ch.0].ready.assign(mask) {
+            self.wake_driver(ch.0);
+        }
+    }
+
     /// Convenience: drives all `valid` bits low and clears data on an
     /// output channel (an idle producer). Word-level: one clear per mask
     /// word instead of a per-thread loop.
@@ -379,12 +413,56 @@ pub struct CycleReport {
     pub evals: usize,
 }
 
+/// Backing storage for a circuit's components: either the boxed vector
+/// the interpreted kernel walks (vtable dispatch per eval) or a lowered
+/// [`FusedTable`] (one dynamic call per settle round, `match` dispatch
+/// inside). Every cold path — reset, lookup, tracing, next-event scan —
+/// goes through [`get`](ComponentStore::get)/[`get_mut`](ComponentStore::get_mut),
+/// which both variants serve as plain `dyn Component` borrows, so only
+/// the settle/tick hot paths branch on the variant.
+pub(crate) enum ComponentStore<T: Token> {
+    /// Boxed components in rank order (the interpreted backend).
+    Boxed(Vec<Box<dyn Component<T>>>),
+    /// A lowered op table in the same rank order (the fused backend).
+    Fused(Box<dyn FusedTable<T>>),
+}
+
+impl<T: Token> ComponentStore<T> {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            ComponentStore::Boxed(v) => v.len(),
+            ComponentStore::Fused(t) => t.len(),
+        }
+    }
+
+    pub(crate) fn get(&self, i: usize) -> &dyn Component<T> {
+        match self {
+            ComponentStore::Boxed(v) => v[i].as_ref(),
+            ComponentStore::Fused(t) => t.component(i),
+        }
+    }
+
+    pub(crate) fn get_mut(&mut self, i: usize) -> &mut dyn Component<T> {
+        match self {
+            ComponentStore::Boxed(v) => v[i].as_mut(),
+            ComponentStore::Fused(t) => t.component_mut(i),
+        }
+    }
+
+    pub(crate) fn backend(&self) -> KernelBackend {
+        match self {
+            ComponentStore::Boxed(_) => KernelBackend::Interpreted,
+            ComponentStore::Fused(_) => KernelBackend::Fused,
+        }
+    }
+}
+
 /// A fully wired synchronous elastic circuit.
 ///
 /// Build one with [`CircuitBuilder`](crate::CircuitBuilder), then drive it
 /// with [`step`](Circuit::step) / [`run`](Circuit::run).
 pub struct Circuit<T: Token> {
-    pub(crate) components: Vec<Box<dyn Component<T>>>,
+    pub(crate) components: ComponentStore<T>,
     pub(crate) channels: Vec<ChannelState<T>>,
     /// Per-channel driving component — doubles as the `ready`-change wake
     /// map of the event-driven kernel.
@@ -412,11 +490,15 @@ pub struct Circuit<T: Token> {
     idle_cycles: u64,
     /// Cycle of the most recent fired transfer, for watchdog reports.
     last_progress: Option<u64>,
+    /// Accumulate settle-phase wall time into
+    /// [`KernelStats::settle_nanos`] (off by default: two clock reads per
+    /// cycle are pure overhead outside backend-ablation runs).
+    time_settle: bool,
 }
 
 impl<T: Token> Circuit<T> {
     pub(crate) fn from_parts(
-        components: Vec<Box<dyn Component<T>>>,
+        components: ComponentStore<T>,
         channels: Vec<ChannelState<T>>,
         driver: Vec<usize>,
         reader: Vec<usize>,
@@ -446,6 +528,7 @@ impl<T: Token> Circuit<T> {
             watchdog: None,
             idle_cycles: 0,
             last_progress: None,
+            time_settle: false,
         }
     }
 
@@ -458,6 +541,12 @@ impl<T: Token> Circuit<T> {
     /// The active settle-phase scheduling mode.
     pub fn eval_mode(&self) -> EvalMode {
         self.mode
+    }
+
+    /// Which kernel backend this circuit was built with: `Interpreted`
+    /// (boxed components, vtable dispatch) or `Fused` (lowered op table).
+    pub fn backend(&self) -> KernelBackend {
+        self.components.backend()
     }
 
     /// Selects the settle-phase scheduling mode. Both modes reach the
@@ -496,9 +585,11 @@ impl<T: Token> Circuit<T> {
     /// conservative default `reset` (the circuit is left partially reset
     /// and must be rebuilt). All shipped primitives support reset.
     pub fn reset(&mut self) -> Result<(), SimError> {
-        for c in &mut self.components {
+        for i in 0..self.components.len() {
+            let c = self.components.get_mut(i);
             if !c.reset() {
                 return Err(SimError::ResetUnsupported {
+                    index: i,
                     component: c.name().to_string(),
                 });
             }
@@ -537,6 +628,19 @@ impl<T: Token> Circuit<T> {
         self.recorder.as_ref()
     }
 
+    /// Arms (or disarms) settle-phase wall timing: while enabled, every
+    /// stepped cycle adds the wall time of its combinational settle loop
+    /// to [`KernelStats::settle_nanos`]. The clock reads sit outside the
+    /// measured span, and the flag is off by default so ordinary runs pay
+    /// nothing. Backend ablations gate on this number — it isolates the
+    /// phase the dispatch backend actually changes from the tick/capture
+    /// phases that are identical across backends.
+    ///
+    /// [`KernelStats::settle_nanos`]: crate::KernelStats::settle_nanos
+    pub fn set_settle_timing(&mut self, enabled: bool) {
+        self.time_settle = enabled;
+    }
+
     /// Arms a deadlock watchdog: [`step`](Circuit::step) returns
     /// [`SimError::Deadlock`] after `cycles` consecutive transfer-free
     /// cycles. Disarm with `None`.
@@ -545,44 +649,43 @@ impl<T: Token> Circuit<T> {
         self.idle_cycles = 0;
     }
 
+    /// Evaluation-order index of the component named `name`, if any.
+    fn component_index(&self, name: &str) -> Option<usize> {
+        (0..self.components.len()).find(|&i| self.components.get(i).name() == name)
+    }
+
     /// Immutable access to a component by instance name.
     pub fn component(&self, name: &str) -> Option<&dyn Component<T>> {
-        self.components
-            .iter()
-            .find(|c| c.name() == name)
-            .map(|b| b.as_ref())
+        self.component_index(name).map(|i| self.components.get(i))
     }
 
     /// Typed immutable access to a component by instance name.
     ///
     /// Returns `None` if no component has that name *or* it is not a `C`.
     pub fn get<C: Component<T> + 'static>(&self, name: &str) -> Option<&C> {
-        self.components
-            .iter()
-            .find(|c| c.name() == name)
+        self.component(name)
             .and_then(|c| c.as_any().downcast_ref::<C>())
     }
 
     /// Typed mutable access to a component by instance name.
     pub fn get_mut<C: Component<T> + 'static>(&mut self, name: &str) -> Option<&mut C> {
-        self.components
-            .iter_mut()
-            .find(|c| c.name() == name)
-            .and_then(|c| c.as_any_mut().downcast_mut::<C>())
+        let i = self.component_index(name)?;
+        self.components.get_mut(i).as_any_mut().downcast_mut::<C>()
     }
 
     /// Names of all components, in evaluation order.
     pub fn component_names(&self) -> Vec<String> {
-        self.components
-            .iter()
-            .map(|c| c.name().to_string())
+        (0..self.components.len())
+            .map(|i| self.components.get(i).name().to_string())
             .collect()
     }
 
     /// Structural class of every component, in evaluation order (see
     /// [`Component::netlist_kind`]).
     pub fn component_kinds(&self) -> Vec<crate::netlist::NetlistNodeKind> {
-        self.components.iter().map(|c| c.netlist_kind()).collect()
+        (0..self.components.len())
+            .map(|i| self.components.get(i).netlist_kind())
+            .collect()
     }
 
     /// Name of channel `ch`.
@@ -659,32 +762,58 @@ impl<T: Token> Circuit<T> {
         let mut rounds = 0usize;
         let mut evals = 0usize;
         let mut stable = false;
+        let mut op_evals = [0u64; FusedOpKind::COUNT];
         self.woke.clear();
+        let settle_start = self.time_settle.then(std::time::Instant::now);
         while rounds < max_rounds {
             let full = exhaustive || rounds == 0;
             let mut changed = false;
-            for i in 0..n {
-                if !full && !self.woke.get(i) {
-                    continue;
+            match &mut self.components {
+                ComponentStore::Boxed(comps) => {
+                    for (i, comp) in comps.iter_mut().enumerate() {
+                        if !full && !self.woke.get(i) {
+                            continue;
+                        }
+                        self.woke.set(i, false);
+                        let mut ctx = EvalCtx {
+                            channels: &mut self.channels,
+                            woke: &mut self.woke,
+                            changed: &mut changed,
+                            current: i,
+                            driver: &self.driver,
+                            reader: &self.reader,
+                            listen_valid: &self.listen_valid,
+                            listen_ready: &self.listen_ready,
+                            feedback: &self.feedback,
+                            cycle: self.cycle,
+                        };
+                        comp.eval(&mut ctx);
+                        evals += 1;
+                    }
                 }
-                self.woke.set(i, false);
-                let mut ctx = EvalCtx {
-                    channels: &mut self.channels,
-                    woke: &mut self.woke,
-                    changed: &mut changed,
-                    current: i,
-                    driver: &self.driver,
-                    reader: &self.reader,
-                    listen_valid: &self.listen_valid,
-                    listen_ready: &self.listen_ready,
-                    feedback: &self.feedback,
-                    cycle: self.cycle,
-                };
-                self.components[i].eval(&mut ctx);
-                evals += 1;
+                ComponentStore::Fused(table) => {
+                    // One dynamic call for the whole round; the table
+                    // claims wake flags and counts evals exactly like the
+                    // interpreted loop above.
+                    let mut ctx = SweepCtx {
+                        channels: &mut self.channels,
+                        woke: &mut self.woke,
+                        changed: &mut changed,
+                        driver: &self.driver,
+                        reader: &self.reader,
+                        listen_valid: &self.listen_valid,
+                        listen_ready: &self.listen_ready,
+                        feedback: &self.feedback,
+                        cycle: self.cycle,
+                    };
+                    evals += table.sweep(&mut ctx, full, &mut op_evals);
+                }
             }
             rounds += 1;
-            if std::env::var_os("ELASTIC_SIM_DEBUG_SETTLE").is_some() && rounds + 6 >= max_rounds {
+            // The cheap round-count test goes first: it is false on every
+            // healthy cycle, so the (comparatively expensive) environment
+            // lookup never runs on the hot path.
+            if rounds + 6 >= max_rounds && std::env::var_os("ELASTIC_SIM_DEBUG_SETTLE").is_some() {
                 let dump: Vec<String> = self
                     .channels
                     .iter()
@@ -707,6 +836,7 @@ impl<T: Token> Circuit<T> {
                 break;
             }
         }
+        let settle_elapsed = settle_start.map(|t0| t0.elapsed());
         if !stable {
             return Err(SimError::CombinationalLoop {
                 cycle: self.cycle,
@@ -714,6 +844,9 @@ impl<T: Token> Circuit<T> {
             });
         }
         let kernel = self.stats.kernel_mut();
+        if let Some(elapsed) = settle_elapsed {
+            kernel.settle_nanos += elapsed.as_nanos() as u64;
+        }
         kernel.component_evals += evals as u64;
         kernel.settle_rounds += rounds as u64;
         kernel.components_skipped += (rounds * n - evals) as u64;
@@ -725,6 +858,9 @@ impl<T: Token> Circuit<T> {
         // survives `reset_stats` after a warm-up window.
         kernel.rank_width = kernel.rank_width.max(self.rank_width);
         kernel.settle_round_hist[rounds.min(8) - 1] += 1;
+        for (acc, delta) in kernel.fused_op_evals.iter_mut().zip(op_evals.iter()) {
+            *acc += *delta;
+        }
 
         // Phase 2: protocol invariant checks — word-level popcounts; the
         // per-thread index list is materialised only on the error path.
@@ -794,8 +930,8 @@ impl<T: Token> Circuit<T> {
             // table resolves them at render time, so the hot path never
             // clones a component name.
             let mut slots = Vec::new();
-            for (i, c) in self.components.iter().enumerate() {
-                let s = c.slots();
+            for i in 0..self.components.len() {
+                let s = self.components.get(i).slots();
                 if !s.is_empty() {
                     slots.push((i, s));
                 }
@@ -851,16 +987,30 @@ impl<T: Token> Circuit<T> {
             channels: &self.channels,
             cycle: self.cycle,
         };
-        for c in &mut self.components {
-            c.tick(&tick_ctx);
-        }
-        for c in &mut self.components {
-            if let Some(error) = c.take_fault() {
-                return Err(SimError::Component {
-                    cycle: self.cycle,
-                    component: c.name().to_string(),
-                    error,
-                });
+        match &mut self.components {
+            ComponentStore::Boxed(comps) => {
+                for c in comps.iter_mut() {
+                    c.tick(&tick_ctx);
+                }
+                for c in comps.iter_mut() {
+                    if let Some(error) = c.take_fault() {
+                        return Err(SimError::Component {
+                            cycle: self.cycle,
+                            component: c.name().to_string(),
+                            error,
+                        });
+                    }
+                }
+            }
+            ComponentStore::Fused(table) => {
+                table.tick_all(&tick_ctx);
+                if let Some((i, error)) = table.take_faults() {
+                    return Err(SimError::Component {
+                        cycle: self.cycle,
+                        component: table.component(i).name().to_string(),
+                        error,
+                    });
+                }
             }
         }
 
@@ -886,8 +1036,8 @@ impl<T: Token> Circuit<T> {
     /// time-sensitive every cycle and the fast-path must stay off.
     fn next_component_event(&self) -> Option<Option<u64>> {
         let mut earliest: Option<u64> = None;
-        for c in &self.components {
-            match c.next_event(self.cycle) {
+        for i in 0..self.components.len() {
+            match self.components.get(i).next_event(self.cycle) {
                 NextEvent::EveryCycle => return None,
                 NextEvent::Idle => {}
                 NextEvent::At(at) => {

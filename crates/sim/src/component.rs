@@ -306,10 +306,17 @@ pub trait Component<T: Token>: Send {
     /// Mutable upcast for typed access via
     /// [`Circuit::get_mut`](crate::Circuit::get_mut).
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Consuming upcast: lets a lowering pass take the concrete component
+    /// back out of its box (after checking the type via
+    /// [`as_any`](Component::as_any)) so a fused op table can store it
+    /// unboxed. Written by [`impl_as_any!`](crate::impl_as_any) alongside
+    /// the borrowing upcasts.
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
 }
 
-/// Writes the two [`Component`] upcast methods (`as_any`, `as_any_mut`)
-/// inside an `impl Component<T> for …` block.
+/// Writes the three [`Component`] upcast methods (`as_any`, `as_any_mut`,
+/// `into_any`) inside an `impl Component<T> for …` block.
 ///
 /// # Examples
 ///
@@ -332,6 +339,9 @@ macro_rules! impl_as_any {
             self
         }
         fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+            self
+        }
+        fn into_any(self: ::std::boxed::Box<Self>) -> ::std::boxed::Box<dyn ::std::any::Any> {
             self
         }
     };

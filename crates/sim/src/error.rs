@@ -226,6 +226,10 @@ pub enum SimError {
     /// (the conservative default). Reuse such a circuit by rebuilding it
     /// instead, or implement `reset` for the named component.
     ResetUnsupported {
+        /// Evaluation-order index of the component that cannot rewind
+        /// (useful when several instances share a name prefix, and to
+        /// locate the node in schedule/netlist dumps).
+        index: usize,
         /// Name of the component that cannot rewind.
         component: String,
     },
@@ -287,10 +291,10 @@ impl fmt::Display for SimError {
                 }
                 Ok(())
             }
-            SimError::ResetUnsupported { component } => write!(
+            SimError::ResetUnsupported { index, component } => write!(
                 f,
-                "component `{component}` does not support reset \
-                 (rebuild the circuit instead of reusing it)"
+                "component `{component}` (evaluation index {index}) does not support \
+                 reset (rebuild the circuit instead of reusing it)"
             ),
         }
     }
@@ -366,6 +370,17 @@ mod tests {
             stalled: Vec::new(),
         };
         assert!(never.to_string().contains("no transfer ever fired"));
+    }
+
+    #[test]
+    fn reset_unsupported_names_component_and_index() {
+        let e = SimError::ResetUnsupported {
+            index: 3,
+            component: "romgen".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("`romgen`"), "{msg}");
+        assert!(msg.contains("index 3"), "{msg}");
     }
 
     #[test]

@@ -68,6 +68,7 @@ mod channel;
 mod circuit;
 mod component;
 mod error;
+mod fused;
 mod latency;
 mod mask;
 mod netlist;
@@ -87,6 +88,7 @@ pub use channel::{ChannelId, ChannelSpec};
 pub use circuit::{Circuit, CycleReport, EvalCtx, EvalMode, TickCtx, Transfer};
 pub use component::{conservative_paths, CombPath, Component, NextEvent, Ports, SlotView};
 pub use error::{BuildError, ProtocolError, SimError};
+pub use fused::{FuseFn, FusedOpKind, FusedTable, KernelBackend, SweepCtx};
 pub use latency::{token_latencies, LatencySummary, TokenLatencies};
 pub use mask::{Ones, ThreadMask};
 pub use netlist::{NetlistEdge, NetlistGraph, NetlistNodeKind};
@@ -98,7 +100,7 @@ pub use par::{
 pub use rank::ScheduleMode;
 pub use schedule::{ReadyPolicy, Sink, Source};
 pub use stats::{ChannelStats, KernelStats, Stats};
-pub use sweep::{campaign_key, SweepService};
+pub use sweep::{campaign_key, SweepService, DEFAULT_CACHE_CAPACITY};
 pub use token::{thread_letter, Tagged, Token};
 pub use trace::{render_waveform, ChannelTrace, CycleTrace, GridTrace, RowSpec, TraceRecorder};
 pub use varlat::{LatencyModel, Transform, VarLatency};

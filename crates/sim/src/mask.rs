@@ -199,6 +199,15 @@ impl ThreadMask {
         None
     }
 
+    /// Wrapping rotation scan within one word: first set bit of `w` at
+    /// index ≥ `start` (`start < 64`), else the first set bit below it.
+    #[inline]
+    fn rotate_word(w: u64, start: usize) -> Option<usize> {
+        let above = w & (!0u64 << start);
+        let found = if above != 0 { above } else { w };
+        (found != 0).then(|| found.trailing_zeros() as usize)
+    }
+
     /// First set bit at index ≥ `start`, wrapping past the end — the
     /// round-robin rotation search shared by arbiters and stall
     /// pointers. `start` may equal `threads` (treated as 0).
@@ -207,7 +216,18 @@ impl ThreadMask {
         if self.threads == 0 {
             return None;
         }
-        let start = start % self.threads;
+        // `start == threads` (treated as 0) is the only common overshoot;
+        // keep the division off the hot path.
+        let start = if start >= self.threads {
+            start % self.threads
+        } else {
+            start
+        };
+        if self.rest.is_none() {
+            // Single-word fast path (S ≤ 64): the rotation is two masked
+            // scans of the inline word, no division, no loop.
+            return Self::rotate_word(self.head, start);
+        }
         // Scan [start, end) word-by-word, masking off bits below
         // `start` in the first word, then wrap to [0, start).
         let first_word = start / 64;
@@ -230,6 +250,103 @@ impl ThreadMask {
         None
     }
 
+    /// First bit set in **both** `self` and `other` at index ≥ `start`,
+    /// wrapping past the end — [`next_one_wrapping`] over the
+    /// intersection, with the AND folded into the word scan. Hot
+    /// selection paths (`requests = has ∩ ready`, then rotate) use this
+    /// to skip materialising the intersection in a scratch mask.
+    ///
+    /// [`next_one_wrapping`]: ThreadMask::next_one_wrapping
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks have different thread counts.
+    #[must_use]
+    pub fn next_one_wrapping_and(&self, other: &Self, start: usize) -> Option<usize> {
+        assert_eq!(self.threads, other.threads, "mask width mismatch");
+        if self.threads == 0 {
+            return None;
+        }
+        let start = if start >= self.threads {
+            start % self.threads
+        } else {
+            start
+        };
+        if self.rest.is_none() {
+            // Equal widths, so `other` is single-word too.
+            return Self::rotate_word(self.head & other.head, start);
+        }
+        let first_word = start / 64;
+        for step in 0..=self.word_count() {
+            let idx = (first_word + step) % self.word_count();
+            let mut w = self.word(idx) & other.word(idx);
+            if step == 0 {
+                w &= !0u64 << (start % 64);
+            } else if step == self.word_count() {
+                if start.is_multiple_of(64) {
+                    break;
+                }
+                w &= !(!0u64 << (start % 64));
+            }
+            if w != 0 {
+                return Some(idx * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// The valid-bit mask of word `idx` (all-ones except for the final
+    /// partial word, whose bits at or above `threads` stay zero).
+    #[inline]
+    fn tail_mask(&self, idx: usize) -> u64 {
+        let used = self.threads - idx * 64;
+        if used >= 64 {
+            !0u64
+        } else {
+            (1u64 << used) - 1
+        }
+    }
+
+    /// Sets every thread's bit in one word-level pass (bits at or above
+    /// [`threads`](ThreadMask::threads) stay zero).
+    pub fn fill(&mut self) {
+        self.head = self.tail_mask(0);
+        if let Some(r) = self.rest.as_mut() {
+            let threads = self.threads;
+            for (i, w) in r.iter_mut().enumerate() {
+                let used = threads - (i + 1) * 64;
+                *w = if used >= 64 {
+                    !0u64
+                } else {
+                    (1u64 << used) - 1
+                };
+            }
+        }
+    }
+
+    /// Assigns the complement of `other` to `self` in one word-level
+    /// pass, keeping bits at or above the thread count zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks have different thread counts.
+    pub fn assign_not(&mut self, other: &Self) {
+        assert_eq!(self.threads, other.threads, "mask width mismatch");
+        self.head = !other.head & self.tail_mask(0);
+        if let (Some(dst), Some(src)) = (self.rest.as_mut(), other.rest.as_ref()) {
+            let threads = self.threads;
+            for (i, (d, s)) in dst.iter_mut().zip(src.iter()).enumerate() {
+                let used = threads - (i + 1) * 64;
+                let tail = if used >= 64 {
+                    !0u64
+                } else {
+                    (1u64 << used) - 1
+                };
+                *d = !*s & tail;
+            }
+        }
+    }
+
     /// Copies `other`'s bits into `self` without allocating.
     ///
     /// # Panics
@@ -241,6 +358,28 @@ impl ThreadMask {
         if let (Some(dst), Some(src)) = (self.rest.as_mut(), other.rest.as_ref()) {
             dst.copy_from_slice(src);
         }
+    }
+
+    /// Copies `other`'s bits into `self` like
+    /// [`copy_from`](ThreadMask::copy_from), additionally reporting
+    /// whether any bit changed — the word-level analogue of the per-thread
+    /// [`set`](ThreadMask::set) diff that the fused kernel's
+    /// `set_ready_mask`/`set_valid_mask` commits are built on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the masks have different thread counts.
+    pub fn assign(&mut self, other: &Self) -> bool {
+        assert_eq!(self.threads, other.threads, "mask width mismatch");
+        let mut changed = self.head != other.head;
+        self.head = other.head;
+        if let (Some(dst), Some(src)) = (self.rest.as_mut(), other.rest.as_ref()) {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                changed |= *d != *s;
+                *d = *s;
+            }
+        }
+        changed
     }
 
     /// Intersects `self` with `other` in place.
@@ -365,6 +504,26 @@ mod tests {
     }
 
     #[test]
+    fn next_one_wrapping_and_scans_the_intersection() {
+        let a = ThreadMask::from_bools(&[true, true, false, true]);
+        let b = ThreadMask::from_bools(&[false, true, true, true]);
+        assert_eq!(a.next_one_wrapping_and(&b, 0), Some(1));
+        assert_eq!(a.next_one_wrapping_and(&b, 2), Some(3));
+        assert_eq!(a.next_one_wrapping_and(&b, 4), Some(1), "start wraps");
+        let none = ThreadMask::from_bools(&[true, false]);
+        let other = ThreadMask::from_bools(&[false, true]);
+        assert_eq!(none.next_one_wrapping_and(&other, 0), None);
+        // Spillover words: only common bit is past the inline word.
+        let mut big_a = ThreadMask::new(130);
+        let mut big_b = ThreadMask::new(130);
+        big_a.set(3, true);
+        big_a.set(129, true);
+        big_b.set(129, true);
+        assert_eq!(big_a.next_one_wrapping_and(&big_b, 0), Some(129));
+        assert_eq!(big_a.next_one_wrapping_and(&big_b, 130), Some(129));
+    }
+
+    #[test]
     fn clear_reports_whether_bits_were_set() {
         let mut m = ThreadMask::from_bools(&[false, true]);
         assert!(m.clear());
@@ -385,6 +544,22 @@ mod tests {
         c.and_with(&b);
         let expect: Vec<usize> = (0..130).filter(|t| t % 6 == 0).collect();
         assert_eq!(c.iter_ones().collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn assign_reports_word_level_change() {
+        let mut m = ThreadMask::from_bools(&[true, false, true]);
+        let same = m.clone();
+        assert!(!m.assign(&same), "identical copy reports no change");
+        let other = ThreadMask::from_bools(&[false, true, true]);
+        assert!(m.assign(&other));
+        assert_eq!(m, other);
+        let mut big = ThreadMask::new(130);
+        let mut src = ThreadMask::new(130);
+        src.set(129, true);
+        assert!(big.assign(&src), "spillover-word change detected");
+        assert!(!big.assign(&src));
+        assert_eq!(big.iter_ones().collect::<Vec<_>>(), vec![129]);
     }
 
     #[test]
@@ -441,11 +616,29 @@ mod tests {
 
             // Intersection against a shifted copy of the same pattern.
             let other_bits: Vec<bool> = (0..s).map(|i| bits[(i + 1) % s]).collect();
+            let other = ThreadMask::from_bools(&other_bits);
             let mut anded = m.clone();
-            anded.and_with(&ThreadMask::from_bools(&other_bits));
+            anded.and_with(&other);
             let ref_and: Vec<bool> =
                 bits.iter().zip(&other_bits).map(|(&a, &b)| a && b).collect();
-            prop_assert_eq!(anded, ThreadMask::from_bools(&ref_and));
+            prop_assert_eq!(&anded, &ThreadMask::from_bools(&ref_and));
+
+            // The fused rotate-over-intersection scan agrees with
+            // materialising the intersection first.
+            prop_assert_eq!(
+                m.next_one_wrapping_and(&other, start),
+                ref_next_one_wrapping(&ref_and, start)
+            );
+
+            // Word-level fill and complement respect the tail clamp.
+            let mut full = m.clone();
+            full.fill();
+            prop_assert_eq!(&full, &ThreadMask::from_bools(&vec![true; s]));
+            prop_assert_eq!(full.count_ones(), s);
+            let mut inv = ThreadMask::new(s);
+            inv.assign_not(&m);
+            let ref_not: Vec<bool> = bits.iter().map(|&b| !b).collect();
+            prop_assert_eq!(&inv, &ThreadMask::from_bools(&ref_not));
         }
     }
 }

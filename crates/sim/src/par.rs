@@ -317,6 +317,17 @@ pub struct SweepReport<R> {
     /// Jobs answered from a [`SweepService`](crate::SweepService)
     /// campaign cache (always 0 for the plain [`run_sweep_on`] path).
     pub memoized_jobs: usize,
+    /// Keyed jobs whose result was found in the campaign cache (equals
+    /// `memoized_jobs`; kept as an explicit counter so the hit/miss
+    /// arithmetic reads off the report directly).
+    pub cache_hits: u64,
+    /// Keyed jobs whose key was *not* in the campaign cache and had to
+    /// execute. Untagged jobs count as neither hit nor miss.
+    pub cache_misses: u64,
+    /// Entries evicted from the capacity-limited campaign cache while
+    /// inserting this submission's results (always 0 for the plain
+    /// [`run_sweep_on`] path).
+    pub cache_evictions: u64,
 }
 
 impl<R> SweepReport<R> {
@@ -561,6 +572,9 @@ pub fn run_sweep_on<R: Send>(jobs: Vec<SimJob<R>>, workers: usize) -> SweepRepor
         wall: start.elapsed(),
         kernel,
         memoized_jobs: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_evictions: 0,
     }
 }
 

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use crate::channel::ChannelId;
 use crate::circuit::{EvalCtx, TickCtx};
 use crate::component::{CombPath, Component, NextEvent, Ports};
+use crate::mask::ThreadMask;
 use crate::netlist::NetlistNodeKind;
 use crate::token::Token;
 
@@ -92,6 +93,23 @@ pub struct Source<T: Token> {
     queues: Vec<VecDeque<(u64, T)>>,
     rr: usize,
     injected: Vec<u64>,
+    /// Released-head word for [`Source::eval_fused`]: bit `t` set iff
+    /// thread `t`'s queue head is released this cycle. Queues change only
+    /// at the clock edge (or between cycles via `push*`), so one rebuild
+    /// per cycle serves every settle re-evaluation.
+    fused_eligible: ThreadMask,
+    /// Cycle-cache stamp for `fused_eligible`: `cycle + 1` when current,
+    /// 0 = invalid.
+    fused_stamp: u64,
+    /// Bit `t` set iff thread `t`'s queue is non-empty, maintained
+    /// incrementally on `push*`/tick. While no time-gated token is queued
+    /// ([`timed`](Self::timed) is 0) this *is* the eligibility word, so
+    /// the per-cycle rebuild collapses to a word copy.
+    fused_nonempty: ThreadMask,
+    /// Number of queued tokens with a non-zero release cycle. Zero on the
+    /// common release-immediately workloads; while non-zero the
+    /// eligibility rebuild falls back to the per-thread head scan.
+    timed: usize,
 }
 
 impl<T: Token> Source<T> {
@@ -104,6 +122,10 @@ impl<T: Token> Source<T> {
             queues: (0..threads).map(|_| VecDeque::new()).collect(),
             rr: 0,
             injected: vec![0; threads],
+            fused_eligible: ThreadMask::new(threads),
+            fused_stamp: 0,
+            fused_nonempty: ThreadMask::new(threads),
+            timed: 0,
         }
     }
 
@@ -114,6 +136,7 @@ impl<T: Token> Source<T> {
     /// Panics if `thread` is out of range.
     pub fn push(&mut self, thread: usize, token: T) {
         self.queues[thread].push_back((0, token));
+        self.fused_nonempty.set(thread, true);
     }
 
     /// Queues `token` on `thread`, released no earlier than `cycle`.
@@ -135,7 +158,11 @@ impl<T: Token> Source<T> {
             Some((last, _)) => cycle.max(*last),
             None => cycle,
         };
+        if release > 0 {
+            self.timed += 1;
+        }
         self.queues[thread].push_back((release, token));
+        self.fused_nonempty.set(thread, true);
     }
 
     /// Queues every token from `iter` on `thread`, available immediately.
@@ -168,6 +195,49 @@ impl<T: Token> Source<T> {
     fn eligible(&self, cycle: u64) -> impl Iterator<Item = usize> + '_ {
         (0..self.threads)
             .filter(move |&t| self.queues[t].front().is_some_and(|(rel, _)| *rel <= cycle))
+    }
+
+    /// Fused-kernel evaluation: identical observable behaviour to
+    /// [`Component::eval`], but the released-head scan over the
+    /// per-thread queues runs once per cycle into a packed word, and the
+    /// round-robin "released ∧ downstream-ready" pick becomes a word-level
+    /// wrapping scan instead of per-thread queue probes.
+    pub fn eval_fused(&mut self, ctx: &mut EvalCtx<'_, T>) {
+        let cycle = ctx.cycle();
+        if self.fused_stamp != cycle + 1 {
+            if self.timed == 0 {
+                // No time-gated token anywhere: every non-empty queue's
+                // head is released, so the incrementally maintained
+                // occupancy word is the eligibility word.
+                self.fused_eligible.copy_from(&self.fused_nonempty);
+            } else {
+                for t in 0..self.threads {
+                    self.fused_eligible.set(
+                        t,
+                        self.queues[t].front().is_some_and(|(rel, _)| *rel <= cycle),
+                    );
+                }
+            }
+            self.fused_stamp = cycle + 1;
+        }
+        // Ready-first in round-robin order, else the round-robin first
+        // released thread (valid may precede ready — the offer stalls).
+        // The intersection with `ready(out)` is folded into the wrapping
+        // scan, so no scratch mask is touched per evaluation.
+        let chosen = self
+            .fused_eligible
+            .next_one_wrapping_and(ctx.ready_mask(self.out), self.rr)
+            .or_else(|| self.fused_eligible.next_one_wrapping(self.rr));
+        match chosen {
+            Some(t) => {
+                let data = self.queues[t]
+                    .front()
+                    .map(|(_, d)| d.clone())
+                    .expect("eligible head");
+                ctx.drive_token(self.out, t, data);
+            }
+            None => ctx.drive_idle(self.out),
+        }
     }
 }
 
@@ -234,7 +304,14 @@ impl<T: Token> Component<T> for Source<T> {
     fn tick(&mut self, ctx: &TickCtx<'_, T>) {
         for t in 0..self.threads {
             if ctx.fired(self.out, t) {
-                self.queues[t].pop_front();
+                if let Some((rel, _)) = self.queues[t].pop_front() {
+                    if rel > 0 {
+                        self.timed -= 1;
+                    }
+                }
+                if self.queues[t].is_empty() {
+                    self.fused_nonempty.set(t, false);
+                }
                 self.injected[t] += 1;
                 self.rr = (t + 1) % self.threads;
             } else if ctx.valid(self.out, t) {
@@ -252,6 +329,9 @@ impl<T: Token> Component<T> for Source<T> {
         }
         self.rr = 0;
         self.injected.iter_mut().for_each(|n| *n = 0);
+        self.fused_stamp = 0;
+        self.fused_nonempty.clear();
+        self.timed = 0;
         true
     }
 
@@ -286,6 +366,10 @@ pub struct Sink<T: Token> {
     captured: Vec<Vec<(u64, T)>>,
     counts: Vec<u64>,
     capture: bool,
+    /// Policy-word cache for [`eval_fused`](Sink::eval_fused): the ready
+    /// mask computed for cycle `fused_stamp - 1` (`0` = invalid).
+    fused_ready: ThreadMask,
+    fused_stamp: u64,
 }
 
 impl<T: Token> Sink<T> {
@@ -303,6 +387,8 @@ impl<T: Token> Sink<T> {
             captured: (0..threads).map(|_| Vec::new()).collect(),
             counts: vec![0; threads],
             capture: false,
+            fused_ready: ThreadMask::new(threads),
+            fused_stamp: 0,
         }
     }
 
@@ -325,6 +411,9 @@ impl<T: Token> Sink<T> {
     /// Panics if `thread` is out of range.
     pub fn set_policy(&mut self, thread: usize, policy: ReadyPolicy) {
         self.policies[thread] = policy;
+        // A sweep harness reconfigures policies between runs on a reused
+        // circuit; the cached policy word is stale the moment one changes.
+        self.fused_stamp = 0;
     }
 
     /// Tokens consumed by `thread`, with the cycle at which each arrived.
@@ -341,6 +430,27 @@ impl<T: Token> Sink<T> {
     /// Total tokens consumed across threads.
     pub fn consumed_total(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// Fused-kernel evaluation: identical observable behaviour to
+    /// [`eval`](Component::eval), but the per-thread policy word is
+    /// computed once per *cycle* and cached across settle rounds —
+    /// [`ReadyPolicy::Random`] hashes every thread on every call, which
+    /// the interpreted path pays again each round — and committed with a
+    /// single word-level mask write instead of a per-thread setter loop.
+    pub fn eval_fused(&mut self, ctx: &mut EvalCtx<'_, T>) {
+        let cycle = ctx.cycle();
+        if self.fused_stamp != cycle + 1 {
+            for (t, policy) in self.policies.iter().enumerate() {
+                self.fused_ready.set(t, policy.is_ready(cycle, t));
+            }
+            self.fused_stamp = cycle + 1;
+            // Commit once per cycle: the sink is the only driver of
+            // `ready(inp)` and the word depends on the cycle number
+            // alone, so re-commits on settle re-evaluations would be
+            // guaranteed no-ops — skip them.
+            ctx.set_ready_mask(self.inp, &self.fused_ready);
+        }
     }
 }
 
@@ -383,11 +493,13 @@ impl<T: Token> Component<T> for Sink<T> {
 
     fn reset(&mut self) -> bool {
         // Policies and the capture flag are configuration; only the
-        // recorded consumption rewinds.
+        // recorded consumption rewinds. The policy-word cache is keyed by
+        // cycle, which restarts at 0, so it must be invalidated too.
         for c in &mut self.captured {
             c.clear();
         }
         self.counts.iter_mut().for_each(|n| *n = 0);
+        self.fused_stamp = 0;
         true
     }
 

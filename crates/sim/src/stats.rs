@@ -6,6 +6,7 @@
 //! by backpressure, and how busy is the datapath overall.
 
 use crate::channel::ChannelId;
+use crate::fused::FusedOpKind;
 
 /// Counters for a single channel.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -75,6 +76,22 @@ pub struct KernelStats {
     /// cycles that settled in `i + 1` rounds; the last bucket collects
     /// everything at `8` rounds or more.
     pub settle_round_hist: [u64; 8],
+    /// Evaluations per fused-op class, indexed by
+    /// [`FusedOpKind::ALL`](crate::FusedOpKind::ALL) order. All zero when
+    /// the interpreted backend ran — the breakdown exists only where the
+    /// fused table dispatches by op kind anyway, so the interpreted hot
+    /// loop pays nothing for it.
+    pub fused_op_evals: [u64; FusedOpKind::COUNT],
+    /// Wall-clock nanoseconds spent inside the settle loop (phase 1 of
+    /// every stepped cycle), accumulated only while settle timing is
+    /// armed via [`Circuit::set_settle_timing`] — zero otherwise, so the
+    /// hot path never pays for the clock reads by default. This is the
+    /// number the backend-ablation gate compares: it isolates the work
+    /// the dispatch backend can influence from the tick/capture/stats
+    /// phases that are identical by construction across backends.
+    ///
+    /// [`Circuit::set_settle_timing`]: crate::Circuit::set_settle_timing
+    pub settle_nanos: u64,
 }
 
 impl KernelStats {
@@ -118,6 +135,22 @@ impl KernelStats {
         {
             *h += o;
         }
+        for (h, o) in self.fused_op_evals.iter_mut().zip(other.fused_op_evals) {
+            *h += o;
+        }
+        self.settle_nanos += other.settle_nanos;
+    }
+
+    /// Per-op eval breakdown of the fused backend, paired with its op
+    /// class: `(kind, evals)` for every class with a non-zero count.
+    /// Empty when the interpreted backend ran.
+    pub fn fused_op_breakdown(&self) -> Vec<(FusedOpKind, u64)> {
+        FusedOpKind::ALL
+            .iter()
+            .zip(self.fused_op_evals)
+            .filter(|&(_, n)| n > 0)
+            .map(|(&k, n)| (k, n))
+            .collect()
     }
 }
 
@@ -340,6 +373,11 @@ mod tests {
 
     #[test]
     fn kernel_stats_merge_adds_all_counters() {
+        let mut fused_a = [0u64; FusedOpKind::COUNT];
+        fused_a[0] = 4;
+        fused_a[1] = 2;
+        let mut fused_b = [0u64; FusedOpKind::COUNT];
+        fused_b[1] = 3;
         let mut a = KernelStats {
             component_evals: 10,
             settle_rounds: 4,
@@ -349,6 +387,8 @@ mod tests {
             stepped_cycles: 3,
             rank_width: 2,
             settle_round_hist: [2, 1, 0, 0, 0, 0, 0, 0],
+            fused_op_evals: fused_a,
+            settle_nanos: 40,
         };
         let b = KernelStats {
             component_evals: 5,
@@ -359,6 +399,8 @@ mod tests {
             stepped_cycles: 2,
             rank_width: 5,
             settle_round_hist: [1, 0, 1, 0, 0, 0, 0, 0],
+            fused_op_evals: fused_b,
+            settle_nanos: 2,
         };
         a.merge(&b);
         assert_eq!(a.component_evals, 15);
@@ -367,9 +409,17 @@ mod tests {
         assert_eq!(a.single_sweep_cycles, 3);
         assert_eq!(a.quiesced_cycles, 10);
         assert_eq!(a.stepped_cycles, 5);
+        assert_eq!(a.settle_nanos, 42);
         // Histogram buckets add; rank width takes the max, not the sum.
         assert_eq!(a.settle_round_hist, [3, 1, 1, 0, 0, 0, 0, 0]);
         assert_eq!(a.rank_width, 5);
+        // Per-op fused counters add elementwise.
+        assert_eq!(a.fused_op_evals[0], 4);
+        assert_eq!(a.fused_op_evals[1], 5);
+        assert_eq!(
+            a.fused_op_breakdown(),
+            vec![(FusedOpKind::Source, 4), (FusedOpKind::Sink, 5)]
+        );
         // Merging a default is the identity.
         let before = a;
         a.merge(&KernelStats::default());

@@ -40,35 +40,133 @@ pub fn campaign_key(ir_hash: u64, config_hash: u64, seed: u64) -> u64 {
     h
 }
 
+/// Default campaign-cache capacity (entries). Ablation tables and
+/// scaling curves hold a few hundred points; the default leaves ample
+/// headroom while bounding a long-lived service driving thousands of
+/// distinct campaigns.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// One memoized sweep point plus its LRU stamp.
+struct CacheEntry<R> {
+    value: R,
+    kernel: KernelStats,
+    /// Monotonic use stamp: smallest = least recently used.
+    last_used: u64,
+}
+
+/// The capacity-limited campaign cache plus its lifetime counters, all
+/// behind one lock so hit accounting and eviction stay consistent.
+struct CacheState<R> {
+    map: HashMap<u64, CacheEntry<R>>,
+    /// Monotonic clock stamped onto entries at insert and on every hit.
+    clock: u64,
+    evictions: u64,
+}
+
+impl<R> CacheState<R> {
+    /// Looks up `key`, refreshing its LRU stamp on a hit.
+    fn hit(&mut self, key: u64) -> Option<(R, KernelStats)>
+    where
+        R: Clone,
+    {
+        let clock = self.clock + 1;
+        let entry = self.map.get_mut(&key)?;
+        entry.last_used = clock;
+        self.clock = clock;
+        Some((entry.value.clone(), entry.kernel))
+    }
+
+    /// Inserts `key`, evicting the least-recently-used entry first when
+    /// the cache is at `cap`. Returns the number of evictions (0 or 1).
+    fn insert(&mut self, cap: usize, key: u64, value: R, kernel: KernelStats) -> u64 {
+        let mut evicted = 0;
+        if !self.map.contains_key(&key) && self.map.len() >= cap {
+            // O(cap) scan: caps are a few thousand entries and insertion
+            // happens once per *simulated* job, so the scan is noise next
+            // to the simulation it follows.
+            if let Some(&lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&lru);
+                self.evictions += 1;
+                evicted = 1;
+            }
+        }
+        self.clock += 1;
+        self.map.insert(
+            key,
+            CacheEntry {
+                value,
+                kernel,
+                last_used: self.clock,
+            },
+        );
+        evicted
+    }
+}
+
 /// A memoizing sweep front-end: keyed jobs simulate once per process
 /// and repeat submissions answer from the campaign cache (see the
 /// module-level docs above).
+///
+/// The cache is **capacity-limited**: at most
+/// [`cache_capacity`](SweepService::cache_capacity) entries are held
+/// (default [`DEFAULT_CACHE_CAPACITY`]), with least-recently-used
+/// eviction — a hit refreshes an entry's recency. Hit/miss/eviction
+/// counts for each submission are surfaced on the returned
+/// [`SweepReport`] (`cache_hits` / `cache_misses` / `cache_evictions`).
 ///
 /// The service is `Sync`: submissions from several threads share the
 /// campaign cache (each submission runs its own pool).
 pub struct SweepService<R> {
     workers: usize,
-    cache: Mutex<HashMap<u64, (R, KernelStats)>>,
+    cap: usize,
+    cache: Mutex<CacheState<R>>,
 }
 
 impl<R: Clone + Send> SweepService<R> {
     /// A service whose submissions run on `workers` pool threads
-    /// (clamped per submission to the number of uncached jobs).
+    /// (clamped per submission to the number of uncached jobs), caching
+    /// up to [`DEFAULT_CACHE_CAPACITY`] results.
     pub fn new(workers: usize) -> Self {
         Self {
             workers,
-            cache: Mutex::new(HashMap::new()),
+            cap: DEFAULT_CACHE_CAPACITY,
+            cache: Mutex::new(CacheState {
+                map: HashMap::new(),
+                clock: 0,
+                evictions: 0,
+            }),
         }
     }
 
-    /// Number of memoized results currently held.
-    pub fn cached_results(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+    /// Sets the campaign-cache entry cap (chainable; clamped to ≥ 1).
+    pub fn with_cache_capacity(mut self, cap: usize) -> Self {
+        self.cap = cap.max(1);
+        self
     }
 
-    /// Drops every memoized result.
+    /// The campaign-cache entry cap.
+    pub fn cache_capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of memoized results currently held (≤ the cap).
+    pub fn cached_results(&self) -> usize {
+        self.cache.lock().expect("cache lock").map.len()
+    }
+
+    /// Total entries evicted over the service's lifetime.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.lock().expect("cache lock").evictions
+    }
+
+    /// Drops every memoized result (eviction counters persist).
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("cache lock").clear();
+        self.cache.lock().expect("cache lock").map.clear();
     }
 
     /// Runs a campaign, returning the submission-ordered report.
@@ -90,13 +188,13 @@ impl<R: Clone + Send> SweepService<R> {
         let mut slots: Vec<Option<JobReport<R>>> = (0..n).map(|_| None).collect();
         let mut misses: Vec<(usize, SimJob<R>)> = Vec::new();
         let mut memoized_jobs = 0usize;
+        let mut cache_misses = 0u64;
+        let mut cache_evictions = 0u64;
 
         {
-            let cache = self.cache.lock().expect("cache lock");
+            let mut cache = self.cache.lock().expect("cache lock");
             for (index, job) in jobs.into_iter().enumerate() {
-                let hit = job
-                    .cache_key()
-                    .and_then(|k| cache.get(&k).map(|(v, kernel)| (v.clone(), *kernel)));
+                let hit = job.cache_key().and_then(|k| cache.hit(k));
                 match hit {
                     Some((value, kernel)) => {
                         let report = JobReport {
@@ -112,7 +210,12 @@ impl<R: Clone + Send> SweepService<R> {
                         on_report(&report);
                         slots[index] = Some(report);
                     }
-                    None => misses.push((index, job)),
+                    None => {
+                        if job.cache_key().is_some() {
+                            cache_misses += 1;
+                        }
+                        misses.push((index, job));
+                    }
                 }
             }
         }
@@ -122,10 +225,8 @@ impl<R: Clone + Send> SweepService<R> {
         } else {
             run_pool(misses, self.workers, &mut |report| {
                 if let (Some(key), Ok(value)) = (report.cache_key, &report.outcome) {
-                    self.cache
-                        .lock()
-                        .expect("cache lock")
-                        .insert(key, (value.clone(), report.kernel));
+                    let mut cache = self.cache.lock().expect("cache lock");
+                    cache_evictions += cache.insert(self.cap, key, value.clone(), report.kernel);
                 }
                 on_report(&report);
                 let index = report.index;
@@ -148,6 +249,9 @@ impl<R: Clone + Send> SweepService<R> {
             wall: start.elapsed(),
             kernel,
             memoized_jobs,
+            cache_hits: memoized_jobs as u64,
+            cache_misses,
+            cache_evictions,
         }
     }
 }
@@ -247,6 +351,64 @@ mod tests {
         assert_eq!(order.len(), 4);
         assert_eq!(&order[..2], &[(0, true), (1, true)]);
         assert!(order[2..].iter().all(|&(i, m)| i >= 2 && !m));
+    }
+
+    /// A cheap keyed job (no circuit) for cache-policy tests.
+    fn tiny_job(seed: u64) -> SimJob<u64> {
+        SimJob::new(format!("tiny {seed}"), move || Ok(seed))
+            .with_cache_key(campaign_key(0x33, 0x44, seed))
+    }
+
+    #[test]
+    fn batch_of_thousands_respects_the_entry_cap() {
+        const TOTAL: u64 = 3000;
+        const CAP: usize = 64;
+        let service = SweepService::new(4).with_cache_capacity(CAP);
+        assert_eq!(service.cache_capacity(), CAP);
+
+        let report = service.run((0..TOTAL).map(tiny_job).collect());
+        assert_eq!(report.ok_count(), TOTAL as usize);
+        assert_eq!(report.cache_hits, 0);
+        assert_eq!(report.cache_misses, TOTAL);
+        assert_eq!(report.cache_evictions, TOTAL - CAP as u64);
+        assert_eq!(service.cached_results(), CAP);
+        assert_eq!(service.cache_evictions(), TOTAL - CAP as u64);
+
+        // Resubmitting the full batch: at most CAP points can answer from
+        // cache; everything evicted re-executes (and evicts again).
+        let second = service.run((0..TOTAL).map(tiny_job).collect());
+        assert!(second.cache_hits as usize <= CAP);
+        assert_eq!(second.cache_hits + second.cache_misses, TOTAL);
+        assert!(second.memoized_jobs <= CAP);
+        assert_eq!(service.cached_results(), CAP);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries_and_hits_refresh() {
+        let service = SweepService::new(1).with_cache_capacity(2);
+        service.run(vec![tiny_job(1), tiny_job(2)]);
+        assert_eq!(service.cached_results(), 2);
+
+        // Touch key 1 so key 2 becomes the least recently used…
+        let touch = service.run(vec![tiny_job(1)]);
+        assert_eq!(touch.cache_hits, 1);
+        assert_eq!(touch.cache_evictions, 0);
+
+        // …then a new key evicts exactly one entry: key 2, not key 1.
+        let third = service.run(vec![tiny_job(3)]);
+        assert_eq!(third.cache_evictions, 1);
+        let after = service.run(vec![tiny_job(1), tiny_job(2), tiny_job(3)]);
+        let memo: Vec<bool> = after.jobs.iter().map(|j| j.memoized).collect();
+        assert_eq!(memo, vec![true, false, true], "key 2 was the LRU victim");
+    }
+
+    #[test]
+    fn untagged_jobs_count_as_neither_hit_nor_miss() {
+        let service: SweepService<u64> = SweepService::new(1);
+        let report = service.run(vec![SimJob::new("untagged", || Ok(7u64)), tiny_job(0)]);
+        assert_eq!(report.cache_hits, 0);
+        assert_eq!(report.cache_misses, 1, "only the keyed job is a miss");
+        assert_eq!(report.cache_evictions, 0);
     }
 
     #[test]
