@@ -16,7 +16,7 @@ use crate::design::{meb_inventory, BufferKind};
 use crate::primitives::{barrier, eb_control, register, Inventory};
 use elastic_core::MebKind;
 use elastic_sim::Token;
-use elastic_synth::{ElasticIr, IrNodeTag};
+use elastic_synth::{ElasticIr, IrNodeTag, PassDelta};
 
 /// Itemized area of a `width`-bit, `threads`-thread FIFO-MEB ablation
 /// (`depth` slots per thread). Not a Table I configuration — costed as
@@ -30,6 +30,67 @@ pub fn fifo_meb_inventory(depth: usize, threads: usize, width: usize) -> Invento
     inv.push("EB control FSMs", s, eb_control());
     inv.push("arbiter", 1, crate::primitives::arbiter(s));
     inv
+}
+
+/// Total LEs of one buffer: a MEB of the given microarchitecture, or —
+/// for [`None`] — the baseline two-slot EB (matching the structural rows
+/// of [`Inventory::from_ir`] exactly).
+fn buffer_les(kind: Option<MebKind>, threads: usize, width: usize) -> i64 {
+    let les = match kind {
+        Some(MebKind::Full) => meb_inventory(BufferKind::Full, threads, width).total_les(),
+        Some(MebKind::Reduced) => meb_inventory(BufferKind::Reduced, threads, width).total_les(),
+        Some(MebKind::Fifo { depth }) => fifo_meb_inventory(depth, threads, width).total_les(),
+        None => 2 * register(width) + eb_control(),
+    };
+    les as i64
+}
+
+/// The LE change a list of [`PassDelta`]s predicts, for delta-checking
+/// [`Inventory::from_ir`] across a transforming pass:
+///
+/// ```text
+/// from_ir(after).total_les() - from_ir(before).total_les()
+///     == expected_les_delta(&report.deltas)
+/// ```
+///
+/// * [`Resized`](PassDelta::Resized): cost of the new microarchitecture
+///   minus the old;
+/// * [`Inserted`](PassDelta::Inserted): cost of the new buffer;
+/// * [`Moved`](PassDelta::Moved): cost at the new width minus cost at
+///   the old (a retimed buffer changes area only through the channel
+///   width it lands on).
+///
+/// The autotuner asserts this equality after every applied transform, so
+/// a pass whose reported delta disagrees with the re-derived inventory
+/// fails loudly instead of skewing the pareto front.
+pub fn expected_les_delta(deltas: &[PassDelta]) -> i64 {
+    deltas
+        .iter()
+        .map(|delta| match delta {
+            PassDelta::Resized {
+                from,
+                to,
+                threads,
+                width,
+                ..
+            } => {
+                buffer_les(Some(*to), *threads, *width) - buffer_les(Some(*from), *threads, *width)
+            }
+            PassDelta::Inserted {
+                kind,
+                threads,
+                width,
+                ..
+            } => buffer_les(Some(*kind), *threads, *width),
+            PassDelta::Moved {
+                kind,
+                threads,
+                from_width,
+                to_width,
+                ..
+            } => buffer_les(*kind, *threads, *to_width) - buffer_les(*kind, *threads, *from_width),
+        })
+        .sum()
 }
 
 impl Inventory {
@@ -183,6 +244,74 @@ mod tests {
         assert_eq!(hint.total(), 10);
         let expected = meb_inventory(BufferKind::Reduced, 4, 32).total_les() + barrier(4) + 10;
         assert_eq!(inv.total_les(), expected);
+    }
+
+    #[test]
+    fn expected_delta_matches_rederived_inventory_across_passes() {
+        use elastic_synth::{MebSubstitution, Pass, RetimeDirection, Retiming, TransformSpec};
+
+        // Resized: retarget the pipeline MEB to a FIFO ablation.
+        let mut ir = pipeline_ir(MebKind::Full);
+        let before = Inventory::from_ir(&ir).total_les() as i64;
+        let report = MebSubstitution::named("buf", MebKind::Fifo { depth: 1 })
+            .run(&mut ir)
+            .expect("substitute");
+        let after = Inventory::from_ir(&ir).total_les() as i64;
+        assert_eq!(after - before, expected_les_delta(&report.deltas));
+        assert_ne!(after, before, "delta is non-trivial");
+
+        // Inserted: slack buffer spliced onto a named channel.
+        let before = after;
+        let report = TransformSpec::InsertSlack {
+            channel: "b".to_string(),
+            kind: MebKind::Reduced,
+        }
+        .apply(&mut ir)
+        .expect("insert");
+        let after = Inventory::from_ir(&ir).total_les() as i64;
+        assert_eq!(after - before, expected_les_delta(&report.deltas));
+
+        // Moved: a buffer retimed across a width-changing transform.
+        let mut ir = ElasticIr::<u64>::new();
+        let a = ir.channel_with_width("a", 4, 32);
+        let b = ir.channel_with_width("b", 4, 32);
+        let c = ir.channel_with_width("c", 4, 16);
+        ir.add("src", IrNodeKind::Source, vec![], vec![a]);
+        ir.add(
+            "buf",
+            IrNodeKind::Meb {
+                kind: MebKind::Fifo { depth: 2 },
+                arbiter: ArbiterKind::RoundRobin,
+                initial: Vec::new(),
+                auto: true,
+            },
+            vec![a],
+            vec![b],
+        );
+        ir.add(
+            "narrow",
+            IrNodeKind::Transform {
+                f: Box::new(|&v| v >> 16),
+            },
+            vec![b],
+            vec![c],
+        );
+        ir.add(
+            "snk",
+            IrNodeKind::Sink {
+                capture: false,
+                policy: ReadyPolicy::Always,
+            },
+            vec![c],
+            vec![],
+        );
+        let before = Inventory::from_ir(&ir).total_les() as i64;
+        let report = Retiming::new("buf", RetimeDirection::Forward)
+            .run(&mut ir)
+            .expect("retime");
+        let after = Inventory::from_ir(&ir).total_les() as i64;
+        assert_eq!(after - before, expected_les_delta(&report.deltas));
+        assert!(after < before, "landing on the narrower channel saves area");
     }
 
     #[test]

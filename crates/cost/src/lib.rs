@@ -32,7 +32,7 @@ pub mod table1;
 pub use design::{
     frequency_mhz, gcd_design, md5_design, meb_inventory, processor_design, BufferKind, DesignSpec,
 };
-pub use from_ir::fifo_meb_inventory;
+pub use from_ir::{expected_les_delta, fifo_meb_inventory};
 pub use primitives::{CostItem, Inventory};
 pub use table1::{
     average_savings, paper_reference, render, render_header, render_section, savings_fraction,

@@ -892,14 +892,17 @@ impl<T: Token> Circuit<T> {
         let mut fired = 0usize;
         let mut any_valid = false;
         for (ci, ch) in self.channels.iter().enumerate() {
+            let cs = self.stats.channel_mut(ChannelId(ci));
             let Some(t) = ch.valid.first_one() else {
+                // An idle cycle ends any backpressure streak in progress.
+                cs.stall_streak = 0;
                 continue;
             };
             any_valid = true;
-            let cs = self.stats.channel_mut(ChannelId(ci));
             cs.busy_cycles += 1;
             if ch.ready.get(t) {
                 cs.transfers[t] += 1;
+                cs.stall_streak = 0;
                 fired += 1;
                 if collect {
                     transfers.push(Transfer {
@@ -909,6 +912,7 @@ impl<T: Token> Circuit<T> {
                 }
             } else {
                 cs.stall_cycles[t] += 1;
+                cs.record_stall_occupancy();
             }
         }
         self.stats.record_cycle();

@@ -99,7 +99,9 @@ pub use par::{
 };
 pub use rank::ScheduleMode;
 pub use schedule::{ReadyPolicy, Sink, Source};
-pub use stats::{ChannelStats, KernelStats, Stats};
+pub use stats::{
+    ChannelFeedback, ChannelStats, FeedbackProfile, KernelStats, Stats, OCCUPANCY_BUCKETS,
+};
 pub use sweep::{campaign_key, SweepService, DEFAULT_CACHE_CAPACITY};
 pub use token::{thread_letter, Tagged, Token};
 pub use trace::{render_waveform, ChannelTrace, CycleTrace, GridTrace, RowSpec, TraceRecorder};

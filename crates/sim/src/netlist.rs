@@ -183,21 +183,30 @@ impl NetlistGraph {
     /// [`NetlistNodeKind::dot_shape`] (buffers as cylinders, routing as
     /// diamonds, barriers as octagons, endpoints as ellipses).
     pub fn to_dot(&self) -> String {
+        self.to_dot_styled(&[])
+    }
+
+    /// [`to_dot`](Self::to_dot) with extra per-node attributes: each
+    /// `(component name, attributes)` pair appends `attributes` verbatim
+    /// to that node's attribute list (e.g. `("buf", "color=green,
+    /// penwidth=2")`). Names with no entry render as in `to_dot`; pass
+    /// highlighting (`elastic-synth`'s `dot_with_deltas`) uses this to
+    /// colour inserted/resized/moved buffers.
+    pub fn to_dot_styled(&self, styles: &[(String, String)]) -> String {
         let mut out = String::from(
             "digraph elastic {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n",
         );
         for (i, name) in self.components.iter().enumerate() {
             let kind = self.kinds.get(i).copied().unwrap_or_default();
             let shape = kind.dot_shape();
-            if shape == "box" {
-                let _ = writeln!(out, "  n{i} [label=\"{}\"];", name.replace('"', "'"));
-            } else {
-                let _ = writeln!(
-                    out,
-                    "  n{i} [label=\"{}\", shape={shape}];",
-                    name.replace('"', "'")
-                );
+            let mut attrs = format!("label=\"{}\"", name.replace('"', "'"));
+            if shape != "box" {
+                let _ = write!(attrs, ", shape={shape}");
             }
+            if let Some((_, extra)) = styles.iter().find(|(n, _)| n == name) {
+                let _ = write!(attrs, ", {extra}");
+            }
+            let _ = writeln!(out, "  n{i} [{attrs}];");
         }
         for e in &self.edges {
             let label = if e.threads > 1 {
@@ -322,6 +331,20 @@ mod tests {
         // Endpoints (src/snk) render as ellipses via their declared kind.
         assert!(dot.contains("shape=ellipse"), "{dot}");
         assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn styled_dot_appends_node_attributes() {
+        let styles = vec![("double".to_string(), "color=orange, penwidth=2".to_string())];
+        let g = pipeline().netlist();
+        let dot = g.to_dot_styled(&styles);
+        assert!(
+            dot.contains("label=\"double\", color=orange, penwidth=2"),
+            "{dot}"
+        );
+        assert!(!dot.contains("label=\"src\", color"), "{dot}");
+        // No styles renders byte-identically to the plain form.
+        assert_eq!(g.to_dot_styled(&[]), g.to_dot());
     }
 
     #[test]

@@ -8,6 +8,11 @@
 use crate::channel::ChannelId;
 use crate::fused::FusedOpKind;
 
+/// Bucket count of [`ChannelStats::occupancy_hist`]: bucket `k` counts
+/// cycles spent at backlog depth `k + 1`; the last bucket collects
+/// everything at `OCCUPANCY_BUCKETS` or deeper.
+pub const OCCUPANCY_BUCKETS: usize = 8;
+
 /// Counters for a single channel.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ChannelStats {
@@ -23,6 +28,18 @@ pub struct ChannelStats {
     /// that conflated all threads, which made the per-thread
     /// backpressure analysis of Sec. III-A impossible to read off.
     pub stall_cycles: Vec<u64>,
+    /// Occupancy histogram: bucket `k` counts the cycles the channel
+    /// spent in a backpressure streak of length `k + 1` (consecutive
+    /// valid-without-ready cycles; the last bucket collects streaks of
+    /// [`OCCUPANCY_BUCKETS`] or longer). A streak of length `d` means the
+    /// producer side has been holding tokens for `d` cycles — a lower
+    /// bound on the backlog a deeper FIFO-MEB upstream could absorb,
+    /// which is exactly the signal the data-driven depth-sizing pass
+    /// consumes via [`Stats::feedback_profile`].
+    pub occupancy_hist: [u64; OCCUPANCY_BUCKETS],
+    /// Length of the backpressure streak currently in progress (internal
+    /// recording state for `occupancy_hist`).
+    pub(crate) stall_streak: u64,
 }
 
 impl ChannelStats {
@@ -32,6 +49,8 @@ impl ChannelStats {
             transfers: vec![0; threads],
             busy_cycles: 0,
             stall_cycles: vec![0; threads],
+            occupancy_hist: [0; OCCUPANCY_BUCKETS],
+            stall_streak: 0,
         }
     }
 
@@ -44,6 +63,41 @@ impl ChannelStats {
     /// pre-split `stall_cycles` field used to hold.
     pub fn total_stall_cycles(&self) -> u64 {
         self.stall_cycles.iter().sum()
+    }
+
+    /// Records one stalled cycle (valid without ready): extends the
+    /// current backpressure streak and banks it in the histogram.
+    pub(crate) fn record_stall_occupancy(&mut self) {
+        self.stall_streak += 1;
+        let bucket = (self.stall_streak as usize).min(OCCUPANCY_BUCKETS) - 1;
+        self.occupancy_hist[bucket] += 1;
+    }
+
+    /// Mean backlog depth over the channel's stalled cycles (0.0 when the
+    /// channel never stalled): the expected streak position of a stalled
+    /// cycle, weighting each histogram bucket by its depth.
+    pub fn mean_backlog(&self) -> f64 {
+        let total: u64 = self.occupancy_hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .occupancy_hist
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| (k as u64 + 1) * n)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Deepest backlog ever observed, in buckets: `0` when the channel
+    /// never stalled, otherwise the 1-based index of the highest
+    /// non-empty histogram bucket (capped at [`OCCUPANCY_BUCKETS`]).
+    pub fn peak_backlog(&self) -> usize {
+        self.occupancy_hist
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |k| k + 1)
     }
 }
 
@@ -305,7 +359,100 @@ impl Stats {
             c.transfers.iter_mut().for_each(|t| *t = 0);
             c.busy_cycles = 0;
             c.stall_cycles.iter_mut().for_each(|s| *s = 0);
+            c.occupancy_hist = [0; OCCUPANCY_BUCKETS];
+            c.stall_streak = 0;
         }
+    }
+
+    /// Extracts the measured per-channel feedback a data-driven sizing
+    /// pass consumes: utilization, stall rate and the occupancy
+    /// histogram of every channel, keyed by channel name (simulated
+    /// channel names are copied verbatim from the IR, so the records
+    /// match back to IR channels by name).
+    pub fn feedback_profile(&self) -> FeedbackProfile {
+        FeedbackProfile {
+            cycles: self.cycles,
+            channels: self
+                .channels
+                .iter()
+                .enumerate()
+                .map(|(i, c)| ChannelFeedback {
+                    name: c.name.clone(),
+                    threads: c.transfers.len(),
+                    transfers: c.total_transfers(),
+                    stall_cycles: c.total_stall_cycles(),
+                    utilization: self.utilization(ChannelId(i)),
+                    stall_rate: self.stall_rate(ChannelId(i)),
+                    occupancy_hist: c.occupancy_hist,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One channel's measured feedback record (see
+/// [`Stats::feedback_profile`]).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ChannelFeedback {
+    /// Channel name, verbatim from the circuit (and hence the IR).
+    pub name: String,
+    /// Thread count `S` of the channel.
+    pub threads: usize,
+    /// Total fired transfers across all threads.
+    pub transfers: u64,
+    /// Total stalled cycles across all threads.
+    pub stall_cycles: u64,
+    /// Fraction of cycles with a valid token on the channel.
+    pub utilization: f64,
+    /// Fraction of cycles stalled by backpressure.
+    pub stall_rate: f64,
+    /// Backpressure-streak histogram (see
+    /// [`ChannelStats::occupancy_hist`]).
+    pub occupancy_hist: [u64; OCCUPANCY_BUCKETS],
+}
+
+impl ChannelFeedback {
+    /// Mean backlog depth over stalled cycles (see
+    /// [`ChannelStats::mean_backlog`]).
+    pub fn mean_backlog(&self) -> f64 {
+        let total: u64 = self.occupancy_hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .occupancy_hist
+            .iter()
+            .enumerate()
+            .map(|(k, &n)| (k as u64 + 1) * n)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Deepest backlog observed, in buckets (see
+    /// [`ChannelStats::peak_backlog`]).
+    pub fn peak_backlog(&self) -> usize {
+        self.occupancy_hist
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |k| k + 1)
+    }
+}
+
+/// Measured per-channel feedback extracted from a run's [`Stats`] — the
+/// input contract of the `MebDepthSizing` pass in `elastic-synth`: the
+/// simulator exports plain measurements, the pass decides depths.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct FeedbackProfile {
+    /// Simulated cycles behind the measurements.
+    pub cycles: u64,
+    /// One record per channel, in channel-id order.
+    pub channels: Vec<ChannelFeedback>,
+}
+
+impl FeedbackProfile {
+    /// Looks up a channel's record by name (first match).
+    pub fn channel(&self, name: &str) -> Option<&ChannelFeedback> {
+        self.channels.iter().find(|c| c.name == name)
     }
 }
 
@@ -344,13 +491,74 @@ mod tests {
         s.channel_mut(ChannelId(1)).transfers[0] = 3;
         s.channel_mut(ChannelId(1)).busy_cycles = 4;
         s.channel_mut(ChannelId(0)).stall_cycles[1] = 2;
+        s.channel_mut(ChannelId(0)).record_stall_occupancy();
         s.kernel_mut().component_evals = 9;
         s.reset();
         assert_eq!(s.cycles(), 0);
         assert_eq!(s.total_transfers(ChannelId(1)), 0);
         assert_eq!(s.channel(ChannelId(1)).busy_cycles, 0);
         assert_eq!(s.channel(ChannelId(0)).total_stall_cycles(), 0);
+        assert_eq!(
+            s.channel(ChannelId(0)).occupancy_hist,
+            [0; OCCUPANCY_BUCKETS]
+        );
+        assert_eq!(s.channel(ChannelId(0)).stall_streak, 0);
         assert_eq!(s.kernel().component_evals, 0);
+    }
+
+    #[test]
+    fn occupancy_histogram_banks_streak_depths() {
+        let mut s = stats();
+        let ch = s.channel_mut(ChannelId(0));
+        // A 3-cycle backpressure streak visits depths 1, 2, 3…
+        for _ in 0..3 {
+            ch.record_stall_occupancy();
+        }
+        assert_eq!(&ch.occupancy_hist[..3], &[1, 1, 1]);
+        assert_eq!(ch.peak_backlog(), 3);
+        // (1 + 2 + 3) / 3
+        assert!((ch.mean_backlog() - 2.0).abs() < 1e-12);
+        // …a transfer/idle cycle ends it, and the next streak restarts at 1.
+        ch.stall_streak = 0;
+        ch.record_stall_occupancy();
+        assert_eq!(ch.occupancy_hist[0], 2);
+        // Depths beyond the bucket range collapse into the last bucket.
+        ch.stall_streak = 100;
+        ch.record_stall_occupancy();
+        assert_eq!(ch.occupancy_hist[OCCUPANCY_BUCKETS - 1], 1);
+        assert_eq!(ch.peak_backlog(), OCCUPANCY_BUCKETS);
+    }
+
+    #[test]
+    fn feedback_profile_exports_per_channel_records() {
+        let mut s = stats();
+        for _ in 0..10 {
+            s.record_cycle();
+        }
+        let a = s.channel_mut(ChannelId(0));
+        a.transfers[0] = 4;
+        a.busy_cycles = 6;
+        a.stall_cycles[1] = 2;
+        a.record_stall_occupancy();
+        a.record_stall_occupancy();
+
+        let profile = s.feedback_profile();
+        assert_eq!(profile.cycles, 10);
+        assert_eq!(profile.channels.len(), 2);
+        let fa = profile.channel("a").expect("channel a");
+        assert_eq!(fa.threads, 2);
+        assert_eq!(fa.transfers, 4);
+        assert_eq!(fa.stall_cycles, 2);
+        assert!((fa.utilization - 0.6).abs() < 1e-12);
+        assert!((fa.stall_rate - 0.2).abs() < 1e-12);
+        assert_eq!(fa.occupancy_hist[0], 1);
+        assert_eq!(fa.occupancy_hist[1], 1);
+        assert!((fa.mean_backlog() - 1.5).abs() < 1e-12);
+        assert_eq!(fa.peak_backlog(), 2);
+        let fb = profile.channel("b").expect("channel b");
+        assert_eq!(fb.mean_backlog(), 0.0);
+        assert_eq!(fb.peak_backlog(), 0);
+        assert!(profile.channel("nope").is_none());
     }
 
     #[test]

@@ -308,6 +308,14 @@ impl<T: Token> IrNode<T> {
         &self.outputs
     }
 
+    pub(crate) fn inputs_mut(&mut self) -> &mut [IrChannelId] {
+        &mut self.inputs
+    }
+
+    pub(crate) fn outputs_mut(&mut self) -> &mut [IrChannelId] {
+        &mut self.outputs
+    }
+
     /// Cost hints attached to this node.
     pub fn cost_hints(&self) -> &[CostHint] {
         &self.cost_hints
@@ -519,9 +527,16 @@ impl<T: Token> ElasticIr<T> {
 
     /// A stable 64-bit FNV-1a digest of the netlist *structure*: channel
     /// names, thread counts and widths, plus node names, tags and port
-    /// connectivity, all in index order. Closures (sink policies, join
-    /// combiners) and cost hints do not participate — two IRs with equal
-    /// hashes elaborate structurally identical circuits.
+    /// connectivity, all in index order. A MEB's behavioural payload —
+    /// its microarchitecture (including a FIFO's depth), its arbiter and
+    /// its initial `(thread, token)` occupancy — is hashed explicitly,
+    /// so two IRs differing only in a buffer depth, arbitration policy
+    /// or pre-loaded token can never collide: transforming passes mutate
+    /// exactly these fields, and a collision would silently poison the
+    /// [`SweepService`](elastic_sim::SweepService) campaign cache.
+    /// Closures (sink policies, join combiners), the `auto` provenance
+    /// flag and cost hints do not participate — two IRs with equal
+    /// hashes elaborate behaviourally identical circuits.
     ///
     /// The digest is deliberately hand-rolled (not
     /// [`std::hash::Hash`]-based) so it is stable across processes and
@@ -555,6 +570,32 @@ impl<T: Token> ElasticIr<T> {
             // Tag names are part of the public API; Debug is stable here.
             h.eat(format!("{:?}", node.tag()).as_bytes());
             h.eat(&[0xFF]);
+            if let IrNodeKind::Meb {
+                kind,
+                arbiter,
+                initial,
+                ..
+            } = node.kind()
+            {
+                match kind {
+                    MebKind::Full => h.word(1),
+                    MebKind::Reduced => h.word(2),
+                    MebKind::Fifo { depth } => {
+                        h.word(3);
+                        h.word(*depth as u64);
+                    }
+                }
+                h.eat(format!("{arbiter:?}").as_bytes());
+                h.eat(&[0xFF]);
+                h.word(initial.len() as u64);
+                for (thread, token) in initial {
+                    h.word(*thread as u64);
+                    // Tokens are `Debug`-bounded; their rendering is the
+                    // only process-stable identity available for them.
+                    h.eat(format!("{token:?}").as_bytes());
+                    h.eat(&[0xFF]);
+                }
+            }
             h.word(node.inputs().len() as u64);
             for inp in node.inputs() {
                 h.word(inp.index() as u64);
@@ -609,6 +650,32 @@ impl<T: Token> ElasticIr<T> {
     /// Finds a node by instance name.
     pub fn node_named(&self, name: &str) -> Option<IrNodeId> {
         self.nodes.iter().position(|n| n.name == name).map(IrNodeId)
+    }
+
+    /// Finds a channel by name (first match).
+    pub fn channel_named(&self, name: &str) -> Option<IrChannelId> {
+        self.channels
+            .iter()
+            .position(|c| c.name == name)
+            .map(IrChannelId)
+    }
+
+    /// The node driving channel `ch` (first node listing it as an
+    /// output), if any. Unique on a linted IR.
+    pub fn driver_of(&self, ch: IrChannelId) -> Option<IrNodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.outputs.contains(&ch))
+            .map(IrNodeId)
+    }
+
+    /// The node reading channel `ch` (first node listing it as an
+    /// input), if any. Unique on a linted IR.
+    pub fn reader_of(&self, ch: IrChannelId) -> Option<IrNodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.inputs.contains(&ch))
+            .map(IrNodeId)
     }
 
     /// The effective datapath width of a node: the first width annotation
@@ -909,6 +976,71 @@ mod tests {
         let mut resched = build(ReadyPolicy::Always);
         resched.set_schedule(ScheduleMode::Insertion);
         assert_ne!(base, resched.structural_hash());
+    }
+
+    /// Regression: buffer microarchitecture is behaviour, not payload —
+    /// two IRs differing only in MEB kind, FIFO depth, arbiter or
+    /// initial tokens must never share a digest, or the sweep-campaign
+    /// cache would serve stale results once transforming passes mutate
+    /// those fields.
+    #[test]
+    fn structural_hash_covers_meb_kind_depth_and_initial_tokens() {
+        let build = |kind: MebKind, arbiter: ArbiterKind, initial: Vec<(usize, u64)>| {
+            let mut ir = ElasticIr::<u64>::new();
+            let a = ir.channel("a", 2);
+            let b = ir.channel_with_width("b", 2, 32);
+            ir.add("src", IrNodeKind::Source, vec![], vec![a]);
+            ir.add(
+                "buf",
+                IrNodeKind::Meb {
+                    kind,
+                    arbiter,
+                    initial,
+                    auto: false,
+                },
+                vec![a],
+                vec![b],
+            );
+            ir.add(
+                "snk",
+                IrNodeKind::Sink {
+                    capture: true,
+                    policy: ReadyPolicy::Always,
+                },
+                vec![b],
+                vec![],
+            );
+            ir.structural_hash()
+        };
+        let rr = ArbiterKind::RoundRobin;
+        let base = build(MebKind::Fifo { depth: 2 }, rr, vec![]);
+        // Rebuilding identically reproduces the digest.
+        assert_eq!(base, build(MebKind::Fifo { depth: 2 }, rr, vec![]));
+        // FIFO depth alone moves the digest (the historical collision).
+        assert_ne!(base, build(MebKind::Fifo { depth: 4 }, rr, vec![]));
+        // So does the microarchitecture…
+        assert_ne!(base, build(MebKind::Full, rr, vec![]));
+        assert_ne!(base, build(MebKind::Reduced, rr, vec![]));
+        assert_ne!(
+            build(MebKind::Full, rr, vec![]),
+            build(MebKind::Reduced, rr, vec![])
+        );
+        // …the arbitration policy…
+        assert_ne!(
+            base,
+            build(MebKind::Fifo { depth: 2 }, ArbiterKind::Fixed, vec![])
+        );
+        // …and pre-loaded initial tokens (count, slot and value).
+        let with_initial = build(MebKind::Fifo { depth: 2 }, rr, vec![(0, 7)]);
+        assert_ne!(base, with_initial);
+        assert_ne!(
+            with_initial,
+            build(MebKind::Fifo { depth: 2 }, rr, vec![(1, 7)])
+        );
+        assert_ne!(
+            with_initial,
+            build(MebKind::Fifo { depth: 2 }, rr, vec![(0, 8)])
+        );
     }
 
     #[test]

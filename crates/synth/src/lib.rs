@@ -55,6 +55,7 @@ pub mod compile;
 mod graph;
 pub mod ir;
 pub mod lower;
+pub mod opt;
 pub mod passes;
 
 pub use builder::{DataflowBuilder, SynthConfig, SynthIr};
@@ -66,7 +67,10 @@ pub use ir::{
     IrNodeKind, IrNodeTag,
 };
 pub use lower::{FusedOp, OpTable};
+pub use opt::{
+    delta_styles, dot_with_deltas, MebDepthSizing, Retiming, SlackMatching, TransformSpec,
+};
 pub use passes::{
-    CycleCoverLint, MebSubstitution, MebTarget, Pass, PassError, PassManager, PassReport,
-    ProtocolLint,
+    CycleCoverLint, MebSubstitution, MebTarget, Pass, PassDelta, PassError, PassManager,
+    PassReport, ProtocolLint, RetimeDirection,
 };

@@ -87,6 +87,16 @@ pub enum PassError {
         /// Offending node.
         node: String,
     },
+    /// A retiming move is not legal at the targeted buffer: the
+    /// neighbour in the move direction is not a pure 1→1 `Transform`,
+    /// the buffer holds initial tokens (which the transform would have
+    /// to be applied to), or the move would uncover a feedback cycle.
+    IllegalRetiming {
+        /// The buffer the pass was pointed at.
+        node: String,
+        /// Why the move is rejected.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for PassError {
@@ -138,15 +148,93 @@ impl std::fmt::Display for PassError {
             PassError::NotAMeb { node } => {
                 write!(f, "node `{node}` is not a MEB; cannot substitute its kind")
             }
+            PassError::IllegalRetiming { node, reason } => {
+                write!(f, "cannot retime buffer `{node}`: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for PassError {}
 
-/// What one pass did: how many nodes it rewrote and how many entities it
-/// checked.
+/// Which way a retiming move shifts a buffer relative to token flow.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RetimeDirection {
+    /// Move the buffer downstream, across the transform *reading* its
+    /// output.
+    Forward,
+    /// Move the buffer upstream, across the transform *driving* its
+    /// input.
+    Backward,
+}
+
+impl std::fmt::Display for RetimeDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetimeDirection::Forward => write!(f, "forward"),
+            RetimeDirection::Backward => write!(f, "backward"),
+        }
+    }
+}
+
+/// One machine-readable structural change made by a transforming pass —
+/// the diff record an optimizer (or the cost model's delta check, or the
+/// DOT highlighter) consumes without re-walking the IR. Every variant
+/// carries the thread count and datapath width the affected buffer costs
+/// at, so `elastic-cost`'s `expected_les_delta` can predict the
+/// re-derived inventory exactly.
 #[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PassDelta {
+    /// A buffer's microarchitecture was rewritten in place
+    /// ([`MebSubstitution`], `MebDepthSizing`).
+    Resized {
+        /// The rewritten MEB node.
+        node: String,
+        /// Microarchitecture before the rewrite.
+        from: MebKind,
+        /// Microarchitecture after the rewrite.
+        to: MebKind,
+        /// Thread count the buffer is costed at.
+        threads: usize,
+        /// Datapath width (bits) the buffer is costed at.
+        width: usize,
+    },
+    /// A new buffer node was inserted on a channel (`SlackMatching`).
+    Inserted {
+        /// The new MEB node's name.
+        node: String,
+        /// The channel the buffer was inserted on.
+        channel: String,
+        /// The inserted buffer's microarchitecture.
+        kind: MebKind,
+        /// Thread count the buffer is costed at.
+        threads: usize,
+        /// Datapath width (bits) the buffer is costed at.
+        width: usize,
+    },
+    /// A buffer was moved across an adjacent transform (`Retiming`).
+    Moved {
+        /// The moved buffer node.
+        node: String,
+        /// The transform node it moved across.
+        across: String,
+        /// Move direction.
+        direction: RetimeDirection,
+        /// The buffer's microarchitecture (`None` for a single-thread
+        /// EB).
+        kind: Option<MebKind>,
+        /// Thread count the buffer is costed at.
+        threads: usize,
+        /// Datapath width (bits) before the move.
+        from_width: usize,
+        /// Datapath width (bits) after the move.
+        to_width: usize,
+    },
+}
+
+/// What one pass did: how many nodes it rewrote, how many entities it
+/// checked, and the structured diff of every rewrite.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct PassReport {
     /// Pass name (see [`Pass::name`]).
     pub pass: String,
@@ -154,6 +242,28 @@ pub struct PassReport {
     pub changed: usize,
     /// Entities (nodes or channels) inspected.
     pub checked: usize,
+    /// Machine-readable record of each structural change, in application
+    /// order (empty for lints and no-op rewrites).
+    pub deltas: Vec<PassDelta>,
+}
+
+impl PassReport {
+    /// A delta-free report (lints, counting-only rewrites).
+    pub fn new(pass: impl Into<String>, changed: usize, checked: usize) -> Self {
+        Self {
+            pass: pass.into(),
+            changed,
+            checked,
+            deltas: Vec::new(),
+        }
+    }
+
+    /// Attaches the structured diff (builder style).
+    #[must_use]
+    pub fn with_deltas(mut self, deltas: Vec<PassDelta>) -> Self {
+        self.deltas = deltas;
+        self
+    }
 }
 
 /// A rewrite or lint over an [`ElasticIr`].
@@ -292,8 +402,14 @@ impl<T: Token> Pass<T> for MebSubstitution {
         };
         let mut changed = 0;
         let mut checked = 0;
+        let mut deltas = Vec::new();
         for id in ids {
             checked += 1;
+            // Resolved before the mutable borrow: the delta records the
+            // thread count and width the cost model will re-derive at.
+            let threads = ir.node_threads(id);
+            let width = ir.node_width(id);
+            let name = ir.node(id).name().to_string();
             if let IrNodeKind::Meb {
                 kind,
                 arbiter,
@@ -305,22 +421,29 @@ impl<T: Token> Pass<T> for MebSubstitution {
                     continue;
                 }
                 if *kind != self.kind {
+                    deltas.push(PassDelta::Resized {
+                        node: name,
+                        from: *kind,
+                        to: self.kind,
+                        threads,
+                        width,
+                    });
                     *kind = self.kind;
                     changed += 1;
                 }
                 if let Some(a) = self.arbiter {
                     if *arbiter != a {
+                        // Arbitration policy does not move the LE count
+                        // (the arbiter row depends on S only), so the
+                        // rewrite counts as a change but emits no
+                        // cost-relevant delta.
                         *arbiter = a;
                         changed += 1;
                     }
                 }
             }
         }
-        Ok(PassReport {
-            pass: <Self as Pass<T>>::name(self).to_string(),
-            changed,
-            checked,
-        })
+        Ok(PassReport::new(<Self as Pass<T>>::name(self), changed, checked).with_deltas(deltas))
     }
 }
 
@@ -429,11 +552,11 @@ impl<T: Token> Pass<T> for ProtocolLint {
                 });
             }
         }
-        Ok(PassReport {
-            pass: <Self as Pass<T>>::name(self).to_string(),
-            changed: 0,
-            checked: ir.node_count() + n_ch,
-        })
+        Ok(PassReport::new(
+            <Self as Pass<T>>::name(self),
+            0,
+            ir.node_count() + n_ch,
+        ))
     }
 }
 
@@ -518,11 +641,7 @@ impl<T: Token> Pass<T> for CycleCoverLint {
                 }
             }
         }
-        Ok(PassReport {
-            pass: <Self as Pass<T>>::name(self).to_string(),
-            changed: 0,
-            checked: n,
-        })
+        Ok(PassReport::new(<Self as Pass<T>>::name(self), 0, n))
     }
 }
 

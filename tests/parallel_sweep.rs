@@ -5,7 +5,9 @@
 //! shape, job mix, or panic placement), per-worker circuit reuse via
 //! `Circuit::reset` must be indistinguishable from building fresh,
 //! failures must stay isolated to their job, the `SweepService` campaign
-//! cache must answer repeat submissions from memory, and on hosts with
+//! cache must answer repeat submissions from memory — while staying
+//! bounded at its capacity cap under autotune-volume key churn and never
+//! serving a stale result across an IR mutation — and on hosts with
 //! real parallelism the wall-clock must actually scale.
 
 use mt_elastic::core::{MebKind, PipelineConfig, PipelineHarness};
@@ -369,4 +371,142 @@ fn sweep_service_memoizes_repeat_campaigns() {
         .jobs
         .iter()
         .all(|j| j.memoized && j.wall == std::time::Duration::ZERO));
+}
+
+/// Autotune-volume cache behaviour: thousands of distinct keyed points
+/// (the size of a long `synth_optimize` run) keep the campaign cache
+/// bounded at its capacity cap, the freshest keys still answer from
+/// memory with their original values, and long-evicted keys re-execute.
+#[test]
+fn campaign_cache_is_bounded_at_autotune_volume() {
+    const CAP: usize = 256;
+    let svc = SweepService::new(2).with_cache_capacity(CAP);
+    let point = |key: u64, value: u64| -> SimJob<u64> {
+        SimJob::new(format!("pt {key:x}"), move || Ok(value)).with_cache_key(key)
+    };
+
+    // Five waves of 600 distinct campaign keys — 3 000 points.
+    for wave in 0..5u64 {
+        let jobs: Vec<SimJob<u64>> = (0..600u64)
+            .map(|i| point(campaign_key(wave * 600 + i, 0xC0DE, 0), wave * 600 + i))
+            .collect();
+        let report = svc.run(jobs);
+        assert_eq!(report.cache_hits, 0, "wave {wave}: keys are all distinct");
+        assert_eq!(report.cache_misses, 600);
+        assert!(
+            svc.cached_results() <= CAP,
+            "cache grew past its cap after wave {wave}: {}",
+            svc.cached_results()
+        );
+    }
+    assert_eq!(svc.cache_evictions(), (3000 - CAP) as u64);
+
+    // A fresh tail wave smaller than the cap is fully retained: the same
+    // keys resubmitted with poisoned closures must answer from memory
+    // with their original values.
+    let tail: Vec<SimJob<u64>> = (0..200u64)
+        .map(|i| point(campaign_key(0xAAAA_0000 + i, 0xC0DE, 0), 5000 + i))
+        .collect();
+    assert_eq!(svc.run(tail).cache_misses, 200);
+    let poisoned: Vec<SimJob<u64>> =
+        (0..200u64)
+            .map(|i| {
+                SimJob::new(format!("poison {i}"), move || Ok(u64::MAX))
+                    .with_cache_key(campaign_key(0xAAAA_0000 + i, 0xC0DE, 0))
+            })
+            .collect();
+    let report = svc.run(poisoned);
+    assert_eq!(report.cache_hits, 200, "recent keys must all hit");
+    let values = report.unwrap_all();
+    assert!(
+        values
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == 5000 + i as u64),
+        "a poisoned (stale) value was served: {values:?}"
+    );
+
+    // Wave-0 keys were evicted thousands of insertions ago.
+    let ancient: Vec<SimJob<u64>> = (0..200u64)
+        .map(|i| point(campaign_key(i, 0xC0DE, 0), 9000 + i))
+        .collect();
+    assert_eq!(svc.run(ancient).cache_hits, 0, "evicted keys must not hit");
+}
+
+/// Campaign keys derived from `ElasticIr::structural_hash` can never
+/// serve a stale result across an IR mutation: a transforming pass
+/// changes the hash — and therefore the key — so the mutated design's
+/// point misses and re-executes, while the unmutated design still hits.
+#[test]
+fn ir_mutation_changes_the_key_so_no_stale_hit() {
+    use mt_elastic::core::ArbiterKind;
+    use mt_elastic::synth::{ElasticIr, IrNodeKind, MebSubstitution, Pass};
+
+    fn chain(kind: MebKind) -> ElasticIr<u64> {
+        let mut ir = ElasticIr::<u64>::new();
+        let a = ir.channel_with_width("a", 2, 8);
+        let b = ir.channel_with_width("b", 2, 8);
+        ir.add("src", IrNodeKind::Source, vec![], vec![a]);
+        ir.add(
+            "buf",
+            IrNodeKind::Meb {
+                kind,
+                arbiter: ArbiterKind::RoundRobin,
+                initial: Vec::new(),
+                auto: true,
+            },
+            vec![a],
+            vec![b],
+        );
+        ir.add(
+            "snk",
+            IrNodeKind::Sink {
+                capture: false,
+                policy: ReadyPolicy::Always,
+            },
+            vec![b],
+            vec![],
+        );
+        ir
+    }
+
+    let svc = SweepService::new(1);
+    // The job's "result" is the buffer microarchitecture it was built
+    // from, so a stale cache entry is immediately visible in the value.
+    let probe = |ir: &ElasticIr<u64>, label: &str| -> (u64, SimJob<String>) {
+        let key = campaign_key(ir.structural_hash(), 0x5EED, 0);
+        let tag = format!("{:?}", ir.node(ir.node_named("buf").unwrap()).tag());
+        let job = SimJob::new(label.to_string(), move || Ok(tag)).with_cache_key(key);
+        (key, job)
+    };
+
+    let mut ir = chain(MebKind::Full);
+    let (key_before, job) = probe(&ir, "before");
+    let first = svc.run(vec![job]).unwrap_all();
+    assert!(first[0].contains("Full"));
+
+    // Identical design resubmitted: served from memory.
+    let (_, job) = probe(&ir, "again");
+    assert_eq!(svc.run(vec![job]).cache_hits, 1);
+
+    // Mutate the design: the key must change and the point re-execute.
+    MebSubstitution::named("buf", MebKind::Fifo { depth: 4 })
+        .run(&mut ir)
+        .expect("substitute");
+    let (key_after, job) = probe(&ir, "after");
+    assert_ne!(
+        key_before, key_after,
+        "mutation must change the campaign key"
+    );
+    let report = svc.run(vec![job]);
+    assert_eq!(
+        report.cache_hits, 0,
+        "stale hit served across an IR mutation"
+    );
+    let values = report.unwrap_all();
+    assert!(
+        values[0].contains("Fifo"),
+        "stale pre-mutation result returned: {}",
+        values[0]
+    );
 }
